@@ -1,0 +1,93 @@
+// Ablation: full-text (w‖word) keys on vs off.
+//
+// Figure 8 shows the size cost of full-text keys; this ablation shows
+// what they buy and what dropping them costs end to end: indexing time
+// and cost shrink without words, but containment/equality queries lose
+// index-side pruning and must fetch more documents (word-node pruning is
+// skipped when the index has no word keys — see BuildKeyTwig).
+//
+// Expected shape: no-words indexing is substantially faster and cheaper;
+// queries relying on word constants (q2, q5, q6) retrieve more documents
+// and take longer; queries keyed on attributes/structure (q1, q3, q7)
+// are unaffected.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+struct Run {
+  cloud::Micros index_makespan = 0;
+  double index_cost = 0;
+  std::vector<uint64_t> docs_fetched;
+  std::vector<cloud::Micros> query_micros;
+};
+
+std::map<bool, Run>& Results() {
+  static auto* results = new std::map<bool, Run>();
+  return *results;
+}
+
+void BM_FullText(benchmark::State& state) {
+  const bool full_text = state.range(0) != 0;
+  for (auto _ : state) {
+    Deployment d = Deploy(index::StrategyKind::kLUP, /*use_index=*/true, 1,
+                          cloud::InstanceType::kLarge, CorpusConfig(),
+                          engine::IndexBackend::kDynamoDb, full_text);
+    Run run;
+    run.index_makespan = d.indexing.makespan;
+    run.index_cost = d.indexing_bill.total();
+    for (const auto& query : Workload()) {
+      auto outcome = d.warehouse->ExecuteQuery(query);
+      if (!outcome.ok()) {
+        state.SkipWithError(outcome.status().ToString().c_str());
+        return;
+      }
+      run.docs_fetched.push_back(outcome.value().docs_fetched);
+      run.query_micros.push_back(outcome.value().timings.total);
+    }
+    state.counters["index_s"] =
+        static_cast<double>(run.index_makespan) / 1e6;
+    state.counters["index_usd"] = run.index_cost;
+    Results()[full_text] = std::move(run);
+  }
+  state.SetLabel(full_text ? "full-text" : "no-words");
+}
+
+BENCHMARK(BM_FullText)
+    ->Arg(1)
+    ->Arg(0)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintTable() {
+  PrintHeader("Ablation: full-text keys on vs off (LUP)");
+  const Run& with = Results()[true];
+  const Run& without = Results()[false];
+  std::printf("indexing: full-text %s ($%.6f)  |  no-words %s ($%.6f)\n",
+              Secs(with.index_makespan).c_str(), with.index_cost,
+              Secs(without.index_makespan).c_str(), without.index_cost);
+  std::printf("%-6s %18s %18s %14s %14s\n", "Query", "docs (full-text)",
+              "docs (no-words)", "t full (s)", "t nowords (s)");
+  for (size_t q = 0; q < with.docs_fetched.size(); ++q) {
+    std::printf("q%-5zu %18llu %18llu %14s %14s\n", q + 1,
+                (unsigned long long)with.docs_fetched[q],
+                (unsigned long long)without.docs_fetched[q],
+                Secs(with.query_micros[q]).c_str(),
+                Secs(without.query_micros[q]).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintTable();
+  return 0;
+}

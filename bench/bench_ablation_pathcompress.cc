@@ -1,0 +1,133 @@
+// Ablation: front-coded LUP paths (the paper's Section 8.5 suggestion:
+// "Further compression of the paths in the LUP index could probably make
+// it even more competitive").
+//
+// Builds the LUP index twice — plain path values vs front-coded blobs —
+// and compares index size, build time/cost, and query behaviour.
+//
+// Expected shape: compression shrinks the stored path payload severalfold
+// (label paths share long prefixes), cutting upload time and DynamoDB
+// cost; query results are identical, with a small CPU cost to decode.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+struct Run {
+  uint64_t index_bytes = 0;
+  cloud::Micros build_makespan = 0;
+  double build_cost = 0;
+  cloud::Micros workload_micros = 0;
+  uint64_t rows = 0;
+};
+
+std::map<bool, Run>& Results() {
+  static auto* results = new std::map<bool, Run>();
+  return *results;
+}
+
+void BM_PathCompression(benchmark::State& state) {
+  const bool compressed = state.range(0) != 0;
+  for (auto _ : state) {
+    Deployment d;
+    d.env = std::make_unique<cloud::CloudEnv>();
+    engine::WarehouseConfig config;
+    config.strategy = index::StrategyKind::kLUP;
+    config.num_instances = 8;
+    config.extract.compress_paths = compressed;
+    d.warehouse = std::make_unique<engine::Warehouse>(d.env.get(), config);
+    if (!d.warehouse->Setup().ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    const auto corpus = IndexingCorpusConfig();
+    xmark::XmarkGenerator generator(corpus);
+    for (int i = 0; i < corpus.num_documents; ++i) {
+      auto doc = generator.Generate(i);
+      (void)d.warehouse->SubmitDocument(doc.uri, std::move(doc.text));
+    }
+    const cloud::Usage before = d.env->meter().Snapshot();
+    auto indexing = d.warehouse->RunIndexers();
+    if (!indexing.ok()) {
+      state.SkipWithError("indexing failed");
+      return;
+    }
+    Run run;
+    run.build_makespan = indexing.value().makespan;
+    run.build_cost =
+        d.env->meter().ComputeBill(d.env->meter().Snapshot() - before)
+            .total();
+    run.index_bytes =
+        d.warehouse->IndexRawBytes() + d.warehouse->IndexOverheadBytes();
+    // Rebuild the facade for single-instance queries.
+    engine::WarehouseConfig query_config = config;
+    query_config.num_instances = 1;
+    auto fresh =
+        std::make_unique<engine::Warehouse>(d.env.get(), query_config);
+    fresh->AdoptExistingData(*d.warehouse);
+    d.warehouse = std::move(fresh);
+    for (const auto& query : Workload()) {
+      auto outcome = d.warehouse->ExecuteQuery(query);
+      if (!outcome.ok()) {
+        state.SkipWithError(outcome.status().ToString().c_str());
+        return;
+      }
+      run.workload_micros += outcome.value().timings.total;
+      run.rows += outcome.value().result.rows.size();
+    }
+    state.counters["index_MB"] =
+        static_cast<double>(run.index_bytes) / (1024.0 * 1024.0);
+    state.counters["build_s"] =
+        static_cast<double>(run.build_makespan) / 1e6;
+    Results()[compressed] = run;
+  }
+  state.SetLabel(compressed ? "front-coded" : "plain");
+}
+
+BENCHMARK(BM_PathCompression)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintTable() {
+  PrintHeader(
+      "Ablation: LUP path compression (Section 8.5 'future work', "
+      "implemented)");
+  const Run& plain = Results()[false];
+  const Run& coded = Results()[true];
+  std::printf("%-14s %14s %12s %12s %14s %8s\n", "Mode", "Index (MB)",
+              "Build (s)", "Build $", "Workload (s)", "Rows");
+  std::printf("%-14s %14.2f %12s %12.6f %14s %8llu\n", "plain",
+              static_cast<double>(plain.index_bytes) / (1024.0 * 1024.0),
+              Secs(plain.build_makespan).c_str(), plain.build_cost,
+              Secs(plain.workload_micros).c_str(),
+              (unsigned long long)plain.rows);
+  std::printf("%-14s %14.2f %12s %12.6f %14s %8llu\n", "front-coded",
+              static_cast<double>(coded.index_bytes) / (1024.0 * 1024.0),
+              Secs(coded.build_makespan).c_str(), coded.build_cost,
+              Secs(coded.workload_micros).c_str(),
+              (unsigned long long)coded.rows);
+  if (coded.index_bytes > 0) {
+    std::printf("compression ratio (raw+overhead): %.2fx; identical "
+                "result rows: %s\n",
+                static_cast<double>(plain.index_bytes) /
+                    static_cast<double>(coded.index_bytes),
+                plain.rows == coded.rows ? "yes" : "NO (bug!)");
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces paper Figure 10: "Impact of using multiple EC2 instances" —
+// the whole workload submitted 16 times in a row (160 queries), drained
+// by 1 vs 8 query-processing instances, for L and XL types and every
+// strategy.
+//
+// Expected shape (paper): 8 instances reduce the makespan dramatically
+// (close to 8x for L); the relative gain is smaller for XL because many
+// strong instances approach the index store's shared provisioned
+// capacity.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+int Repeats() {
+  if (const char* r = std::getenv("WEBDEX_BENCH_REPEAT")) {
+    return std::atoi(r);
+  }
+  return 16;
+}
+
+std::map<std::string, cloud::Micros>& Results() {
+  static auto* results = new std::map<std::string, cloud::Micros>();
+  return *results;
+}
+
+void BM_Parallelism(benchmark::State& state) {
+  const index::StrategyKind kind =
+      index::AllStrategyKinds()[static_cast<size_t>(state.range(0))];
+  const cloud::InstanceType type = state.range(1) == 0
+                                       ? cloud::InstanceType::kLarge
+                                       : cloud::InstanceType::kExtraLarge;
+  const int instances = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    Deployment d =
+        Deploy(kind, /*use_index=*/true, instances, type, CorpusConfig());
+    std::vector<std::string> workload;
+    for (int r = 0; r < Repeats(); ++r) {
+      for (const auto& query : Workload()) workload.push_back(query);
+    }
+    auto report = d.warehouse->ExecuteQueries(workload);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    const std::string key =
+        StrFormat("%s/%s/%d", index::StrategyKindName(kind),
+                  cloud::InstanceTypeName(type), instances);
+    Results()[key] = report.value().makespan;
+    state.counters["makespan_s"] =
+        static_cast<double>(report.value().makespan) / 1e6;
+    state.counters["queries"] = static_cast<double>(workload.size());
+  }
+  state.SetLabel(StrFormat("%s %s x%d", index::StrategyKindName(kind),
+                           cloud::InstanceTypeName(type), instances));
+}
+
+BENCHMARK(BM_Parallelism)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}, {1, 8}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintFigure() {
+  PrintHeader(StrFormat(
+      "Figure 10: workload x%d response time (s, virtual), 1 vs 8 "
+      "instances",
+      Repeats()));
+  std::printf("%-8s %6s %16s %16s %10s\n", "Strategy", "Type",
+              "1 instance (s)", "8 instances (s)", "speedup");
+  for (const index::StrategyKind kind : index::AllStrategyKinds()) {
+    for (const char* type : {"L", "XL"}) {
+      const auto one = Results().find(
+          StrFormat("%s/%s/1", index::StrategyKindName(kind), type));
+      const auto eight = Results().find(
+          StrFormat("%s/%s/8", index::StrategyKindName(kind), type));
+      if (one == Results().end() || eight == Results().end()) continue;
+      std::printf("%-8s %6s %16s %16s %9.1fx\n",
+                  index::StrategyKindName(kind), type,
+                  Secs(one->second).c_str(), Secs(eight->second).c_str(),
+                  static_cast<double>(one->second) /
+                      static_cast<double>(eight->second));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintFigure();
+  return 0;
+}

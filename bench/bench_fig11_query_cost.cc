@@ -1,0 +1,107 @@
+// Reproduces paper Figure 11: per-query monetary cost for no-index and
+// the four strategies, on large and extra-large instances.
+//
+// Expected shape (paper): indexing cuts query cost by ~92-97% versus the
+// no-index scan; with an index the cost is nearly independent of the
+// instance type (XL costs twice as much per hour but finishes in about
+// half the time).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+std::map<std::string, std::vector<double>>& Results() {
+  static auto* results = new std::map<std::string, std::vector<double>>();
+  return *results;
+}
+
+const char* kConfigs[] = {"NoIndex", "LU", "LUP", "LUI", "2LUPI"};
+
+void BM_QueryCost(benchmark::State& state) {
+  const int config_index = static_cast<int>(state.range(0));
+  const cloud::InstanceType type = state.range(1) == 0
+                                       ? cloud::InstanceType::kLarge
+                                       : cloud::InstanceType::kExtraLarge;
+  const bool use_index = config_index > 0;
+  const index::StrategyKind kind =
+      use_index ? index::AllStrategyKinds()[config_index - 1]
+                : index::StrategyKind::kLU;
+  for (auto _ : state) {
+    Deployment d = Deploy(kind, use_index, 1, type, CorpusConfig());
+    std::vector<double> costs;
+    double total = 0;
+    for (const auto& query : Workload()) {
+      const cloud::Usage before = d.env->meter().Snapshot();
+      auto outcome = d.warehouse->ExecuteQuery(query);
+      if (!outcome.ok()) {
+        state.SkipWithError(outcome.status().ToString().c_str());
+        return;
+      }
+      const double cost =
+          d.env->meter()
+              .ComputeBill(d.env->meter().Snapshot() - before)
+              .total();
+      costs.push_back(cost);
+      total += cost;
+    }
+    state.counters["workload_usd"] = total;
+    Results()[StrFormat("%s/%s", kConfigs[config_index],
+                        cloud::InstanceTypeName(type))] = std::move(costs);
+  }
+  state.SetLabel(StrFormat("%s on %s", kConfigs[config_index],
+                           cloud::InstanceTypeName(type)));
+}
+
+BENCHMARK(BM_QueryCost)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintFigure() {
+  PrintHeader("Figure 11: query processing cost ($, metered) per query");
+  std::printf("%-12s", "Config");
+  for (size_t q = 1; q <= Workload().size(); ++q) {
+    std::printf(" %10s", StrFormat("q%zu", q).c_str());
+  }
+  std::printf("\n");
+  for (const char* config : kConfigs) {
+    for (const char* type : {"L", "XL"}) {
+      const auto it = Results().find(StrFormat("%s/%s", config, type));
+      if (it == Results().end()) continue;
+      std::printf("%-12s", StrFormat("%s/%s", config, type).c_str());
+      for (double cost : it->second) std::printf(" %10.6f", cost);
+      std::printf("\n");
+    }
+  }
+  // Savings summary (the paper quotes 92-97%).
+  const auto& no_index = Results()["NoIndex/L"];
+  if (!no_index.empty()) {
+    PrintHeader("Savings vs no-index (L)");
+    for (const char* config : {"LU", "LUP", "LUI", "2LUPI"}) {
+      const auto it = Results().find(StrFormat("%s/L", config));
+      if (it == Results().end()) continue;
+      double base = 0, indexed = 0;
+      for (size_t q = 0; q < no_index.size(); ++q) {
+        base += no_index[q];
+        indexed += it->second[q];
+      }
+      std::printf("%-8s workload $%.6f vs $%.6f -> %.1f%% saved\n", config,
+                  indexed, base, 100.0 * (1.0 - indexed / base));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintFigure();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Figure 12: "Workload evaluation cost details on an
+// extra large (XL) instance" — the whole 10-query workload's metered
+// bill decomposed across DynamoDB, S3, EC2, SQS and AWSDown (egress),
+// for no-index and the four strategies.
+//
+// Expected shape (paper): EC2 dominates every configuration; AWSDown is
+// identical everywhere (same results flow out); S3 tracks index
+// selectivity; DynamoDB is tiny for LU/LUP and visibly larger for
+// LUI/2LUPI, which pull ID lists.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+std::map<std::string, cloud::Bill>& Results() {
+  static auto* results = new std::map<std::string, cloud::Bill>();
+  return *results;
+}
+
+const char* kConfigs[] = {"NoIndex", "LU", "LUP", "LUI", "2LUPI"};
+
+void BM_CostBreakdown(benchmark::State& state) {
+  const int config_index = static_cast<int>(state.range(0));
+  const bool use_index = config_index > 0;
+  const index::StrategyKind kind =
+      use_index ? index::AllStrategyKinds()[config_index - 1]
+                : index::StrategyKind::kLU;
+  for (auto _ : state) {
+    Deployment d = Deploy(kind, use_index, 1,
+                          cloud::InstanceType::kExtraLarge, CorpusConfig());
+    const cloud::Usage before = d.env->meter().Snapshot();
+    auto report = d.warehouse->ExecuteQueries(Workload());
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    const cloud::Bill bill =
+        d.env->meter().ComputeBill(d.env->meter().Snapshot() - before);
+    state.counters["total_usd"] = bill.total();
+    state.counters["ec2_usd"] = bill.ec2;
+    Results()[kConfigs[config_index]] = bill;
+  }
+  state.SetLabel(kConfigs[config_index]);
+}
+
+BENCHMARK(BM_CostBreakdown)
+    ->DenseRange(0, 4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintFigure() {
+  PrintHeader(
+      "Figure 12: workload cost decomposition on one XL instance "
+      "($, metered)");
+  std::printf("%-10s %12s %12s %12s %12s %12s %12s\n", "Config",
+              "DynamoDB", "S3", "EC2", "SQS", "AWSDown", "Total");
+  for (const char* config : kConfigs) {
+    auto it = Results().find(config);
+    if (it == Results().end()) continue;
+    const cloud::Bill& bill = it->second;
+    std::printf("%-10s %12.6f %12.6f %12.6f %12.6f %12.6f %12.6f\n",
+                config, bill.dynamodb, bill.s3, bill.ec2, bill.sqs,
+                bill.egress, bill.total());
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintFigure();
+  return 0;
+}

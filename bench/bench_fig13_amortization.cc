@@ -1,0 +1,117 @@
+// Reproduces paper Figure 13: "Index cost amortization for a single
+// extra large (XL) EC2 instance" — cumulated benefit of each index
+// (no-index workload cost minus indexed workload cost, per run) against
+// its one-off build cost, as the workload is re-run.
+//
+// Expected shape (paper): every strategy's curve crosses zero within a
+// handful of runs — LU first, then LUP/LUI, 2LUPI last (the paper saw
+// 4 / 8 / 8 / 16 runs).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+#include "cost/cost_model.h"
+
+namespace webdex::bench {
+namespace {
+
+struct Entry {
+  double build_cost = 0;
+  double workload_cost = 0;
+};
+
+std::map<std::string, Entry>& Results() {
+  static auto* results = new std::map<std::string, Entry>();
+  return *results;
+}
+
+double& NoIndexCost() {
+  static double cost = 0;
+  return cost;
+}
+
+double MeterWorkload(Deployment& d, benchmark::State& state) {
+  const cloud::Usage before = d.env->meter().Snapshot();
+  auto report = d.warehouse->ExecuteQueries(Workload());
+  if (!report.ok()) {
+    state.SkipWithError(report.status().ToString().c_str());
+    return 0;
+  }
+  return d.env->meter().ComputeBill(d.env->meter().Snapshot() - before)
+      .total();
+}
+
+void BM_Amortization(benchmark::State& state) {
+  const int config_index = static_cast<int>(state.range(0));
+  const bool use_index = config_index > 0;
+  const index::StrategyKind kind =
+      use_index ? index::AllStrategyKinds()[config_index - 1]
+                : index::StrategyKind::kLU;
+  for (auto _ : state) {
+    Deployment d = Deploy(kind, use_index, 1,
+                          cloud::InstanceType::kExtraLarge, CorpusConfig());
+    const double workload_cost = MeterWorkload(d, state);
+    if (!use_index) {
+      NoIndexCost() = workload_cost;
+      state.counters["workload_usd"] = workload_cost;
+      continue;
+    }
+    Entry entry;
+    entry.build_cost = d.indexing_bill.total();
+    entry.workload_cost = workload_cost;
+    state.counters["build_usd"] = entry.build_cost;
+    state.counters["workload_usd"] = entry.workload_cost;
+    Results()[index::StrategyKindName(kind)] = entry;
+  }
+}
+
+BENCHMARK(BM_Amortization)
+    ->DenseRange(0, 4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintFigure() {
+  PrintHeader(
+      "Figure 13: #runs x benefit(I, W) - buildingCost(I) on one XL "
+      "instance");
+  cost::CostModel model{cloud::Pricing::AwsSingaporeOct2012()};
+  std::printf("%-8s %12s %12s %14s %14s\n", "Strategy", "build $",
+              "benefit/run", "crosses 0 at", "net @ 20 runs");
+  for (const auto& [strategy, entry] : Results()) {
+    const double benefit = NoIndexCost() - entry.workload_cost;
+    const double crossing =
+        benefit > 0 ? entry.build_cost / benefit : -1;
+    std::printf("%-8s %12.6f %12.6f %14.1f %14.6f\n", strategy.c_str(),
+                entry.build_cost, benefit, crossing,
+                model.AmortizationNetValue(benefit, entry.build_cost, 20));
+  }
+  std::printf("\nSeries (net value after n runs):\n%-5s", "n");
+  for (const auto& [strategy, entry] : Results()) {
+    (void)entry;
+    std::printf(" %12s", strategy.c_str());
+  }
+  std::printf("\n");
+  for (int runs = 0; runs <= 20; runs += 2) {
+    std::printf("%-5d", runs);
+    for (const auto& [strategy, entry] : Results()) {
+      (void)strategy;
+      const double benefit = NoIndexCost() - entry.workload_cost;
+      std::printf(" %12.6f",
+                  model.AmortizationNetValue(benefit, entry.build_cost,
+                                             runs));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintFigure();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Figure 7: "Indexing in 8 large (L) EC2 instances" —
+// indexing time as a function of corpus size.
+//
+// The corpus is swept from 1/4 to 4/4 of the benchmark size for every
+// strategy.  Expected shape (paper): indexing time grows linearly with
+// data size for each strategy, with 2LUPI > LUP > LUI > LU.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+struct Point {
+  uint64_t corpus_bytes = 0;
+  cloud::Micros total = 0;
+};
+
+std::map<std::string, std::vector<Point>>& Series() {
+  static auto* series = new std::map<std::string, std::vector<Point>>();
+  return *series;
+}
+
+constexpr int kSteps = 4;
+
+void BM_IndexingScaling(benchmark::State& state) {
+  const index::StrategyKind kind =
+      index::AllStrategyKinds()[static_cast<size_t>(state.range(0))];
+  const int step = static_cast<int>(state.range(1));
+  xmark::GeneratorConfig corpus = IndexingCorpusConfig();
+  corpus.num_documents = corpus.num_documents * step / kSteps;
+  for (auto _ : state) {
+    Deployment d = Deploy(kind, /*use_index=*/true, 1,
+                          cloud::InstanceType::kLarge, corpus);
+    Point point;
+    point.corpus_bytes = d.warehouse->data_bytes();
+    point.total = d.indexing.makespan;
+    state.counters["corpus_MB"] =
+        static_cast<double>(point.corpus_bytes) / (1024.0 * 1024.0);
+    state.counters["index_s"] = static_cast<double>(point.total) / 1e6;
+    Series()[index::StrategyKindName(kind)].push_back(point);
+  }
+  state.SetLabel(StrFormat("%s %d/%d corpus",
+                           index::StrategyKindName(kind), step, kSteps));
+}
+
+BENCHMARK(BM_IndexingScaling)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 2, 3, 4}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintFigure() {
+  PrintHeader(
+      "Figure 7: indexing time vs documents size, 8 large instances "
+      "(virtual time)");
+  std::printf("%-10s %14s %16s %18s\n", "Strategy", "Corpus (MB)",
+              "Indexing (s)", "s per MB (linear?)");
+  for (const auto& [strategy, points] : Series()) {
+    for (const auto& point : points) {
+      const double mb =
+          static_cast<double>(point.corpus_bytes) / (1024.0 * 1024.0);
+      std::printf("%-10s %14.2f %16s %18.2f\n", strategy.c_str(), mb,
+                  Secs(point.total).c_str(),
+                  static_cast<double>(point.total) / 1e6 / mb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintFigure();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces paper Figure 8: "Index size and storage costs per month
+// with full-text indexing (top) and without (bottom)".
+//
+// For every strategy the corpus is indexed twice — with and without word
+// (w‖·) keys — and the figure reports the raw index payload, the
+// DynamoDB per-item storage overhead, and the resulting monthly storage
+// bill next to the XML data itself.
+//
+// Expected shape (paper): LUP and 2LUPI are the largest (2LUPI larger
+// than the data with full text), LU the smallest; dropping full-text
+// keys shrinks every index substantially; DynamoDB overhead is
+// noticeable but grows slower than index size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "cost/cost_model.h"
+
+namespace webdex::bench {
+namespace {
+
+constexpr double kGb = 1024.0 * 1024.0 * 1024.0;
+
+struct Row {
+  std::string label;
+  uint64_t raw_bytes = 0;
+  uint64_t overhead_bytes = 0;
+  double monthly_cost = 0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+uint64_t& DataBytes() {
+  static uint64_t bytes = 0;
+  return bytes;
+}
+
+void BM_IndexSize(benchmark::State& state) {
+  const index::StrategyKind kind =
+      index::AllStrategyKinds()[static_cast<size_t>(state.range(0))];
+  const bool full_text = state.range(1) != 0;
+  for (auto _ : state) {
+    Deployment d = Deploy(kind, /*use_index=*/true, 1,
+                          cloud::InstanceType::kLarge, IndexingCorpusConfig(),
+                          engine::IndexBackend::kDynamoDb, full_text);
+    Row row;
+    row.label = StrFormat("%s%s", index::StrategyKindName(kind),
+                          full_text ? "" : " (no words)");
+    row.raw_bytes = d.warehouse->IndexRawBytes();
+    row.overhead_bytes = d.warehouse->IndexOverheadBytes();
+    cost::CostModel model(d.env->meter().pricing());
+    cost::IndexMetrics index_metrics;
+    index_metrics.raw_gb = static_cast<double>(row.raw_bytes) / kGb;
+    index_metrics.overhead_gb =
+        static_cast<double>(row.overhead_bytes) / kGb;
+    row.monthly_cost =
+        model.pricing().idx_month_gb * index_metrics.total_gb();
+    DataBytes() = d.warehouse->data_bytes();
+    state.counters["index_MB"] =
+        static_cast<double>(row.raw_bytes + row.overhead_bytes) /
+        (1024.0 * 1024.0);
+    state.counters["usd_month_at_40GB_scale"] = row.monthly_cost;
+    Rows().push_back(std::move(row));
+  }
+  state.SetLabel(StrFormat("%s %s", index::StrategyKindName(kind),
+                           full_text ? "full-text" : "no-words"));
+}
+
+BENCHMARK(BM_IndexSize)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 0}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintFigure() {
+  PrintHeader("Figure 8: index size and monthly storage cost");
+  const double data_mb = static_cast<double>(DataBytes()) / (1024 * 1024);
+  const cloud::Pricing pricing;
+  std::printf("XML data: %.2f MB -> $%.6f/month at ST$m,GB\n", data_mb,
+              pricing.st_month_gb * static_cast<double>(DataBytes()) / kGb);
+  std::printf("%-18s %14s %16s %14s %16s\n", "Strategy", "Content (MB)",
+              "Overhead (MB)", "vs data (x)", "$/month");
+  for (const auto& row : Rows()) {
+    const double content_mb =
+        static_cast<double>(row.raw_bytes) / (1024 * 1024);
+    const double overhead_mb =
+        static_cast<double>(row.overhead_bytes) / (1024 * 1024);
+    std::printf("%-18s %14.2f %16.2f %14.2f %16.6f\n", row.label.c_str(),
+                content_mb, overhead_mb,
+                (content_mb + overhead_mb) / data_mb, row.monthly_cost);
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintFigure();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Reproduces paper Figure 9: per-query response time for no-index and
+// the four indexing strategies on large (L) and extra-large (XL) EC2
+// instances (Fig. 9a), plus the detail split of look-up time into
+// DynamoDB gets, physical plan execution, and S3 transfer + result
+// extraction (Figs. 9b / 9c).
+//
+// Expected shape (paper): every index beats no-index by 1-2 orders of
+// magnitude; LUP is the overall fastest strategy, LU close behind, then
+// LUI and 2LUPI (within ~4x of each other); XL times are below L times;
+// LU/LUP have cheaper look-up+plan phases than LUI/2LUPI, and transfer +
+// evaluation time tracks the number of documents retrieved (Table 5).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+struct Cell {
+  engine::QueryTimings timings;
+};
+
+// key: (config label like "LUP", instance type), value per query.
+std::map<std::string, std::vector<Cell>>& Results() {
+  static auto* results = new std::map<std::string, std::vector<Cell>>();
+  return *results;
+}
+
+const char* kConfigs[] = {"NoIndex", "LU", "LUP", "LUI", "2LUPI"};
+
+void RunConfig(benchmark::State& state, int config_index,
+               cloud::InstanceType type) {
+  const bool use_index = config_index > 0;
+  const index::StrategyKind kind =
+      use_index ? index::AllStrategyKinds()[config_index - 1]
+                : index::StrategyKind::kLU;
+  for (auto _ : state) {
+    Deployment d =
+        Deploy(kind, use_index, /*query_instances=*/1, type, CorpusConfig());
+    std::vector<Cell> cells;
+    cloud::Micros total = 0;
+    for (const auto& query : Workload()) {
+      auto outcome = d.warehouse->ExecuteQuery(query);
+      if (!outcome.ok()) {
+        state.SkipWithError(outcome.status().ToString().c_str());
+        return;
+      }
+      cells.push_back(Cell{outcome.value().timings});
+      total += outcome.value().timings.total;
+    }
+    state.counters["workload_s"] = static_cast<double>(total) / 1e6;
+    Results()[StrFormat("%s/%s", kConfigs[config_index],
+                        cloud::InstanceTypeName(type))] = std::move(cells);
+  }
+  state.SetLabel(StrFormat("%s on %s", kConfigs[config_index],
+                           cloud::InstanceTypeName(type)));
+}
+
+void BM_ResponseTime(benchmark::State& state) {
+  RunConfig(state, static_cast<int>(state.range(0)),
+            state.range(1) == 0 ? cloud::InstanceType::kLarge
+                                : cloud::InstanceType::kExtraLarge);
+}
+
+BENCHMARK(BM_ResponseTime)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintFigure() {
+  PrintHeader(
+      "Figure 9a: response time (s, virtual) per query; L and XL, one "
+      "instance");
+  std::printf("%-12s", "Config");
+  for (size_t q = 1; q <= Workload().size(); ++q) {
+    std::printf(" %8s", StrFormat("q%zu", q).c_str());
+  }
+  std::printf("\n");
+  for (const char* config : kConfigs) {
+    for (const char* type : {"L", "XL"}) {
+      const auto it = Results().find(StrFormat("%s/%s", config, type));
+      if (it == Results().end()) continue;
+      std::printf("%-12s", StrFormat("%s/%s", config, type).c_str());
+      for (const auto& cell : it->second) {
+        std::printf(" %8s", Secs(cell.timings.total).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  for (const char* type : {"L", "XL"}) {
+    PrintHeader(StrFormat(
+        "Figure 9%s: detail on %s instance — DynamoDB get / plan "
+        "execution / S3 transfer + results extraction (s)",
+        type[0] == 'L' ? "b" : "c", type));
+    std::printf("%-8s", "Query");
+    for (int c = 1; c <= 4; ++c) std::printf(" %26s", kConfigs[c]);
+    std::printf("\n");
+    for (size_t q = 0; q < Workload().size(); ++q) {
+      std::printf("q%-7zu", q + 1);
+      for (int c = 1; c <= 4; ++c) {
+        const auto it = Results().find(StrFormat("%s/%s", kConfigs[c], type));
+        if (it == Results().end() || q >= it->second.size()) continue;
+        const auto& t = it->second[q].timings;
+        std::printf(" %26s",
+                    StrFormat("%s/%s/%s", Secs(t.index_get).c_str(),
+                              Secs(t.plan_exec).c_str(),
+                              Secs(t.transfer_eval).c_str())
+                        .c_str());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintFigure();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces paper Table 4: "Indexing times using 8 large (L) instances".
+//
+// For each strategy, the whole corpus is loaded through the loader queue
+// and drained by 8 simulated large EC2 instances; the table reports the
+// average per-instance extraction time, the average per-instance index
+// uploading time (DynamoDB writes, throttled by the shared provisioned
+// capacity), and the total queue-to-queue makespan.
+//
+// Expected shape (paper): total times ordered LU < LUI < LUP < 2LUPI, and
+// uploading dominating extraction for every strategy.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+struct Row {
+  std::string strategy;
+  cloud::Micros extract_avg = 0;
+  cloud::Micros upload_avg = 0;
+  cloud::Micros total = 0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+constexpr int kFleet = 8;
+
+void BM_IndexCorpus(benchmark::State& state) {
+  const index::StrategyKind kind =
+      index::AllStrategyKinds()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    Deployment d = Deploy(kind, /*use_index=*/true, /*query_instances=*/1,
+                          cloud::InstanceType::kLarge, IndexingCorpusConfig());
+    Row row;
+    row.strategy = index::StrategyKindName(kind);
+    row.extract_avg = d.indexing.extraction_micros / kFleet;
+    row.upload_avg = d.indexing.upload_micros / kFleet;
+    row.total = d.indexing.makespan;
+    state.counters["extract_s"] =
+        static_cast<double>(row.extract_avg) / 1e6;
+    state.counters["upload_s"] = static_cast<double>(row.upload_avg) / 1e6;
+    state.counters["total_s"] = static_cast<double>(row.total) / 1e6;
+    state.counters["docs"] = static_cast<double>(d.indexing.documents);
+    Rows().push_back(std::move(row));
+  }
+  state.SetLabel(index::StrategyKindName(kind));
+}
+
+BENCHMARK(BM_IndexCorpus)
+    ->DenseRange(0, 3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintTable() {
+  const auto corpus = IndexingCorpusConfig();
+  PrintHeader(StrFormat(
+      "Table 4: indexing times using %d large (L) instances "
+      "(%d documents, virtual time)",
+      kFleet, corpus.num_documents));
+  std::printf("%-10s %22s %22s %14s\n", "Strategy",
+              "Avg extraction (s)", "Avg uploading (s)", "Total (s)");
+  for (const auto& row : Rows()) {
+    std::printf("%-10s %22s %22s %14s\n", row.strategy.c_str(),
+                Secs(row.extract_avg).c_str(), Secs(row.upload_avg).c_str(),
+                Secs(row.total).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintTable();
+  return 0;
+}

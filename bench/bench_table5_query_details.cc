@@ -1,0 +1,101 @@
+// Reproduces paper Table 5: "Query processing details" — for each of the
+// ten workload queries, the number of document IDs retrieved from the
+// index by every strategy, the number of documents actually containing
+// results, and the result size.
+//
+// Expected shape (paper): LU >= LUP >= LUI = 2LUPI; LUI/2LUPI exact
+// (equal to "# docs with results") on the pure tree-pattern queries; all
+// strategies imprecise on the three value-join queries (q8-q10), whose
+// counts are summed over the query's tree patterns.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+struct Row {
+  int query = 0;
+  uint64_t docs[4] = {0, 0, 0, 0};  // LU, LUP, LUI, 2LUPI
+  uint64_t docs_with_results = 0;
+  uint64_t result_bytes = 0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>(Workload().size());
+  return *rows;
+}
+
+void BM_QueryDetails(benchmark::State& state) {
+  const size_t strategy_index = static_cast<size_t>(state.range(0));
+  const index::StrategyKind kind = index::AllStrategyKinds()[strategy_index];
+  for (auto _ : state) {
+    Deployment d = Deploy(kind, /*use_index=*/true, 1,
+                          cloud::InstanceType::kLarge, CorpusConfig());
+    for (size_t q = 0; q < Workload().size(); ++q) {
+      auto outcome = d.warehouse->ExecuteQuery(Workload()[q]);
+      if (!outcome.ok()) {
+        state.SkipWithError(outcome.status().ToString().c_str());
+        return;
+      }
+      Row& row = Rows()[q];
+      row.query = static_cast<int>(q) + 1;
+      row.docs[strategy_index] = outcome.value().docs_from_index;
+      row.result_bytes = outcome.value().result.SizeBytes();
+    }
+  }
+  state.SetLabel(index::StrategyKindName(kind));
+}
+
+BENCHMARK(BM_QueryDetails)
+    ->DenseRange(0, 3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Ground truth: evaluate each query over the whole corpus (no index).
+void BM_GroundTruth(benchmark::State& state) {
+  const auto corpus = CorpusConfig();
+  for (auto _ : state) {
+    for (size_t q = 0; q < Workload().size(); ++q) {
+      auto parsed = query::ParseQuery(Workload()[q]);
+      if (!parsed.ok()) {
+        state.SkipWithError(parsed.status().ToString().c_str());
+        return;
+      }
+      Rows()[q].docs_with_results = DocsWithResults(parsed.value(), corpus);
+    }
+  }
+}
+
+BENCHMARK(BM_GroundTruth)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void PrintTable() {
+  const auto corpus = CorpusConfig();
+  PrintHeader(StrFormat("Table 5: query processing details (%d documents)",
+                        corpus.num_documents));
+  std::printf("%-6s %8s %8s %8s %8s | %12s %14s\n", "Query", "LU", "LUP",
+              "LUI", "2LUPI", "w. results", "results (KB)");
+  for (const auto& row : Rows()) {
+    std::printf("q%-5d %8llu %8llu %8llu %8llu | %12llu %14.2f\n",
+                row.query, (unsigned long long)row.docs[0],
+                (unsigned long long)row.docs[1],
+                (unsigned long long)row.docs[2],
+                (unsigned long long)row.docs[3],
+                (unsigned long long)row.docs_with_results,
+                static_cast<double>(row.result_bytes) / 1024.0);
+  }
+  std::printf(
+      "(value-join queries q8-q10 sum the document IDs retrieved per tree "
+      "pattern, as in the paper)\n");
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintTable();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Table 6: "Indexing costs for 40 GB using L
+// instances" — the metered dollar bill of building each index, broken
+// down by AWS service (DynamoDB / EC2 / S3 + SQS).
+//
+// Expected shape (paper): 2LUPI most expensive, LU cheapest, with
+// LU < LUI < LUP < 2LUPI; DynamoDB dominates EC2 within each strategy;
+// the S3 + SQS share is constant across strategies and negligible.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+struct Row {
+  std::string strategy;
+  cloud::Bill bill;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+void BM_IndexingCost(benchmark::State& state) {
+  const index::StrategyKind kind =
+      index::AllStrategyKinds()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    Deployment d = Deploy(kind, /*use_index=*/true, 1,
+                          cloud::InstanceType::kLarge, IndexingCorpusConfig());
+    Row row;
+    row.strategy = index::StrategyKindName(kind);
+    row.bill = d.indexing_bill;
+    state.counters["dynamodb_usd"] = row.bill.dynamodb;
+    state.counters["ec2_usd"] = row.bill.ec2;
+    state.counters["total_usd"] = row.bill.total();
+    Rows().push_back(std::move(row));
+  }
+  state.SetLabel(index::StrategyKindName(kind));
+}
+
+BENCHMARK(BM_IndexingCost)
+    ->DenseRange(0, 3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintTable() {
+  const auto corpus = IndexingCorpusConfig();
+  PrintHeader(StrFormat(
+      "Table 6: indexing costs (%d documents, 8 L instances, metered)",
+      corpus.num_documents));
+  std::printf("%-10s %14s %12s %12s %12s\n", "Strategy", "DynamoDB",
+              "EC2", "S3 + SQS", "Total");
+  for (const auto& row : Rows()) {
+    std::printf("%-10s %14.6f %12.6f %12.6f %12.6f\n",
+                row.strategy.c_str(), row.bill.dynamodb, row.bill.ec2,
+                row.bill.s3 + row.bill.sqs, row.bill.total());
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintTable();
+  return 0;
+}

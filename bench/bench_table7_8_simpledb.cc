@@ -1,0 +1,146 @@
+// Reproduces paper Tables 7 and 8: comparison of this work's DynamoDB
+// deployment against the authors' earlier SimpleDB-based system [8],
+// normalized per MB of XML data: indexing speed (ms/MB) and cost ($/MB),
+// monthly storage cost ($/GB of XML), query speed (ms/MB) and query cost
+// ($/MB).
+//
+// Expected shape (paper): DynamoDB indexes 1-2 orders of magnitude
+// faster and 1-3 orders of magnitude cheaper than SimpleDB; queries are
+// several times faster and cheaper; SimpleDB's text-only values make its
+// stored index larger (hex-armoured ID lists, chunked entries).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+struct Entry {
+  double index_ms_per_mb = 0;
+  double index_usd_per_mb = 0;
+  double storage_usd_per_gb_xml = 0;
+  double query_ms_per_mb = 0;
+  double query_usd_per_mb = 0;
+};
+
+std::map<std::string, Entry>& Results() {
+  static auto* results = new std::map<std::string, Entry>();
+  return *results;
+}
+
+// SimpleDB is slow even in virtual time; use a reduced corpus so that
+// per-MB normalization stays meaningful while runs stay short.
+xmark::GeneratorConfig SmallCorpus() {
+  xmark::GeneratorConfig config = CorpusConfig();
+  config.num_documents = std::max(20, config.num_documents / 4);
+  return config;
+}
+
+void BM_StoreComparison(benchmark::State& state) {
+  const index::StrategyKind kind =
+      index::AllStrategyKinds()[static_cast<size_t>(state.range(0))];
+  const engine::IndexBackend backend =
+      state.range(1) == 0 ? engine::IndexBackend::kDynamoDb
+                          : engine::IndexBackend::kSimpleDb;
+  const char* backend_name = state.range(1) == 0 ? "DynamoDB" : "SimpleDB";
+  for (auto _ : state) {
+    Deployment d = Deploy(kind, /*use_index=*/true, 1,
+                          cloud::InstanceType::kLarge, SmallCorpus(),
+                          backend);
+    const double mb =
+        static_cast<double>(d.warehouse->data_bytes()) / (1024.0 * 1024.0);
+    Entry entry;
+    entry.index_ms_per_mb =
+        static_cast<double>(d.indexing.makespan) / 1000.0 / mb;
+    entry.index_usd_per_mb = d.indexing_bill.total() / mb;
+    const double index_gb =
+        static_cast<double>(d.warehouse->IndexRawBytes() +
+                            d.warehouse->IndexOverheadBytes()) /
+        (1024.0 * 1024.0 * 1024.0);
+    const double xml_gb = mb / 1024.0;
+    const double month_rate =
+        backend == engine::IndexBackend::kDynamoDb
+            ? d.env->meter().pricing().idx_month_gb
+            : d.env->meter().pricing().simpledb_month_gb;
+    entry.storage_usd_per_gb_xml = month_rate * index_gb / xml_gb;
+
+    const cloud::Usage before = d.env->meter().Snapshot();
+    cloud::Micros query_micros = 0;
+    for (const auto& query : Workload()) {
+      auto outcome = d.warehouse->ExecuteQuery(query);
+      if (!outcome.ok()) {
+        state.SkipWithError(outcome.status().ToString().c_str());
+        return;
+      }
+      query_micros += outcome.value().timings.total;
+    }
+    const cloud::Bill query_bill =
+        d.env->meter().ComputeBill(d.env->meter().Snapshot() - before);
+    entry.query_ms_per_mb =
+        static_cast<double>(query_micros) / 1000.0 / mb;
+    entry.query_usd_per_mb = query_bill.total() / mb;
+
+    state.counters["index_ms_per_MB"] = entry.index_ms_per_mb;
+    state.counters["query_ms_per_MB"] = entry.query_ms_per_mb;
+    Results()[StrFormat("%s/%s", index::StrategyKindName(kind),
+                        backend_name)] = entry;
+  }
+  state.SetLabel(
+      StrFormat("%s on %s", index::StrategyKindName(kind), backend_name));
+}
+
+BENCHMARK(BM_StoreComparison)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintTables() {
+  PrintHeader(
+      "Table 7: indexing comparison — SimpleDB ([8]-style) vs DynamoDB "
+      "(this work)");
+  std::printf("%-10s %18s %18s | %18s %18s\n", "Strategy",
+              "SimpleDB ms/MB", "DynamoDB ms/MB", "SimpleDB $/MB",
+              "DynamoDB $/MB");
+  for (const index::StrategyKind kind : index::AllStrategyKinds()) {
+    const auto simple =
+        Results()[StrFormat("%s/SimpleDB", index::StrategyKindName(kind))];
+    const auto dynamo =
+        Results()[StrFormat("%s/DynamoDB", index::StrategyKindName(kind))];
+    std::printf("%-10s %18.1f %18.1f | %18.6f %18.6f\n",
+                index::StrategyKindName(kind), simple.index_ms_per_mb,
+                dynamo.index_ms_per_mb, simple.index_usd_per_mb,
+                dynamo.index_usd_per_mb);
+  }
+  std::printf("Monthly storage ($ per GB of XML, LUP): SimpleDB %.3f, "
+              "DynamoDB %.3f, data %.3f\n",
+              Results()["LUP/SimpleDB"].storage_usd_per_gb_xml,
+              Results()["LUP/DynamoDB"].storage_usd_per_gb_xml, 0.125);
+
+  PrintHeader("Table 8: query processing comparison");
+  std::printf("%-10s %18s %18s | %18s %18s\n", "Strategy",
+              "SimpleDB ms/MB", "DynamoDB ms/MB", "SimpleDB $/MB",
+              "DynamoDB $/MB");
+  for (const index::StrategyKind kind : index::AllStrategyKinds()) {
+    const auto simple =
+        Results()[StrFormat("%s/SimpleDB", index::StrategyKindName(kind))];
+    const auto dynamo =
+        Results()[StrFormat("%s/DynamoDB", index::StrategyKindName(kind))];
+    std::printf("%-10s %18.1f %18.1f | %18.8f %18.8f\n",
+                index::StrategyKindName(kind), simple.query_ms_per_mb,
+                dynamo.query_ms_per_mb, simple.query_usd_per_mb,
+                dynamo.query_usd_per_mb);
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintTables();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// XMark warehouse: the paper's full pipeline at benchmark scale.
+//
+// Generates an XMark-style fragment corpus (the paper's split corpus),
+// indexes it with a fleet of simulated large EC2 instances under a
+// chosen strategy, answers an auction workload with a parallel query
+// fleet, and prints the complete metered AWS bill.
+//
+//   $ ./xmark_warehouse [LU|LUP|LUI|2LUPI] [num_documents] [instances]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "cloud/cloud_env.h"
+#include "engine/warehouse.h"
+#include "xmark/xmark_generator.h"
+
+namespace {
+
+const char* kWorkload[] = {
+    "//regions//item[/@id='item42', //name:val]",
+    "//closed_auction[/annotation:cont, /annotation/description~'amber']",
+    "//item[/name:val, /mailbox/mail/from:val]",
+    "//person[/name:val, /address[/city='Paris'], /creditcard]",
+    "//open_auction[/seller/@person#s, /initial:val]; "
+    "//people/person[/@id#p, /name:val] where #s=#p",
+};
+
+webdex::index::StrategyKind ParseStrategy(const char* name) {
+  using webdex::index::StrategyKind;
+  if (std::strcmp(name, "LU") == 0) return StrategyKind::kLU;
+  if (std::strcmp(name, "LUI") == 0) return StrategyKind::kLUI;
+  if (std::strcmp(name, "2LUPI") == 0) return StrategyKind::k2LUPI;
+  return StrategyKind::kLUP;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace webdex;
+
+  const index::StrategyKind strategy =
+      ParseStrategy(argc > 1 ? argv[1] : "LUP");
+  xmark::GeneratorConfig corpus;
+  corpus.split_sections = true;
+  corpus.num_documents = argc > 2 ? std::atoi(argv[2]) : 240;
+  corpus.entities_per_document = 40;
+  const int instances = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  cloud::CloudEnv env;
+  engine::WarehouseConfig config;
+  config.strategy = strategy;
+  config.num_instances = instances;
+  engine::Warehouse warehouse(&env, config);
+  if (!warehouse.Setup().ok()) return 1;
+
+  std::printf("loading %d XMark fragment documents...\n",
+              corpus.num_documents);
+  xmark::XmarkGenerator generator(corpus);
+  for (int i = 0; i < corpus.num_documents; ++i) {
+    auto doc = generator.Generate(i);
+    if (auto s = warehouse.SubmitDocument(doc.uri, std::move(doc.text));
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("corpus: %.1f MB in the file store\n",
+              static_cast<double>(warehouse.data_bytes()) / (1 << 20));
+
+  auto indexing = warehouse.RunIndexers();
+  if (!indexing.ok()) {
+    std::fprintf(stderr, "%s\n", indexing.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "built the %s index on %d L instances in %.1f virtual seconds "
+      "(index: %.1f MB + %.1f MB store overhead)\n\n",
+      index::StrategyKindName(strategy), instances,
+      static_cast<double>(indexing.value().makespan) / 1e6,
+      static_cast<double>(warehouse.IndexRawBytes()) / (1 << 20),
+      static_cast<double>(warehouse.IndexOverheadBytes()) / (1 << 20));
+
+  std::vector<std::string> workload(std::begin(kWorkload),
+                                    std::end(kWorkload));
+  auto report = warehouse.ExecuteQueries(workload);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-5s %9s %9s %9s %8s  query\n", "q#", "from-idx", "fetched",
+              "rows", "time(s)");
+  for (size_t i = 0; i < report.value().outcomes.size(); ++i) {
+    const auto& outcome = report.value().outcomes[i];
+    std::printf("q%-4zu %9llu %9llu %9zu %8.3f  %.60s\n", i + 1,
+                (unsigned long long)outcome.docs_from_index,
+                (unsigned long long)outcome.docs_fetched,
+                outcome.result.rows.size(),
+                static_cast<double>(outcome.timings.total) / 1e6,
+                outcome.query_text.c_str());
+  }
+  std::printf("\nworkload makespan on %d instance(s): %.2f virtual s\n",
+              instances,
+              static_cast<double>(report.value().makespan) / 1e6);
+  std::printf("\ntotal metered AWS bill:\n%s",
+              env.meter().ComputeBill().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+#ifndef WEBDEX_CLOUD_CLOUD_ENV_H_
+#define WEBDEX_CLOUD_CLOUD_ENV_H_
+
+#include <memory>
+
+#include "cloud/dynamodb.h"
+#include "cloud/instance.h"
+#include "cloud/object_store.h"
+#include "cloud/pricing.h"
+#include "cloud/queue_service.h"
+#include "cloud/simpledb.h"
+#include "cloud/usage.h"
+#include "common/rng.h"
+
+namespace webdex::cloud {
+
+/// All tunables of the simulated cloud in one place.
+struct CloudConfig {
+  Pricing pricing = Pricing::AwsSingaporeOct2012();
+  uint64_t seed = 42;
+  ObjectStoreConfig s3;
+  DynamoDbConfig dynamodb;
+  SimpleDbConfig simpledb;
+  QueueServiceConfig sqs;
+  WorkModel work;
+};
+
+/// The simulated cloud region: one S3, one DynamoDB, one SimpleDB, one
+/// SQS, a shared usage meter, and a deterministic random stream.  All
+/// simulated components of a single experiment share one CloudEnv.
+class CloudEnv {
+ public:
+  explicit CloudEnv(const CloudConfig& config = CloudConfig())
+      : config_(config),
+        meter_(config.pricing),
+        s3_(config.s3, &meter_),
+        dynamodb_(config.dynamodb, &meter_),
+        simpledb_(config.simpledb, &meter_),
+        sqs_(config.sqs, &meter_),
+        rng_(config.seed) {}
+
+  CloudEnv(const CloudEnv&) = delete;
+  CloudEnv& operator=(const CloudEnv&) = delete;
+
+  const CloudConfig& config() const { return config_; }
+  UsageMeter& meter() { return meter_; }
+  ObjectStore& s3() { return s3_; }
+  DynamoDb& dynamodb() { return dynamodb_; }
+  SimpleDb& simpledb() { return simpledb_; }
+  QueueService& sqs() { return sqs_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  CloudConfig config_;
+  UsageMeter meter_;
+  ObjectStore s3_;
+  DynamoDb dynamodb_;
+  SimpleDb simpledb_;
+  QueueService sqs_;
+  Rng rng_;
+};
+
+}  // namespace webdex::cloud
+
+#endif  // WEBDEX_CLOUD_CLOUD_ENV_H_

@@ -1,0 +1,61 @@
+#include "cloud/cluster.h"
+
+#include <algorithm>
+
+namespace webdex::cloud {
+
+Cluster::Cluster(int count, InstanceType type, const WorkModel* work)
+    : type_(type) {
+  instances_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    instances_.push_back(std::make_unique<Instance>(i, type, work));
+  }
+}
+
+void Cluster::SyncClocks(Micros t) {
+  for (auto& inst : instances_) {
+    inst->ResetClock(t);
+    inst->ResetBusy();
+  }
+}
+
+Micros Cluster::MaxClock() const {
+  Micros latest = 0;
+  for (const auto& inst : instances_) {
+    latest = std::max(latest, inst->now());
+  }
+  return latest;
+}
+
+Micros Cluster::RunUntilDrained(const Worker& worker, Micros start_time) {
+  std::vector<bool> done(instances_.size(), false);
+  size_t remaining = instances_.size();
+  while (remaining > 0) {
+    // Pick the live instance with the smallest local clock.
+    Instance* next = nullptr;
+    size_t next_index = 0;
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      if (done[i]) continue;
+      if (next == nullptr || instances_[i]->now() < next->now()) {
+        next = instances_[i].get();
+        next_index = i;
+      }
+    }
+    const Micros before = next->now();
+    const WorkerStep step = worker(*next);
+    next->AddBusy(next->now() - before);
+    if (step.processed) continue;
+    if (step.retry_at < 0) {
+      done[next_index] = true;
+      --remaining;
+    } else {
+      // Nothing deliverable yet: idle until the next message can appear.
+      // Guarantee progress even if retry_at is not in the future.
+      next->AdvanceTo(std::max(step.retry_at, next->now() + 1));
+    }
+  }
+  const Micros end = MaxClock();
+  return end > start_time ? end - start_time : 0;
+}
+
+}  // namespace webdex::cloud

@@ -1,0 +1,67 @@
+#ifndef WEBDEX_CLOUD_CLUSTER_H_
+#define WEBDEX_CLOUD_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cloud/instance.h"
+#include "cloud/pricing.h"
+#include "cloud/sim.h"
+
+namespace webdex::cloud {
+
+/// Outcome of asking a worker to pull and process one task.
+struct WorkerStep {
+  /// True if a message was received and processed.
+  bool processed = false;
+  /// When `processed` is false: virtual time at which the worker should
+  /// poll again (a message exists but is currently in flight elsewhere).
+  /// Negative means the queue is drained and the worker can shut down.
+  Micros retry_at = -1;
+};
+
+/// A fleet of simulated EC2 instances draining work from a queue.
+///
+/// Discrete-event scheduling: at each step the instance with the smallest
+/// local virtual clock runs one task to completion.  This serializes real
+/// execution (we run on one host core) while computing the same makespan a
+/// genuinely parallel fleet would observe, including contention on shared
+/// services (see RateLimiter in sim.h for the FCFS approximation note).
+class Cluster {
+ public:
+  /// `worker(instance)` should attempt to receive one message from its
+  /// queue and fully process it.
+  using Worker = std::function<WorkerStep(Instance&)>;
+
+  Cluster(int count, InstanceType type, const WorkModel* work);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::vector<std::unique_ptr<Instance>>& instances() { return instances_; }
+  Instance& instance(size_t i) { return *instances_[i]; }
+  size_t size() const { return instances_.size(); }
+  InstanceType type() const { return type_; }
+
+  /// Sets every instance's clock to `t` (e.g. the virtual time at which
+  /// the front end finished enqueueing work) and clears busy counters.
+  void SyncClocks(Micros t);
+
+  /// Runs `worker` across the fleet until every instance reports a
+  /// drained queue.  Returns the makespan: the latest instance finish
+  /// time minus `start_time`.  Each instance's busy_micros() accumulates
+  /// its own processing time for billing.
+  Micros RunUntilDrained(const Worker& worker, Micros start_time);
+
+  /// Latest local time across instances.
+  Micros MaxClock() const;
+
+ private:
+  InstanceType type_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+};
+
+}  // namespace webdex::cloud
+
+#endif  // WEBDEX_CLOUD_CLUSTER_H_

@@ -1,0 +1,196 @@
+#include "cloud/dynamodb.h"
+
+#include "common/strings.h"
+
+namespace webdex::cloud {
+
+DynamoDb::DynamoDb(const DynamoDbConfig& config, UsageMeter* meter)
+    : config_(config),
+      meter_(meter),
+      write_limiter_(config.write_units_per_second),
+      read_limiter_(config.read_units_per_second) {}
+
+Status DynamoDb::CreateTable(const std::string& table) {
+  auto [it, inserted] = tables_.try_emplace(table);
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("table exists: " + table);
+  return Status::OK();
+}
+
+bool DynamoDb::HasTable(const std::string& table) const {
+  return tables_.count(table) > 0;
+}
+
+double DynamoDb::WriteUnits(const Item& item) {
+  const double size = static_cast<double>(item.SizeBytes());
+  return (size < kMinWriteBytes ? kMinWriteBytes : size) / 1024.0;
+}
+
+double DynamoDb::ReadUnits(uint64_t item_bytes) {
+  const double size = static_cast<double>(item_bytes);
+  return (size < kMinReadBytes ? kMinReadBytes : size) / 4096.0;
+}
+
+Status DynamoDb::ValidateItem(const Item& item) const {
+  if (item.hash_key.empty()) {
+    return Status::InvalidArgument("empty hash key");
+  }
+  if (item.range_key.empty()) {
+    return Status::InvalidArgument("empty range key");
+  }
+  if (item.hash_key.size() > 2048) {
+    return Status::InvalidArgument("hash key exceeds 2KB");
+  }
+  if (item.range_key.size() > 1024) {
+    return Status::InvalidArgument("range key exceeds 1KB");
+  }
+  if (item.SizeBytes() > MaxItemBytes()) {
+    return Status::InvalidArgument(
+        StrFormat("item exceeds 64KB (%llu bytes) for hash key %s",
+                  static_cast<unsigned long long>(item.SizeBytes()),
+                  item.hash_key.c_str()));
+  }
+  return Status::OK();
+}
+
+Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
+                          const std::vector<Item>& items) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  for (const auto& item : items) {
+    WEBDEX_RETURN_IF_ERROR(ValidateItem(item));
+  }
+  Table& t = it->second;
+  const int batch_limit = BatchPutLimit();
+  size_t index = 0;
+  while (index < items.size()) {
+    const size_t batch_end =
+        std::min(items.size(), index + static_cast<size_t>(batch_limit));
+    double batch_units = 0;
+    for (size_t i = index; i < batch_end; ++i) {
+      const Item& item = items[i];
+      auto& hash_items = t.items[item.hash_key];
+      auto slot = hash_items.find(item.range_key);
+      if (slot != hash_items.end()) {
+        // Replacement semantics: the new item completely replaces the old
+        // one (Section 6), so subtract the old incarnation's size.
+        const Item old{item.hash_key, item.range_key, slot->second};
+        t.stored_bytes -= old.SizeBytes();
+        t.item_count -= 1;
+        slot->second = item.attrs;
+      } else {
+        hash_items.emplace(item.range_key, item.attrs);
+      }
+      t.stored_bytes += item.SizeBytes();
+      t.item_count += 1;
+      batch_units += WriteUnits(item);
+      meter_->mutable_usage().ddb_items_written += 1;
+    }
+    meter_->mutable_usage().ddb_put_requests += 1;
+    meter_->mutable_usage().ddb_write_units += batch_units;
+    agent.AdvanceTo(write_limiter_.Acquire(agent.now(), batch_units));
+    agent.Advance(config_.request_latency);
+    index = batch_end;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Item>> DynamoDb::Get(SimAgent& agent,
+                                        const std::string& table,
+                                        const std::string& hash_key) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  std::vector<Item> out;
+  auto hit = it->second.items.find(hash_key);
+  if (hit != it->second.items.end()) {
+    for (const auto& [range_key, attrs] : hit->second) {
+      out.push_back(Item{hash_key, range_key, attrs});
+    }
+  }
+  double units = 0;
+  for (const auto& item : out) {
+    units += ReadUnits(item.SizeBytes());
+  }
+  if (units == 0) units = ReadUnits(0);  // a miss still does a seek
+  meter_->mutable_usage().ddb_get_requests += 1;
+  meter_->mutable_usage().ddb_read_units += units;
+  agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
+  agent.Advance(config_.request_latency);
+  return out;
+}
+
+Result<std::vector<Item>> DynamoDb::BatchGet(
+    SimAgent& agent, const std::string& table,
+    const std::vector<std::string>& hash_keys) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  std::vector<Item> out;
+  const int batch_limit = BatchGetLimit();
+  size_t index = 0;
+  while (index < hash_keys.size()) {
+    const size_t batch_end = std::min(
+        hash_keys.size(), index + static_cast<size_t>(batch_limit));
+    double units = 0;
+    for (size_t i = index; i < batch_end; ++i) {
+      auto hit = it->second.items.find(hash_keys[i]);
+      if (hit == it->second.items.end()) continue;
+      for (const auto& [range_key, attrs] : hit->second) {
+        Item item{hash_keys[i], range_key, attrs};
+        units += ReadUnits(item.SizeBytes());
+        out.push_back(std::move(item));
+      }
+    }
+    if (units == 0) units = ReadUnits(0);
+    meter_->mutable_usage().ddb_get_requests += 1;
+    meter_->mutable_usage().ddb_read_units += units;
+    agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
+    agent.Advance(config_.request_latency);
+    index = batch_end;
+  }
+  return out;
+}
+
+uint64_t DynamoDb::StoredBytes(const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.stored_bytes;
+}
+
+uint64_t DynamoDb::OverheadBytes(const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.item_count * kItemOverheadBytes;
+}
+
+uint64_t DynamoDb::ItemCount(const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.item_count;
+}
+
+void DynamoDb::ForEachItem(
+    const std::function<void(const std::string&, const Item&)>& fn) const {
+  for (const auto& [name, table] : tables_) {
+    for (const auto& [hash_key, ranges] : table.items) {
+      for (const auto& [range_key, attrs] : ranges) {
+        fn(name, Item{hash_key, range_key, attrs});
+      }
+    }
+  }
+}
+
+void DynamoDb::RestoreItem(const std::string& table, const Item& item) {
+  Table& t = tables_[table];
+  t.items[item.hash_key][item.range_key] = item.attrs;
+  t.stored_bytes += item.SizeBytes();
+  t.item_count += 1;
+}
+
+std::vector<std::string> DynamoDb::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace webdex::cloud

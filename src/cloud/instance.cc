@@ -1,0 +1,31 @@
+#include "cloud/instance.h"
+
+namespace webdex::cloud {
+
+InstanceSpec SpecFor(InstanceType type) {
+  switch (type) {
+    case InstanceType::kLarge:
+      // 7.5 GB RAM, 2 virtual cores with 2 ECU each (Section 8.1).
+      return InstanceSpec{2, 2.0, 7.5};
+    case InstanceType::kExtraLarge:
+      // 15 GB RAM, 4 virtual cores with 2 ECU each.
+      return InstanceSpec{4, 2.0, 15.0};
+  }
+  return InstanceSpec{1, 1.0, 1.0};
+}
+
+Instance::Instance(int id, InstanceType type, const WorkModel* work)
+    : id_(id), type_(type), spec_(SpecFor(type)), work_(work) {}
+
+void Instance::ChargeSerialWork(double ecu_micros) {
+  if (ecu_micros <= 0) return;
+  Advance(static_cast<Micros>(ecu_micros / spec_.ecu_per_core));
+}
+
+void Instance::ChargeParallelWork(double ecu_micros) {
+  if (ecu_micros <= 0) return;
+  Advance(static_cast<Micros>(ecu_micros /
+                              (spec_.ecu_per_core * spec_.cores)));
+}
+
+}  // namespace webdex::cloud

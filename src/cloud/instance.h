@@ -1,0 +1,96 @@
+#ifndef WEBDEX_CLOUD_INSTANCE_H_
+#define WEBDEX_CLOUD_INSTANCE_H_
+
+#include <string>
+
+#include "cloud/pricing.h"
+#include "cloud/sim.h"
+
+namespace webdex::cloud {
+
+/// CPU cost model: ECU-microseconds per unit of work, where one EC2
+/// Compute Unit (ECU) is "the CPU capacity of a 1.0-1.2 GHz 2007 Xeon
+/// processor" (paper Section 8.1).  Constants are calibrated to
+/// throughputs plausible for Java XML processing on such a core; they set
+/// the absolute scale of the reproduced times, while all *relative*
+/// behaviour (which strategy wins, crossovers) comes from real operation
+/// counts measured while executing the actual algorithms on real data.
+struct WorkModel {
+  /// XML parsing + structural-ID assignment: ~1 MB/s per ECU core.
+  /// Calibrated against the paper's Table 4: its 8 large instances
+  /// extracted index entries from 40 GB in ~24 min of per-machine time,
+  /// i.e. ~3.5 MB/s per 2-core/4-ECU instance (Java DOM processing on
+  /// 2007-class cores).
+  double parse_per_byte = 1.0;
+  /// Index entry extraction bookkeeping, per entry emitted.
+  double extract_per_entry = 5.0;
+  /// Serializing entry payloads (paths, ID blobs), per byte.
+  double extract_per_byte = 0.05;
+  /// Marshalling items into key-value store API calls, per byte.
+  double kv_encode_per_byte = 0.02;
+  /// Merging/intersecting URI sets during look-up, per element touched.
+  double lookup_merge_per_item = 0.5;
+  /// Matching one stored data path against a query path.
+  double path_match_per_path = 0.5;
+  /// Holistic twig join, per structural-ID advance/comparison.
+  double twig_per_id = 0.1;
+  /// Full tree-pattern evaluation on a fetched document, per byte
+  /// (~0.5 MB/s per ECU core; pattern matching is slower than parsing).
+  double eval_per_byte = 2.0;
+  /// Serializing query results, per byte.
+  double result_per_byte = 0.02;
+};
+
+/// Hardware description of an instance type (paper Section 8.1).
+struct InstanceSpec {
+  int cores;
+  double ecu_per_core;
+  double ram_gb;
+};
+
+InstanceSpec SpecFor(InstanceType type);
+
+/// One simulated EC2 virtual machine.  Carries its own virtual clock
+/// (SimAgent); CPU work is charged through the work model, with
+/// multi-core speedup for work the paper's implementation multi-threads
+/// (Section 3: "intra-machine parallelism is supported by multi-threading
+/// our code").
+class Instance : public SimAgent {
+ public:
+  Instance(int id, InstanceType type, const WorkModel* work);
+
+  int id() const { return id_; }
+  InstanceType type() const { return type_; }
+  const InstanceSpec& spec() const { return spec_; }
+  const WorkModel& work() const { return *work_; }
+
+  /// Number of parallel S3 connections / worker threads this instance
+  /// runs: one per core.
+  int parallel_streams() const { return spec_.cores; }
+
+  /// Charges single-threaded CPU work of `ecu_micros` (time the work
+  /// would take on one 1-ECU core): clock advances by
+  /// ecu_micros / ecu_per_core.
+  void ChargeSerialWork(double ecu_micros);
+
+  /// Charges embarrassingly parallel CPU work: clock advances by
+  /// ecu_micros / (ecu_per_core * cores).
+  void ChargeParallelWork(double ecu_micros);
+
+  /// Cumulative virtual time this instance spent processing tasks
+  /// (service waits included — the VM is rented either way).
+  Micros busy_micros() const { return busy_micros_; }
+  void AddBusy(Micros d) { busy_micros_ += d; }
+  void ResetBusy() { busy_micros_ = 0; }
+
+ private:
+  int id_;
+  InstanceType type_;
+  InstanceSpec spec_;
+  const WorkModel* work_;
+  Micros busy_micros_ = 0;
+};
+
+}  // namespace webdex::cloud
+
+#endif  // WEBDEX_CLOUD_INSTANCE_H_

@@ -1,0 +1,26 @@
+#include "cloud/kv_store.h"
+
+namespace webdex::cloud {
+
+uint64_t Item::SizeBytes() const {
+  uint64_t size = hash_key.size() + range_key.size();
+  for (const auto& [name, values] : attrs) {
+    size += name.size();
+    for (const auto& v : values) size += v.size();
+  }
+  return size;
+}
+
+uint64_t KvStore::TotalStoredBytes() const {
+  uint64_t total = 0;
+  for (const auto& t : TableNames()) total += StoredBytes(t);
+  return total;
+}
+
+uint64_t KvStore::TotalOverheadBytes() const {
+  uint64_t total = 0;
+  for (const auto& t : TableNames()) total += OverheadBytes(t);
+  return total;
+}
+
+}  // namespace webdex::cloud

@@ -1,0 +1,104 @@
+#ifndef WEBDEX_CLOUD_KV_STORE_H_
+#define WEBDEX_CLOUD_KV_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/sim.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace webdex::cloud {
+
+/// Attribute set of a key-value item: each attribute has a name and one or
+/// more values (paper Figure 6: table -> item -> attribute -> name/values).
+using AttributeValues = std::vector<std::string>;
+using Attributes = std::map<std::string, AttributeValues>;
+
+/// One stored item.  The primary key is composite: a hash key (the index
+/// key computed by key(n), Section 5) and a range key (a client-generated
+/// UUID, Section 6, so that concurrent loaders never overwrite each
+/// other's items).
+struct Item {
+  std::string hash_key;
+  std::string range_key;
+  Attributes attrs;
+
+  /// Billable size: keys plus attribute names and values, in bytes.
+  uint64_t SizeBytes() const;
+};
+
+/// Abstract key-value index store, implemented by the DynamoDB and
+/// SimpleDB simulations.  The indexing strategies are written against this
+/// interface so the paper's Section 8.4 store comparison swaps backends
+/// without touching index code.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual Status CreateTable(const std::string& table) = 0;
+  virtual bool HasTable(const std::string& table) const = 0;
+
+  /// Inserts `items` (any count; internally issued as batched API calls
+  /// of at most BatchPutLimit() items).  An item with an existing
+  /// (hash, range) key is completely replaced, as in DynamoDB.
+  /// Validation errors (oversized item/value, binary data in a text-only
+  /// store) fail the whole call without partial effects.
+  virtual Status BatchPut(SimAgent& agent, const std::string& table,
+                          const std::vector<Item>& items) = 0;
+
+  /// Returns all items whose hash key equals `hash_key` (the get(T,k)
+  /// operation of Section 6).  Empty vector if none.
+  virtual Result<std::vector<Item>> Get(SimAgent& agent,
+                                        const std::string& table,
+                                        const std::string& hash_key) = 0;
+
+  /// Executes up to BatchGetLimit() gets per API request.  Results are
+  /// concatenated in key order.
+  virtual Result<std::vector<Item>> BatchGet(
+      SimAgent& agent, const std::string& table,
+      const std::vector<std::string>& hash_keys) = 0;
+
+  // --- Store capability model -------------------------------------------
+  virtual const char* Name() const = 0;
+  virtual uint64_t MaxItemBytes() const = 0;
+  virtual uint64_t MaxValueBytes() const = 0;
+  /// False means values must be printable text (SimpleDB), so binary
+  /// payloads like varint-encoded node-ID lists must be armoured (hex),
+  /// doubling their size — the key difference behind Tables 7 and 8.
+  virtual bool SupportsBinaryValues() const = 0;
+  virtual int BatchPutLimit() const = 0;
+  virtual int BatchGetLimit() const = 0;
+  /// Maximum attribute values a single item may carry (SimpleDB: 256
+  /// attributes per item; DynamoDB: bounded only by item size).
+  virtual uint64_t MaxValuesPerItem() const = 0;
+
+  // --- Storage accounting (for Figure 8 and st$m) ------------------------
+  /// Raw user bytes stored in `table` — sr(D, I) in Section 7.1.
+  virtual uint64_t StoredBytes(const std::string& table) const = 0;
+  /// Store-internal overhead for `table` — ovh(D, I) in Section 7.1.
+  virtual uint64_t OverheadBytes(const std::string& table) const = 0;
+  virtual uint64_t ItemCount(const std::string& table) const = 0;
+
+  /// Sums over all tables.
+  uint64_t TotalStoredBytes() const;
+  uint64_t TotalOverheadBytes() const;
+  virtual std::vector<std::string> TableNames() const = 0;
+
+  // --- Host-side tooling (snapshots; not billed, no virtual latency) ----
+  /// Iterates every item of every table in deterministic order.
+  virtual void ForEachItem(
+      const std::function<void(const std::string&, const Item&)>& fn)
+      const = 0;
+  /// Restores one item, creating its table if needed (accounting
+  /// updated, nothing billed).
+  virtual void RestoreItem(const std::string& table, const Item& item) = 0;
+  virtual bool Empty() const = 0;
+};
+
+}  // namespace webdex::cloud
+
+#endif  // WEBDEX_CLOUD_KV_STORE_H_

@@ -1,0 +1,49 @@
+#include "cloud/pricing.h"
+
+namespace webdex::cloud {
+
+const char* InstanceTypeName(InstanceType t) {
+  switch (t) {
+    case InstanceType::kLarge:
+      return "L";
+    case InstanceType::kExtraLarge:
+      return "XL";
+  }
+  return "?";
+}
+
+Pricing Pricing::GoogleCloud2012() {
+  // Google Cloud Storage / High Replication Datastore / Compute Engine /
+  // Task Queues, late-2012 list prices (approximate; the point of the
+  // preset is the Section 3 portability argument, not price archaeology).
+  Pricing p;
+  p.st_month_gb = 0.085;
+  p.st_put = 0.00001;
+  p.st_get = 0.000001;
+  p.idx_month_gb = 0.24;
+  p.idx_put = 0.0000002;
+  p.idx_get = 0.00000007;
+  p.vm_hour_large = 0.276;   // n1-standard-2
+  p.vm_hour_xlarge = 0.552;  // n1-standard-4
+  p.queue_request = 0.000001;
+  p.egress_gb = 0.21;
+  return p;
+}
+
+Pricing Pricing::WindowsAzure2012() {
+  // Azure BLOB Storage / Tables / Virtual Machines / Queues, late 2012.
+  Pricing p;
+  p.st_month_gb = 0.095;
+  p.st_put = 0.00001;
+  p.st_get = 0.000001;
+  p.idx_month_gb = 0.095;  // Azure Tables billed as storage
+  p.idx_put = 0.0000001;
+  p.idx_get = 0.0000001;
+  p.vm_hour_large = 0.32;
+  p.vm_hour_xlarge = 0.64;
+  p.queue_request = 0.0000001;
+  p.egress_gb = 0.19;
+  return p;
+}
+
+}  // namespace webdex::cloud

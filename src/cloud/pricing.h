@@ -1,0 +1,82 @@
+#ifndef WEBDEX_CLOUD_PRICING_H_
+#define WEBDEX_CLOUD_PRICING_H_
+
+#include <string>
+
+namespace webdex::cloud {
+
+/// Instance types used in the paper's experiments (Section 8.1):
+/// large = 7.5 GB RAM, 2 virtual cores x 2 EC2 Compute Units;
+/// extra-large = 15 GB RAM, 4 virtual cores x 2 ECU.
+enum class InstanceType { kLarge, kExtraLarge };
+
+const char* InstanceTypeName(InstanceType t);
+
+/// Cloud provider price sheet; the default values are the paper's Table 3
+/// (AWS Asia Pacific / Singapore, September-October 2012).
+///
+/// Naming follows Section 7.2 of the paper:
+///   st_month_gb   ST$m,GB   file store, $/GB-month
+///   st_put        STput$    file store, $/put request
+///   st_get        STget$    file store, $/get request
+///   idx_month_gb  IDX$m,GB  index store, $/GB-month
+///   idx_put       IDXput$   index store, $/put unit (see note)
+///   idx_get       IDXget$   index store, $/get unit (see note)
+///   vm_hour_*     VM$h      virtual machine, $/hour
+///   queue_request QS$       queue service, $/request
+///   egress_gb     egress$GB data transferred out of the cloud, $/GB
+///
+/// Note on idx_put / idx_get granularity: the paper prices index-store
+/// operations per API request.  Its measured costs (Table 6) nevertheless
+/// grow with the *size* of the index entries, because DynamoDB ultimately
+/// bills provisioned capacity units (1 KB write units / 4 KB read units).
+/// We therefore charge idx_put per write capacity unit and idx_get per
+/// read capacity unit consumed, which reproduces both the formulas of
+/// Section 7.3 (one unit per small request) and the size-dependent cost
+/// ordering of Table 6.
+struct Pricing {
+  // File store (S3).
+  double st_month_gb = 0.125;
+  double st_put = 0.000011;
+  double st_get = 0.0000011;
+
+  // Index store (DynamoDB).
+  double idx_month_gb = 1.14;
+  double idx_put = 0.00000032;
+  double idx_get = 0.000000032;
+
+  // Virtual machines (EC2).
+  double vm_hour_large = 0.34;
+  double vm_hour_xlarge = 0.68;
+
+  // Queue service (SQS).
+  double queue_request = 0.000001;
+
+  // Data transfer out of the cloud.
+  double egress_gb = 0.19;
+
+  // Legacy index store (SimpleDB, used only by the Section 8.4
+  // comparison with the authors' earlier system [8]).  SimpleDB billed
+  // "box usage" machine-hours per request plus storage.
+  double simpledb_machine_hour = 0.154;
+  double simpledb_month_gb = 0.25;
+  double simpledb_box_hours_per_put = 0.0000219;
+  double simpledb_box_hours_per_get = 0.0000093;
+
+  double VmHour(InstanceType t) const {
+    return t == InstanceType::kLarge ? vm_hour_large : vm_hour_xlarge;
+  }
+
+  /// Table 3: AWS Singapore, October 2012 (the defaults).
+  static Pricing AwsSingaporeOct2012() { return Pricing(); }
+
+  /// Approximate contemporaneous price sheets for the other providers of
+  /// the paper's Table 1, for the Section 3 "applicability to other cloud
+  /// platforms" discussion.  Same structure, different constants.
+  static Pricing GoogleCloud2012();
+  static Pricing WindowsAzure2012();
+};
+
+}  // namespace webdex::cloud
+
+#endif  // WEBDEX_CLOUD_PRICING_H_

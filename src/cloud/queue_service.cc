@@ -1,0 +1,112 @@
+#include "cloud/queue_service.h"
+
+#include <algorithm>
+
+namespace webdex::cloud {
+
+QueueService::QueueService(const QueueServiceConfig& config,
+                           UsageMeter* meter)
+    : config_(config), meter_(meter) {}
+
+Status QueueService::CreateQueue(const std::string& queue) {
+  auto [it, inserted] = queues_.try_emplace(queue);
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("queue exists: " + queue);
+  return Status::OK();
+}
+
+Status QueueService::Send(SimAgent& agent, const std::string& queue,
+                          std::string body) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
+  agent.Advance(config_.request_latency);
+  meter_->mutable_usage().sqs_requests += 1;
+  PendingMessage msg;
+  msg.body = std::move(body);
+  msg.visible_at = agent.now();
+  it->second.push_back(std::move(msg));
+  return Status::OK();
+}
+
+Result<std::optional<ReceivedMessage>> QueueService::Receive(
+    SimAgent& agent, const std::string& queue) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
+  agent.Advance(config_.request_latency);
+  meter_->mutable_usage().sqs_requests += 1;
+  for (auto& msg : it->second) {
+    if (msg.visible_at <= agent.now()) {
+      msg.visible_at = agent.now() + config_.visibility_timeout;
+      msg.receipt = next_receipt_++;
+      msg.delivery_count += 1;
+      ReceivedMessage out;
+      out.body = msg.body;
+      out.receipt = msg.receipt;
+      out.delivery_count = msg.delivery_count;
+      return std::optional<ReceivedMessage>(std::move(out));
+    }
+  }
+  return std::optional<ReceivedMessage>(std::nullopt);
+}
+
+Status QueueService::Delete(SimAgent& agent, const std::string& queue,
+                            uint64_t receipt) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
+  agent.Advance(config_.request_latency);
+  meter_->mutable_usage().sqs_requests += 1;
+  auto& msgs = it->second;
+  for (auto iter = msgs.begin(); iter != msgs.end(); ++iter) {
+    if (iter->receipt == receipt && receipt != 0) {
+      // A receipt is only honoured while its lease is still running; after
+      // expiry the message may have been handed to another worker.
+      if (iter->visible_at <= agent.now()) {
+        return Status::NotFound("receipt expired");
+      }
+      msgs.erase(iter);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("unknown receipt");
+}
+
+Status QueueService::RenewLease(SimAgent& agent, const std::string& queue,
+                                uint64_t receipt) {
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
+  agent.Advance(config_.request_latency);
+  meter_->mutable_usage().sqs_requests += 1;
+  for (auto& msg : it->second) {
+    if (msg.receipt == receipt && receipt != 0) {
+      if (msg.visible_at <= agent.now()) {
+        return Status::NotFound("receipt expired");
+      }
+      msg.visible_at = agent.now() + config_.visibility_timeout;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("unknown receipt");
+}
+
+bool QueueService::Drained(const std::string& queue) const {
+  auto it = queues_.find(queue);
+  return it == queues_.end() || it->second.empty();
+}
+
+std::optional<Micros> QueueService::NextDeliverableAt(
+    const std::string& queue) const {
+  auto it = queues_.find(queue);
+  if (it == queues_.end() || it->second.empty()) return std::nullopt;
+  Micros earliest = it->second.front().visible_at;
+  for (const auto& msg : it->second) {
+    earliest = std::min(earliest, msg.visible_at);
+  }
+  return earliest;
+}
+
+size_t QueueService::Count(const std::string& queue) const {
+  auto it = queues_.find(queue);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace webdex::cloud

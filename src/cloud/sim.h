@@ -1,0 +1,120 @@
+#ifndef WEBDEX_CLOUD_SIM_H_
+#define WEBDEX_CLOUD_SIM_H_
+
+#include <cstdint>
+
+namespace webdex::cloud {
+
+/// Simulated time, in microseconds of virtual cloud time.
+///
+/// The whole platform is a discrete-event simulation: nothing reads the
+/// wall clock.  Virtual time is what reproduces the paper's response-time
+/// and makespan figures; real elapsed time of a benchmark binary is just
+/// how long the simulation takes to execute.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerSecond = 1'000'000;
+constexpr Micros kMicrosPerHour = 3'600'000'000LL;
+
+/// Converts virtual micros to fractional hours (for $/hour billing).
+inline double MicrosToHours(Micros m) {
+  return static_cast<double>(m) / static_cast<double>(kMicrosPerHour);
+}
+
+/// An entity with its own virtual-time clock: an EC2 instance, or the
+/// application front end.  Simulated service calls advance the calling
+/// agent's clock by the modeled latency of the call.
+class SimAgent {
+ public:
+  virtual ~SimAgent() = default;
+
+  Micros now() const { return now_; }
+
+  /// Moves the clock forward by `d` (>= 0) micros.
+  void Advance(Micros d) {
+    if (d > 0) now_ += d;
+  }
+
+  /// Moves the clock forward to `t` if `t` is in this agent's future.
+  void AdvanceTo(Micros t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Resets the clock (used when reusing an agent across experiments).
+  void ResetClock(Micros t = 0) { now_ = t; }
+
+ private:
+  Micros now_ = 0;
+};
+
+/// Shared-capacity model for a cloud service: a fluid server that can
+/// process `units_per_second` of work in aggregate across all clients.
+///
+/// This is what makes DynamoDB's provisioned throughput a *shared*
+/// bottleneck across simulated EC2 instances (paper Section 8.2: "many
+/// strong instances sending indexing requests in parallel come close to
+/// saturating DynamoDB's capacity").
+///
+/// Model: a request of `units` arriving at `arrival` completes no earlier
+/// than (a) its own service time after arrival, and (b) the time by which
+/// the server's cumulative committed work fits under the capacity line.
+/// The cumulative bound is deliberately *order-insensitive*: the
+/// discrete-event scheduler (cluster.h) replays agents task-by-task, so
+/// requests reach the limiter out of virtual-time order, and a strict
+/// FCFS queue would spuriously serialize one agent's requests behind
+/// another agent's idle time.  The fluid bound is exact when the service
+/// is saturated (the regime the paper's Figure 10 cares about) and never
+/// delays anyone in the unsaturated regime.
+class RateLimiter {
+ public:
+  /// `units_per_second` <= 0 means unlimited capacity.
+  explicit RateLimiter(double units_per_second)
+      : micros_per_unit_(units_per_second <= 0
+                             ? 0.0
+                             : kMicrosPerSecond / units_per_second) {}
+
+  /// Reserves `units` of capacity for a request arriving at `arrival`;
+  /// returns the virtual time at which the request's service completes.
+  ///
+  /// Busy-period accounting: committed work accumulates from the period's
+  /// `anchor_`; a request arriving after the period has drained starts a
+  /// fresh period, and an out-of-order *earlier* arrival extends the
+  /// period backwards (conservatively inheriting its committed work).
+  Micros Acquire(Micros arrival, double units) {
+    if (micros_per_unit_ <= 0.0) return arrival;
+    const double service = units * micros_per_unit_;
+    if (static_cast<double>(arrival) >
+        static_cast<double>(anchor_) + committed_micros_) {
+      // Previous period drained before this arrival: idle gap.
+      anchor_ = arrival;
+      committed_micros_ = 0;
+    } else if (arrival < anchor_) {
+      anchor_ = arrival;
+    }
+    committed_micros_ += service;
+    const Micros capacity_bound =
+        anchor_ + static_cast<Micros>(committed_micros_);
+    const Micros service_bound = arrival + static_cast<Micros>(service);
+    return service_bound > capacity_bound ? service_bound : capacity_bound;
+  }
+
+  /// Virtual time by which all committed work fits under the capacity
+  /// line (the saturation frontier).
+  Micros next_free() const {
+    return anchor_ + static_cast<Micros>(committed_micros_);
+  }
+
+  void Reset() {
+    anchor_ = 0;
+    committed_micros_ = 0;
+  }
+
+ private:
+  double micros_per_unit_;
+  Micros anchor_ = 0;
+  double committed_micros_ = 0;
+};
+
+}  // namespace webdex::cloud
+
+#endif  // WEBDEX_CLOUD_SIM_H_

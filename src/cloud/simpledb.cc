@@ -1,0 +1,199 @@
+#include "cloud/simpledb.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace webdex::cloud {
+namespace {
+
+bool IsTextual(const std::string& value) {
+  for (unsigned char c : value) {
+    if (c < 0x09) return false;  // NUL and other control bytes
+  }
+  return true;
+}
+
+}  // namespace
+
+SimpleDb::SimpleDb(const SimpleDbConfig& config, UsageMeter* meter)
+    : config_(config),
+      meter_(meter),
+      request_limiter_(config.requests_per_second) {}
+
+Status SimpleDb::CreateTable(const std::string& table) {
+  auto [it, inserted] = tables_.try_emplace(table);
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("domain exists: " + table);
+  return Status::OK();
+}
+
+bool SimpleDb::HasTable(const std::string& table) const {
+  return tables_.count(table) > 0;
+}
+
+uint64_t SimpleDb::AttributeCount(const Attributes& attrs) {
+  uint64_t n = 0;
+  for (const auto& [name, values] : attrs) {
+    (void)name;
+    n += values.size();
+  }
+  return n;
+}
+
+Status SimpleDb::ValidateItem(const Item& item) const {
+  if (item.hash_key.empty() || item.range_key.empty()) {
+    return Status::InvalidArgument("empty key");
+  }
+  if (item.hash_key.size() + item.range_key.size() > 1024) {
+    return Status::InvalidArgument("item name exceeds 1KB");
+  }
+  if (AttributeCount(item.attrs) > 256) {
+    return Status::InvalidArgument("more than 256 attributes per item");
+  }
+  for (const auto& [name, values] : item.attrs) {
+    if (name.size() > MaxValueBytes()) {
+      return Status::InvalidArgument("attribute name exceeds 1KB");
+    }
+    for (const auto& v : values) {
+      if (v.size() > MaxValueBytes()) {
+        return Status::InvalidArgument(
+            StrFormat("attribute value exceeds 1KB (%zu bytes)", v.size()));
+      }
+      if (!IsTextual(v)) {
+        return Status::InvalidArgument(
+            "SimpleDB values must be text; armour binary data first");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SimpleDb::BatchPut(SimAgent& agent, const std::string& table,
+                          const std::vector<Item>& items) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such domain: " + table);
+  for (const auto& item : items) {
+    WEBDEX_RETURN_IF_ERROR(ValidateItem(item));
+  }
+  Table& t = it->second;
+  const int batch_limit = BatchPutLimit();
+  size_t index = 0;
+  while (index < items.size()) {
+    const size_t batch_end =
+        std::min(items.size(), index + static_cast<size_t>(batch_limit));
+    double box_hours = 0;
+    for (size_t i = index; i < batch_end; ++i) {
+      const Item& item = items[i];
+      auto& hash_items = t.items[item.hash_key];
+      auto slot = hash_items.find(item.range_key);
+      if (slot != hash_items.end()) {
+        const Item old{item.hash_key, item.range_key, slot->second};
+        t.stored_bytes -= old.SizeBytes();
+        t.item_count -= 1;
+        t.attribute_count -= AttributeCount(slot->second);
+        slot->second = item.attrs;
+      } else {
+        hash_items.emplace(item.range_key, item.attrs);
+      }
+      t.stored_bytes += item.SizeBytes();
+      t.item_count += 1;
+      t.attribute_count += AttributeCount(item.attrs);
+      box_hours += meter_->pricing().simpledb_box_hours_per_put;
+      meter_->mutable_usage().sdb_put_requests += 1;
+    }
+    meter_->mutable_usage().sdb_box_hours += box_hours;
+    agent.AdvanceTo(request_limiter_.Acquire(agent.now(), 1.0));
+    agent.Advance(config_.request_latency);
+    index = batch_end;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Item>> SimpleDb::Get(SimAgent& agent,
+                                        const std::string& table,
+                                        const std::string& hash_key) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such domain: " + table);
+  std::vector<Item> out;
+  auto hit = it->second.items.find(hash_key);
+  if (hit != it->second.items.end()) {
+    for (const auto& [range_key, attrs] : hit->second) {
+      out.push_back(Item{hash_key, range_key, attrs});
+    }
+  }
+  // SimpleDB's select paginates at 2500 attributes / 1 MB; model one extra
+  // request round trip per page.
+  uint64_t attr_total = 0;
+  for (const auto& item : out) attr_total += AttributeCount(item.attrs);
+  const uint64_t pages = attr_total == 0 ? 1 : (attr_total + 2499) / 2500;
+  meter_->mutable_usage().sdb_get_requests += pages;
+  meter_->mutable_usage().sdb_box_hours +=
+      meter_->pricing().simpledb_box_hours_per_get *
+      static_cast<double>(pages);
+  for (uint64_t i = 0; i < pages; ++i) {
+    agent.AdvanceTo(request_limiter_.Acquire(agent.now(), 1.0));
+    agent.Advance(config_.request_latency);
+  }
+  return out;
+}
+
+Result<std::vector<Item>> SimpleDb::BatchGet(
+    SimAgent& agent, const std::string& table,
+    const std::vector<std::string>& hash_keys) {
+  std::vector<Item> out;
+  for (const auto& key : hash_keys) {
+    auto r = Get(agent, table, key);
+    if (!r.ok()) return r.status();
+    for (auto& item : r.value()) out.push_back(std::move(item));
+  }
+  return out;
+}
+
+uint64_t SimpleDb::StoredBytes(const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.stored_bytes;
+}
+
+uint64_t SimpleDb::OverheadBytes(const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return 0;
+  return it->second.item_count * kPerItemOverheadBytes +
+         it->second.attribute_count * kPerAttributeOverheadBytes;
+}
+
+uint64_t SimpleDb::ItemCount(const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.item_count;
+}
+
+void SimpleDb::ForEachItem(
+    const std::function<void(const std::string&, const Item&)>& fn) const {
+  for (const auto& [name, table] : tables_) {
+    for (const auto& [hash_key, ranges] : table.items) {
+      for (const auto& [range_key, attrs] : ranges) {
+        fn(name, Item{hash_key, range_key, attrs});
+      }
+    }
+  }
+}
+
+void SimpleDb::RestoreItem(const std::string& table, const Item& item) {
+  Table& t = tables_[table];
+  t.items[item.hash_key][item.range_key] = item.attrs;
+  t.stored_bytes += item.SizeBytes();
+  t.item_count += 1;
+  t.attribute_count += AttributeCount(item.attrs);
+}
+
+std::vector<std::string> SimpleDb::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace webdex::cloud

@@ -1,0 +1,91 @@
+#ifndef WEBDEX_CLOUD_SIMPLEDB_H_
+#define WEBDEX_CLOUD_SIMPLEDB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/kv_store.h"
+#include "cloud/sim.h"
+#include "cloud/usage.h"
+
+namespace webdex::cloud {
+
+struct SimpleDbConfig {
+  /// Per-API-request round trip; SimpleDB was markedly slower than
+  /// DynamoDB (paper Section 8.4).
+  Micros request_latency = 40'000;
+  /// Global request rate; SimpleDB throttled far earlier than DynamoDB's
+  /// provisioned capacity.
+  double requests_per_second = 300;
+};
+
+/// Simulated Amazon SimpleDB, the key-value store used by the authors'
+/// earlier system [8] and kept here as the Section 8.4 comparison
+/// baseline.  The limitations that motivated the move to DynamoDB are
+/// modeled faithfully:
+///   * attribute values are UTF-8 text of at most 1 KB — no binary blobs,
+///     so node-ID lists must be hex-armoured and chunked;
+///   * at most 256 attributes per item, 1 KB per attribute name;
+///   * lower request throughput and higher latency;
+///   * "box usage" machine-hour billing per request.
+class SimpleDb final : public KvStore {
+ public:
+  SimpleDb(const SimpleDbConfig& config, UsageMeter* meter);
+
+  SimpleDb(const SimpleDb&) = delete;
+  SimpleDb& operator=(const SimpleDb&) = delete;
+
+  Status CreateTable(const std::string& table) override;
+  bool HasTable(const std::string& table) const override;
+  Status BatchPut(SimAgent& agent, const std::string& table,
+                  const std::vector<Item>& items) override;
+  Result<std::vector<Item>> Get(SimAgent& agent, const std::string& table,
+                                const std::string& hash_key) override;
+  Result<std::vector<Item>> BatchGet(
+      SimAgent& agent, const std::string& table,
+      const std::vector<std::string>& hash_keys) override;
+
+  const char* Name() const override { return "SimpleDB"; }
+  uint64_t MaxItemBytes() const override { return 256 * 1024; }
+  uint64_t MaxValueBytes() const override { return 1024; }
+  bool SupportsBinaryValues() const override { return false; }
+  int BatchPutLimit() const override { return 25; }
+  int BatchGetLimit() const override { return 20; }
+  uint64_t MaxValuesPerItem() const override { return 255; }
+
+  uint64_t StoredBytes(const std::string& table) const override;
+  uint64_t OverheadBytes(const std::string& table) const override;
+  uint64_t ItemCount(const std::string& table) const override;
+  std::vector<std::string> TableNames() const override;
+  void ForEachItem(
+      const std::function<void(const std::string&, const Item&)>& fn)
+      const override;
+  void RestoreItem(const std::string& table, const Item& item) override;
+  bool Empty() const override { return tables_.empty(); }
+
+  /// SimpleDB billed 45 bytes of storage overhead per item name and per
+  /// attribute name-value pair.
+  static constexpr uint64_t kPerItemOverheadBytes = 45;
+  static constexpr uint64_t kPerAttributeOverheadBytes = 45;
+
+ private:
+  struct Table {
+    std::map<std::string, std::map<std::string, Attributes>> items;
+    uint64_t stored_bytes = 0;
+    uint64_t item_count = 0;
+    uint64_t attribute_count = 0;
+  };
+
+  Status ValidateItem(const Item& item) const;
+  static uint64_t AttributeCount(const Attributes& attrs);
+
+  SimpleDbConfig config_;
+  UsageMeter* meter_;
+  RateLimiter request_limiter_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace webdex::cloud
+
+#endif  // WEBDEX_CLOUD_SIMPLEDB_H_

@@ -1,0 +1,161 @@
+#include "cloud/snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/varint.h"
+
+namespace webdex::cloud {
+namespace {
+
+constexpr char kMagic[] = "WDXSNAP1";
+constexpr size_t kMagicLen = 8;
+
+void PutString(std::string* out, const std::string& s) {
+  PutVarint64(out, s.size());
+  out->append(s);
+}
+
+Result<std::string> GetString(const std::string& data, size_t* offset) {
+  WEBDEX_ASSIGN_OR_RETURN(uint64_t length, GetVarint64(data, offset));
+  if (*offset + length > data.size()) {
+    return Status::Corruption("truncated string in snapshot");
+  }
+  std::string out = data.substr(*offset, length);
+  *offset += length;
+  return out;
+}
+
+void SerializeKvStore(const KvStore& store, std::string* out) {
+  const auto tables = store.TableNames();
+  PutVarint64(out, tables.size());
+  for (const auto& table : tables) PutString(out, table);
+  uint64_t item_count = 0;
+  store.ForEachItem([&](const std::string&, const Item&) { ++item_count; });
+  PutVarint64(out, item_count);
+  store.ForEachItem([&](const std::string& table, const Item& item) {
+    PutString(out, table);
+    PutString(out, item.hash_key);
+    PutString(out, item.range_key);
+    PutVarint64(out, item.attrs.size());
+    for (const auto& [name, values] : item.attrs) {
+      PutString(out, name);
+      PutVarint64(out, values.size());
+      for (const auto& value : values) PutString(out, value);
+    }
+  });
+}
+
+Status RestoreKvStore(const std::string& data, size_t* offset,
+                      KvStore* store) {
+  WEBDEX_ASSIGN_OR_RETURN(uint64_t table_count, GetVarint64(data, offset));
+  for (uint64_t t = 0; t < table_count; ++t) {
+    WEBDEX_ASSIGN_OR_RETURN(std::string table, GetString(data, offset));
+    WEBDEX_RETURN_IF_ERROR(store->CreateTable(table));
+  }
+  WEBDEX_ASSIGN_OR_RETURN(uint64_t item_count, GetVarint64(data, offset));
+  for (uint64_t i = 0; i < item_count; ++i) {
+    WEBDEX_ASSIGN_OR_RETURN(std::string table, GetString(data, offset));
+    Item item;
+    WEBDEX_ASSIGN_OR_RETURN(item.hash_key, GetString(data, offset));
+    WEBDEX_ASSIGN_OR_RETURN(item.range_key, GetString(data, offset));
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t attr_count, GetVarint64(data, offset));
+    for (uint64_t a = 0; a < attr_count; ++a) {
+      WEBDEX_ASSIGN_OR_RETURN(std::string name, GetString(data, offset));
+      WEBDEX_ASSIGN_OR_RETURN(uint64_t value_count,
+                              GetVarint64(data, offset));
+      AttributeValues values;
+      for (uint64_t v = 0; v < value_count; ++v) {
+        WEBDEX_ASSIGN_OR_RETURN(std::string value, GetString(data, offset));
+        values.push_back(std::move(value));
+      }
+      item.attrs.emplace(std::move(name), std::move(values));
+    }
+    if (!store->HasTable(table)) {
+      return Status::Corruption("snapshot item references unknown table");
+    }
+    store->RestoreItem(table, item);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializeSnapshot(CloudEnv& env) {
+  std::string out(kMagic, kMagicLen);
+
+  // File store section: bucket names first (so empty buckets survive),
+  // then the objects.
+  const auto buckets = env.s3().BucketNames();
+  PutVarint64(&out, buckets.size());
+  for (const auto& bucket : buckets) PutString(&out, bucket);
+  uint64_t object_count = 0;
+  env.s3().ForEachObject([&](const std::string&, const std::string&,
+                             const std::string&) { ++object_count; });
+  PutVarint64(&out, object_count);
+  env.s3().ForEachObject([&](const std::string& bucket,
+                             const std::string& key,
+                             const std::string& data) {
+    PutString(&out, bucket);
+    PutString(&out, key);
+    PutString(&out, data);
+  });
+
+  // Index store sections.
+  SerializeKvStore(env.dynamodb(), &out);
+  SerializeKvStore(env.simpledb(), &out);
+  return out;
+}
+
+Status RestoreSnapshot(const std::string& snapshot, CloudEnv* env) {
+  if (snapshot.size() < kMagicLen ||
+      snapshot.compare(0, kMagicLen, kMagic) != 0) {
+    return Status::Corruption("not a webdex snapshot");
+  }
+  if (!env->s3().Empty() || !env->dynamodb().Empty() ||
+      !env->simpledb().Empty()) {
+    return Status::AlreadyExists(
+        "snapshot must be restored into a fresh CloudEnv");
+  }
+  size_t offset = kMagicLen;
+  WEBDEX_ASSIGN_OR_RETURN(uint64_t bucket_count,
+                          GetVarint64(snapshot, &offset));
+  for (uint64_t i = 0; i < bucket_count; ++i) {
+    WEBDEX_ASSIGN_OR_RETURN(std::string bucket, GetString(snapshot, &offset));
+    env->s3().RestoreBucket(bucket);
+  }
+  WEBDEX_ASSIGN_OR_RETURN(uint64_t object_count,
+                          GetVarint64(snapshot, &offset));
+  for (uint64_t i = 0; i < object_count; ++i) {
+    WEBDEX_ASSIGN_OR_RETURN(std::string bucket, GetString(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(std::string key, GetString(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(std::string data, GetString(snapshot, &offset));
+    env->s3().RestoreObject(bucket, key, std::move(data));
+  }
+  WEBDEX_RETURN_IF_ERROR(RestoreKvStore(snapshot, &offset, &env->dynamodb()));
+  WEBDEX_RETURN_IF_ERROR(RestoreKvStore(snapshot, &offset, &env->simpledb()));
+  if (offset != snapshot.size()) {
+    return Status::Corruption("trailing bytes in snapshot");
+  }
+  return Status::OK();
+}
+
+Status SaveSnapshotFile(CloudEnv& env, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  const std::string snapshot = SerializeSnapshot(env);
+  file.write(snapshot.data(), static_cast<std::streamsize>(snapshot.size()));
+  file.flush();
+  if (!file) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Status LoadSnapshotFile(const std::string& path, CloudEnv* env) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open " + path);
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return RestoreSnapshot(std::move(contents).str(), env);
+}
+
+}  // namespace webdex::cloud

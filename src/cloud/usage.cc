@@ -1,0 +1,104 @@
+#include "cloud/usage.h"
+
+#include "common/strings.h"
+
+namespace webdex::cloud {
+
+Usage& Usage::operator+=(const Usage& o) {
+  s3_put_requests += o.s3_put_requests;
+  s3_get_requests += o.s3_get_requests;
+  s3_bytes_in += o.s3_bytes_in;
+  s3_bytes_out += o.s3_bytes_out;
+  ddb_put_requests += o.ddb_put_requests;
+  ddb_get_requests += o.ddb_get_requests;
+  ddb_items_written += o.ddb_items_written;
+  ddb_write_units += o.ddb_write_units;
+  ddb_read_units += o.ddb_read_units;
+  sdb_put_requests += o.sdb_put_requests;
+  sdb_get_requests += o.sdb_get_requests;
+  sdb_box_hours += o.sdb_box_hours;
+  sqs_requests += o.sqs_requests;
+  vm_micros_large += o.vm_micros_large;
+  vm_micros_xlarge += o.vm_micros_xlarge;
+  egress_bytes += o.egress_bytes;
+  return *this;
+}
+
+Usage Usage::operator-(const Usage& o) const {
+  Usage d;
+  d.s3_put_requests = s3_put_requests - o.s3_put_requests;
+  d.s3_get_requests = s3_get_requests - o.s3_get_requests;
+  d.s3_bytes_in = s3_bytes_in - o.s3_bytes_in;
+  d.s3_bytes_out = s3_bytes_out - o.s3_bytes_out;
+  d.ddb_put_requests = ddb_put_requests - o.ddb_put_requests;
+  d.ddb_get_requests = ddb_get_requests - o.ddb_get_requests;
+  d.ddb_items_written = ddb_items_written - o.ddb_items_written;
+  d.ddb_write_units = ddb_write_units - o.ddb_write_units;
+  d.ddb_read_units = ddb_read_units - o.ddb_read_units;
+  d.sdb_put_requests = sdb_put_requests - o.sdb_put_requests;
+  d.sdb_get_requests = sdb_get_requests - o.sdb_get_requests;
+  d.sdb_box_hours = sdb_box_hours - o.sdb_box_hours;
+  d.sqs_requests = sqs_requests - o.sqs_requests;
+  d.vm_micros_large = vm_micros_large - o.vm_micros_large;
+  d.vm_micros_xlarge = vm_micros_xlarge - o.vm_micros_xlarge;
+  d.egress_bytes = egress_bytes - o.egress_bytes;
+  return d;
+}
+
+Bill Bill::operator-(const Bill& o) const {
+  Bill d;
+  d.s3 = s3 - o.s3;
+  d.dynamodb = dynamodb - o.dynamodb;
+  d.simpledb = simpledb - o.simpledb;
+  d.ec2 = ec2 - o.ec2;
+  d.sqs = sqs - o.sqs;
+  d.egress = egress - o.egress;
+  return d;
+}
+
+Bill& Bill::operator+=(const Bill& o) {
+  s3 += o.s3;
+  dynamodb += o.dynamodb;
+  simpledb += o.simpledb;
+  ec2 += o.ec2;
+  sqs += o.sqs;
+  egress += o.egress;
+  return *this;
+}
+
+std::string Bill::ToString() const {
+  std::string out;
+  out += StrFormat("  S3 (requests)     $%.5f\n", s3);
+  out += StrFormat("  DynamoDB          $%.5f\n", dynamodb);
+  if (simpledb > 0) out += StrFormat("  SimpleDB          $%.5f\n", simpledb);
+  out += StrFormat("  EC2               $%.5f\n", ec2);
+  out += StrFormat("  SQS               $%.5f\n", sqs);
+  out += StrFormat("  AWSDown (egress)  $%.5f\n", egress);
+  out += StrFormat("  TOTAL             $%.5f\n", total());
+  return out;
+}
+
+void UsageMeter::AddVmTime(InstanceType type, Micros busy) {
+  if (type == InstanceType::kLarge) {
+    usage_.vm_micros_large += busy;
+  } else {
+    usage_.vm_micros_xlarge += busy;
+  }
+}
+
+Bill UsageMeter::ComputeBill(const Usage& u) const {
+  constexpr double kGb = 1024.0 * 1024.0 * 1024.0;
+  Bill b;
+  b.s3 = pricing_.st_put * static_cast<double>(u.s3_put_requests) +
+         pricing_.st_get * static_cast<double>(u.s3_get_requests);
+  b.dynamodb = pricing_.idx_put * u.ddb_write_units +
+               pricing_.idx_get * u.ddb_read_units;
+  b.simpledb = pricing_.simpledb_machine_hour * u.sdb_box_hours;
+  b.ec2 = pricing_.vm_hour_large * MicrosToHours(u.vm_micros_large) +
+          pricing_.vm_hour_xlarge * MicrosToHours(u.vm_micros_xlarge);
+  b.sqs = pricing_.queue_request * static_cast<double>(u.sqs_requests);
+  b.egress = pricing_.egress_gb * static_cast<double>(u.egress_bytes) / kGb;
+  return b;
+}
+
+}  // namespace webdex::cloud

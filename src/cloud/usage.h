@@ -1,0 +1,104 @@
+#ifndef WEBDEX_CLOUD_USAGE_H_
+#define WEBDEX_CLOUD_USAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/pricing.h"
+#include "cloud/sim.h"
+
+namespace webdex::cloud {
+
+/// Raw consumption counters for every simulated cloud service.
+///
+/// Every simulated API call increments these, so the dollar amounts the
+/// provider would have charged are *metered*, not estimated.  The
+/// analytical model of Section 7 lives separately in cost/cost_model.h;
+/// tests cross-check the two.
+struct Usage {
+  // File store (S3).
+  uint64_t s3_put_requests = 0;
+  uint64_t s3_get_requests = 0;
+  uint64_t s3_bytes_in = 0;   // uploaded payload bytes
+  uint64_t s3_bytes_out = 0;  // downloaded payload bytes
+
+  // Index store (DynamoDB).
+  uint64_t ddb_put_requests = 0;   // API calls (a batch counts once)
+  uint64_t ddb_get_requests = 0;   // API calls
+  uint64_t ddb_items_written = 0;  // individual items
+  // Capacity units are fractional: size-proportional with a small
+  // per-item floor (see DynamoDb::WriteUnits for the calibration note).
+  double ddb_write_units = 0;  // 1 KB write capacity units
+  double ddb_read_units = 0;   // 4 KB read capacity units
+
+  // Legacy index store (SimpleDB).
+  uint64_t sdb_put_requests = 0;
+  uint64_t sdb_get_requests = 0;
+  double sdb_box_hours = 0.0;
+
+  // Queue service (SQS): send + receive + delete + lease renewals.
+  uint64_t sqs_requests = 0;
+
+  // Virtual machines: rented time per type.
+  Micros vm_micros_large = 0;
+  Micros vm_micros_xlarge = 0;
+
+  // Data transferred out of the cloud (query results to the user).
+  uint64_t egress_bytes = 0;
+
+  Usage& operator+=(const Usage& o);
+  Usage operator-(const Usage& o) const;
+};
+
+/// One line item per cloud service, in dollars, as in the paper's Table 6
+/// and Figure 12 breakdowns.
+struct Bill {
+  double s3 = 0;        // file store requests
+  double dynamodb = 0;  // index store capacity units
+  double simpledb = 0;  // legacy index store box usage
+  double ec2 = 0;       // instance-hours
+  double sqs = 0;       // queue requests
+  double egress = 0;    // paper's "AWSDown"
+
+  double total() const {
+    return s3 + dynamodb + simpledb + ec2 + sqs + egress;
+  }
+
+  Bill operator-(const Bill& o) const;
+  Bill& operator+=(const Bill& o);
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Accumulates Usage and converts it to money under a Pricing sheet.
+class UsageMeter {
+ public:
+  explicit UsageMeter(Pricing pricing) : pricing_(pricing) {}
+
+  const Pricing& pricing() const { return pricing_; }
+  const Usage& usage() const { return usage_; }
+  Usage& mutable_usage() { return usage_; }
+
+  void AddVmTime(InstanceType type, Micros busy);
+  void AddEgress(uint64_t bytes) { usage_.egress_bytes += bytes; }
+
+  /// The total bill for everything metered so far.
+  Bill ComputeBill() const { return ComputeBill(usage_); }
+
+  /// The bill for a usage delta (e.g. one experiment phase).
+  Bill ComputeBill(const Usage& u) const;
+
+  /// Snapshot for later diffing: `usage() - snapshot`.
+  Usage Snapshot() const { return usage_; }
+
+  void Reset() { usage_ = Usage(); }
+
+ private:
+  Pricing pricing_;
+  Usage usage_;
+};
+
+}  // namespace webdex::cloud
+
+#endif  // WEBDEX_CLOUD_USAGE_H_

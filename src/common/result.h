@@ -1,0 +1,80 @@
+#ifndef WEBDEX_COMMON_RESULT_H_
+#define WEBDEX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace webdex {
+
+/// Value-or-error return type: either holds a `T` or a non-OK `Status`.
+///
+/// A lightweight stand-in for `absl::StatusOr<T>`:
+///
+///   Result<int> Parse(std::string_view s);
+///   auto r = Parse("42");
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result.  Intentionally implicit so functions
+  /// can `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result.  `status` must not be OK: an OK status
+  /// carries no value and would leave the Result unusable.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace webdex
+
+/// Evaluates `rexpr` (a Result<T>), propagates its status on error, and
+/// otherwise moves the value into `lhs`.
+#define WEBDEX_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  WEBDEX_ASSIGN_OR_RETURN_IMPL_(                   \
+      WEBDEX_CONCAT_(_webdex_result_, __LINE__), lhs, rexpr)
+
+#define WEBDEX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define WEBDEX_CONCAT_(a, b) WEBDEX_CONCAT_IMPL_(a, b)
+#define WEBDEX_CONCAT_IMPL_(a, b) a##b
+
+#endif  // WEBDEX_COMMON_RESULT_H_

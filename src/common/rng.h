@@ -1,0 +1,53 @@
+#ifndef WEBDEX_COMMON_RNG_H_
+#define WEBDEX_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace webdex {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// SplitMix64).
+///
+/// The entire simulation is wall-clock free: corpus generation, UUID range
+/// keys and fault injection all draw from explicitly seeded `Rng` instances
+/// so that every test and benchmark run is exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound).  `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Returns a fresh generator seeded from this one's stream; use to give
+  /// sub-components independent deterministic streams.
+  Rng Fork();
+
+  /// RFC 4122 version-4 UUID string drawn from this stream, e.g.
+  /// "a3e1f2c4-9b7d-4e1a-8f26-0c9d53ab1f40".  The paper (Section 6) uses
+  /// UUIDs as DynamoDB range keys so concurrent writers never collide.
+  std::string NextUuid();
+
+  /// Picks an element index weighted by `weights` (all >= 0, sum > 0).
+  size_t NextWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace webdex
+
+#endif  // WEBDEX_COMMON_RNG_H_

@@ -1,0 +1,105 @@
+#ifndef WEBDEX_COMMON_STATUS_H_
+#define WEBDEX_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace webdex {
+
+/// Operation outcome used throughout the library instead of exceptions.
+///
+/// Mirrors the convention of storage-engine codebases (RocksDB, LevelDB):
+/// fallible calls return a `Status` (or a `Result<T>`, see result.h), and
+/// callers branch on `ok()`.  A `Status` is cheap to copy and carries an
+/// error code plus a human-readable message.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kInvalidArgument,
+    kIOError,
+    kResourceExhausted,
+    kFailedPrecondition,
+    kAlreadyExists,
+    kCorruption,
+    kUnimplemented,
+  };
+
+  /// Default-constructed status is OK.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(Code::kUnimplemented, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Returns a stable, human-readable name for a status code ("NotFound", ...).
+const char* StatusCodeName(Status::Code code);
+
+}  // namespace webdex
+
+/// Propagates a non-OK status to the caller.  Usable in any function that
+/// itself returns a `Status`.
+#define WEBDEX_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::webdex::Status _webdex_status = (expr);       \
+    if (!_webdex_status.ok()) return _webdex_status; \
+  } while (false)
+
+#endif  // WEBDEX_COMMON_STATUS_H_

@@ -1,0 +1,46 @@
+#ifndef WEBDEX_COMMON_STRINGS_H_
+#define WEBDEX_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webdex {
+
+/// Splits `input` on the single-character `sep`.  Empty pieces are kept:
+/// Split("a,,b", ',') -> {"a", "", "b"}.  Split("", ',') -> {""}.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `haystack` contains `needle` as a whole word, where words are
+/// maximal runs of alphanumeric characters (case-insensitive).  This is the
+/// semantics of the paper's `contains(c)` predicate.
+bool ContainsWord(std::string_view haystack, std::string_view word);
+
+/// Formats a byte count as e.g. "12.3 MB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats microseconds as e.g. "2:11" (hh:mm) or "13.2 s" depending on
+/// magnitude; used by benchmark tables.
+std::string HumanDuration(int64_t micros);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace webdex
+
+#endif  // WEBDEX_COMMON_STRINGS_H_

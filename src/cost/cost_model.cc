@@ -1,0 +1,58 @@
+#include "cost/cost_model.h"
+
+namespace webdex::cost {
+
+double CostModel::VmCost(cloud::InstanceType type, double hours,
+                         int instances) const {
+  return pricing_.VmHour(type) * hours * instances;
+}
+
+double CostModel::UploadCost(const DataMetrics& data) const {
+  const double docs = static_cast<double>(data.num_documents);
+  return pricing_.st_put * docs + pricing_.queue_request * docs;
+}
+
+double CostModel::IndexBuildCost(const DataMetrics& data,
+                                 const IndexMetrics& index) const {
+  const double docs = static_cast<double>(data.num_documents);
+  return UploadCost(data) +
+         pricing_.idx_put * index.put_ops +
+         pricing_.st_get * docs +
+         VmCost(index.instance_type, index.build_hours, index.instances) +
+         pricing_.queue_request * 2.0 * docs;
+}
+
+double CostModel::MonthlyDataStorageCost(const DataMetrics& data) const {
+  return pricing_.st_month_gb * data.size_gb;
+}
+
+double CostModel::MonthlyStorageCost(const DataMetrics& data,
+                                     const IndexMetrics& index) const {
+  return MonthlyDataStorageCost(data) +
+         pricing_.idx_month_gb * index.total_gb();
+}
+
+double CostModel::ResultRetrievalCost(const QueryMetrics& query) const {
+  return pricing_.st_get + pricing_.egress_gb * query.result_gb +
+         pricing_.queue_request * 3.0;
+}
+
+double CostModel::QueryCostNoIndex(const QueryMetrics& query,
+                                   const DataMetrics& data) const {
+  return ResultRetrievalCost(query) +
+         pricing_.st_get * static_cast<double>(data.num_documents) +
+         pricing_.st_put +
+         VmCost(query.instance_type, query.process_hours, query.instances) +
+         pricing_.queue_request * 3.0;
+}
+
+double CostModel::QueryCostIndexed(const QueryMetrics& query) const {
+  return ResultRetrievalCost(query) +
+         pricing_.idx_get * query.get_ops +
+         pricing_.st_get * static_cast<double>(query.docs_fetched) +
+         pricing_.st_put +
+         VmCost(query.instance_type, query.process_hours, query.instances) +
+         pricing_.queue_request * 3.0;
+}
+
+}  // namespace webdex::cost

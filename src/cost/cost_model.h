@@ -1,0 +1,95 @@
+#ifndef WEBDEX_COST_COST_MODEL_H_
+#define WEBDEX_COST_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "cloud/pricing.h"
+
+namespace webdex::cost {
+
+/// Data-dependent metrics (paper Section 7.1).
+struct DataMetrics {
+  uint64_t num_documents = 0;  // |D|
+  double size_gb = 0;          // s(D)
+};
+
+/// Data- and index-determined metrics.
+struct IndexMetrics {
+  /// |op(D, I)|: index-store put units consumed to store the index (see
+  /// the pricing note in cloud/pricing.h for the unit's granularity).
+  double put_ops = 0;
+  double raw_gb = 0;       // sr(D, I)
+  double overhead_gb = 0;  // ovh(D, I)
+  /// tidx(D, I): first loader message retrieved -> last message deleted.
+  double build_hours = 0;
+  /// Instances that worked on the build (the VM term bills the fleet).
+  int instances = 1;
+  cloud::InstanceType instance_type = cloud::InstanceType::kLarge;
+
+  double total_gb() const { return raw_gb + overhead_gb; }  // s(D, I)
+};
+
+/// Data-, index- and query-determined metrics.
+struct QueryMetrics {
+  double result_gb = 0;        // |r(q)|
+  double get_ops = 0;          // |op(q, D, I)| (0 without an index)
+  uint64_t docs_fetched = 0;   // |D^q_I| (|D| without an index)
+  /// pt(q, D) or ptq(q, D, I, D^q_I): message retrieved -> deleted.
+  double process_hours = 0;
+  int instances = 1;
+  cloud::InstanceType instance_type = cloud::InstanceType::kLarge;
+};
+
+/// The analytical monetary cost model of paper Section 7.3.  Every
+/// formula matches the paper term for term; tests cross-check it against
+/// the UsageMeter's metered bills.
+class CostModel {
+ public:
+  explicit CostModel(const cloud::Pricing& pricing) : pricing_(pricing) {}
+
+  const cloud::Pricing& pricing() const { return pricing_; }
+
+  /// ud$(D) = STput$·|D| + QS$·|D|
+  double UploadCost(const DataMetrics& data) const;
+
+  /// ci$(D, I) = ud$(D) + IDXput$·|op(D,I)| + STget$·|D|
+  ///           + VM$h·tidx(D,I)·instances + QS$·2·|D|
+  double IndexBuildCost(const DataMetrics& data,
+                        const IndexMetrics& index) const;
+
+  /// st$m(D, I) = ST$m,GB·s(D) + IDX$m,GB·s(D, I)
+  double MonthlyStorageCost(const DataMetrics& data,
+                            const IndexMetrics& index) const;
+
+  /// Data-only part of st$m (no index).
+  double MonthlyDataStorageCost(const DataMetrics& data) const;
+
+  /// rq$(q) = STget$ + egress$GB·|r(q)| + QS$·3
+  double ResultRetrievalCost(const QueryMetrics& query) const;
+
+  /// cq$(q, D) = rq$(q) + STget$·|D| + STput$ + VM$h·pt + QS$·3
+  double QueryCostNoIndex(const QueryMetrics& query,
+                          const DataMetrics& data) const;
+
+  /// cq$(q, D, I, DqI) = rq$(q) + IDXget$·|op| + STget$·|DqI| + STput$
+  ///                   + VM$h·ptq + QS$·3
+  double QueryCostIndexed(const QueryMetrics& query) const;
+
+  /// Per-workload-run benefit of indexing: cost without index minus cost
+  /// with index, summed over the workload (Section 8.3 amortization).
+  /// After n runs the cumulated net value is n·benefit − buildCost; the
+  /// index has amortized once this crosses zero (Figure 13).
+  double AmortizationNetValue(double benefit_per_run, double build_cost,
+                              int runs) const {
+    return benefit_per_run * runs - build_cost;
+  }
+
+ private:
+  double VmCost(cloud::InstanceType type, double hours, int instances) const;
+
+  cloud::Pricing pricing_;
+};
+
+}  // namespace webdex::cost
+
+#endif  // WEBDEX_COST_COST_MODEL_H_

@@ -1,0 +1,83 @@
+#include "engine/message.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace webdex::engine {
+namespace {
+
+// Splits "tag\nrest" and verifies the tag.
+Result<std::string> ExpectTag(const std::string& text,
+                              std::string_view tag) {
+  const size_t newline = text.find('\n');
+  const std::string_view head =
+      newline == std::string::npos
+          ? std::string_view(text)
+          : std::string_view(text).substr(0, newline);
+  if (head != tag) {
+    return Status::InvalidArgument(
+        StrFormat("expected %.*s message, got '%.*s'",
+                  static_cast<int>(tag.size()), tag.data(),
+                  static_cast<int>(head.size()), head.data()));
+  }
+  return newline == std::string::npos ? std::string()
+                                      : text.substr(newline + 1);
+}
+
+}  // namespace
+
+std::string LoadRequest::Serialize() const { return "LOAD\n" + uri; }
+
+Result<LoadRequest> LoadRequest::Parse(const std::string& text) {
+  WEBDEX_ASSIGN_OR_RETURN(std::string rest, ExpectTag(text, "LOAD"));
+  if (rest.empty()) return Status::InvalidArgument("LOAD without URI");
+  LoadRequest req;
+  req.uri = std::move(rest);
+  return req;
+}
+
+std::string QueryRequest::Serialize() const {
+  return StrFormat("QUERY\n%llu\n", static_cast<unsigned long long>(id)) +
+         query_text;
+}
+
+Result<QueryRequest> QueryRequest::Parse(const std::string& text) {
+  WEBDEX_ASSIGN_OR_RETURN(std::string rest, ExpectTag(text, "QUERY"));
+  const size_t newline = rest.find('\n');
+  if (newline == std::string::npos) {
+    return Status::InvalidArgument("QUERY without body");
+  }
+  QueryRequest req;
+  req.id = std::strtoull(rest.substr(0, newline).c_str(), nullptr, 10);
+  req.query_text = rest.substr(newline + 1);
+  if (req.query_text.empty()) {
+    return Status::InvalidArgument("QUERY with empty text");
+  }
+  return req;
+}
+
+std::string QueryResponse::Serialize() const {
+  return StrFormat("DONE\n%llu\n%llu\n",
+                   static_cast<unsigned long long>(id),
+                   static_cast<unsigned long long>(row_count)) +
+         result_key;
+}
+
+Result<QueryResponse> QueryResponse::Parse(const std::string& text) {
+  WEBDEX_ASSIGN_OR_RETURN(std::string rest, ExpectTag(text, "DONE"));
+  const auto lines = Split(rest, '\n');
+  if (lines.size() < 3) {
+    return Status::InvalidArgument("malformed DONE message");
+  }
+  QueryResponse resp;
+  resp.id = std::strtoull(lines[0].c_str(), nullptr, 10);
+  resp.row_count = std::strtoull(lines[1].c_str(), nullptr, 10);
+  resp.result_key = lines[2];
+  if (resp.result_key.empty()) {
+    return Status::InvalidArgument("DONE without result key");
+  }
+  return resp;
+}
+
+}  // namespace webdex::engine

@@ -1,0 +1,47 @@
+#ifndef WEBDEX_ENGINE_MESSAGE_H_
+#define WEBDEX_ENGINE_MESSAGE_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace webdex::engine {
+
+/// Wire formats of the three SQS message kinds circulating between the
+/// front end and the virtual-machine modules (paper Figure 1).  Messages
+/// are plain text: a type tag line, then type-specific lines.
+
+/// Front end -> indexing module: "a document named `uri` awaits indexing
+/// in the file store" (Figure 1, step 3).
+struct LoadRequest {
+  std::string uri;
+
+  std::string Serialize() const;
+  static Result<LoadRequest> Parse(const std::string& text);
+};
+
+/// Front end -> query processor: "evaluate this query" (step 8).
+struct QueryRequest {
+  /// Front-end-assigned identifier; keys the response and the result
+  /// object name.
+  uint64_t id = 0;
+  std::string query_text;
+
+  std::string Serialize() const;
+  static Result<QueryRequest> Parse(const std::string& text);
+};
+
+/// Query processor -> front end: "results for query `id` are in the file
+/// store under `result_key`" (step 15).
+struct QueryResponse {
+  uint64_t id = 0;
+  std::string result_key;
+  uint64_t row_count = 0;
+
+  std::string Serialize() const;
+  static Result<QueryResponse> Parse(const std::string& text);
+};
+
+}  // namespace webdex::engine
+
+#endif  // WEBDEX_ENGINE_MESSAGE_H_

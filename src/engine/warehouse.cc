@@ -1,0 +1,454 @@
+#include "engine/warehouse.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "query/parser.h"
+#include "xml/parser.h"
+
+namespace webdex::engine {
+
+using cloud::Instance;
+using cloud::Micros;
+using cloud::WorkerStep;
+
+Warehouse::Warehouse(cloud::CloudEnv* env, const WarehouseConfig& config)
+    : env_(env),
+      config_(config),
+      strategy_(index::IndexingStrategy::Create(config.strategy)),
+      cluster_(config.num_instances, config.instance_type,
+               &env->config().work) {}
+
+cloud::KvStore& Warehouse::index_store() {
+  if (config_.backend == IndexBackend::kSimpleDb) return env_->simpledb();
+  return env_->dynamodb();
+}
+
+Status Warehouse::Setup() {
+  WEBDEX_RETURN_IF_ERROR(env_->s3().CreateBucket(config_.data_bucket));
+  WEBDEX_RETURN_IF_ERROR(env_->s3().CreateBucket(config_.results_bucket));
+  WEBDEX_RETURN_IF_ERROR(env_->sqs().CreateQueue(config_.loader_queue));
+  WEBDEX_RETURN_IF_ERROR(env_->sqs().CreateQueue(config_.query_queue));
+  WEBDEX_RETURN_IF_ERROR(env_->sqs().CreateQueue(config_.response_queue));
+  if (config_.use_index) {
+    for (const auto& table : strategy_->TableNames()) {
+      WEBDEX_RETURN_IF_ERROR(index_store().CreateTable(table));
+    }
+  }
+  return Status::OK();
+}
+
+void Warehouse::AdoptExistingData(const Warehouse& other) {
+  document_uris_ = other.document_uris_;
+  data_bytes_ = other.data_bytes_;
+  next_query_id_ = other.next_query_id_;
+  front_end_.AdvanceTo(other.front_end_.now());
+}
+
+Status Warehouse::AttachToExistingCloud() {
+  // Buckets this facade needs but the snapshot may lack (e.g. a results
+  // bucket that never held an object).
+  for (const auto& bucket : {config_.data_bucket, config_.results_bucket}) {
+    const Status created = env_->s3().CreateBucket(bucket);
+    if (!created.ok() && !created.IsAlreadyExists()) return created;
+  }
+  WEBDEX_ASSIGN_OR_RETURN(
+      std::vector<std::string> uris,
+      env_->s3().List(front_end_, config_.data_bucket, ""));
+  document_uris_ = std::move(uris);
+  data_bytes_ = env_->s3().BucketBytes(config_.data_bucket);
+  // Queues are ephemeral (not part of snapshots): create them if absent.
+  for (const auto& queue : {config_.loader_queue, config_.query_queue,
+                            config_.response_queue}) {
+    const Status created = env_->sqs().CreateQueue(queue);
+    if (!created.ok() && !created.IsAlreadyExists()) return created;
+  }
+  return Status::OK();
+}
+
+Status Warehouse::SubmitDocument(const std::string& uri,
+                                 std::string xml_text) {
+  data_bytes_ += xml_text.size();
+  WEBDEX_RETURN_IF_ERROR(env_->s3().Put(front_end_, config_.data_bucket,
+                                        uri, std::move(xml_text)));
+  document_uris_.push_back(uri);
+  if (config_.use_index) {
+    LoadRequest request{uri};
+    WEBDEX_RETURN_IF_ERROR(env_->sqs().Send(
+        front_end_, config_.loader_queue, request.Serialize()));
+  }
+  return Status::OK();
+}
+
+WorkerStep Warehouse::IndexerStep(Instance& instance,
+                                  IndexingRunReport* report) {
+  auto& sqs = env_->sqs();
+  auto received = sqs.Receive(instance, config_.loader_queue);
+  if (!received.ok() || !received.value().has_value()) {
+    WorkerStep step;
+    step.processed = false;
+    if (!sqs.Drained(config_.loader_queue)) {
+      auto next = sqs.NextDeliverableAt(config_.loader_queue);
+      step.retry_at = next.has_value() ? *next : -1;
+    }
+    return step;
+  }
+  const cloud::ReceivedMessage& msg = **received;
+  Micros lease_anchor = instance.now();
+
+  // Phase 1: fetch, parse, extract ("extraction time" in Table 4).
+  const Micros extract_start = instance.now();
+  auto request = LoadRequest::Parse(msg.body);
+  // A malformed message is deleted rather than redelivered forever.
+  bool task_ok = request.ok();
+  index::ExtractStats extract_stats;
+  std::vector<index::TableItems> table_items;
+  if (task_ok) {
+    auto text = env_->s3().Get(instance, config_.data_bucket,
+                               request.value().uri);
+    task_ok = text.ok();
+    if (task_ok) {
+      const std::string& xml_text = text.value();
+      const auto& work = instance.work();
+      // Parsing and entry extraction are multi-threaded inside one
+      // instance (Section 3, intra-machine parallelism).
+      instance.ChargeParallelWork(work.parse_per_byte *
+                                  static_cast<double>(xml_text.size()));
+      auto doc = xml::ParseDocument(request.value().uri, xml_text);
+      task_ok = doc.ok();
+      if (task_ok) {
+        auto extracted = strategy_->ExtractItems(
+            doc.value(), config_.extract, index_store(), env_->rng(),
+            &extract_stats);
+        task_ok = extracted.ok();
+        if (task_ok) {
+          table_items = std::move(extracted).value();
+          instance.ChargeParallelWork(
+              work.extract_per_entry *
+                  static_cast<double>(extract_stats.entries) +
+              work.extract_per_byte *
+                  static_cast<double>(extract_stats.payload_bytes));
+        }
+      }
+    }
+  }
+  report->extraction_micros += instance.now() - extract_start;
+  MaybeRenewLease(instance, config_.loader_queue, msg.receipt,
+                  &lease_anchor);
+
+  // Phase 2: upload to the index store ("uploading time").
+  const Micros upload_start = instance.now();
+  if (task_ok) {
+    const cloud::Usage before = env_->meter().Snapshot();
+    for (const auto& batch : table_items) {
+      instance.ChargeParallelWork(
+          instance.work().kv_encode_per_byte *
+          static_cast<double>(extract_stats.payload_bytes));
+      const Status put =
+          index_store().BatchPut(instance, batch.table, batch.items);
+      if (!put.ok()) {
+        task_ok = false;
+        break;
+      }
+    }
+    const cloud::Usage delta = env_->meter().Snapshot() - before;
+    report->index_put_units += delta.ddb_write_units + delta.sdb_put_requests;
+  }
+  report->upload_micros += instance.now() - upload_start;
+  MaybeRenewLease(instance, config_.loader_queue, msg.receipt,
+                  &lease_anchor);
+
+  if (task_ok) {
+    report->extract_stats.entries += extract_stats.entries;
+    report->extract_stats.items += extract_stats.items;
+    report->extract_stats.payload_bytes += extract_stats.payload_bytes;
+    report->documents += 1;
+  }
+
+  // Fault injection: a crash here loses the delete; the message lease
+  // expires and another instance redoes the work (Section 3).
+  if (config_.crash_before_delete &&
+      config_.crash_before_delete(instance.id(), msg.body)) {
+    WorkerStep step;
+    step.processed = true;
+    return step;
+  }
+  // Malformed tasks are acknowledged too (poison-pill removal).
+  (void)sqs.Delete(instance, config_.loader_queue, msg.receipt);
+  WorkerStep step;
+  step.processed = true;
+  return step;
+}
+
+void Warehouse::MaybeRenewLease(Instance& instance,
+                                const std::string& queue, uint64_t receipt,
+                                Micros* lease_anchor) {
+  // The simulated tasks are atomic, so renewal happens at the tasks'
+  // natural phase boundaries; a real deployment renews from a heartbeat
+  // thread — the observable protocol (extra SQS requests, extended
+  // visibility) is the same.  Renewing every quarter-timeout keeps a
+  // comfortable safety margin for the following phase.
+  const Micros timeout = env_->config().sqs.visibility_timeout;
+  if (instance.now() - *lease_anchor >= timeout / 4) {
+    if (env_->sqs().RenewLease(instance, queue, receipt).ok()) {
+      *lease_anchor = instance.now();
+    }
+  }
+}
+
+Result<IndexingRunReport> Warehouse::RunIndexers() {
+  if (!config_.use_index) {
+    return Status::FailedPrecondition(
+        "warehouse configured without an index");
+  }
+  IndexingRunReport report;
+  cluster_.SyncClocks(front_end_.now());
+  report.makespan = cluster_.RunUntilDrained(
+      [this, &report](Instance& instance) {
+        return IndexerStep(instance, &report);
+      },
+      front_end_.now());
+  // Bill the fleet's rented time.
+  for (auto& inst : cluster_.instances()) {
+    env_->meter().AddVmTime(config_.instance_type,
+                            inst->now() - front_end_.now());
+  }
+  front_end_.AdvanceTo(cluster_.MaxClock());
+  return report;
+}
+
+Status Warehouse::ProcessQuery(Instance& instance,
+                               const QueryRequest& request,
+                               uint64_t receipt, Micros* lease_anchor,
+                               QueryOutcome* outcome) {
+  const Micros task_start = instance.now();
+  outcome->id = request.id;
+  outcome->query_text = request.query_text;
+
+  WEBDEX_ASSIGN_OR_RETURN(query::Query parsed,
+                          query::ParseQuery(request.query_text));
+
+  const auto& work = instance.work();
+  std::vector<std::string> to_fetch;
+  if (config_.use_index) {
+    // Index look-up (Figure 1, step 10): per tree pattern, then union.
+    const cloud::Usage before = env_->meter().Snapshot();
+    std::set<std::string> fetch_set;
+    index::LookupStats stats;
+    const Micros get_start = instance.now();
+    for (const auto& pattern : parsed.patterns()) {
+      WEBDEX_ASSIGN_OR_RETURN(
+          std::vector<std::string> uris,
+          strategy_->LookupPattern(instance, index_store(), pattern,
+                                   config_.extract, &stats));
+      outcome->docs_from_index += uris.size();
+      fetch_set.insert(uris.begin(), uris.end());
+    }
+    outcome->timings.index_get = instance.now() - get_start;
+
+    // Physical plan over the fetched index data (step 11): URI-set
+    // merges, path matching, holistic twig joins.
+    const Micros plan_start = instance.now();
+    instance.ChargeParallelWork(
+        work.lookup_merge_per_item * static_cast<double>(stats.uri_merge_ops) +
+        work.lookup_merge_per_item * static_cast<double>(stats.items_fetched) +
+        work.path_match_per_path * static_cast<double>(stats.paths_tested) +
+        work.twig_per_id * static_cast<double>(stats.twig_id_ops));
+    outcome->timings.plan_exec = instance.now() - plan_start;
+    outcome->lookup = stats;
+
+    const cloud::Usage delta = env_->meter().Snapshot() - before;
+    outcome->index_get_units = delta.ddb_read_units + delta.sdb_get_requests;
+    to_fetch.assign(fetch_set.begin(), fetch_set.end());
+    MaybeRenewLease(instance, config_.query_queue, receipt, lease_anchor);
+  } else {
+    // No index: the query runs over the entire warehouse.
+    to_fetch = document_uris_;
+  }
+  outcome->docs_fetched = to_fetch.size();
+
+  // Transfer the candidate documents into the instance and evaluate
+  // (steps 12-13), over one parallel S3 stream per core.
+  const Micros eval_start = instance.now();
+  std::vector<std::shared_ptr<const xml::Document>> docs;
+  if (!to_fetch.empty()) {
+    WEBDEX_ASSIGN_OR_RETURN(
+        std::vector<std::string> texts,
+        env_->s3().BatchGet(instance, config_.data_bucket, to_fetch,
+                            instance.parallel_streams()));
+    docs.reserve(texts.size());
+    double parse_work = 0;
+    for (size_t i = 0; i < texts.size(); ++i) {
+      // Parse CPU is charged in virtual time for every query, as the
+      // real system re-parses every fetched document; the host-side DOM
+      // cache below only avoids redundant *host* CPU when the same
+      // immutable document is fetched by several simulated queries.
+      parse_work += work.parse_per_byte * static_cast<double>(texts[i].size());
+      auto cached = doc_cache_.find(to_fetch[i]);
+      if (cached != doc_cache_.end()) {
+        docs.push_back(cached->second);
+        continue;
+      }
+      WEBDEX_ASSIGN_OR_RETURN(xml::Document doc,
+                              xml::ParseDocument(to_fetch[i], texts[i]));
+      auto shared =
+          std::make_shared<const xml::Document>(std::move(doc));
+      doc_cache_.emplace(to_fetch[i], shared);
+      docs.push_back(std::move(shared));
+    }
+    instance.ChargeParallelWork(parse_work);
+  }
+  std::vector<const xml::Document*> doc_ptrs;
+  doc_ptrs.reserve(docs.size());
+  for (const auto& doc : docs) doc_ptrs.push_back(doc.get());
+  (void)query::Evaluator::ConsumeWorkStats();
+  outcome->result = query::Evaluator::Evaluate(parsed, doc_ptrs);
+  const auto eval_stats = query::Evaluator::ConsumeWorkStats();
+  instance.ChargeParallelWork(
+      work.eval_per_byte * static_cast<double>(eval_stats.doc_bytes_scanned) +
+      work.result_per_byte * static_cast<double>(eval_stats.result_bytes));
+
+  MaybeRenewLease(instance, config_.query_queue, receipt, lease_anchor);
+
+  // Store the results in the file store (step 14).
+  std::string result_xml = outcome->result.ToXml();
+  instance.ChargeParallelWork(work.result_per_byte *
+                              static_cast<double>(result_xml.size()));
+  const std::string result_key =
+      StrFormat("result-%llu.xml", static_cast<unsigned long long>(request.id));
+  WEBDEX_RETURN_IF_ERROR(env_->s3().Put(instance, config_.results_bucket,
+                                        result_key, std::move(result_xml)));
+  outcome->timings.transfer_eval = instance.now() - eval_start;
+  outcome->timings.total = instance.now() - task_start;
+  return Status::OK();
+}
+
+WorkerStep Warehouse::QueryStep(Instance& instance,
+                                std::map<uint64_t, QueryOutcome>* outcomes) {
+  auto& sqs = env_->sqs();
+  auto received = sqs.Receive(instance, config_.query_queue);
+  if (!received.ok() || !received.value().has_value()) {
+    WorkerStep step;
+    step.processed = false;
+    if (!sqs.Drained(config_.query_queue)) {
+      auto next = sqs.NextDeliverableAt(config_.query_queue);
+      step.retry_at = next.has_value() ? *next : -1;
+    }
+    return step;
+  }
+  const cloud::ReceivedMessage& msg = **received;
+  Micros lease_anchor = instance.now();
+
+  auto request = QueryRequest::Parse(msg.body);
+  if (request.ok()) {
+    QueryOutcome outcome;
+    const Status processed = ProcessQuery(instance, request.value(),
+                                          msg.receipt, &lease_anchor,
+                                          &outcome);
+    if (processed.ok()) {
+      QueryResponse response;
+      response.id = request.value().id;
+      response.result_key = StrFormat(
+          "result-%llu.xml",
+          static_cast<unsigned long long>(request.value().id));
+      response.row_count = outcome.result.rows.size();
+      (void)sqs.Send(instance, config_.response_queue,
+                     response.Serialize());
+      (*outcomes)[outcome.id] = std::move(outcome);
+    }
+  }
+
+  if (config_.crash_before_delete &&
+      config_.crash_before_delete(instance.id(), msg.body)) {
+    WorkerStep step;
+    step.processed = true;
+    return step;
+  }
+  (void)sqs.Delete(instance, config_.query_queue, msg.receipt);
+  WorkerStep step;
+  step.processed = true;
+  return step;
+}
+
+Result<QueryRunReport> Warehouse::ExecuteQueries(
+    const std::vector<std::string>& queries) {
+  std::vector<uint64_t> ids;
+  for (const auto& text : queries) {
+    QueryRequest request;
+    request.id = next_query_id_++;
+    request.query_text = text;
+    ids.push_back(request.id);
+    WEBDEX_RETURN_IF_ERROR(env_->sqs().Send(
+        front_end_, config_.query_queue, request.Serialize()));
+  }
+
+  std::map<uint64_t, QueryOutcome> outcomes;
+  cluster_.SyncClocks(front_end_.now());
+  const Micros makespan = cluster_.RunUntilDrained(
+      [this, &outcomes](Instance& instance) {
+        return QueryStep(instance, &outcomes);
+      },
+      front_end_.now());
+  for (auto& inst : cluster_.instances()) {
+    env_->meter().AddVmTime(config_.instance_type,
+                            inst->now() - front_end_.now());
+  }
+  front_end_.AdvanceTo(cluster_.MaxClock());
+
+  // Retrieve every response and its result object (steps 16-18); the
+  // transfer out of the cloud is the billed egress ("AWSDown").
+  QueryRunReport report;
+  report.makespan = makespan;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto received = env_->sqs().Receive(front_end_, config_.response_queue);
+    if (!received.ok()) return received.status();
+    if (!received.value().has_value()) {
+      return Status::IOError("missing query response");
+    }
+    WEBDEX_ASSIGN_OR_RETURN(QueryResponse response,
+                            QueryResponse::Parse(received.value()->body));
+    WEBDEX_ASSIGN_OR_RETURN(std::string result_xml,
+                            env_->s3().Get(front_end_, config_.results_bucket,
+                                           response.result_key));
+    env_->meter().AddEgress(result_xml.size());
+    WEBDEX_RETURN_IF_ERROR(env_->sqs().Delete(
+        front_end_, config_.response_queue, received.value()->receipt));
+  }
+  for (uint64_t id : ids) {
+    auto it = outcomes.find(id);
+    if (it == outcomes.end()) {
+      return Status::IOError(
+          StrFormat("no outcome recorded for query %llu",
+                    static_cast<unsigned long long>(id)));
+    }
+    report.outcomes.push_back(std::move(it->second));
+  }
+  return report;
+}
+
+Result<QueryOutcome> Warehouse::ExecuteQuery(const std::string& query_text) {
+  WEBDEX_ASSIGN_OR_RETURN(QueryRunReport report,
+                          ExecuteQueries({query_text}));
+  return std::move(report.outcomes.front());
+}
+
+uint64_t Warehouse::IndexRawBytes() const {
+  uint64_t total = 0;
+  auto& store = const_cast<Warehouse*>(this)->index_store();
+  for (const auto& table : strategy_->TableNames()) {
+    total += store.StoredBytes(table);
+  }
+  return total;
+}
+
+uint64_t Warehouse::IndexOverheadBytes() const {
+  uint64_t total = 0;
+  auto& store = const_cast<Warehouse*>(this)->index_store();
+  for (const auto& table : strategy_->TableNames()) {
+    total += store.OverheadBytes(table);
+  }
+  return total;
+}
+
+}  // namespace webdex::engine

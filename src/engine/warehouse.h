@@ -1,0 +1,200 @@
+#ifndef WEBDEX_ENGINE_WAREHOUSE_H_
+#define WEBDEX_ENGINE_WAREHOUSE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_env.h"
+#include "cloud/cluster.h"
+#include "cloud/kv_store.h"
+#include "common/result.h"
+#include "engine/message.h"
+#include "index/strategy.h"
+#include "query/evaluator.h"
+
+namespace webdex::engine {
+
+/// Which key-value service hosts the index (Section 8.4 compares the
+/// DynamoDB deployment of this paper against the SimpleDB one of [8]).
+enum class IndexBackend { kDynamoDb, kSimpleDb };
+
+struct WarehouseConfig {
+  std::string data_bucket = "webdex-data";
+  std::string results_bucket = "webdex-results";
+  std::string loader_queue = "loader-requests";
+  std::string query_queue = "query-requests";
+  std::string response_queue = "query-responses";
+
+  index::StrategyKind strategy = index::StrategyKind::kLUP;
+  index::ExtractOptions extract;
+  IndexBackend backend = IndexBackend::kDynamoDb;
+
+  /// false = no-index baseline: every query scans the whole warehouse.
+  bool use_index = true;
+
+  cloud::InstanceType instance_type = cloud::InstanceType::kLarge;
+  int num_instances = 1;
+
+  /// Fault-injection hook (tests): called with (instance id, message
+  /// body) after a task has been processed but *before* its queue message
+  /// is deleted; returning true simulates the instance crashing at that
+  /// point, so the message lease expires and another instance redoes the
+  /// task (Section 3, fault tolerance).
+  std::function<bool(int, const std::string&)> crash_before_delete;
+};
+
+/// What one indexing run (drain of the loader queue) did — the substance
+/// of the paper's Table 4 and Figure 7.
+struct IndexingRunReport {
+  uint64_t documents = 0;
+  /// Virtual time, summed over instances, spent in each phase.
+  cloud::Micros extraction_micros = 0;  // S3 fetch + parse + extract
+  cloud::Micros upload_micros = 0;      // key-value store writes
+  /// Queue-to-queue makespan: first message retrieved (== run start,
+  /// instances start polling immediately) to last message deleted.
+  cloud::Micros makespan = 0;
+  index::ExtractStats extract_stats;
+  /// Index-store put units consumed (|op(D, I)| at pricing granularity).
+  double index_put_units = 0;
+};
+
+/// Per-query timing split matching Figures 9b/9c.
+struct QueryTimings {
+  cloud::Micros index_get = 0;      // "Lookup - DynamoDB Get"
+  cloud::Micros plan_exec = 0;      // "Lookup - Plan execution"
+  cloud::Micros transfer_eval = 0;  // "S3 transfer and results extraction"
+  cloud::Micros total = 0;          // message retrieved -> deleted
+};
+
+/// Everything observed while answering one query.
+struct QueryOutcome {
+  uint64_t id = 0;
+  std::string query_text;
+  query::QueryResult result;
+  /// Documents fetched from the file store (|D^q_I|; |D| when no index).
+  uint64_t docs_fetched = 0;
+  /// Document IDs retrieved from the index, summed over the query's tree
+  /// patterns (Table 5 convention for value-join queries).
+  uint64_t docs_from_index = 0;
+  QueryTimings timings;
+  index::LookupStats lookup;
+  /// Index-store get units consumed (|op(q, D, I)|).
+  double index_get_units = 0;
+};
+
+struct QueryRunReport {
+  std::vector<QueryOutcome> outcomes;  // in submission order
+  cloud::Micros makespan = 0;
+};
+
+/// The complete warehouse of paper Figure 1: front end + file store +
+/// index store + queues + a fleet of virtual machines running the
+/// indexing and query-processing modules.
+///
+/// The front end is itself a SimAgent: submitting documents/queries and
+/// fetching results advances its virtual clock and bills its API calls.
+class Warehouse {
+ public:
+  Warehouse(cloud::CloudEnv* env, const WarehouseConfig& config);
+
+  /// Creates buckets, queues and index tables.  Call once.
+  Status Setup();
+
+  /// Adopts the document registry and clock of another warehouse running
+  /// over the *same* CloudEnv.  Used to re-deploy a different query fleet
+  /// (instance type / count) against data, queues and index tables that
+  /// already live in the simulated services — the paper's experiments
+  /// swap EC2 fleets while S3 and DynamoDB keep their contents.
+  void AdoptExistingData(const Warehouse& other);
+
+  /// Rebuilds the document registry by listing the data bucket — used
+  /// after restoring a cloud snapshot, when the documents and index
+  /// tables already exist but this facade is new.  The LIST requests are
+  /// billed to the front end like any other S3 traffic.  With
+  /// use_index == true the existing index is reused (Setup() must not be
+  /// called; the tables already exist).
+  Status AttachToExistingCloud();
+
+  // --- Loading (Figure 1, steps 1-3) -------------------------------------
+
+  /// Stores the document in the file store and enqueues an indexing
+  /// request.  (With use_index == false the document is still registered
+  /// and stored, and the loader queue stays empty.)
+  Status SubmitDocument(const std::string& uri, std::string xml_text);
+
+  // --- Indexing (steps 4-6) ----------------------------------------------
+
+  /// Runs the indexing-module fleet until the loader queue drains.
+  Result<IndexingRunReport> RunIndexers();
+
+  // --- Querying (steps 7-18) ----------------------------------------------
+
+  /// Submits the queries, runs the query-processor fleet until done, then
+  /// retrieves every result through the front end (charging egress).
+  Result<QueryRunReport> ExecuteQueries(
+      const std::vector<std::string>& queries);
+
+  /// Single-query convenience wrapper.
+  Result<QueryOutcome> ExecuteQuery(const std::string& query_text);
+
+  // --- Introspection -------------------------------------------------------
+
+  cloud::CloudEnv& env() { return *env_; }
+  cloud::SimAgent& front_end() { return front_end_; }
+  cloud::KvStore& index_store();
+  const WarehouseConfig& config() const { return config_; }
+  const std::vector<std::string>& document_uris() const {
+    return document_uris_;
+  }
+  uint64_t data_bytes() const { return data_bytes_; }
+
+  /// Raw + overhead bytes currently held by this warehouse's index
+  /// tables (sr and ovh of Section 7.1).
+  uint64_t IndexRawBytes() const;
+  uint64_t IndexOverheadBytes() const;
+
+ private:
+  class FrontEndAgent : public cloud::SimAgent {};
+
+  struct PendingResponse {
+    uint64_t id = 0;
+    std::string result_key;
+  };
+
+  cloud::WorkerStep IndexerStep(cloud::Instance& instance,
+                                IndexingRunReport* report);
+  cloud::WorkerStep QueryStep(cloud::Instance& instance,
+                              std::map<uint64_t, QueryOutcome>* outcomes);
+
+  // Body of one query task, after the message has been received.
+  // `receipt`/`lease_anchor` let long phases renew the message lease.
+  Status ProcessQuery(cloud::Instance& instance, const QueryRequest& request,
+                      uint64_t receipt, cloud::Micros* lease_anchor,
+                      QueryOutcome* outcome);
+
+  // Heartbeat stand-in: renews the queue lease whenever at least a
+  // quarter of the visibility timeout has passed since `*lease_anchor`
+  // (Section 3 fault-tolerance protocol).  Called at the natural phase
+  // boundaries of the atomic simulated tasks.
+  void MaybeRenewLease(cloud::Instance& instance, const std::string& queue,
+                       uint64_t receipt, cloud::Micros* lease_anchor);
+
+  cloud::CloudEnv* env_;
+  WarehouseConfig config_;
+  std::unique_ptr<index::IndexingStrategy> strategy_;
+  cloud::Cluster cluster_;
+  FrontEndAgent front_end_;
+  std::vector<std::string> document_uris_;
+  uint64_t data_bytes_ = 0;
+  uint64_t next_query_id_ = 1;
+  /// Host-side DOM cache (documents are immutable once loaded); purely a
+  /// real-CPU optimization — virtual parse time is charged per fetch.
+  std::map<std::string, std::shared_ptr<const xml::Document>> doc_cache_;
+};
+
+}  // namespace webdex::engine
+
+#endif  // WEBDEX_ENGINE_WAREHOUSE_H_

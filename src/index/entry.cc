@@ -1,0 +1,198 @@
+#include "index/entry.h"
+
+#include <algorithm>
+
+#include "common/varint.h"
+#include "index/keys.h"
+#include "xml/tokenizer.h"
+
+namespace webdex::index {
+namespace {
+
+void AddOccurrence(DocIndex* index, const std::string& key,
+                   const xml::NodeId& id, const std::string& path) {
+  NodeEntry& entry = (*index)[key];
+  entry.ids.push_back(id);
+  entry.paths.push_back(path);
+}
+
+void Walk(const xml::Node& node, const std::string& parent_path,
+          const ExtractOptions& options, DocIndex* index) {
+  switch (node.kind()) {
+    case xml::NodeKind::kElement: {
+      const std::string key = ElementKey(node.label());
+      const std::string path = parent_path + "/" + PathComponent(key);
+      AddOccurrence(index, key, node.id(), path);
+      for (const auto& child : node.children()) {
+        Walk(*child, path, options, index);
+      }
+      break;
+    }
+    case xml::NodeKind::kAttribute: {
+      // Two keys per attribute: a‖name and a‖name value (Section 5).
+      const std::string name_key = AttributeNameKey(node.label());
+      const std::string name_path =
+          parent_path + "/" + PathComponent(name_key);
+      AddOccurrence(index, name_key, node.id(), name_path);
+      const std::string value_key =
+          AttributeValueKey(node.label(), node.value());
+      AddOccurrence(index, value_key, node.id(),
+                    parent_path + "/" + PathComponent(value_key));
+      if (options.include_words) {
+        // Attribute-value words share the attribute's structural ID (an
+        // attribute is a leaf, so its value has no separate position);
+        // the key twig connects them with a self edge.
+        for (const auto& word : xml::TokenizeWords(node.value())) {
+          const std::string word_key = WordKey(word);
+          AddOccurrence(index, word_key, node.id(),
+                        name_path + "/" + PathComponent(word_key));
+        }
+      }
+      break;
+    }
+    case xml::NodeKind::kText: {
+      if (!options.include_words) break;
+      for (const auto& word : xml::TokenizeWords(node.value())) {
+        const std::string word_key = WordKey(word);
+        // Word occurrences carry the text node's ID: a child of the
+        // enclosing element in (pre, post, depth) space.
+        AddOccurrence(index, word_key, node.id(),
+                      parent_path + "/" + PathComponent(word_key));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+DocIndex ExtractDocIndex(const xml::Document& doc,
+                         const ExtractOptions& options) {
+  DocIndex index;
+  Walk(doc.root(), "", options, &index);
+  for (auto& [key, entry] : index) {
+    (void)key;
+    // IDs arrive in document order already (pre-order walk), but repeated
+    // words within one text node produce duplicates worth removing.
+    std::sort(entry.ids.begin(), entry.ids.end());
+    entry.ids.erase(std::unique(entry.ids.begin(), entry.ids.end()),
+                    entry.ids.end());
+    std::sort(entry.paths.begin(), entry.paths.end());
+    entry.paths.erase(std::unique(entry.paths.begin(), entry.paths.end()),
+                      entry.paths.end());
+  }
+  return index;
+}
+
+DocIndexStats ComputeStats(const DocIndex& index) {
+  DocIndexStats stats;
+  for (const auto& [key, entry] : index) {
+    (void)key;
+    stats.keys += 1;
+    stats.ids += entry.ids.size();
+    for (const auto& path : entry.paths) stats.path_bytes += path.size();
+  }
+  return stats;
+}
+
+std::string EncodeIds(const std::vector<xml::NodeId>& ids) {
+  std::string blob;
+  blob.reserve(ids.size() * 4);
+  for (const auto& id : ids) {
+    PutVarint64(&blob, id.pre);
+    PutVarint64(&blob, id.post);
+    PutVarint64(&blob, id.depth);
+  }
+  return blob;
+}
+
+Result<std::vector<xml::NodeId>> DecodeIds(std::string_view blob) {
+  std::vector<xml::NodeId> ids;
+  size_t offset = 0;
+  while (offset < blob.size()) {
+    xml::NodeId id;
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t pre, GetVarint64(blob, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t post, GetVarint64(blob, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t depth, GetVarint64(blob, &offset));
+    id.pre = static_cast<uint32_t>(pre);
+    id.post = static_cast<uint32_t>(post);
+    id.depth = static_cast<uint32_t>(depth);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::string EncodePaths(const std::vector<std::string>& paths) {
+  std::string blob;
+  const std::string* previous = nullptr;
+  for (const auto& path : paths) {
+    size_t shared = 0;
+    if (previous != nullptr) {
+      const size_t limit = std::min(previous->size(), path.size());
+      while (shared < limit && (*previous)[shared] == path[shared]) {
+        ++shared;
+      }
+    }
+    PutVarint64(&blob, shared);
+    PutVarint64(&blob, path.size() - shared);
+    blob.append(path, shared, path.size() - shared);
+    previous = &path;
+  }
+  return blob;
+}
+
+Result<std::vector<std::string>> DecodePaths(std::string_view blob) {
+  std::vector<std::string> paths;
+  size_t offset = 0;
+  std::string previous;
+  while (offset < blob.size()) {
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t shared, GetVarint64(blob, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t suffix, GetVarint64(blob, &offset));
+    if (shared > previous.size()) {
+      return Status::Corruption("front-coded prefix exceeds predecessor");
+    }
+    if (offset + suffix > blob.size()) {
+      return Status::Corruption("truncated front-coded path");
+    }
+    std::string path = previous.substr(0, shared);
+    path.append(blob.substr(offset, suffix));
+    offset += suffix;
+    previous = path;
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::string HexArmour(std::string_view binary) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(binary.size() * 2);
+  for (unsigned char c : binary) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xF]);
+  }
+  return out;
+}
+
+Result<std::string> HexDearmour(std::string_view text) {
+  if (text.size() % 2 != 0) {
+    return Status::Corruption("odd-length hex blob");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(text.size() / 2);
+  for (size_t i = 0; i < text.size(); i += 2) {
+    const int hi = nibble(text[i]);
+    const int lo = nibble(text[i + 1]);
+    if (hi < 0 || lo < 0) return Status::Corruption("bad hex digit");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace webdex::index

@@ -1,0 +1,92 @@
+#ifndef WEBDEX_INDEX_ENTRY_H_
+#define WEBDEX_INDEX_ENTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace webdex::index {
+
+/// Everything one document contributes to the index under one key: the
+/// sorted structural identifiers of the key's occurrences (LUI payload)
+/// and the distinct root-to-node label paths (LUP payload).
+struct NodeEntry {
+  /// Sorted by pre component — kept sorted at extraction time so the
+  /// holistic twig join's inputs need no sort (paper Section 5.3).
+  std::vector<xml::NodeId> ids;
+  /// Distinct paths like "/esite/eregions/eitem/ename", sorted.
+  std::vector<std::string> paths;
+};
+
+/// All index data extracted from one document: key -> entry.
+using DocIndex = std::map<std::string, NodeEntry>;
+
+struct ExtractOptions {
+  /// Emit w‖word keys for text and attribute-value words.  Figure 8
+  /// contrasts the strategies with and without full-text indexing.
+  bool include_words = true;
+  /// Store LUP / 2LUPI path sets front-coded (see EncodePaths) instead of
+  /// as one attribute value per path.  This is the paper's Section 8.5
+  /// suggestion — "further compression of the paths in the LUP index
+  /// could probably make it even more competitive" — implemented.
+  /// Look-ups must be configured identically to the build.
+  bool compress_paths = false;
+};
+
+/// Walks a parsed document and builds its DocIndex: element keys,
+/// attribute name + valued keys, and word keys.  Word occurrences carry
+/// the structural ID of their text node (a child of the enclosing
+/// element); attribute-value words carry the attribute's own ID.
+DocIndex ExtractDocIndex(const xml::Document& doc,
+                         const ExtractOptions& options = {});
+
+/// Statistics of an extraction, for work accounting and the |op(D, I)|
+/// metric of Section 7.1.
+struct DocIndexStats {
+  uint64_t keys = 0;
+  uint64_t ids = 0;
+  uint64_t path_bytes = 0;
+};
+DocIndexStats ComputeStats(const DocIndex& index);
+
+// --- Structural-ID payload codec -----------------------------------------
+//
+// LUI / 2LUPI store a document's sorted IDs for a key as one binary
+// attribute value: varint-encoded (pre, post, depth) triples (Sections
+// 5.3, 8.2: "we exploit the fact that DynamoDB allows storing arbitrary
+// binary objects ... compressed (encoded) sets of IDs in a single value").
+
+/// Appends the encoding of `ids` (must be sorted by pre) to a fresh blob.
+std::string EncodeIds(const std::vector<xml::NodeId>& ids);
+
+/// Decodes a blob; fails with Corruption on malformed input.
+Result<std::vector<xml::NodeId>> DecodeIds(std::string_view blob);
+
+/// Hex armouring for stores that only accept text values (SimpleDB):
+/// doubles the size, which is precisely the storage/cost penalty the
+/// paper measured against its earlier SimpleDB-based system (Table 7).
+std::string HexArmour(std::string_view binary);
+Result<std::string> HexDearmour(std::string_view text);
+
+// --- Path-set codec (Section 8.5 extension) --------------------------------
+//
+// Front coding over the *sorted* path list: each path is stored as
+// varint(shared-prefix length with its predecessor) + varint(suffix
+// length) + suffix bytes.  Label paths of one key share long prefixes
+// ("/esite/eregions/eitem/..."), so this typically shrinks LUP payloads
+// by 2-4x.
+
+/// Encodes `paths` (must be sorted) as one front-coded blob.
+std::string EncodePaths(const std::vector<std::string>& paths);
+
+/// Decodes a front-coded blob back into the sorted path list.
+Result<std::vector<std::string>> DecodePaths(std::string_view blob);
+
+}  // namespace webdex::index
+
+#endif  // WEBDEX_INDEX_ENTRY_H_

@@ -1,0 +1,86 @@
+#include "index/keys.h"
+
+namespace webdex::index {
+
+std::string ElementKey(std::string_view label) {
+  std::string key;
+  key.reserve(label.size() + 1);
+  key.push_back(kElementPrefix);
+  key.append(label);
+  return key;
+}
+
+std::string AttributeNameKey(std::string_view name) {
+  std::string key;
+  key.reserve(name.size() + 1);
+  key.push_back(kAttributePrefix);
+  key.append(name);
+  return key;
+}
+
+std::string AttributeValueKey(std::string_view name,
+                              std::string_view value) {
+  std::string key;
+  key.reserve(name.size() + value.size() + 2);
+  key.push_back(kAttributePrefix);
+  key.append(name);
+  key.push_back(' ');
+  key.append(value);
+  return key;
+}
+
+std::string WordKey(std::string_view word) {
+  std::string key;
+  key.reserve(word.size() + 1);
+  key.push_back(kWordPrefix);
+  key.append(word);
+  return key;
+}
+
+std::string PathComponent(std::string_view key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    if (c == '/') {
+      out.append("%2F");
+    } else if (c == '%') {
+      out.append("%25");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> components;
+  size_t start = path.empty() || path[0] != '/' ? 0 : 1;
+  while (start <= path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    std::string_view raw = path.substr(start, end - start);
+    std::string component;
+    component.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '%' && i + 2 < raw.size()) {
+        if (raw.substr(i, 3) == "%2F") {
+          component.push_back('/');
+          i += 2;
+          continue;
+        }
+        if (raw.substr(i, 3) == "%25") {
+          component.push_back('%');
+          i += 2;
+          continue;
+        }
+      }
+      component.push_back(raw[i]);
+    }
+    components.push_back(std::move(component));
+    if (end == path.size()) break;
+    start = end + 1;
+  }
+  return components;
+}
+
+}  // namespace webdex::index

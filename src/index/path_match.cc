@@ -1,0 +1,75 @@
+#include "index/path_match.h"
+
+#include "index/keys.h"
+
+namespace webdex::index {
+
+std::string QueryPath::ToString() const {
+  std::string out;
+  for (const auto& step : steps) {
+    out.append(step.axis == TwigAxis::kChild ? "/" : "//");
+    out.append(step.key);
+  }
+  return out;
+}
+
+std::vector<QueryPath> BuildQueryPaths(const KeyTwig& twig) {
+  std::vector<QueryPath> paths;
+  for (const auto& twig_path : twig.RootToLeafPaths()) {
+    QueryPath path;
+    for (const TwigNode* node : twig_path) {
+      QueryPathStep step;
+      // Attribute-value words share their attribute's position; in the
+      // stored data path they appear as one extra child component.
+      step.axis =
+          node->axis == TwigAxis::kSelf ? TwigAxis::kChild : node->axis;
+      step.key = node->key;
+      path.steps.push_back(std::move(step));
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+namespace {
+
+// Recursive match of query steps [qi..) against data components [dj..),
+// where query step qi must map to some data component >= dj subject to
+// its axis, and the final query step must map to the final component.
+bool MatchFrom(const QueryPath& query, size_t qi,
+               const std::vector<std::string>& data, size_t dj) {
+  if (qi == query.steps.size()) {
+    // All query steps consumed; require the last one to have matched the
+    // last data component (checked by the caller's alignment below).
+    return dj == data.size();
+  }
+  const QueryPathStep& step = query.steps[qi];
+  if (step.axis == TwigAxis::kChild) {
+    if (dj >= data.size() || data[dj] != step.key) return false;
+    return MatchFrom(query, qi + 1, data, dj + 1);
+  }
+  // Descendant axis: the step may match any component at position >= dj.
+  for (size_t k = dj; k < data.size(); ++k) {
+    if (data[k] == step.key && MatchFrom(query, qi + 1, data, k + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PathMatches(const QueryPath& query,
+                 const std::vector<std::string>& data_components) {
+  if (query.steps.empty()) return false;
+  if (data_components.empty()) return false;
+  // Data paths always end with the looked-up key: quick reject otherwise.
+  if (data_components.back() != query.LookupKey()) return false;
+  return MatchFrom(query, 0, data_components, 0);
+}
+
+bool PathMatches(const QueryPath& query, std::string_view data_path) {
+  return PathMatches(query, SplitPath(data_path));
+}
+
+}  // namespace webdex::index

@@ -1,0 +1,48 @@
+#ifndef WEBDEX_INDEX_PATH_MATCH_H_
+#define WEBDEX_INDEX_PATH_MATCH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/key_twig.h"
+
+namespace webdex::index {
+
+/// One component of a query path: the axis leading into it plus the key.
+struct QueryPathStep {
+  TwigAxis axis = TwigAxis::kDescendant;
+  std::string key;
+};
+
+/// A root-to-leaf query path `(/|//)a1(/|//)a2 ... aj` (Section 5.2).
+struct QueryPath {
+  std::vector<QueryPathStep> steps;
+
+  /// Key to look up in the LUP index: key(aj), the last step.
+  const std::string& LookupKey() const { return steps.back().key; }
+
+  std::string ToString() const;
+};
+
+/// Builds the query paths of a pattern, via its key twig: one query path
+/// per root-to-leaf twig path.  Self-axis steps (attribute-value words)
+/// are emitted as child steps, matching how extraction records their data
+/// paths.
+std::vector<QueryPath> BuildQueryPaths(const KeyTwig& twig);
+
+/// True if the stored data path (e.g. "/esite/eitem/ename") matches the
+/// query path.  Semantics: the first step anchors at the document root
+/// when its axis is kChild, anywhere otherwise; child steps must be
+/// consecutive; the last query step must be the *last* data component
+/// (data paths for key k always end with k).
+bool PathMatches(const QueryPath& query, std::string_view data_path);
+
+/// Same, over pre-split unescaped components (avoids re-splitting when a
+/// caller checks one data path against many query paths).
+bool PathMatches(const QueryPath& query,
+                 const std::vector<std::string>& data_components);
+
+}  // namespace webdex::index
+
+#endif  // WEBDEX_INDEX_PATH_MATCH_H_

@@ -1,0 +1,578 @@
+#include "index/strategy.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "index/key_twig.h"
+#include "index/keys.h"
+#include "index/path_match.h"
+#include "index/twig_join.h"
+
+namespace webdex::index {
+
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kLU:
+      return "LU";
+    case StrategyKind::kLUP:
+      return "LUP";
+    case StrategyKind::kLUI:
+      return "LUI";
+    case StrategyKind::k2LUPI:
+      return "2LUPI";
+  }
+  return "?";
+}
+
+const std::vector<StrategyKind>& AllStrategyKinds() {
+  static const std::vector<StrategyKind>* kinds =
+      new std::vector<StrategyKind>{StrategyKind::kLU, StrategyKind::kLUP,
+                                    StrategyKind::kLUI,
+                                    StrategyKind::k2LUPI};
+  return *kinds;
+}
+
+LookupStats& LookupStats::operator+=(const LookupStats& o) {
+  keys_looked_up += o.keys_looked_up;
+  items_fetched += o.items_fetched;
+  bytes_fetched += o.bytes_fetched;
+  uri_merge_ops += o.uri_merge_ops;
+  paths_tested += o.paths_tested;
+  twig_id_ops += o.twig_id_ops;
+  return *this;
+}
+
+namespace {
+
+using cloud::Item;
+using cloud::KvStore;
+
+// ---------------------------------------------------------------------------
+// Item building (shared by all strategies)
+// ---------------------------------------------------------------------------
+
+/// Packs the (key, URI, values) entry into as few items as the store's
+/// limits allow.  Every item gets a fresh client-side UUID range key so
+/// concurrent loaders can write the same hash key without clobbering each
+/// other (Section 6).
+Result<std::vector<Item>> BuildEntryItems(const KvStore& store, Rng& rng,
+                                          const std::string& key,
+                                          const std::string& uri,
+                                          const std::vector<std::string>& values) {
+  std::vector<Item> items;
+  const uint64_t fixed = key.size() + 36 /*uuid*/ + uri.size();
+  const uint64_t max_item = store.MaxItemBytes();
+  if (fixed + 64 > max_item) {
+    return Status::InvalidArgument("index key too large for store: " + key);
+  }
+  Item current{key, rng.NextUuid(), {}};
+  uint64_t current_bytes = fixed;
+  uint64_t current_values = 0;
+  auto flush = [&]() {
+    if (current_values > 0) {
+      items.push_back(std::move(current));
+      current = Item{key, rng.NextUuid(), {}};
+      current_bytes = fixed;
+      current_values = 0;
+    }
+  };
+  for (const std::string& value : values) {
+    if (value.size() > store.MaxValueBytes()) {
+      return Status::InvalidArgument(
+          StrFormat("value of %zu bytes exceeds the store's %llu-byte "
+                    "value limit (key %s)",
+                    value.size(),
+                    static_cast<unsigned long long>(store.MaxValueBytes()),
+                    key.c_str()));
+    }
+    if (current_values + 1 > store.MaxValuesPerItem() ||
+        current_bytes + value.size() > max_item) {
+      flush();
+    }
+    current.attrs[uri].push_back(value);
+    current_bytes += value.size();
+    current_values += 1;
+  }
+  flush();
+  return items;
+}
+
+/// Splits a document's sorted ID list into encoded blobs that respect the
+/// store's value-size limit (with hex armouring for text-only stores).
+std::vector<std::string> EncodeIdChunks(const KvStore& store,
+                                        const std::vector<xml::NodeId>& ids) {
+  const bool binary = store.SupportsBinaryValues();
+  // Hex armouring doubles the encoded size.
+  const uint64_t limit =
+      binary ? store.MaxValueBytes() : store.MaxValueBytes() / 2;
+  std::vector<std::string> chunks;
+  std::string blob;
+  for (const auto& id : ids) {
+    std::string encoded = EncodeIds({id});
+    if (!blob.empty() && blob.size() + encoded.size() > limit) {
+      chunks.push_back(binary ? blob : HexArmour(blob));
+      blob.clear();
+    }
+    blob += encoded;
+  }
+  if (!blob.empty()) chunks.push_back(binary ? blob : HexArmour(blob));
+  return chunks;
+}
+
+/// Front-codes a sorted path list into blobs that respect the store's
+/// value-size limit (Section 8.5 extension).  Each chunk restarts the
+/// front coding so chunks decode independently.
+std::vector<std::string> EncodePathChunks(
+    const KvStore& store, const std::vector<std::string>& paths) {
+  const bool binary = store.SupportsBinaryValues();
+  const uint64_t limit =
+      binary ? store.MaxValueBytes() : store.MaxValueBytes() / 2;
+  std::vector<std::string> chunks;
+  std::vector<std::string> group;
+  uint64_t group_bytes = 0;
+  auto flush = [&]() {
+    if (group.empty()) return;
+    const std::string blob = EncodePaths(group);
+    chunks.push_back(binary ? blob : HexArmour(blob));
+    group.clear();
+    group_bytes = 0;
+  };
+  for (const auto& path : paths) {
+    // Worst case the path is stored in full plus two varints.
+    if (!group.empty() && group_bytes + path.size() + 10 > limit) flush();
+    group_bytes += path.size() + 10;
+    group.push_back(path);
+  }
+  flush();
+  return chunks;
+}
+
+// ---------------------------------------------------------------------------
+// Fetch + merge (shared look-up front end)
+// ---------------------------------------------------------------------------
+
+/// Merged view of everything the index holds for a set of keys:
+/// key -> URI -> concatenated attribute values.
+using FetchedEntries =
+    std::map<std::string, std::map<std::string, std::vector<std::string>>>;
+
+Result<FetchedEntries> FetchEntries(cloud::SimAgent& agent, KvStore& store,
+                                    const std::string& table,
+                                    const std::vector<std::string>& keys,
+                                    LookupStats* stats) {
+  FetchedEntries merged;
+  auto fetched = store.BatchGet(agent, table, keys);
+  if (!fetched.ok()) return fetched.status();
+  stats->keys_looked_up += keys.size();
+  for (const Item& item : fetched.value()) {
+    stats->items_fetched += 1;
+    stats->bytes_fetched += item.SizeBytes();
+    auto& per_uri = merged[item.hash_key];
+    for (const auto& [uri, values] : item.attrs) {
+      auto& dst = per_uri[uri];
+      dst.insert(dst.end(), values.begin(), values.end());
+    }
+  }
+  return merged;
+}
+
+std::vector<std::string> SortedUris(const std::set<std::string>& uris) {
+  return {uris.begin(), uris.end()};
+}
+
+/// Intersects URI sets across all `keys` of `entries` (the LU merge).
+std::set<std::string> IntersectUris(const FetchedEntries& entries,
+                                    const std::vector<std::string>& keys,
+                                    LookupStats* stats) {
+  std::set<std::string> result;
+  bool first = true;
+  for (const std::string& key : keys) {
+    auto it = entries.find(key);
+    if (it == entries.end()) return {};
+    std::set<std::string> uris;
+    for (const auto& [uri, values] : it->second) {
+      (void)values;
+      uris.insert(uri);
+    }
+    stats->uri_merge_ops += uris.size();
+    if (first) {
+      result = std::move(uris);
+      first = false;
+    } else {
+      std::set<std::string> next;
+      std::set_intersection(result.begin(), result.end(), uris.begin(),
+                            uris.end(), std::inserter(next, next.begin()));
+      result = std::move(next);
+    }
+    if (result.empty()) return {};
+  }
+  return result;
+}
+
+/// The LUP look-up core (also 2LUPI's first phase): intersects, over all
+/// query paths, the URIs having a matching stored data path.
+Result<std::set<std::string>> LookupByPaths(cloud::SimAgent& agent,
+                                            KvStore& store,
+                                            const std::string& table,
+                                            const KeyTwig& twig,
+                                            const ExtractOptions& options,
+                                            LookupStats* stats) {
+  const std::vector<QueryPath> query_paths = BuildQueryPaths(twig);
+  std::vector<std::string> lookup_keys;
+  for (const auto& path : query_paths) {
+    if (std::find(lookup_keys.begin(), lookup_keys.end(),
+                  path.LookupKey()) == lookup_keys.end()) {
+      lookup_keys.push_back(path.LookupKey());
+    }
+  }
+  WEBDEX_ASSIGN_OR_RETURN(
+      FetchedEntries entries,
+      FetchEntries(agent, store, table, lookup_keys, stats));
+
+  std::set<std::string> result;
+  bool first = true;
+  for (const QueryPath& query_path : query_paths) {
+    auto it = entries.find(query_path.LookupKey());
+    if (it == entries.end()) return std::set<std::string>{};
+    std::set<std::string> uris;
+    for (const auto& [uri, values] : it->second) {
+      // Values are either plain paths or front-coded path blobs,
+      // depending on how the index was built.
+      bool matched = false;
+      for (const std::string& value : values) {
+        if (matched) break;
+        if (options.compress_paths) {
+          std::string raw = value;
+          if (!store.SupportsBinaryValues()) {
+            WEBDEX_ASSIGN_OR_RETURN(raw, HexDearmour(value));
+          }
+          WEBDEX_ASSIGN_OR_RETURN(std::vector<std::string> data_paths,
+                                  DecodePaths(raw));
+          for (const std::string& data_path : data_paths) {
+            stats->paths_tested += 1;
+            if (PathMatches(query_path, data_path)) {
+              matched = true;
+              break;
+            }
+          }
+        } else {
+          stats->paths_tested += 1;
+          if (PathMatches(query_path, value)) matched = true;
+        }
+      }
+      if (matched) uris.insert(uri);
+    }
+    stats->uri_merge_ops += uris.size();
+    if (first) {
+      result = std::move(uris);
+      first = false;
+    } else {
+      std::set<std::string> next;
+      std::set_intersection(result.begin(), result.end(), uris.begin(),
+                            uris.end(), std::inserter(next, next.begin()));
+      result = std::move(next);
+    }
+    if (result.empty()) return std::set<std::string>{};
+  }
+  return result;
+}
+
+/// The LUI look-up core (also 2LUPI's second phase): decodes per-URI ID
+/// lists and runs the holistic twig join.  When `restrict_to` is
+/// non-null, URIs outside it are skipped — the 2LUPI semijoin reduction
+/// of Figure 5.
+Result<std::set<std::string>> LookupByIds(
+    cloud::SimAgent& agent, KvStore& store, const std::string& table,
+    const KeyTwig& twig, const std::set<std::string>* restrict_to,
+    LookupStats* stats) {
+  const std::vector<std::string> keys = twig.DistinctKeys();
+  WEBDEX_ASSIGN_OR_RETURN(FetchedEntries entries,
+                          FetchEntries(agent, store, table, keys, stats));
+
+  // Candidate URIs: those present for every key (any absent key ->
+  // document cannot embed the twig), further reduced by `restrict_to`.
+  std::set<std::string> candidates = IntersectUris(entries, keys, stats);
+  if (restrict_to != nullptr) {
+    std::set<std::string> reduced;
+    std::set_intersection(candidates.begin(), candidates.end(),
+                          restrict_to->begin(), restrict_to->end(),
+                          std::inserter(reduced, reduced.begin()));
+    stats->uri_merge_ops += candidates.size();
+    candidates = std::move(reduced);
+  }
+
+  // Decode ID lists per (key, URI).
+  const bool binary = store.SupportsBinaryValues();
+  std::map<std::string, std::map<std::string, std::vector<xml::NodeId>>>
+      ids_by_key_uri;
+  for (const std::string& key : keys) {
+    auto entry_it = entries.find(key);
+    if (entry_it == entries.end()) return std::set<std::string>{};
+    for (const auto& [uri, blobs] : entry_it->second) {
+      if (candidates.count(uri) == 0) continue;
+      std::vector<xml::NodeId> ids;
+      for (const std::string& blob : blobs) {
+        std::string raw = blob;
+        if (!binary) {
+          WEBDEX_ASSIGN_OR_RETURN(raw, HexDearmour(blob));
+        }
+        WEBDEX_ASSIGN_OR_RETURN(std::vector<xml::NodeId> chunk,
+                                DecodeIds(raw));
+        ids.insert(ids.end(), chunk.begin(), chunk.end());
+      }
+      // Single blobs are already sorted by pre (kept sorted at indexing
+      // time, Section 5.3); chunked entries may arrive in any range-key
+      // order, so restore the order chunk-wise.
+      if (blobs.size() > 1) {
+        std::sort(ids.begin(), ids.end());
+        stats->twig_id_ops += ids.size();
+      }
+      ids_by_key_uri[key][uri] = std::move(ids);
+    }
+  }
+
+  // Holistic twig join per candidate document.
+  const std::vector<const TwigNode*> twig_nodes = twig.Nodes();
+  std::set<std::string> result;
+  for (const std::string& uri : candidates) {
+    TwigInputs inputs;
+    bool complete = true;
+    for (const TwigNode* node : twig_nodes) {
+      auto key_it = ids_by_key_uri.find(node->key);
+      if (key_it == ids_by_key_uri.end()) {
+        complete = false;
+        break;
+      }
+      auto uri_it = key_it->second.find(uri);
+      if (uri_it == key_it->second.end() || uri_it->second.empty()) {
+        complete = false;
+        break;
+      }
+      inputs[node] = uri_it->second;
+    }
+    if (!complete) continue;
+    TwigJoinStats twig_stats;
+    const bool matched = TwigMatch(twig, inputs, &twig_stats);
+    stats->twig_id_ops += twig_stats.id_ops;
+    if (matched) result.insert(uri);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// The four strategies
+// ---------------------------------------------------------------------------
+
+class LuStrategy final : public IndexingStrategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::kLU; }
+  std::vector<std::string> TableNames() const override { return {"idx-lu"}; }
+
+  Result<std::vector<TableItems>> ExtractItems(
+      const xml::Document& doc, const ExtractOptions& options,
+      const KvStore& store, Rng& uuid_rng,
+      ExtractStats* stats) const override {
+    const DocIndex index = ExtractDocIndex(doc, options);
+    TableItems out{"idx-lu", {}};
+    for (const auto& [key, entry] : index) {
+      (void)entry;
+      // I_LU(d) = {(key(n), (URI(d), epsilon))} — Table 2.
+      WEBDEX_ASSIGN_OR_RETURN(
+          std::vector<Item> items,
+          BuildEntryItems(store, uuid_rng, key, doc.uri(), {""}));
+      for (auto& item : items) {
+        stats->payload_bytes += item.SizeBytes();
+        out.items.push_back(std::move(item));
+      }
+      stats->entries += 1;
+    }
+    stats->items += out.items.size();
+    std::vector<TableItems> result;
+    result.push_back(std::move(out));
+    return result;
+  }
+
+  Result<std::vector<std::string>> LookupPattern(
+      cloud::SimAgent& agent, KvStore& store,
+      const query::TreePattern& pattern, const ExtractOptions& options,
+      LookupStats* stats) const override {
+    const KeyTwig twig = BuildKeyTwig(pattern, options.include_words);
+    const std::vector<std::string> keys = twig.DistinctKeys();
+    WEBDEX_ASSIGN_OR_RETURN(
+        FetchedEntries entries,
+        FetchEntries(agent, store, "idx-lu", keys, stats));
+    return SortedUris(IntersectUris(entries, keys, stats));
+  }
+};
+
+class LupStrategy final : public IndexingStrategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::kLUP; }
+  std::vector<std::string> TableNames() const override {
+    return {"idx-lup"};
+  }
+
+  Result<std::vector<TableItems>> ExtractItems(
+      const xml::Document& doc, const ExtractOptions& options,
+      const KvStore& store, Rng& uuid_rng,
+      ExtractStats* stats) const override {
+    const DocIndex index = ExtractDocIndex(doc, options);
+    TableItems out{"idx-lup", {}};
+    for (const auto& [key, entry] : index) {
+      // I_LUP(d) = {(key(n), (URI(d), {inPath_1(n) ... inPath_y(n)}))};
+      // optionally front-coded (Section 8.5 extension).
+      WEBDEX_ASSIGN_OR_RETURN(
+          std::vector<Item> items,
+          BuildEntryItems(store, uuid_rng, key, doc.uri(),
+                          options.compress_paths
+                              ? EncodePathChunks(store, entry.paths)
+                              : entry.paths));
+      for (auto& item : items) {
+        stats->payload_bytes += item.SizeBytes();
+        out.items.push_back(std::move(item));
+      }
+      stats->entries += 1;
+    }
+    stats->items += out.items.size();
+    std::vector<TableItems> result;
+    result.push_back(std::move(out));
+    return result;
+  }
+
+  Result<std::vector<std::string>> LookupPattern(
+      cloud::SimAgent& agent, KvStore& store,
+      const query::TreePattern& pattern, const ExtractOptions& options,
+      LookupStats* stats) const override {
+    const KeyTwig twig = BuildKeyTwig(pattern, options.include_words);
+    WEBDEX_ASSIGN_OR_RETURN(
+        std::set<std::string> uris,
+        LookupByPaths(agent, store, "idx-lup", twig, options, stats));
+    return SortedUris(uris);
+  }
+};
+
+class LuiStrategy final : public IndexingStrategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::kLUI; }
+  std::vector<std::string> TableNames() const override {
+    return {"idx-lui"};
+  }
+
+  Result<std::vector<TableItems>> ExtractItems(
+      const xml::Document& doc, const ExtractOptions& options,
+      const KvStore& store, Rng& uuid_rng,
+      ExtractStats* stats) const override {
+    const DocIndex index = ExtractDocIndex(doc, options);
+    TableItems out{"idx-lui", {}};
+    for (const auto& [key, entry] : index) {
+      // I_LUI(d) = {(key(n), (URI(d), id_1(n)‖id_2(n)‖...‖id_z(n)))} with
+      // IDs pre-sorted so the twig join needs no sort (Section 5.3).
+      WEBDEX_ASSIGN_OR_RETURN(
+          std::vector<Item> items,
+          BuildEntryItems(store, uuid_rng, key, doc.uri(),
+                          EncodeIdChunks(store, entry.ids)));
+      for (auto& item : items) {
+        stats->payload_bytes += item.SizeBytes();
+        out.items.push_back(std::move(item));
+      }
+      stats->entries += 1;
+    }
+    stats->items += out.items.size();
+    std::vector<TableItems> result;
+    result.push_back(std::move(out));
+    return result;
+  }
+
+  Result<std::vector<std::string>> LookupPattern(
+      cloud::SimAgent& agent, KvStore& store,
+      const query::TreePattern& pattern, const ExtractOptions& options,
+      LookupStats* stats) const override {
+    const KeyTwig twig = BuildKeyTwig(pattern, options.include_words);
+    WEBDEX_ASSIGN_OR_RETURN(
+        std::set<std::string> uris,
+        LookupByIds(agent, store, "idx-lui", twig, nullptr, stats));
+    return SortedUris(uris);
+  }
+};
+
+class TwoLupiStrategy final : public IndexingStrategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::k2LUPI; }
+  std::vector<std::string> TableNames() const override {
+    return {"idx-2lupi-paths", "idx-2lupi-ids"};
+  }
+
+  Result<std::vector<TableItems>> ExtractItems(
+      const xml::Document& doc, const ExtractOptions& options,
+      const KvStore& store, Rng& uuid_rng,
+      ExtractStats* stats) const override {
+    const DocIndex index = ExtractDocIndex(doc, options);
+    TableItems paths_out{"idx-2lupi-paths", {}};
+    TableItems ids_out{"idx-2lupi-ids", {}};
+    for (const auto& [key, entry] : index) {
+      WEBDEX_ASSIGN_OR_RETURN(
+          std::vector<Item> path_items,
+          BuildEntryItems(store, uuid_rng, key, doc.uri(),
+                          options.compress_paths
+                              ? EncodePathChunks(store, entry.paths)
+                              : entry.paths));
+      for (auto& item : path_items) {
+        stats->payload_bytes += item.SizeBytes();
+        paths_out.items.push_back(std::move(item));
+      }
+      WEBDEX_ASSIGN_OR_RETURN(
+          std::vector<Item> id_items,
+          BuildEntryItems(store, uuid_rng, key, doc.uri(),
+                          EncodeIdChunks(store, entry.ids)));
+      for (auto& item : id_items) {
+        stats->payload_bytes += item.SizeBytes();
+        ids_out.items.push_back(std::move(item));
+      }
+      stats->entries += 1;
+    }
+    stats->items += paths_out.items.size() + ids_out.items.size();
+    std::vector<TableItems> result;
+    result.push_back(std::move(paths_out));
+    result.push_back(std::move(ids_out));
+    return result;
+  }
+
+  Result<std::vector<std::string>> LookupPattern(
+      cloud::SimAgent& agent, KvStore& store,
+      const query::TreePattern& pattern, const ExtractOptions& options,
+      LookupStats* stats) const override {
+    const KeyTwig twig = BuildKeyTwig(pattern, options.include_words);
+    // Phase 1 (Figure 5, left): path look-up -> R1(URI).
+    WEBDEX_ASSIGN_OR_RETURN(
+        std::set<std::string> r1,
+        LookupByPaths(agent, store, "idx-2lupi-paths", twig, options,
+                      stats));
+    if (r1.empty()) return std::vector<std::string>{};
+    // Phase 2: ID look-up semijoin-reduced by R1, then holistic twig join.
+    WEBDEX_ASSIGN_OR_RETURN(
+        std::set<std::string> uris,
+        LookupByIds(agent, store, "idx-2lupi-ids", twig, &r1, stats));
+    return SortedUris(uris);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<IndexingStrategy> IndexingStrategy::Create(
+    StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kLU:
+      return std::make_unique<LuStrategy>();
+    case StrategyKind::kLUP:
+      return std::make_unique<LupStrategy>();
+    case StrategyKind::kLUI:
+      return std::make_unique<LuiStrategy>();
+    case StrategyKind::k2LUPI:
+      return std::make_unique<TwoLupiStrategy>();
+  }
+  return nullptr;
+}
+
+}  // namespace webdex::index

@@ -1,0 +1,116 @@
+#include "index/summary.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "index/key_twig.h"
+#include "index/keys.h"
+
+namespace webdex::index {
+
+void PathSummary::AddDocument(const DocIndex& index) {
+  documents_ += 1;
+  for (const auto& [key, entry] : index) {
+    docs_per_key_[key] += 1;
+    for (const auto& path : entry.paths) {
+      auto [it, inserted] = docs_per_path_.try_emplace(path, 0);
+      it->second += 1;
+      if (inserted) {
+        const auto components = SplitPath(path);
+        if (!components.empty()) {
+          paths_by_last_key_[components.back()].push_back(path);
+        }
+      }
+    }
+  }
+}
+
+uint64_t PathSummary::DocsWithKey(const std::string& key) const {
+  auto it = docs_per_key_.find(key);
+  return it == docs_per_key_.end() ? 0 : it->second;
+}
+
+uint64_t PathSummary::DocsMatchingPath(const QueryPath& path) const {
+  auto it = paths_by_last_key_.find(path.LookupKey());
+  if (it == paths_by_last_key_.end()) return 0;
+  // Distinct data paths are disjoint *path* shapes but one document may
+  // carry several; summing their document counts is an upper bound,
+  // capped at the corpus size.
+  uint64_t total = 0;
+  for (const auto& data_path : it->second) {
+    if (PathMatches(path, data_path)) {
+      total += docs_per_path_.at(data_path);
+    }
+  }
+  return std::min(total, documents_);
+}
+
+uint64_t PathSummary::EstimateLuDocs(
+    const query::TreePattern& pattern) const {
+  const KeyTwig twig = BuildKeyTwig(pattern);
+  uint64_t estimate = documents_;
+  for (const auto& key : twig.DistinctKeys()) {
+    estimate = std::min(estimate, DocsWithKey(key));
+  }
+  return estimate;
+}
+
+uint64_t PathSummary::EstimateLupDocs(
+    const query::TreePattern& pattern) const {
+  const KeyTwig twig = BuildKeyTwig(pattern);
+  uint64_t estimate = documents_;
+  for (const auto& path : BuildQueryPaths(twig)) {
+    estimate = std::min(estimate, DocsMatchingPath(path));
+  }
+  return estimate;
+}
+
+double PathSummary::EstimateIndependentCombination(
+    const query::TreePattern& pattern) const {
+  if (documents_ == 0) return 0;
+  const KeyTwig twig = BuildKeyTwig(pattern);
+  double expected = static_cast<double>(documents_);
+  for (const auto& path : BuildQueryPaths(twig)) {
+    expected *= static_cast<double>(DocsMatchingPath(path)) /
+                static_cast<double>(documents_);
+  }
+  return expected;
+}
+
+PathSummary::Advice PathSummary::AdviseLookup(
+    const query::TreePattern& pattern) const {
+  Advice advice;
+  const KeyTwig twig = BuildKeyTwig(pattern);
+  const auto query_paths = BuildQueryPaths(twig);
+  if (query_paths.size() < 2) {
+    advice.lookup = StrategyKind::kLUP;
+    advice.reason = "single-branch pattern: LUP path matching is exact";
+    return advice;
+  }
+  const uint64_t lup = EstimateLupDocs(pattern);
+  const double combined = EstimateIndependentCombination(pattern);
+  const double lup_fraction =
+      documents_ == 0 ? 0
+                      : static_cast<double>(lup) /
+                            static_cast<double>(documents_);
+  // Section 8.5: LUI wins when every linear branch is common (the LUP
+  // pre-filter keeps many documents) yet the branches rarely co-occur
+  // (only the structural join prunes them).
+  if (lup_fraction > 0.15 && combined < 0.75 * static_cast<double>(lup)) {
+    advice.lookup = StrategyKind::kLUI;
+    advice.reason = StrFormat(
+        "multi-branch pattern: linear paths each match ~%.0f%% of "
+        "documents but are expected to co-occur in only ~%.1f%%; the "
+        "holistic twig join prunes what path matching cannot",
+        lup_fraction * 100.0,
+        documents_ == 0 ? 0 : combined * 100.0 / documents_);
+    return advice;
+  }
+  advice.lookup = StrategyKind::kLUP;
+  advice.reason = StrFormat(
+      "path matching already narrows to ~%.1f%% of documents",
+      lup_fraction * 100.0);
+  return advice;
+}
+
+}  // namespace webdex::index

@@ -1,0 +1,81 @@
+#ifndef WEBDEX_INDEX_SUMMARY_H_
+#define WEBDEX_INDEX_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index/entry.h"
+#include "index/path_match.h"
+#include "index/strategy.h"
+#include "query/tree_pattern.h"
+
+namespace webdex::index {
+
+/// DataGuide-style corpus summary: every distinct root-to-node label
+/// path and every index key, with the number of documents containing
+/// each.  This is the "data summaries and some statistical information"
+/// of paper Section 8.5, with which the cases where LUI / 2LUPI look-ups
+/// beat LUP "can be statically detected".
+///
+/// The summary is tiny compared to the index (distinct paths, not
+/// per-document entries) and is built incrementally as documents are
+/// indexed.
+class PathSummary {
+ public:
+  /// Accounts one document's extracted index (each distinct path/key of
+  /// the document counts once).
+  void AddDocument(const DocIndex& index);
+
+  uint64_t documents() const { return documents_; }
+  uint64_t distinct_paths() const { return docs_per_path_.size(); }
+
+  /// Documents containing at least one occurrence of `key` (0 if never
+  /// seen).
+  uint64_t DocsWithKey(const std::string& key) const;
+
+  /// Documents containing a data path matching the query path — an
+  /// upper-bound estimate of one linear branch's selectivity.
+  uint64_t DocsMatchingPath(const QueryPath& path) const;
+
+  /// Estimated documents an LU look-up would retrieve for the pattern
+  /// (upper bound: the rarest key's document count).
+  uint64_t EstimateLuDocs(const query::TreePattern& pattern) const;
+
+  /// Estimated documents an LUP look-up would retrieve (upper bound:
+  /// the rarest query path's document count).
+  uint64_t EstimateLupDocs(const query::TreePattern& pattern) const;
+
+  /// Expected documents under branch independence: |D| x prod_i (docs
+  /// matching branch i / |D|).  When this is far below the LUP estimate,
+  /// the branches co-occur rarely and only a structural join can prune.
+  double EstimateIndependentCombination(
+      const query::TreePattern& pattern) const;
+
+  struct Advice {
+    /// kLUP or kLUI — which look-up the statistics favour for this
+    /// pattern (2LUPI behaves like LUI with extra pre-filtering).
+    StrategyKind lookup = StrategyKind::kLUP;
+    std::string reason;
+  };
+
+  /// The paper's Section 8.5 criterion, made executable: favour LUI when
+  /// the pattern is multi-branched, its individual linear paths are
+  /// common, and their expected co-occurrence is far rarer — i.e. "most
+  /// of the documents only match linear paths of the query".  Favour LUP
+  /// otherwise (the paper's measured default winner).
+  Advice AdviseLookup(const query::TreePattern& pattern) const;
+
+ private:
+  uint64_t documents_ = 0;
+  std::map<std::string, uint64_t> docs_per_path_;
+  std::map<std::string, uint64_t> docs_per_key_;
+  /// lookup key (last path component) -> distinct data paths ending in
+  /// it, for DocsMatchingPath without a full scan.
+  std::map<std::string, std::vector<std::string>> paths_by_last_key_;
+};
+
+}  // namespace webdex::index
+
+#endif  // WEBDEX_INDEX_SUMMARY_H_

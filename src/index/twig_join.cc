@@ -1,0 +1,88 @@
+#include "index/twig_join.h"
+
+#include <algorithm>
+
+namespace webdex::index {
+namespace {
+
+using xml::NodeId;
+
+// Satisfying IDs for the subtree rooted at `node`, bottom-up.
+std::vector<NodeId> Satisfy(const TwigNode& node, const TwigInputs& inputs,
+                            TwigJoinStats* stats) {
+  auto it = inputs.find(&node);
+  if (it == inputs.end() || it->second.empty()) return {};
+  const std::vector<NodeId>& own = it->second;
+
+  // Leaves satisfy unconditionally.
+  if (node.children.empty()) return own;
+
+  // Children's satisfying sets first; any empty set kills the subtree.
+  std::vector<std::vector<NodeId>> child_sat;
+  child_sat.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    child_sat.push_back(Satisfy(*child, inputs, stats));
+    if (child_sat.back().empty()) return {};
+  }
+
+  std::vector<NodeId> result;
+  for (const NodeId& p : own) {
+    bool all_children_ok = true;
+    for (size_t c = 0; c < node.children.size(); ++c) {
+      const TwigAxis axis = node.children[c]->axis;
+      const std::vector<NodeId>& candidates = child_sat[c];
+      bool found = false;
+      if (axis == TwigAxis::kSelf) {
+        // Word of an attribute value: identical structural position.
+        stats->id_ops += 1;
+        found = std::binary_search(
+            candidates.begin(), candidates.end(), p,
+            [](const NodeId& a, const NodeId& b) { return a.pre < b.pre; });
+      } else {
+        // Descendants of p form a contiguous run in the pre-sorted list:
+        // it starts at the first ID with pre > p.pre and ends before the
+        // first ID with post > p.post.
+        auto lo = std::upper_bound(
+            candidates.begin(), candidates.end(), p,
+            [](const NodeId& a, const NodeId& b) { return a.pre < b.pre; });
+        for (auto iter = lo; iter != candidates.end(); ++iter) {
+          stats->id_ops += 1;
+          if (iter->post > p.post) break;  // past the subtree
+          if (axis == TwigAxis::kChild) {
+            if (iter->depth == p.depth + 1) {
+              found = true;
+              break;
+            }
+          } else {  // kDescendant
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) {
+        all_children_ok = false;
+        break;
+      }
+    }
+    if (all_children_ok) result.push_back(p);
+    stats->id_ops += 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<NodeId> TwigSatisfyingRootIds(const KeyTwig& twig,
+                                          const TwigInputs& inputs,
+                                          TwigJoinStats* stats) {
+  TwigJoinStats local;
+  auto result = Satisfy(*twig.root, inputs, stats != nullptr ? stats : &local);
+  return result;
+}
+
+bool TwigMatch(const KeyTwig& twig, const TwigInputs& inputs,
+               TwigJoinStats* stats) {
+  return !TwigSatisfyingRootIds(twig, inputs, stats).empty();
+}
+
+}  // namespace webdex::index

@@ -1,0 +1,49 @@
+#ifndef WEBDEX_INDEX_TWIG_JOIN_H_
+#define WEBDEX_INDEX_TWIG_JOIN_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "index/key_twig.h"
+#include "xml/dom.h"
+
+namespace webdex::index {
+
+struct TwigJoinStats {
+  /// Structural-ID comparisons / advances performed (work accounting).
+  uint64_t id_ops = 0;
+};
+
+/// Per-twig-node candidate lists for one document: the structural IDs the
+/// index returned for each twig node's key, sorted by pre.  A missing or
+/// empty list means the document cannot match.
+using TwigInputs = std::map<const TwigNode*, std::vector<xml::NodeId>>;
+
+/// Holistic structural twig matching over sorted (pre, post, depth)
+/// streams, in the spirit of the holistic twig join of Bruno, Koudas &
+/// Srivastava [7] that the paper's LUI / 2LUPI look-ups use (Sections
+/// 5.3-5.4).
+///
+/// Bottom-up pass: a candidate ID *satisfies* a twig node if, for every
+/// twig child, some satisfying child ID stands in the required structural
+/// relation (child / descendant / self).  Because each input list is
+/// sorted by pre, the descendants of a candidate occupy one contiguous
+/// run of the child list (pre in (p.pre, ...) while post < p.post), found
+/// by binary search and bounded scan — no per-document sort is needed,
+/// which is exactly why LUI keeps IDs sorted at indexing time.
+///
+/// Returns true if the document contains at least one full embedding of
+/// the twig (the look-up only needs document selection, not tuples).
+bool TwigMatch(const KeyTwig& twig, const TwigInputs& inputs,
+               TwigJoinStats* stats);
+
+/// Computes the satisfying IDs of the twig root (exposed for tests and
+/// for callers that want match positions).
+std::vector<xml::NodeId> TwigSatisfyingRootIds(const KeyTwig& twig,
+                                               const TwigInputs& inputs,
+                                               TwigJoinStats* stats);
+
+}  // namespace webdex::index
+
+#endif  // WEBDEX_INDEX_TWIG_JOIN_H_

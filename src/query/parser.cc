@@ -1,0 +1,295 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/strings.h"
+
+namespace webdex::query {
+namespace {
+
+class QueryParser {
+ public:
+  explicit QueryParser(std::string_view text) : text_(text) {}
+
+  Result<Query> Parse() {
+    std::vector<TreePattern> patterns;
+    for (;;) {
+      WEBDEX_ASSIGN_OR_RETURN(std::unique_ptr<PatternNode> root, ParseStep());
+      patterns.emplace_back(std::move(root));
+      SkipSpace();
+      if (!Consume(';')) break;
+    }
+    std::vector<ValueJoin> joins;
+    SkipSpace();
+    if (ConsumeWord("where")) {
+      for (;;) {
+        WEBDEX_ASSIGN_OR_RETURN(ValueJoin join, ParseJoin(patterns));
+        joins.push_back(join);
+        SkipSpace();
+        if (!Consume(',')) break;
+      }
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    // Validate join tags are exhausted (every tag used exactly twice).
+    for (const auto& [tag, uses] : join_tags_) {
+      if (uses.size() != 2) {
+        return Status::InvalidArgument(
+            StrFormat("join tag #%s must appear in exactly one 'where' "
+                      "clause linking two nodes",
+                      tag.c_str()));
+      }
+    }
+    return Query(std::move(patterns), std::move(joins));
+  }
+
+ private:
+  Status Error(std::string_view message) const {
+    return Status::InvalidArgument(
+        StrFormat("query parse error at offset %zu: %.*s", pos_,
+                  static_cast<int>(message.size()), message.data()));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  bool Consume(char c) {
+    if (!AtEnd() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+  // Consumes `word` only if followed by a non-name character.
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    const size_t after = pos_ + word.size();
+    if (after < text_.size() && (std::isalnum(static_cast<unsigned char>(
+                                     text_[after])) ||
+                                 text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+  void SkipSpace() {
+    while (!AtEnd() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Error("expected a name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseLiteral() {
+    SkipSpace();
+    if (Consume('\'')) {
+      const size_t start = pos_;
+      while (!AtEnd() && Peek() != '\'') ++pos_;
+      if (AtEnd()) return Error("unterminated string literal");
+      std::string value(text_.substr(start, pos_ - start));
+      ++pos_;
+      return value;
+    }
+    return ParseName();
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a number");
+    return std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+  }
+
+  Result<Axis> ParseAxis(bool required, Axis fallback) {
+    SkipSpace();
+    if (ConsumeLiteral("//")) return Axis::kDescendant;
+    if (Consume('/')) return Axis::kChild;
+    if (required) return Error("expected '/' or '//'");
+    return fallback;
+  }
+
+  /// step := axis? node (with '//' default at pattern roots)
+  Result<std::unique_ptr<PatternNode>> ParseStep() {
+    WEBDEX_ASSIGN_OR_RETURN(
+        Axis axis, ParseAxis(/*required=*/false, Axis::kDescendant));
+    return ParseNode(axis);
+  }
+
+  Result<std::unique_ptr<PatternNode>> ParseNode(Axis axis) {
+    SkipSpace();
+    auto node = std::make_unique<PatternNode>();
+    node->axis = axis;
+    node->is_attribute = Consume('@');
+    WEBDEX_ASSIGN_OR_RETURN(node->label, ParseName());
+
+    // Markers: :val, :cont, #tag — in any order, repeatable.
+    for (;;) {
+      if (ConsumeLiteral(":val")) {
+        node->want_val = true;
+        continue;
+      }
+      if (ConsumeLiteral(":cont")) {
+        node->want_cont = true;
+        continue;
+      }
+      if (Consume('#')) {
+        WEBDEX_ASSIGN_OR_RETURN(node->join_tag, ParseName());
+        join_tags_[node->join_tag].push_back(node.get());
+        continue;
+      }
+      break;
+    }
+
+    // Predicate.
+    SkipSpace();
+    if (Consume('=')) {
+      node->predicate.kind = PredicateKind::kEquals;
+      WEBDEX_ASSIGN_OR_RETURN(node->predicate.constant, ParseLiteral());
+    } else if (Consume('~')) {
+      node->predicate.kind = PredicateKind::kContains;
+      WEBDEX_ASSIGN_OR_RETURN(node->predicate.constant, ParseLiteral());
+    } else {
+      const size_t before = pos_;
+      SkipSpace();
+      if (ConsumeWord("in")) {
+        SkipSpace();
+        bool lo_inclusive;
+        if (Consume('[')) {
+          lo_inclusive = true;
+        } else if (Consume('(')) {
+          lo_inclusive = false;
+        } else {
+          return Error("expected '[' or '(' after 'in'");
+        }
+        node->predicate.kind = PredicateKind::kRange;
+        node->predicate.lo_inclusive = lo_inclusive;
+        WEBDEX_ASSIGN_OR_RETURN(node->predicate.lo, ParseNumber());
+        SkipSpace();
+        if (!Consume(',')) return Error("expected ',' in range");
+        WEBDEX_ASSIGN_OR_RETURN(node->predicate.hi, ParseNumber());
+        SkipSpace();
+        if (Consume(']')) {
+          node->predicate.hi_inclusive = true;
+        } else if (Consume(')')) {
+          node->predicate.hi_inclusive = false;
+        } else {
+          return Error("expected ']' or ')' closing range");
+        }
+        if (node->predicate.lo > node->predicate.hi) {
+          return Error("range lower bound exceeds upper bound");
+        }
+      } else {
+        pos_ = before;
+      }
+    }
+
+    // Tail: optional bracketed children, then an optional linear path
+    // continuation — so both //g[/v='2', /n] and //g[/v='2']/n parse
+    // (the latter XPath-style form adds the path as one more child).
+    SkipSpace();
+    if (Consume('[')) {
+      for (;;) {
+        SkipSpace();
+        WEBDEX_ASSIGN_OR_RETURN(Axis child_axis,
+                                ParseAxis(/*required=*/true, Axis::kChild));
+        WEBDEX_ASSIGN_OR_RETURN(std::unique_ptr<PatternNode> child,
+                                ParseNode(child_axis));
+        node->children.push_back(std::move(child));
+        SkipSpace();
+        if (Consume(',')) continue;
+        if (Consume(']')) break;
+        return Error("expected ',' or ']' in child list");
+      }
+    }
+    if (Peek() == '/') {
+      WEBDEX_ASSIGN_OR_RETURN(Axis child_axis,
+                              ParseAxis(/*required=*/true, Axis::kChild));
+      WEBDEX_ASSIGN_OR_RETURN(std::unique_ptr<PatternNode> child,
+                              ParseNode(child_axis));
+      node->children.push_back(std::move(child));
+    }
+    return node;
+  }
+
+  Result<ValueJoin> ParseJoin(const std::vector<TreePattern>& patterns) {
+    SkipSpace();
+    if (!Consume('#')) return Error("expected '#' in join");
+    WEBDEX_ASSIGN_OR_RETURN(std::string left, ParseName());
+    SkipSpace();
+    if (!Consume('=')) return Error("expected '=' in join");
+    SkipSpace();
+    if (!Consume('#')) return Error("expected '#' in join");
+    WEBDEX_ASSIGN_OR_RETURN(std::string right, ParseName());
+
+    auto locate = [&](const std::string& tag,
+                      int* pattern_out) -> Result<int> {
+      auto it = join_tags_.find(tag);
+      if (it == join_tags_.end() || it->second.empty()) {
+        return Status::InvalidArgument("unknown join tag #" + tag);
+      }
+      const PatternNode* target = it->second.front();
+      for (size_t p = 0; p < patterns.size(); ++p) {
+        for (const PatternNode* node : patterns[p].nodes()) {
+          if (node == target) {
+            *pattern_out = static_cast<int>(p);
+            return node->index;
+          }
+        }
+      }
+      return Status::InvalidArgument("join tag #" + tag +
+                                     " not found in any pattern");
+    };
+
+    ValueJoin join;
+    WEBDEX_ASSIGN_OR_RETURN(join.left_node, locate(left, &join.left_pattern));
+    WEBDEX_ASSIGN_OR_RETURN(join.right_node,
+                            locate(right, &join.right_pattern));
+    // Mark both tags as used by one join (the Parse() validation expects
+    // each tag referenced exactly twice overall: once in a pattern, once
+    // here).
+    join_tags_[left].push_back(nullptr);
+    join_tags_[right].push_back(nullptr);
+    return join;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::map<std::string, std::vector<const PatternNode*>> join_tags_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  return QueryParser(text).Parse();
+}
+
+}  // namespace webdex::query

@@ -1,0 +1,40 @@
+#ifndef WEBDEX_QUERY_PARSER_H_
+#define WEBDEX_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/tree_pattern.h"
+
+namespace webdex::query {
+
+/// Parses the compact textual form of the paper's query dialect
+/// (Section 4: value joins over tree patterns).  Grammar:
+///
+///   query     := pattern (';' pattern)* ('where' join (',' join)*)?
+///   pattern   := step
+///   step      := axis? node
+///   axis      := '/' | '//'          (default '//' for the pattern root)
+///   node      := '@'? NAME marker* predicate? tail?
+///   tail      := ('[' step (',' step)* ']')? (axis node ...)?
+///                -- bracketed branches, then optional XPath-style
+///                -- linear continuation: //g[/v='2']/n == //g[/v='2', /n]
+///   marker    := ':val' | ':cont' | '#' NAME        (join tag)
+///   predicate := '=' literal                        (equality)
+///              | '~' literal                        (containment)
+///              | 'in' ('['|'(') number ',' number (']'|')')  (range)
+///   literal   := '\'' chars '\'' | NAME | number
+///
+/// The paper's Figure 2 queries read:
+///   q1: //painting[/name:val, //painter/name:val]
+///   q2: //painting[//description:cont, /year='1854']
+///   q3: //painting[/name~'Lion', //painter/name/last:val]
+///   q4: //painting[/name:val, /painter/name[/last='Manet'],
+///                  /year in(1854,1865]]
+///   q5: //museum[/name:val, /painting/@id#x];
+///       //painting[/@id#y, /painter/name[/last='Delacroix']] where #x=#y
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace webdex::query
+
+#endif  // WEBDEX_QUERY_PARSER_H_

@@ -1,0 +1,132 @@
+#include "query/xquery.h"
+
+#include "common/strings.h"
+
+namespace webdex::query {
+namespace {
+
+std::string VarName(size_t pattern, int node) {
+  return StrFormat("$p%zun%d", pattern, node);
+}
+
+// Escapes a constant for inclusion in an XQuery string literal.
+std::string QuoteLiteral(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void EmitBindings(const PatternNode& node, size_t pattern,
+                  const std::string& parent_expr, bool* first,
+                  std::string* out) {
+  const std::string var = VarName(pattern, node.index);
+  if (!*first) out->append(",\n    ");
+  *first = false;
+  out->append(var);
+  out->append(" in ");
+  out->append(parent_expr);
+  out->append(node.axis == Axis::kChild ? "/" : "//");
+  if (node.is_attribute) out->push_back('@');
+  out->append(node.label);
+  for (const auto& child : node.children) {
+    EmitBindings(*child, pattern, var, first, out);
+  }
+}
+
+void EmitPredicates(const PatternNode& node, size_t pattern,
+                    std::vector<std::string>* conjuncts) {
+  const std::string var = VarName(pattern, node.index);
+  switch (node.predicate.kind) {
+    case PredicateKind::kNone:
+      break;
+    case PredicateKind::kEquals:
+      conjuncts->push_back(StrFormat(
+          "string(%s) = %s", var.c_str(),
+          QuoteLiteral(node.predicate.constant).c_str()));
+      break;
+    case PredicateKind::kContains:
+      conjuncts->push_back(StrFormat(
+          "contains(string(%s), %s)", var.c_str(),
+          QuoteLiteral(node.predicate.constant).c_str()));
+      break;
+    case PredicateKind::kRange:
+      conjuncts->push_back(StrFormat(
+          "number(%s) %s %g and number(%s) %s %g", var.c_str(),
+          node.predicate.lo_inclusive ? "ge" : "gt", node.predicate.lo,
+          var.c_str(), node.predicate.hi_inclusive ? "le" : "lt",
+          node.predicate.hi));
+      break;
+  }
+  for (const auto& child : node.children) {
+    EmitPredicates(*child, pattern, conjuncts);
+  }
+}
+
+}  // namespace
+
+std::string ToXQuery(const Query& query, const std::string& collection) {
+  std::string out = "for ";
+  bool first = true;
+  for (size_t p = 0; p < query.patterns().size(); ++p) {
+    const PatternNode& root = query.patterns()[p].root();
+    // The pattern root binds against the collection; a child-axis root
+    // anchors at the document element (collection()/label), a
+    // descendant-axis root floats (collection()//label).
+    const std::string var = VarName(p, root.index);
+    if (!first) out.append(",\n    ");
+    first = false;
+    out.append(var);
+    out.append(" in collection(");
+    out.append(QuoteLiteral(collection));
+    out.append(")");
+    out.append(root.axis == Axis::kChild ? "/" : "//");
+    if (root.is_attribute) out.push_back('@');
+    out.append(root.label);
+    for (const auto& child : root.children) {
+      EmitBindings(*child, p, var, &first, &out);
+    }
+  }
+
+  std::vector<std::string> conjuncts;
+  for (size_t p = 0; p < query.patterns().size(); ++p) {
+    EmitPredicates(query.patterns()[p].root(), p, &conjuncts);
+  }
+  for (const ValueJoin& join : query.joins()) {
+    conjuncts.push_back(StrFormat(
+        "string(%s) = string(%s)",
+        VarName(static_cast<size_t>(join.left_pattern), join.left_node)
+            .c_str(),
+        VarName(static_cast<size_t>(join.right_pattern), join.right_node)
+            .c_str()));
+  }
+  if (!conjuncts.empty()) {
+    out.append("\nwhere ");
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (i > 0) out.append("\n  and ");
+      out.append(conjuncts[i]);
+    }
+  }
+
+  out.append("\nreturn <row>");
+  for (size_t p = 0; p < query.patterns().size(); ++p) {
+    for (const PatternNode* node : query.patterns()[p].output_nodes()) {
+      const std::string var = VarName(p, node->index);
+      if (node->want_cont) {
+        out.append(StrFormat("<col>{%s}</col>", var.c_str()));
+      } else {
+        out.append(StrFormat("<col>{string(%s)}</col>", var.c_str()));
+      }
+    }
+  }
+  out.append("</row>");
+  return out;
+}
+
+}  // namespace webdex::query

@@ -1,0 +1,36 @@
+#ifndef WEBDEX_QUERY_XQUERY_H_
+#define WEBDEX_QUERY_XQUERY_H_
+
+#include <string>
+
+#include "query/tree_pattern.h"
+
+namespace webdex::query {
+
+/// Renders a query of the paper's dialect as an XQuery FLWOR expression.
+///
+/// Paper Section 4: "The translation to XQuery syntax is pretty
+/// straightforward and we omit it" — this is that translation, spelled
+/// out.  Every pattern node binds one `for` variable walking the
+/// child (`/`) or descendant (`//`) axis from its parent's variable;
+/// value predicates and value joins become `where` conjuncts; `val`
+/// annotations project `string($v)` and `cont` annotations project the
+/// node itself, wrapped in a <row>/<col> result constructor matching
+/// QueryResult::ToXml.
+///
+/// Example — the paper's q3
+///   //painting[/name~'Lion', //painter/name/last:val]
+/// becomes
+///   for $p0n0 in collection("webdex")//painting,
+///       $p0n1 in $p0n0/name,
+///       $p0n2 in $p0n0//painter,
+///       $p0n3 in $p0n2/name,
+///       $p0n4 in $p0n3/last
+///   where contains(string($p0n1), "Lion")
+///   return <row><col>{string($p0n4)}</col></row>
+std::string ToXQuery(const Query& query,
+                     const std::string& collection = "webdex");
+
+}  // namespace webdex::query
+
+#endif  // WEBDEX_QUERY_XQUERY_H_

@@ -1,0 +1,37 @@
+#ifndef WEBDEX_XMARK_PAINTINGS_H_
+#define WEBDEX_XMARK_PAINTINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xmark/xmark_generator.h"
+
+namespace webdex::xmark {
+
+/// Generator for the paper's running example corpus (Figures 2 and 3):
+/// painting documents ("delacroix.xml", "manet.xml", ...) holding
+///   painting(@id, name, painter(name(first, last)), year, description)
+/// and museum documents holding
+///   museum(name, city, painting(@id)*)
+/// whose painting/@id values join against the painting documents —
+/// exactly the shape query q5 needs.
+struct PaintingsConfig {
+  int num_paintings = 40;
+  int num_museums = 6;
+  uint64_t seed = 1863;  // Olympia
+};
+
+/// Returns the two documents of the paper's Figure 3 verbatim
+/// ("delacroix.xml" and "manet.xml"); handy for doc examples and tests.
+std::vector<GeneratedDocument> Figure3Documents();
+
+/// Returns a deterministic corpus per `config`.  Painting #0 is always
+/// Delacroix's "The Lion Hunt" (1854) and painting #1 Manet's "Olympia"
+/// (1863), so the paper's queries q1-q5 all have non-empty answers.
+std::vector<GeneratedDocument> GeneratePaintings(
+    const PaintingsConfig& config = {});
+
+}  // namespace webdex::xmark
+
+#endif  // WEBDEX_XMARK_PAINTINGS_H_

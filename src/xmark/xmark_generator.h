@@ -1,0 +1,80 @@
+#ifndef WEBDEX_XMARK_XMARK_GENERATOR_H_
+#define WEBDEX_XMARK_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "xml/dom.h"
+
+namespace webdex::xmark {
+
+/// Knobs of the synthetic corpus.
+///
+/// The paper's evaluation corpus (Section 8.1) was produced by the XMark
+/// generator's split option (20,000 documents, 40 GB total), then made
+/// heterogeneous: one fraction of documents had their *path structure*
+/// altered (labels preserved), another fraction had normally-compulsory
+/// elements turned optional.  These two mutations are what give the
+/// indexing strategies different selectivities, so we reproduce both.
+struct GeneratorConfig {
+  /// Number of documents in the corpus.
+  int num_documents = 1000;
+  /// Approximate size knob: expected top-level entities (items, people,
+  /// auctions) per document.  ~12 yields documents of roughly 8-10 KB;
+  /// the paper's 2 MB average corresponds to ~2500.
+  int entities_per_document = 12;
+  /// Fraction of documents whose path structure is altered (labels kept).
+  double path_mutation_fraction = 0.2;
+  /// Fraction of documents rendered "more heterogeneous": elements that
+  /// XMark makes compulsory are dropped at random.
+  double optional_mutation_fraction = 0.2;
+  /// Probability that any individual optional element is dropped inside a
+  /// mutated document.
+  double drop_probability = 0.45;
+  /// Split mode, mirroring the XMark generator's split option the paper
+  /// used (Section 8.1): each document is a *fragment* holding a single
+  /// section of the auction site (a region's items, or people, or open /
+  /// closed auctions, or categories) instead of a miniature full site.
+  /// Fragments are what give queries document-level selectivity.
+  bool split_sections = false;
+  uint64_t seed = 20130318;  // EDBT 2013 opening day
+};
+
+/// One generated document, ready for upload to the file store.
+struct GeneratedDocument {
+  std::string uri;   // e.g. "xmark-000042.xml"
+  std::string text;  // serialized XML
+};
+
+/// Generates the XMark-style auction corpus (site / regions / items /
+/// people / open and closed auctions / categories), deterministically
+/// from the config seed.
+class XmarkGenerator {
+ public:
+  explicit XmarkGenerator(const GeneratorConfig& config);
+
+  /// Generates document number `index` (0-based).  Any index can be
+  /// produced independently and reproducibly.
+  GeneratedDocument Generate(int index) const;
+
+  /// Generates the whole corpus.
+  std::vector<GeneratedDocument> GenerateAll() const;
+
+  /// Builds the DOM (with structural IDs) instead of text, for tests.
+  xml::Document GenerateDom(int index) const;
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// The closed vocabulary used for all prose; exposed so workloads can
+  /// pick `contains(word)` constants with known selectivities.
+  static const std::vector<std::string>& Vocabulary();
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace webdex::xmark
+
+#endif  // WEBDEX_XMARK_XMARK_GENERATOR_H_

@@ -1,0 +1,301 @@
+#include "xml/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace webdex::xml {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const ParserOptions& options)
+      : text_(text), options_(options) {}
+
+  Result<std::unique_ptr<Node>> Parse() {
+    SkipProlog();
+    WEBDEX_ASSIGN_OR_RETURN(std::unique_ptr<Node> root, ParseElement());
+    SkipMisc();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after document element");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(std::string_view message) const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::Corruption(
+        StrFormat("XML parse error at line %zu: %.*s", line,
+                  static_cast<int>(message.size()), message.data()));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Consume(char c) {
+    if (!AtEnd() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+  void SkipSpace() {
+    while (!AtEnd() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+    const size_t start = pos_;
+    ++pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // Decodes &amp; &lt; &gt; &apos; &quot; and &#...; references in-place
+  // while accumulating into `out`.
+  Status AppendDecoded(std::string_view raw, std::string* out) {
+    size_t i = 0;
+    while (i < raw.size()) {
+      const char c = raw[i];
+      if (c != '&') {
+        out->push_back(c);
+        ++i;
+        continue;
+      }
+      const size_t semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      const std::string_view name = raw.substr(i + 1, semi - i - 1);
+      if (name == "amp") {
+        out->push_back('&');
+      } else if (name == "lt") {
+        out->push_back('<');
+      } else if (name == "gt") {
+        out->push_back('>');
+      } else if (name == "apos") {
+        out->push_back('\'');
+      } else if (name == "quot") {
+        out->push_back('"');
+      } else if (!name.empty() && name[0] == '#') {
+        long code = 0;
+        if (name.size() > 1 && (name[1] == 'x' || name[1] == 'X')) {
+          code = std::strtol(std::string(name.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(name.substr(1)).c_str(), nullptr, 10);
+        }
+        // Encode as UTF-8.
+        if (code <= 0) return Error("bad character reference");
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Error("unknown entity reference");
+      }
+      i = semi + 1;
+    }
+    return Status::OK();
+  }
+
+  void SkipProlog() {
+    SkipSpace();
+    // XML declaration.
+    if (ConsumeLiteral("<?xml")) {
+      const size_t end = text_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? text_.size() : end + 2;
+    }
+    SkipMisc();
+  }
+
+  // Skips whitespace, comments and processing instructions between
+  // markup.  Returns false on malformed comment (flagged later).
+  void SkipMisc() {
+    for (;;) {
+      SkipSpace();
+      if (ConsumeLiteral("<!--")) {
+        const size_t end = text_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+        continue;
+      }
+      if (text_.substr(pos_, 2) == "<?") {
+        const size_t end = text_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 2;
+        continue;
+      }
+      if (ConsumeLiteral("<!DOCTYPE")) {
+        // Skip to the matching '>' (no internal subset support; '[' fails).
+        while (!AtEnd() && Peek() != '>' && Peek() != '[') ++pos_;
+        if (!AtEnd() && Peek() == '[') {
+          // Internal subsets may define entities we will not expand;
+          // refuse rather than mis-parse.  Recorded as position for error.
+          doctype_subset_ = true;
+          return;
+        }
+        Consume('>');
+        continue;
+      }
+      return;
+    }
+  }
+
+  Result<std::unique_ptr<Node>> ParseElement() {
+    if (doctype_subset_) {
+      return Error("DOCTYPE internal subsets are not supported");
+    }
+    if (++depth_ > options_.max_depth) {
+      return Error("element nesting exceeds the configured max_depth");
+    }
+    const DepthGuard guard(&depth_);
+    if (!Consume('<')) return Error("expected '<'");
+    WEBDEX_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto element = std::make_unique<Node>(NodeKind::kElement, name);
+
+    // Attributes.
+    for (;;) {
+      SkipSpace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Consume('>')) break;
+      if (ConsumeLiteral("/>")) return element;  // empty element
+      WEBDEX_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipSpace();
+      if (!Consume('=')) return Error("expected '=' in attribute");
+      SkipSpace();
+      char quote = 0;
+      if (Consume('"')) {
+        quote = '"';
+      } else if (Consume('\'')) {
+        quote = '\'';
+      } else {
+        return Error("expected quoted attribute value");
+      }
+      const size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Error("unterminated attribute value");
+      std::string value;
+      WEBDEX_RETURN_IF_ERROR(
+          AppendDecoded(text_.substr(start, pos_ - start), &value));
+      ++pos_;  // closing quote
+      element->AddAttribute(std::move(attr_name), std::move(value));
+    }
+
+    // Content.
+    std::string pending_text;
+    auto flush_text = [&]() {
+      if (pending_text.empty()) return;
+      if (!options_.skip_whitespace_text ||
+          !Trim(pending_text).empty()) {
+        element->AddText(std::move(pending_text));
+      }
+      pending_text.clear();
+    };
+
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element: " + name);
+      if (Peek() == '<') {
+        if (ConsumeLiteral("</")) {
+          flush_text();
+          WEBDEX_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+          if (close_name != name) {
+            return Error("mismatched end tag: expected </" + name + ">");
+          }
+          SkipSpace();
+          if (!Consume('>')) return Error("malformed end tag");
+          return element;
+        }
+        if (ConsumeLiteral("<!--")) {
+          const size_t end = text_.find("-->", pos_);
+          if (end == std::string_view::npos) {
+            return Error("unterminated comment");
+          }
+          pos_ = end + 3;
+          continue;
+        }
+        if (ConsumeLiteral("<![CDATA[")) {
+          const size_t end = text_.find("]]>", pos_);
+          if (end == std::string_view::npos) return Error("unterminated CDATA");
+          pending_text.append(text_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+          continue;
+        }
+        if (text_.substr(pos_, 2) == "<?") {
+          const size_t end = text_.find("?>", pos_);
+          if (end == std::string_view::npos) return Error("unterminated PI");
+          pos_ = end + 2;
+          continue;
+        }
+        flush_text();
+        WEBDEX_ASSIGN_OR_RETURN(std::unique_ptr<Node> child, ParseElement());
+        element->AddChild(std::move(child));
+        continue;
+      }
+      const size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') ++pos_;
+      WEBDEX_RETURN_IF_ERROR(
+          AppendDecoded(text_.substr(start, pos_ - start), &pending_text));
+    }
+  }
+
+  // Decrements the live depth when a ParseElement frame unwinds.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(int* depth) : depth_(depth) {}
+    ~DepthGuard() { --*depth_; }
+
+   private:
+    int* depth_;
+  };
+
+  std::string_view text_;
+  ParserOptions options_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  bool doctype_subset_ = false;
+};
+
+}  // namespace
+
+Result<Document> ParseDocument(std::string uri, std::string_view text,
+                               const ParserOptions& options) {
+  Parser parser(text, options);
+  auto root = parser.Parse();
+  if (!root.ok()) return root.status();
+  Document doc(std::move(uri), std::move(root).value(), text.size());
+  doc.AssignIds();
+  return doc;
+}
+
+}  // namespace webdex::xml

@@ -1,0 +1,106 @@
+#include "xml/serializer.h"
+
+namespace webdex::xml {
+namespace {
+
+void SerializeNode(const Node& node, const SerializerOptions& options,
+                   int depth, std::string* out) {
+  if (node.is_text()) {
+    out->append(EscapeText(node.value()));
+    return;
+  }
+  if (node.is_attribute()) {
+    // Attributes are emitted by their parent element; a bare attribute
+    // serializes as name="value" (used when an attribute itself is the
+    // query result).
+    out->append(node.label());
+    out->append("=\"");
+    out->append(EscapeText(node.value()));
+    out->push_back('"');
+    return;
+  }
+  const std::string pad =
+      options.indent ? std::string(static_cast<size_t>(depth) * 2, ' ') : "";
+  if (options.indent && depth > 0) out->push_back('\n');
+  out->append(pad);
+  out->push_back('<');
+  out->append(node.label());
+  bool has_content = false;
+  for (const auto& child : node.children()) {
+    if (child->is_attribute()) {
+      out->push_back(' ');
+      out->append(child->label());
+      out->append("=\"");
+      out->append(EscapeText(child->value()));
+      out->push_back('"');
+    } else {
+      has_content = true;
+    }
+  }
+  if (!has_content) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  bool wrote_child_element = false;
+  for (const auto& child : node.children()) {
+    if (child->is_attribute()) continue;
+    if (child->is_text()) {
+      out->append(EscapeText(child->value()));
+    } else {
+      SerializeNode(*child, options, depth + 1, out);
+      wrote_child_element = true;
+    }
+  }
+  if (options.indent && wrote_child_element) {
+    out->push_back('\n');
+    out->append(pad);
+  }
+  out->append("</");
+  out->append(node.label());
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      case '\'':
+        out.append("&apos;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Serialize(const Node& node, const SerializerOptions& options) {
+  std::string out;
+  SerializeNode(node, options, 0, &out);
+  return out;
+}
+
+std::string Serialize(const Document& doc, const SerializerOptions& options) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  if (options.indent) out.push_back('\n');
+  SerializeNode(doc.root(), options, 0, &out);
+  return out;
+}
+
+}  // namespace webdex::xml

@@ -1,0 +1,24 @@
+#ifndef WEBDEX_XML_TOKENIZER_H_
+#define WEBDEX_XML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webdex::xml {
+
+/// Splits character data into full-text index words: maximal runs of
+/// alphanumeric characters, lowercased.  This is the word granularity of
+/// the `w‖word` keys (paper Section 5) and of the `contains(c)` predicate
+/// (Section 4), which are deliberately consistent with each other so a
+/// containment look-up can be answered from the word index.
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// Lowercases and validates a single word (what a query constant must be
+/// reduced to before index look-up).  Multi-word constants tokenize into
+/// several look-ups.
+std::string NormalizeWord(std::string_view word);
+
+}  // namespace webdex::xml
+
+#endif  // WEBDEX_XML_TOKENIZER_H_

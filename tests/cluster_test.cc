@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "cloud/cluster.h"
+
+namespace webdex::cloud {
+namespace {
+
+const WorkModel kWork;
+
+TEST(InstanceTest, SpecsMatchPaperSection81) {
+  const InstanceSpec large = SpecFor(InstanceType::kLarge);
+  EXPECT_EQ(large.cores, 2);
+  EXPECT_DOUBLE_EQ(large.ecu_per_core, 2.0);
+  EXPECT_DOUBLE_EQ(large.ram_gb, 7.5);
+  const InstanceSpec xlarge = SpecFor(InstanceType::kExtraLarge);
+  EXPECT_EQ(xlarge.cores, 4);
+  EXPECT_DOUBLE_EQ(xlarge.ecu_per_core, 2.0);
+  EXPECT_DOUBLE_EQ(xlarge.ram_gb, 15.0);
+}
+
+TEST(InstanceTest, SerialWorkScalesWithEcuOnly) {
+  Instance large(0, InstanceType::kLarge, &kWork);
+  Instance xlarge(1, InstanceType::kExtraLarge, &kWork);
+  large.ChargeSerialWork(1000);
+  xlarge.ChargeSerialWork(1000);
+  // Same per-core speed: serial work takes the same time on both.
+  EXPECT_EQ(large.now(), xlarge.now());
+  EXPECT_EQ(large.now(), 500);  // 1000 ECU-us at 2 ECU/core
+}
+
+TEST(InstanceTest, ParallelWorkScalesWithCores) {
+  Instance large(0, InstanceType::kLarge, &kWork);
+  Instance xlarge(1, InstanceType::kExtraLarge, &kWork);
+  large.ChargeParallelWork(8000);
+  xlarge.ChargeParallelWork(8000);
+  EXPECT_EQ(large.now(), 2000);   // 8000 / (2 ECU x 2 cores)
+  EXPECT_EQ(xlarge.now(), 1000);  // 8000 / (2 ECU x 4 cores)
+}
+
+TEST(InstanceTest, NegativeWorkIgnored) {
+  Instance inst(0, InstanceType::kLarge, &kWork);
+  inst.ChargeSerialWork(-100);
+  inst.ChargeParallelWork(-100);
+  EXPECT_EQ(inst.now(), 0);
+}
+
+TEST(ClusterTest, RunsTasksOnLeastLoadedInstance) {
+  Cluster cluster(2, InstanceType::kLarge, &kWork);
+  // Tasks of decreasing durations; greedy min-time scheduling should
+  // balance them across the two instances.
+  std::vector<Micros> durations{100, 80, 60, 40, 20, 10};
+  size_t next = 0;
+  const Micros makespan = cluster.RunUntilDrained(
+      [&](Instance& instance) -> WorkerStep {
+        if (next >= durations.size()) return WorkerStep{false, -1};
+        instance.Advance(durations[next++]);
+        return WorkerStep{true, 0};
+      },
+      0);
+  // Optimal-ish packing: {100, 40, 20} vs {80, 60, 10} -> makespan 160.
+  EXPECT_EQ(makespan, 160);
+}
+
+TEST(ClusterTest, SingleInstanceSerializesEverything) {
+  Cluster cluster(1, InstanceType::kLarge, &kWork);
+  int remaining = 5;
+  const Micros makespan = cluster.RunUntilDrained(
+      [&](Instance& instance) -> WorkerStep {
+        if (remaining == 0) return WorkerStep{false, -1};
+        --remaining;
+        instance.Advance(100);
+        return WorkerStep{true, 0};
+      },
+      0);
+  EXPECT_EQ(makespan, 500);
+}
+
+TEST(ClusterTest, EightInstancesBeatOne) {
+  auto run = [](int n) {
+    Cluster cluster(n, InstanceType::kLarge, &kWork);
+    int remaining = 64;
+    return cluster.RunUntilDrained(
+        [&](Instance& instance) -> WorkerStep {
+          if (remaining == 0) return WorkerStep{false, -1};
+          --remaining;
+          instance.Advance(1000);
+          return WorkerStep{true, 0};
+        },
+        0);
+  };
+  EXPECT_EQ(run(1), 64'000);
+  EXPECT_EQ(run(8), 8'000);
+}
+
+TEST(ClusterTest, RetryAtIdlesUntilGivenTime) {
+  Cluster cluster(1, InstanceType::kLarge, &kWork);
+  int phase = 0;
+  const Micros makespan = cluster.RunUntilDrained(
+      [&](Instance& instance) -> WorkerStep {
+        if (phase == 0) {
+          ++phase;
+          return WorkerStep{false, 5'000};  // message due at t = 5 ms
+        }
+        if (phase == 1) {
+          EXPECT_GE(instance.now(), 5'000);
+          ++phase;
+          instance.Advance(100);
+          return WorkerStep{true, 0};
+        }
+        return WorkerStep{false, -1};
+      },
+      0);
+  EXPECT_EQ(makespan, 5'100);
+}
+
+TEST(ClusterTest, SyncClocksResetsEverything) {
+  Cluster cluster(3, InstanceType::kExtraLarge, &kWork);
+  cluster.instance(0).Advance(123);
+  cluster.instance(0).AddBusy(50);
+  cluster.SyncClocks(1000);
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.instance(i).now(), 1000);
+    EXPECT_EQ(cluster.instance(i).busy_micros(), 0);
+  }
+  EXPECT_EQ(cluster.MaxClock(), 1000);
+}
+
+TEST(ClusterTest, BusyMicrosAccumulatePerTask) {
+  Cluster cluster(1, InstanceType::kLarge, &kWork);
+  int remaining = 3;
+  cluster.RunUntilDrained(
+      [&](Instance& instance) -> WorkerStep {
+        if (remaining == 0) return WorkerStep{false, -1};
+        --remaining;
+        instance.Advance(200);
+        return WorkerStep{true, 0};
+      },
+      0);
+  EXPECT_EQ(cluster.instance(0).busy_micros(), 600);
+}
+
+}  // namespace
+}  // namespace webdex::cloud

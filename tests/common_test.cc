@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/varint.h"
+
+namespace webdex {
+namespace {
+
+// --- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllConstructorsMapToPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+}
+
+Status Passthrough(const Status& s) {
+  WEBDEX_RETURN_IF_ERROR(s);
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Passthrough(Status::OK()).ok());
+  EXPECT_TRUE(Passthrough(Status::IOError("boom")).IsIOError());
+}
+
+// --- Result ------------------------------------------------------------------
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  WEBDEX_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  auto r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  auto r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// --- Strings -----------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> pieces{"x", "y", "z"};
+  EXPECT_EQ(Split(Join(pieces, "|"), '|'), pieces);
+}
+
+TEST(StringsTest, TrimAndCase) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(ToLower("MiXeD42"), "mixed42");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("painting", "paint"));
+  EXPECT_FALSE(StartsWith("paint", "painting"));
+  EXPECT_TRUE(EndsWith("delacroix.xml", ".xml"));
+  EXPECT_FALSE(EndsWith(".xml", "delacroix.xml"));
+}
+
+TEST(StringsTest, ContainsWordIsWholeWordCaseInsensitive) {
+  EXPECT_TRUE(ContainsWord("The Lion Hunt", "Lion"));
+  EXPECT_TRUE(ContainsWord("The Lion Hunt", "lion"));
+  EXPECT_FALSE(ContainsWord("The Lionheart", "lion"));
+  EXPECT_FALSE(ContainsWord("The Lion Hunt", "io"));
+  EXPECT_TRUE(ContainsWord("year:1854!", "1854"));
+  EXPECT_FALSE(ContainsWord("", "x"));
+  EXPECT_FALSE(ContainsWord("x", ""));
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(40ull * 1024 * 1024 * 1024), "40.0 GB");
+}
+
+TEST(StringsTest, HumanDuration) {
+  EXPECT_EQ(HumanDuration(500), "500 us");
+  EXPECT_EQ(HumanDuration(2500), "2.5 ms");
+  EXPECT_EQ(HumanDuration(1500000), "1.5 s");
+  EXPECT_EQ(HumanDuration(90 * 1000000LL), "1:30 min");
+  EXPECT_EQ(HumanDuration(7860ll * 1000000), "2:11 h");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+// --- Varint ------------------------------------------------------------------
+
+TEST(VarintTest, KnownEncodings) {
+  std::string buf;
+  PutVarint64(&buf, 0);
+  PutVarint64(&buf, 127);
+  PutVarint64(&buf, 128);
+  EXPECT_EQ(buf.size(), 1 + 1 + 2);
+  size_t offset = 0;
+  EXPECT_EQ(GetVarint64(buf, &offset).value(), 0u);
+  EXPECT_EQ(GetVarint64(buf, &offset).value(), 127u);
+  EXPECT_EQ(GetVarint64(buf, &offset).value(), 128u);
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.resize(buf.size() - 1);
+  size_t offset = 0;
+  EXPECT_TRUE(GetVarint64(buf, &offset).status().IsCorruption());
+}
+
+TEST(VarintTest, LengthMatchesEncoding) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 1ull << 21,
+                     1ull << 42, ~0ull}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), VarintLength(v)) << v;
+  }
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodesAndDecodes) {
+  std::string buf;
+  PutVarint64(&buf, GetParam());
+  size_t offset = 0;
+  auto decoded = GetVarint64(buf, &offset);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), GetParam());
+  EXPECT_EQ(offset, buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 2ull, 127ull, 128ull, 255ull, 256ull,
+                      16383ull, 16384ull, 1ull << 28, (1ull << 28) - 1,
+                      1ull << 35, 1ull << 56, ~0ull, ~0ull - 1));
+
+TEST(VarintTest, RandomStreamRoundTrips) {
+  Rng rng(99);
+  std::vector<uint64_t> values;
+  std::string buf;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Next() >> (rng.Next() % 64);
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  size_t offset = 0;
+  for (uint64_t expected : values) {
+    auto v = GetVarint64(buf, &offset);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), expected);
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, UuidFormat) {
+  Rng rng(5);
+  const std::string uuid = rng.NextUuid();
+  ASSERT_EQ(uuid.size(), 36u);
+  EXPECT_EQ(uuid[8], '-');
+  EXPECT_EQ(uuid[13], '-');
+  EXPECT_EQ(uuid[14], '4');  // version 4
+  EXPECT_EQ(uuid[18], '-');
+  EXPECT_EQ(uuid[23], '-');
+  EXPECT_TRUE(uuid[19] == '8' || uuid[19] == '9' || uuid[19] == 'a' ||
+              uuid[19] == 'b');  // RFC 4122 variant
+}
+
+TEST(RngTest, UuidsDistinct) {
+  Rng rng(5);
+  std::set<std::string> uuids;
+  for (int i = 0; i < 1000; ++i) uuids.insert(rng.NextUuid());
+  EXPECT_EQ(uuids.size(), 1000u);
+}
+
+TEST(RngTest, ForkIndependentStream) {
+  Rng a(42);
+  Rng fork = a.Fork();
+  Rng b(42);
+  b.Next();  // fork consumed one draw from a
+  EXPECT_EQ(a.Next(), b.Next());
+  (void)fork;
+}
+
+TEST(RngTest, WeightedRespectsZeroWeights) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextWeighted({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace webdex

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "engine/warehouse.h"
+#include "xmark/paintings.h"
+
+namespace webdex::cost {
+namespace {
+
+using cloud::InstanceType;
+using cloud::Pricing;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest() : model_(Pricing::AwsSingaporeOct2012()) {}
+  CostModel model_;
+  Pricing pricing_;
+};
+
+TEST_F(CostModelTest, Table3PricesAreTheDefaults) {
+  EXPECT_DOUBLE_EQ(pricing_.st_month_gb, 0.125);
+  EXPECT_DOUBLE_EQ(pricing_.st_put, 0.000011);
+  EXPECT_DOUBLE_EQ(pricing_.st_get, 0.0000011);
+  EXPECT_DOUBLE_EQ(pricing_.idx_month_gb, 1.14);
+  EXPECT_DOUBLE_EQ(pricing_.idx_put, 0.00000032);
+  EXPECT_DOUBLE_EQ(pricing_.idx_get, 0.000000032);
+  EXPECT_DOUBLE_EQ(pricing_.vm_hour_large, 0.34);
+  EXPECT_DOUBLE_EQ(pricing_.vm_hour_xlarge, 0.68);
+  EXPECT_DOUBLE_EQ(pricing_.queue_request, 0.000001);
+  EXPECT_DOUBLE_EQ(pricing_.egress_gb, 0.19);
+}
+
+TEST_F(CostModelTest, UploadCostFormula) {
+  // ud$(D) = STput$ x |D| + QS$ x |D|
+  DataMetrics data;
+  data.num_documents = 20000;
+  EXPECT_DOUBLE_EQ(model_.UploadCost(data),
+                   0.000011 * 20000 + 0.000001 * 20000);
+}
+
+TEST_F(CostModelTest, IndexBuildCostFormula) {
+  DataMetrics data;
+  data.num_documents = 1000;
+  IndexMetrics index;
+  index.put_ops = 500000;
+  index.build_hours = 2.0;
+  index.instances = 8;
+  index.instance_type = InstanceType::kLarge;
+  const double expected = model_.UploadCost(data) +
+                          0.00000032 * 500000 +  // IDXput$ x |op|
+                          0.0000011 * 1000 +     // STget$ x |D|
+                          0.34 * 2.0 * 8 +       // VM$h x tidx x fleet
+                          0.000001 * 2 * 1000;   // QS$ x 2|D|
+  EXPECT_DOUBLE_EQ(model_.IndexBuildCost(data, index), expected);
+}
+
+TEST_F(CostModelTest, MonthlyStorageFormula) {
+  DataMetrics data;
+  data.size_gb = 40;
+  IndexMetrics index;
+  index.raw_gb = 30;
+  index.overhead_gb = 5;
+  // st$m = ST$m,GB x s(D) + IDX$m,GB x (sr + ovh)
+  EXPECT_DOUBLE_EQ(model_.MonthlyStorageCost(data, index),
+                   0.125 * 40 + 1.14 * 35);
+  EXPECT_DOUBLE_EQ(model_.MonthlyDataStorageCost(data), 0.125 * 40);
+}
+
+TEST_F(CostModelTest, ResultRetrievalFormula) {
+  QueryMetrics query;
+  query.result_gb = 0.5;
+  EXPECT_DOUBLE_EQ(model_.ResultRetrievalCost(query),
+                   0.0000011 + 0.19 * 0.5 + 0.000001 * 3);
+}
+
+TEST_F(CostModelTest, QueryCostNoIndexFormula) {
+  QueryMetrics query;
+  query.result_gb = 0.001;
+  query.process_hours = 0.25;
+  query.instance_type = InstanceType::kExtraLarge;
+  DataMetrics data;
+  data.num_documents = 20000;
+  const double expected = model_.ResultRetrievalCost(query) +
+                          0.0000011 * 20000 + 0.000011 +
+                          0.68 * 0.25 + 0.000001 * 3;
+  EXPECT_DOUBLE_EQ(model_.QueryCostNoIndex(query, data), expected);
+}
+
+TEST_F(CostModelTest, QueryCostIndexedFormula) {
+  QueryMetrics query;
+  query.result_gb = 0.001;
+  query.get_ops = 1200;
+  query.docs_fetched = 349;
+  query.process_hours = 0.01;
+  query.instance_type = InstanceType::kLarge;
+  const double expected = model_.ResultRetrievalCost(query) +
+                          0.000000032 * 1200 + 0.0000011 * 349 + 0.000011 +
+                          0.34 * 0.01 + 0.000001 * 3;
+  EXPECT_DOUBLE_EQ(model_.QueryCostIndexed(query), expected);
+}
+
+TEST_F(CostModelTest, IndexedQueriesCheaperAtScale) {
+  // The headline claim: with realistic selectivity the indexed query is
+  // an order of magnitude cheaper.
+  DataMetrics data;
+  data.num_documents = 20000;
+  QueryMetrics no_index;
+  no_index.result_gb = 0.0001;
+  no_index.process_hours = 1.0;  // full scan
+  QueryMetrics indexed = no_index;
+  indexed.get_ops = 2000;
+  indexed.docs_fetched = 400;
+  indexed.process_hours = 0.02;  // 2% of the documents
+  const double before = model_.QueryCostNoIndex(no_index, data);
+  const double after = model_.QueryCostIndexed(indexed);
+  EXPECT_GT(before, 10 * after);
+}
+
+TEST_F(CostModelTest, AmortizationCrossesZero) {
+  // Figure 13: cumulated benefit crosses the build cost after
+  // build/benefit runs.
+  const double build = 26.64;   // LU, Table 6
+  const double benefit = 6.0;   // per workload run
+  EXPECT_LT(model_.AmortizationNetValue(benefit, build, 4), 0);
+  EXPECT_GT(model_.AmortizationNetValue(benefit, build, 5), 0);
+}
+
+TEST_F(CostModelTest, AlternativePriceSheetsDiffer) {
+  const Pricing google = Pricing::GoogleCloud2012();
+  const Pricing azure = Pricing::WindowsAzure2012();
+  EXPECT_NE(google.idx_month_gb, pricing_.idx_month_gb);
+  EXPECT_NE(azure.vm_hour_large, pricing_.vm_hour_large);
+  EXPECT_GT(google.VmHour(InstanceType::kExtraLarge),
+            google.VmHour(InstanceType::kLarge));
+}
+
+// --- Model vs. metered cross-check ------------------------------------------
+//
+// The analytical model (Section 7.3) and the usage meter are independent
+// implementations; on a real run they must agree about the dominant
+// terms.
+
+TEST(CostCrossCheckTest, ModelTracksMeteredIndexingBill) {
+  cloud::CloudEnv env;
+  engine::WarehouseConfig config;
+  config.strategy = index::StrategyKind::kLUP;
+  config.num_instances = 2;
+  engine::Warehouse warehouse(&env, config);
+  ASSERT_TRUE(warehouse.Setup().ok());
+  const auto corpus = xmark::GeneratePaintings();
+  for (const auto& doc : corpus) {
+    ASSERT_TRUE(warehouse.SubmitDocument(doc.uri, doc.text).ok());
+  }
+  const cloud::Usage upload_snapshot = env.meter().Snapshot();
+  auto report = warehouse.RunIndexers();
+  ASSERT_TRUE(report.ok());
+
+  CostModel model(env.meter().pricing());
+  DataMetrics data;
+  data.num_documents = corpus.size();
+
+  // Metered DynamoDB spend == IDXput$ x put units, exactly.
+  const cloud::Usage delta = env.meter().Snapshot() - upload_snapshot;
+  const cloud::Bill bill = env.meter().ComputeBill(delta);
+  EXPECT_NEAR(bill.dynamodb,
+              env.meter().pricing().idx_put *
+                  static_cast<double>(report.value().index_put_units),
+              1e-12);
+
+  // Full model formula vs metered total for the same phase: identical
+  // service terms, EC2 billed from the same makespan.
+  IndexMetrics index;
+  index.put_ops = report.value().index_put_units;
+  index.build_hours = cloud::MicrosToHours(report.value().makespan);
+  index.instances = 2;
+  index.instance_type = cloud::InstanceType::kLarge;
+  const double modeled =
+      model.IndexBuildCost(data, index) - model.UploadCost(data);
+  // The metered bill bills actual instance clocks, the model bills
+  // makespan x fleet; the two agree within the idle-tail slack.
+  EXPECT_NEAR(bill.total(), modeled, modeled * 0.35 + 0.01);
+}
+
+}  // namespace
+}  // namespace webdex::cost

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+#include "xml/tokenizer.h"
+#include "xmark/xmark_generator.h"
+
+namespace webdex::xml {
+namespace {
+
+TEST(NodeIdTest, AncestorAndParentPredicates) {
+  // Manually build: a(1,3,1) > b(2,1,2); a > c(3,2,2).
+  NodeId a{1, 3, 1}, b{2, 1, 2}, c{3, 2, 2};
+  EXPECT_TRUE(a.IsAncestorOf(b));
+  EXPECT_TRUE(a.IsParentOf(b));
+  EXPECT_TRUE(a.IsAncestorOf(c));
+  EXPECT_FALSE(b.IsAncestorOf(c));
+  EXPECT_FALSE(b.IsAncestorOf(a));
+  NodeId grandchild{2, 1, 3};
+  EXPECT_TRUE(a.IsAncestorOf(grandchild));
+  EXPECT_FALSE(a.IsParentOf(grandchild));
+}
+
+TEST(NodeIdTest, OrderingByPre) {
+  NodeId a{1, 5, 1}, b{2, 1, 2};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.ToString(), "(1, 5, 1)");
+}
+
+TEST(DomTest, StringValueConcatenatesTextDescendants) {
+  auto doc = ParseDocument("t", "<a>x<b>y<c>z</c></b>w</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root().StringValue(), "xyzw");
+}
+
+TEST(DomTest, StringValueExcludesAttributes) {
+  auto doc = ParseDocument("t", "<a id=\"skip\">x</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root().StringValue(), "x");
+}
+
+TEST(DomTest, SubtreeSizeCountsAllNodes) {
+  auto doc = ParseDocument("t", "<a id=\"1\"><b>x</b></a>");
+  ASSERT_TRUE(doc.ok());
+  // a + @id + b + text = 4.
+  EXPECT_EQ(doc.value().root().SubtreeSize(), 4u);
+}
+
+TEST(DomTest, ForEachNodeVisitsInDocumentOrder) {
+  auto doc = ParseDocument("t", "<a><b/><c><d/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  std::vector<std::string> labels;
+  ForEachNode(doc.value().root(), [&](const Node& node) {
+    labels.push_back(node.label());
+  });
+  EXPECT_EQ(labels, (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+// Structural-ID invariant checks: for every pair of nodes in a document,
+// the (pre, post, depth) predicates must agree with the actual tree.
+void CollectWithAncestry(const Node& node, std::vector<const Node*>* flat) {
+  flat->push_back(&node);
+  for (const auto& child : node.children()) {
+    CollectWithAncestry(*child, flat);
+  }
+}
+
+bool ReallyAncestor(const Node* maybe_ancestor, const Node* node) {
+  for (const Node* p = node->parent(); p != nullptr; p = p->parent()) {
+    if (p == maybe_ancestor) return true;
+  }
+  return false;
+}
+
+class IdInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdInvariants, PrePostDepthAgreeWithTree) {
+  xmark::GeneratorConfig config;
+  config.num_documents = 20;
+  config.entities_per_document = 6;
+  xmark::XmarkGenerator generator(config);
+  Document doc = generator.GenerateDom(GetParam());
+
+  std::vector<const Node*> nodes;
+  CollectWithAncestry(doc.root(), &nodes);
+  ASSERT_GT(nodes.size(), 10u);
+
+  // Pre values are unique and in document order.
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i - 1]->id().pre, nodes[i]->id().pre);
+  }
+  // Pairwise agreement on a bounded sample (full quadratic check is slow).
+  const size_t step = nodes.size() > 400 ? nodes.size() / 400 : 1;
+  for (size_t i = 0; i < nodes.size(); i += step) {
+    for (size_t j = 0; j < nodes.size(); j += step) {
+      if (i == j) continue;
+      const bool claimed = nodes[i]->id().IsAncestorOf(nodes[j]->id());
+      const bool actual = ReallyAncestor(nodes[i], nodes[j]);
+      EXPECT_EQ(claimed, actual)
+          << nodes[i]->label() << nodes[i]->id().ToString() << " vs "
+          << nodes[j]->label() << nodes[j]->id().ToString();
+      if (claimed) {
+        EXPECT_EQ(nodes[i]->id().IsParentOf(nodes[j]->id()),
+                  nodes[j]->parent() == nodes[i]);
+      }
+    }
+  }
+  // Depth equals real tree depth.
+  for (const Node* node : nodes) {
+    uint32_t depth = 1;
+    for (const Node* p = node->parent(); p != nullptr; p = p->parent()) {
+      ++depth;
+    }
+    EXPECT_EQ(node->id().depth, depth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Docs, IdInvariants, ::testing::Range(0, 10));
+
+// --- Tokenizer ---------------------------------------------------------------
+
+TEST(TokenizerTest, SplitsOnNonAlnumAndLowercases) {
+  EXPECT_EQ(TokenizeWords("The Lion-Hunt, 1854!"),
+            (std::vector<std::string>{"the", "lion", "hunt", "1854"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords("... --- !!!").empty());
+}
+
+TEST(TokenizerTest, NormalizeWordStripsAndLowercases) {
+  EXPECT_EQ(NormalizeWord("Lion!"), "lion");
+  EXPECT_EQ(NormalizeWord("1854"), "1854");
+  EXPECT_EQ(NormalizeWord("--"), "");
+}
+
+TEST(TokenizerTest, ConsistentWithContainsWordPredicate) {
+  // Every token of a text must satisfy contains(token) on that text —
+  // the invariant that lets the word index answer containment look-ups.
+  const std::string text = "A striking oil on canvas, painted in 1863.";
+  for (const auto& word : TokenizeWords(text)) {
+    EXPECT_TRUE(ContainsWord(text, word)) << word;
+  }
+}
+
+}  // namespace
+}  // namespace webdex::xml

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "index/key_twig.h"
+#include "query/parser.h"
+
+namespace webdex::index {
+namespace {
+
+query::Query Parse(std::string_view text) {
+  auto q = query::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+TEST(KeyTwigTest, ElementNodesGetElementKeys) {
+  const auto query = Parse("//painting[/name, //painter/name]");
+  const KeyTwig twig = BuildKeyTwig(query.patterns()[0]);
+  EXPECT_EQ(twig.root->key, "epainting");
+  ASSERT_EQ(twig.root->children.size(), 2u);
+  EXPECT_EQ(twig.root->children[0]->key, "ename");
+  EXPECT_EQ(twig.root->children[0]->axis, TwigAxis::kChild);
+  EXPECT_EQ(twig.root->children[1]->key, "epainter");
+  EXPECT_EQ(twig.root->children[1]->axis, TwigAxis::kDescendant);
+}
+
+TEST(KeyTwigTest, AttributeEqualityUsesValuedKey) {
+  const auto query = Parse("//painting/@id='1863-1'");
+  const KeyTwig twig = BuildKeyTwig(query.patterns()[0]);
+  ASSERT_EQ(twig.root->children.size(), 1u);
+  EXPECT_EQ(twig.root->children[0]->key, "aid 1863-1");
+  EXPECT_TRUE(twig.root->children[0]->children.empty());
+}
+
+TEST(KeyTwigTest, AttributeWithoutPredicateUsesNameKey) {
+  const auto query = Parse("//painting/@id");
+  const KeyTwig twig = BuildKeyTwig(query.patterns()[0]);
+  EXPECT_EQ(twig.root->children[0]->key, "aid");
+}
+
+TEST(KeyTwigTest, ElementEqualitySynthesizesWordChildren) {
+  const auto query = Parse("//painter/name/last='Van Gogh'");
+  const KeyTwig twig = BuildKeyTwig(query.patterns()[0]);
+  const TwigNode* last = twig.root->children[0]->children[0].get();
+  ASSERT_EQ(last->children.size(), 2u);  // "van" and "gogh"
+  EXPECT_EQ(last->children[0]->key, "wvan");
+  EXPECT_EQ(last->children[1]->key, "wgogh");
+  EXPECT_EQ(last->children[0]->axis, TwigAxis::kDescendant);
+  EXPECT_EQ(last->children[0]->pattern_node, -1);  // synthesized
+}
+
+TEST(KeyTwigTest, ContainmentSynthesizesOneWordNode) {
+  const auto query = Parse("//item/description~'Gold!'");
+  const KeyTwig twig = BuildKeyTwig(query.patterns()[0]);
+  const TwigNode* description = twig.root->children[0].get();
+  ASSERT_EQ(description->children.size(), 1u);
+  EXPECT_EQ(description->children[0]->key, "wgold");  // normalized
+}
+
+TEST(KeyTwigTest, AttributeContainmentUsesSelfAxis) {
+  const auto query = Parse("//item/@id~'47'");
+  const KeyTwig twig = BuildKeyTwig(query.patterns()[0]);
+  const TwigNode* attr = twig.root->children[0].get();
+  EXPECT_EQ(attr->key, "aid");
+  ASSERT_EQ(attr->children.size(), 1u);
+  EXPECT_EQ(attr->children[0]->axis, TwigAxis::kSelf);
+  EXPECT_EQ(attr->children[0]->key, "w47");
+}
+
+TEST(KeyTwigTest, RangePredicateContributesNothing) {
+  const auto query = Parse("//year in(1854,1865]");
+  const KeyTwig twig = BuildKeyTwig(query.patterns()[0]);
+  EXPECT_EQ(twig.root->key, "eyear");
+  EXPECT_TRUE(twig.root->children.empty());
+}
+
+TEST(KeyTwigTest, NoWordsModeSkipsPredicateNodes) {
+  const auto query = Parse("//painting[/year='1854', /name~'Lion']");
+  const KeyTwig with_words = BuildKeyTwig(query.patterns()[0], true);
+  const KeyTwig without = BuildKeyTwig(query.patterns()[0], false);
+  EXPECT_GT(with_words.Nodes().size(), without.Nodes().size());
+  // The structural skeleton is identical.
+  EXPECT_EQ(without.Nodes().size(), 3u);  // painting, year, name
+  // Valued attribute keys are NOT full-text keys and must survive.
+  const auto attr_query = Parse("//painting/@id='1863-1'");
+  const KeyTwig attr_twig = BuildKeyTwig(attr_query.patterns()[0], false);
+  EXPECT_EQ(attr_twig.root->children[0]->key, "aid 1863-1");
+}
+
+TEST(KeyTwigTest, DistinctKeysDeduplicates) {
+  const auto query = Parse("//name[/name, //name]");
+  const KeyTwig twig = BuildKeyTwig(query.patterns()[0]);
+  EXPECT_EQ(twig.Nodes().size(), 3u);
+  EXPECT_EQ(twig.DistinctKeys(), std::vector<std::string>{"ename"});
+}
+
+TEST(KeyTwigTest, RootToLeafPathsEnumerateBranches) {
+  const auto query = Parse("//a[/b/c, //d]");
+  const KeyTwig twig = BuildKeyTwig(query.patterns()[0]);
+  const auto paths = twig.RootToLeafPaths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].back()->key, "ec");
+  EXPECT_EQ(paths[1].back()->key, "ed");
+  EXPECT_EQ(paths[0].front()->key, "ea");
+}
+
+TEST(KeyTwigTest, PatternNodeIndicesPreserved) {
+  const auto query = Parse("//a[/b, /c='x']");
+  const KeyTwig twig = BuildKeyTwig(query.patterns()[0]);
+  EXPECT_EQ(twig.root->pattern_node, 0);
+  EXPECT_EQ(twig.root->children[0]->pattern_node, 1);
+  EXPECT_EQ(twig.root->children[1]->pattern_node, 2);
+}
+
+}  // namespace
+}  // namespace webdex::index

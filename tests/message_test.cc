@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "engine/message.h"
+
+namespace webdex::engine {
+namespace {
+
+TEST(LoadRequestTest, RoundTrip) {
+  LoadRequest request{"xmark-000042.xml"};
+  auto parsed = LoadRequest::Parse(request.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().uri, "xmark-000042.xml");
+}
+
+TEST(LoadRequestTest, UriMayContainSpaces) {
+  LoadRequest request{"my docs/le déjeuner.xml"};
+  auto parsed = LoadRequest::Parse(request.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().uri, "my docs/le déjeuner.xml");
+}
+
+TEST(LoadRequestTest, RejectsWrongTagAndEmptyUri) {
+  EXPECT_TRUE(LoadRequest::Parse("QUERY\n1\nx").status().IsInvalidArgument());
+  EXPECT_TRUE(LoadRequest::Parse("LOAD").status().IsInvalidArgument());
+  EXPECT_TRUE(LoadRequest::Parse("LOAD\n").status().IsInvalidArgument());
+  EXPECT_TRUE(LoadRequest::Parse("").status().IsInvalidArgument());
+}
+
+TEST(QueryRequestTest, RoundTripPreservesMultilineQueries) {
+  QueryRequest request;
+  request.id = 77;
+  request.query_text = "//a[/b,\n  /c]";  // queries may contain newlines
+  auto parsed = QueryRequest::Parse(request.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().id, 77u);
+  EXPECT_EQ(parsed.value().query_text, "//a[/b,\n  /c]");
+}
+
+TEST(QueryRequestTest, RejectsMalformed) {
+  EXPECT_TRUE(QueryRequest::Parse("QUERY").status().IsInvalidArgument());
+  EXPECT_TRUE(QueryRequest::Parse("QUERY\n12").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      QueryRequest::Parse("QUERY\n12\n").status().IsInvalidArgument());
+  EXPECT_TRUE(QueryRequest::Parse("LOAD\nx").status().IsInvalidArgument());
+}
+
+TEST(QueryResponseTest, RoundTrip) {
+  QueryResponse response;
+  response.id = 12;
+  response.result_key = "result-12.xml";
+  response.row_count = 349;
+  auto parsed = QueryResponse::Parse(response.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().id, 12u);
+  EXPECT_EQ(parsed.value().result_key, "result-12.xml");
+  EXPECT_EQ(parsed.value().row_count, 349u);
+}
+
+TEST(QueryResponseTest, RejectsMalformed) {
+  EXPECT_TRUE(QueryResponse::Parse("DONE\n1").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      QueryResponse::Parse("DONE\n1\n2\n").status().IsInvalidArgument());
+  EXPECT_TRUE(QueryResponse::Parse("nope").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace webdex::engine

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "cloud/queue_service.h"
+
+namespace webdex::cloud {
+namespace {
+
+class TestAgent : public SimAgent {};
+
+class QueueServiceTest : public ::testing::Test {
+ protected:
+  QueueServiceTest() : meter_(Pricing()), sqs_(Config(), &meter_) {
+    EXPECT_TRUE(sqs_.CreateQueue("q").ok());
+  }
+
+  static QueueServiceConfig Config() {
+    QueueServiceConfig config;
+    config.request_latency = 1'000;
+    config.visibility_timeout = 60 * kMicrosPerSecond;
+    return config;
+  }
+
+  UsageMeter meter_;
+  QueueService sqs_;
+  TestAgent agent_;
+};
+
+TEST_F(QueueServiceTest, SendReceiveDelete) {
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "hello").ok());
+  auto msg = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(msg.ok());
+  ASSERT_TRUE(msg.value().has_value());
+  EXPECT_EQ(msg.value()->body, "hello");
+  EXPECT_EQ(msg.value()->delivery_count, 1);
+  ASSERT_TRUE(sqs_.Delete(agent_, "q", msg.value()->receipt).ok());
+  EXPECT_TRUE(sqs_.Drained("q"));
+}
+
+TEST_F(QueueServiceTest, ReceiveFromEmptyQueueReturnsNulloptButBills) {
+  auto msg = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(msg.ok());
+  EXPECT_FALSE(msg.value().has_value());
+  EXPECT_EQ(meter_.usage().sqs_requests, 1u);
+}
+
+TEST_F(QueueServiceTest, UnknownQueueFails) {
+  EXPECT_TRUE(sqs_.Send(agent_, "nope", "x").IsNotFound());
+  EXPECT_TRUE(sqs_.Receive(agent_, "nope").status().IsNotFound());
+}
+
+TEST_F(QueueServiceTest, InFlightMessageIsInvisible) {
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "only").ok());
+  auto first = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(first.value().has_value());
+  auto second = sqs_.Receive(agent_, "q");
+  EXPECT_FALSE(second.value().has_value());
+  EXPECT_FALSE(sqs_.Drained("q"));
+}
+
+TEST_F(QueueServiceTest, ExpiredLeaseRedelivers) {
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "task").ok());
+  auto first = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(first.value().has_value());
+  // Simulated worker crash: no delete, time passes beyond the timeout.
+  agent_.Advance(61 * kMicrosPerSecond);
+  auto second = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_EQ(second.value()->body, "task");
+  EXPECT_EQ(second.value()->delivery_count, 2);
+  // The stale first receipt can no longer acknowledge the message.
+  EXPECT_TRUE(sqs_.Delete(agent_, "q", first.value()->receipt).IsNotFound());
+  EXPECT_TRUE(sqs_.Delete(agent_, "q", second.value()->receipt).ok());
+}
+
+TEST_F(QueueServiceTest, RenewLeaseExtendsVisibility) {
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "task").ok());
+  auto msg = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(msg.value().has_value());
+  agent_.Advance(50 * kMicrosPerSecond);
+  ASSERT_TRUE(sqs_.RenewLease(agent_, "q", msg.value()->receipt).ok());
+  agent_.Advance(50 * kMicrosPerSecond);  // 100 s total, lease renewed at 50
+  auto other = sqs_.Receive(agent_, "q");
+  EXPECT_FALSE(other.value().has_value());  // still leased
+  EXPECT_TRUE(sqs_.Delete(agent_, "q", msg.value()->receipt).ok());
+}
+
+TEST_F(QueueServiceTest, RenewAfterExpiryFails) {
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "task").ok());
+  auto msg = sqs_.Receive(agent_, "q");
+  agent_.Advance(61 * kMicrosPerSecond);
+  EXPECT_TRUE(sqs_.RenewLease(agent_, "q", msg.value()->receipt).IsNotFound());
+}
+
+TEST_F(QueueServiceTest, FifoAmongVisibleMessages) {
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "a").ok());
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "b").ok());
+  auto first = sqs_.Receive(agent_, "q");
+  auto second = sqs_.Receive(agent_, "q");
+  EXPECT_EQ(first.value()->body, "a");
+  EXPECT_EQ(second.value()->body, "b");
+}
+
+TEST_F(QueueServiceTest, NextDeliverableAtReportsLease) {
+  EXPECT_FALSE(sqs_.NextDeliverableAt("q").has_value());
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "x").ok());
+  auto visible = sqs_.NextDeliverableAt("q");
+  ASSERT_TRUE(visible.has_value());
+  EXPECT_LE(*visible, agent_.now());
+  auto msg = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(msg.value().has_value());
+  visible = sqs_.NextDeliverableAt("q");
+  ASSERT_TRUE(visible.has_value());
+  EXPECT_EQ(*visible, agent_.now() + 60 * kMicrosPerSecond);
+}
+
+TEST_F(QueueServiceTest, CountTracksUndeleted) {
+  EXPECT_EQ(sqs_.Count("q"), 0u);
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "a").ok());
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "b").ok());
+  EXPECT_EQ(sqs_.Count("q"), 2u);
+  auto msg = sqs_.Receive(agent_, "q");
+  EXPECT_EQ(sqs_.Count("q"), 2u);  // in flight still counts
+  ASSERT_TRUE(sqs_.Delete(agent_, "q", msg.value()->receipt).ok());
+  EXPECT_EQ(sqs_.Count("q"), 1u);
+}
+
+TEST_F(QueueServiceTest, EveryApiCallBillsOneRequest) {
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "x").ok());
+  auto msg = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(sqs_.RenewLease(agent_, "q", msg.value()->receipt).ok());
+  ASSERT_TRUE(sqs_.Delete(agent_, "q", msg.value()->receipt).ok());
+  EXPECT_EQ(meter_.usage().sqs_requests, 4u);
+  EXPECT_EQ(agent_.now(), 4'000);  // 4 requests x 1 ms
+}
+
+}  // namespace
+}  // namespace webdex::cloud

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "cloud/sim.h"
+
+namespace webdex::cloud {
+namespace {
+
+TEST(SimAgentTest, StartsAtZeroAndAdvances) {
+  class Agent : public SimAgent {} agent;
+  EXPECT_EQ(agent.now(), 0);
+  agent.Advance(100);
+  EXPECT_EQ(agent.now(), 100);
+  agent.Advance(-5);  // negative deltas ignored
+  EXPECT_EQ(agent.now(), 100);
+}
+
+TEST(SimAgentTest, AdvanceToNeverGoesBackwards) {
+  class Agent : public SimAgent {} agent;
+  agent.AdvanceTo(50);
+  EXPECT_EQ(agent.now(), 50);
+  agent.AdvanceTo(20);
+  EXPECT_EQ(agent.now(), 50);
+  agent.ResetClock(10);
+  EXPECT_EQ(agent.now(), 10);
+}
+
+TEST(RateLimiterTest, UnlimitedPassesThrough) {
+  RateLimiter limiter(0);
+  EXPECT_EQ(limiter.Acquire(123, 100), 123);
+  EXPECT_EQ(limiter.Acquire(50, 1e9), 50);
+}
+
+TEST(RateLimiterTest, ServiceTimeProportionalToUnits) {
+  RateLimiter limiter(1000);  // 1000 units/s => 1000 us/unit
+  EXPECT_EQ(limiter.Acquire(0, 1), 1000);
+  EXPECT_EQ(limiter.Acquire(0, 1), 2000);  // queued behind the first
+}
+
+TEST(RateLimiterTest, IdleServiceStartsAtArrival) {
+  RateLimiter limiter(1000);
+  EXPECT_EQ(limiter.Acquire(0, 1), 1000);
+  // Arrives long after the service went idle: no queueing delay.
+  EXPECT_EQ(limiter.Acquire(1'000'000, 1), 1'001'000);
+}
+
+TEST(RateLimiterTest, SaturationAccumulates) {
+  RateLimiter limiter(10);  // 100 ms per unit
+  Micros finish = 0;
+  for (int i = 0; i < 10; ++i) finish = limiter.Acquire(0, 1);
+  EXPECT_EQ(finish, 1'000'000);  // 10 units at 10/s = 1 virtual second
+}
+
+TEST(RateLimiterTest, ResetClearsBacklog) {
+  RateLimiter limiter(10);
+  limiter.Acquire(0, 100);
+  limiter.Reset();
+  EXPECT_EQ(limiter.Acquire(0, 1), 100'000);
+}
+
+TEST(SimTest, MicrosToHours) {
+  EXPECT_DOUBLE_EQ(MicrosToHours(kMicrosPerHour), 1.0);
+  EXPECT_DOUBLE_EQ(MicrosToHours(kMicrosPerHour / 2), 0.5);
+  EXPECT_DOUBLE_EQ(MicrosToHours(0), 0.0);
+}
+
+}  // namespace
+}  // namespace webdex::cloud

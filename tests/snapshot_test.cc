@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cloud/snapshot.h"
+#include "engine/warehouse.h"
+#include "xmark/paintings.h"
+
+namespace webdex::cloud {
+namespace {
+
+class Agent : public SimAgent {};
+
+TEST(SnapshotTest, EmptyEnvironmentRoundTrips) {
+  CloudEnv env;
+  const std::string snapshot = SerializeSnapshot(env);
+  CloudEnv restored;
+  ASSERT_TRUE(RestoreSnapshot(snapshot, &restored).ok());
+  EXPECT_TRUE(restored.s3().Empty());
+  EXPECT_TRUE(restored.dynamodb().Empty());
+}
+
+TEST(SnapshotTest, ObjectsAndItemsRoundTrip) {
+  CloudEnv env;
+  Agent agent;
+  ASSERT_TRUE(env.s3().CreateBucket("data").ok());
+  ASSERT_TRUE(env.s3().Put(agent, "data", "a.xml", "<a/>").ok());
+  std::string binary("\x00\x01\xff", 3);
+  ASSERT_TRUE(env.s3().Put(agent, "data", "blob", binary).ok());
+  ASSERT_TRUE(env.dynamodb().CreateTable("idx").ok());
+  ASSERT_TRUE(env.dynamodb()
+                  .BatchPut(agent, "idx",
+                            {Item{"k", "r", {{"a.xml", {"v1", binary}}}}})
+                  .ok());
+  ASSERT_TRUE(env.simpledb().CreateTable("legacy").ok());
+  ASSERT_TRUE(env.simpledb()
+                  .BatchPut(agent, "legacy",
+                            {Item{"k2", "r2", {{"doc", {"text"}}}}})
+                  .ok());
+
+  CloudEnv restored;
+  ASSERT_TRUE(RestoreSnapshot(SerializeSnapshot(env), &restored).ok());
+
+  Agent reader;
+  auto object = restored.s3().Get(reader, "data", "a.xml");
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ(object.value(), "<a/>");
+  EXPECT_EQ(restored.s3().Get(reader, "data", "blob").value(), binary);
+  auto items = restored.dynamodb().Get(reader, "idx", "k");
+  ASSERT_TRUE(items.ok());
+  ASSERT_EQ(items.value().size(), 1u);
+  EXPECT_EQ(items.value()[0].attrs.at("a.xml"),
+            (AttributeValues{"v1", binary}));
+  EXPECT_EQ(restored.dynamodb().StoredBytes("idx"),
+            env.dynamodb().StoredBytes("idx"));
+  EXPECT_EQ(restored.simpledb().ItemCount("legacy"), 1u);
+  EXPECT_EQ(restored.simpledb().OverheadBytes("legacy"),
+            env.simpledb().OverheadBytes("legacy"));
+}
+
+TEST(SnapshotTest, EmptyTablesSurvive) {
+  CloudEnv env;
+  ASSERT_TRUE(env.dynamodb().CreateTable("empty").ok());
+  CloudEnv restored;
+  ASSERT_TRUE(RestoreSnapshot(SerializeSnapshot(env), &restored).ok());
+  EXPECT_TRUE(restored.dynamodb().HasTable("empty"));
+  EXPECT_EQ(restored.dynamodb().ItemCount("empty"), 0u);
+}
+
+TEST(SnapshotTest, RejectsGarbageAndTruncation) {
+  CloudEnv empty;
+  EXPECT_TRUE(RestoreSnapshot("", &empty).IsCorruption());
+  EXPECT_TRUE(RestoreSnapshot("NOTASNAP", &empty).IsCorruption());
+
+  CloudEnv env;
+  Agent agent;
+  ASSERT_TRUE(env.s3().CreateBucket("b").ok());
+  ASSERT_TRUE(env.s3().Put(agent, "b", "k", "payload").ok());
+  std::string snapshot = SerializeSnapshot(env);
+  for (size_t cut : {snapshot.size() - 1, snapshot.size() / 2, size_t{9}}) {
+    CloudEnv fresh;
+    EXPECT_TRUE(
+        RestoreSnapshot(snapshot.substr(0, cut), &fresh).IsCorruption())
+        << "cut at " << cut;
+  }
+  // Trailing garbage is also rejected.
+  CloudEnv fresh;
+  EXPECT_TRUE(RestoreSnapshot(snapshot + "x", &fresh).IsCorruption());
+}
+
+TEST(SnapshotTest, RefusesNonEmptyTarget) {
+  CloudEnv env;
+  const std::string snapshot = SerializeSnapshot(env);
+  CloudEnv busy;
+  ASSERT_TRUE(busy.s3().CreateBucket("b").ok());
+  EXPECT_TRUE(RestoreSnapshot(snapshot, &busy).IsAlreadyExists());
+}
+
+TEST(SnapshotTest, FileRoundTripThroughWarehouse) {
+  // Index a corpus, snapshot to disk, restore into a fresh cloud, attach
+  // a new warehouse, and get identical query answers without reindexing.
+  const std::string path = "/tmp/webdex_snapshot_test.bin";
+  engine::QueryOutcome original;
+  {
+    CloudEnv env;
+    engine::WarehouseConfig config;
+    config.strategy = index::StrategyKind::kLUP;
+    engine::Warehouse warehouse(&env, config);
+    ASSERT_TRUE(warehouse.Setup().ok());
+    for (const auto& doc : xmark::GeneratePaintings()) {
+      ASSERT_TRUE(warehouse.SubmitDocument(doc.uri, doc.text).ok());
+    }
+    ASSERT_TRUE(warehouse.RunIndexers().ok());
+    auto outcome = warehouse.ExecuteQuery(
+        "//painting[/name~'Lion', //painter/name/last:val]");
+    ASSERT_TRUE(outcome.ok());
+    original = std::move(outcome).value();
+    ASSERT_TRUE(SaveSnapshotFile(env, path).ok());
+  }
+
+  CloudEnv restored;
+  ASSERT_TRUE(LoadSnapshotFile(path, &restored).ok());
+  engine::WarehouseConfig config;
+  config.strategy = index::StrategyKind::kLUP;
+  engine::Warehouse warehouse(&restored, config);
+  ASSERT_TRUE(warehouse.AttachToExistingCloud().ok());
+  EXPECT_GT(warehouse.document_uris().size(), 40u);
+  auto outcome = warehouse.ExecuteQuery(
+      "//painting[/name~'Lion', //painter/name/last:val]");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome.value().result.rows, original.result.rows);
+  EXPECT_EQ(outcome.value().docs_fetched, original.docs_fetched);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileFails) {
+  CloudEnv env;
+  EXPECT_TRUE(
+      LoadSnapshotFile("/tmp/definitely-not-there.bin", &env).IsIOError());
+}
+
+}  // namespace
+}  // namespace webdex::cloud

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "index/summary.h"
+#include "query/parser.h"
+#include "xmark/xmark_generator.h"
+#include "xml/parser.h"
+
+namespace webdex::index {
+namespace {
+
+query::Query Parse(std::string_view text) {
+  auto q = query::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+void Add(PathSummary* summary, const std::string& xml) {
+  static int counter = 0;
+  auto doc = xml::ParseDocument("doc" + std::to_string(counter++), xml);
+  ASSERT_TRUE(doc.ok());
+  summary->AddDocument(ExtractDocIndex(doc.value()));
+}
+
+TEST(PathSummaryTest, CountsDocumentsPerKeyAndPath) {
+  PathSummary summary;
+  Add(&summary, "<a><b>x</b></a>");
+  Add(&summary, "<a><b>y</b><b>z</b></a>");  // b twice, counts once
+  Add(&summary, "<a><c>x</c></a>");
+  EXPECT_EQ(summary.documents(), 3u);
+  EXPECT_EQ(summary.DocsWithKey("eb"), 2u);
+  EXPECT_EQ(summary.DocsWithKey("ec"), 1u);
+  EXPECT_EQ(summary.DocsWithKey("ea"), 3u);
+  EXPECT_EQ(summary.DocsWithKey("enope"), 0u);
+}
+
+TEST(PathSummaryTest, PathEstimatesRespectStructure) {
+  PathSummary summary;
+  Add(&summary, "<a><b><c>x</c></b></a>");
+  Add(&summary, "<a><c>x</c></a>");
+  QueryPath direct;
+  direct.steps = {{TwigAxis::kDescendant, "ea"}, {TwigAxis::kChild, "ec"}};
+  EXPECT_EQ(summary.DocsMatchingPath(direct), 1u);  // only the flat doc
+  QueryPath anywhere;
+  anywhere.steps = {{TwigAxis::kDescendant, "ea"},
+                    {TwigAxis::kDescendant, "ec"}};
+  EXPECT_EQ(summary.DocsMatchingPath(anywhere), 2u);
+}
+
+TEST(PathSummaryTest, LuAndLupEstimatesAreUpperBoundsOfEachOther) {
+  PathSummary summary;
+  Add(&summary, "<a><b>x</b></a>");
+  Add(&summary, "<r><b>y</b></r>");
+  const auto query = Parse("//a/b");
+  // LU only knows 'ea' and 'eb' occur: both docs have 'eb', one has 'ea'.
+  EXPECT_EQ(summary.EstimateLuDocs(query.patterns()[0]), 1u);
+  EXPECT_EQ(summary.EstimateLupDocs(query.patterns()[0]), 1u);
+  const auto loose = Parse("//b");
+  EXPECT_EQ(summary.EstimateLuDocs(loose.patterns()[0]), 2u);
+}
+
+TEST(PathSummaryTest, AdvisesLupForLinearPatterns) {
+  PathSummary summary;
+  Add(&summary, "<a><b>x</b></a>");
+  const auto query = Parse("//a/b");
+  const auto advice = summary.AdviseLookup(query.patterns()[0]);
+  EXPECT_EQ(advice.lookup, StrategyKind::kLUP);
+  EXPECT_FALSE(advice.reason.empty());
+}
+
+TEST(PathSummaryTest, AdvisesLuiWhenBranchesNeverCoOccur) {
+  // Half the corpus has a[b], half a[c]; both linear paths are common
+  // but never together — paper Section 8.5's LUI case.
+  PathSummary summary;
+  for (int i = 0; i < 10; ++i) Add(&summary, "<a><b>x</b></a>");
+  for (int i = 0; i < 10; ++i) Add(&summary, "<a><c>x</c></a>");
+  const auto query = Parse("//a[/b, /c]");
+  const auto advice = summary.AdviseLookup(query.patterns()[0]);
+  EXPECT_EQ(advice.lookup, StrategyKind::kLUI) << advice.reason;
+  EXPECT_NE(advice.reason.find("twig join"), std::string::npos);
+}
+
+TEST(PathSummaryTest, AdvisesLupWhenBranchesCoOccur) {
+  // Every document matches both branches: path matching is as good as
+  // the twig join, so the cheaper LUP look-up wins.
+  PathSummary summary;
+  for (int i = 0; i < 20; ++i) Add(&summary, "<a><b>x</b><c>y</c></a>");
+  const auto query = Parse("//a[/b, /c]");
+  const auto advice = summary.AdviseLookup(query.patterns()[0]);
+  EXPECT_EQ(advice.lookup, StrategyKind::kLUP) << advice.reason;
+}
+
+TEST(PathSummaryTest, SelectivePatternsAdviseLup) {
+  // Branches individually rare: LUP's pre-filter already prunes hard.
+  PathSummary summary;
+  Add(&summary, "<a><b>x</b><c>y</c></a>");
+  for (int i = 0; i < 40; ++i) Add(&summary, "<a><d>z</d></a>");
+  const auto query = Parse("//a[/b, /c]");
+  const auto advice = summary.AdviseLookup(query.patterns()[0]);
+  EXPECT_EQ(advice.lookup, StrategyKind::kLUP) << advice.reason;
+}
+
+TEST(PathSummaryTest, WorksOverXmarkCorpus) {
+  xmark::GeneratorConfig config;
+  config.num_documents = 30;
+  config.entities_per_document = 8;
+  xmark::XmarkGenerator generator(config);
+  PathSummary summary;
+  for (int i = 0; i < config.num_documents; ++i) {
+    summary.AddDocument(ExtractDocIndex(generator.GenerateDom(i)));
+  }
+  EXPECT_EQ(summary.documents(), 30u);
+  EXPECT_GT(summary.distinct_paths(), 50u);
+  // Sanity: estimates never exceed the corpus.
+  for (const char* text :
+       {"//item[/name, /payment]", "//person//city", "//open_auction"}) {
+    const auto query = Parse(text);
+    EXPECT_LE(summary.EstimateLuDocs(query.patterns()[0]), 30u);
+    EXPECT_LE(summary.EstimateLupDocs(query.patterns()[0]), 30u) << text;
+  }
+}
+
+}  // namespace
+}  // namespace webdex::index

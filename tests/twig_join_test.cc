@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "index/entry.h"
+#include "index/twig_join.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "xmark/xmark_generator.h"
+#include "xml/parser.h"
+
+namespace webdex::index {
+namespace {
+
+using xml::NodeId;
+
+std::unique_ptr<TwigNode> Leaf(TwigAxis axis, std::string key) {
+  auto node = std::make_unique<TwigNode>();
+  node->axis = axis;
+  node->key = std::move(key);
+  return node;
+}
+
+TEST(TwigJoinTest, SingleNodeMatchesWhenAnyIdExists) {
+  KeyTwig twig;
+  twig.root = Leaf(TwigAxis::kDescendant, "ea");
+  TwigInputs inputs;
+  inputs[twig.root.get()] = {NodeId{1, 5, 1}};
+  TwigJoinStats stats;
+  EXPECT_TRUE(TwigMatch(twig, inputs, &stats));
+  inputs[twig.root.get()].clear();
+  EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
+}
+
+TEST(TwigJoinTest, ChildEdgeRequiresDepthPlusOne) {
+  KeyTwig twig;
+  twig.root = Leaf(TwigAxis::kDescendant, "ea");
+  TwigNode* child = twig.root->children.emplace_back(
+      Leaf(TwigAxis::kChild, "eb")).get();
+  TwigInputs inputs;
+  inputs[twig.root.get()] = {NodeId{1, 10, 1}};
+  // b is a grandchild: ancestor holds, parent does not.
+  inputs[child] = {NodeId{3, 2, 3}};
+  TwigJoinStats stats;
+  EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
+  // Now at depth 2: a proper child.
+  inputs[child] = {NodeId{3, 2, 2}};
+  EXPECT_TRUE(TwigMatch(twig, inputs, &stats));
+}
+
+TEST(TwigJoinTest, DescendantEdgeAcceptsAnyDepth) {
+  KeyTwig twig;
+  twig.root = Leaf(TwigAxis::kDescendant, "ea");
+  TwigNode* child = twig.root->children.emplace_back(
+      Leaf(TwigAxis::kDescendant, "eb")).get();
+  TwigInputs inputs;
+  inputs[twig.root.get()] = {NodeId{1, 10, 1}};
+  inputs[child] = {NodeId{5, 4, 7}};
+  TwigJoinStats stats;
+  EXPECT_TRUE(TwigMatch(twig, inputs, &stats));
+  // Outside the subtree (post exceeds the root's).
+  inputs[child] = {NodeId{11, 12, 2}};
+  EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
+}
+
+TEST(TwigJoinTest, SelfEdgeRequiresIdenticalPosition) {
+  KeyTwig twig;
+  twig.root = Leaf(TwigAxis::kDescendant, "aid");
+  TwigNode* word = twig.root->children.emplace_back(
+      Leaf(TwigAxis::kSelf, "w1854")).get();
+  TwigInputs inputs;
+  inputs[twig.root.get()] = {NodeId{2, 1, 2}};
+  inputs[word] = {NodeId{2, 1, 2}};
+  TwigJoinStats stats;
+  EXPECT_TRUE(TwigMatch(twig, inputs, &stats));
+  inputs[word] = {NodeId{3, 2, 2}};
+  EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
+}
+
+TEST(TwigJoinTest, MultiBranchNeedsAllChildren) {
+  // a[b, c]: one 'a' has only b, another only c -> no match; one 'a'
+  // with both -> match.
+  KeyTwig twig;
+  twig.root = Leaf(TwigAxis::kDescendant, "ea");
+  TwigNode* b = twig.root->children.emplace_back(
+      Leaf(TwigAxis::kDescendant, "eb")).get();
+  TwigNode* c = twig.root->children.emplace_back(
+      Leaf(TwigAxis::kDescendant, "ec")).get();
+  TwigInputs inputs;
+  // Two a-subtrees: a1 = (1..5), a2 = (10..15).
+  inputs[twig.root.get()] = {NodeId{1, 5, 2}, NodeId{10, 15, 2}};
+  inputs[b] = {NodeId{2, 1, 3}};    // inside a1
+  inputs[c] = {NodeId{11, 11, 3}};  // inside a2
+  TwigJoinStats stats;
+  EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
+  // Give a1 a c as well.
+  inputs[c].insert(inputs[c].begin(), NodeId{3, 2, 3});
+  EXPECT_TRUE(TwigMatch(twig, inputs, &stats));
+}
+
+TEST(TwigJoinTest, SatisfyingRootIdsReported) {
+  KeyTwig twig;
+  twig.root = Leaf(TwigAxis::kDescendant, "ea");
+  TwigNode* b = twig.root->children.emplace_back(
+      Leaf(TwigAxis::kChild, "eb")).get();
+  TwigInputs inputs;
+  inputs[twig.root.get()] = {NodeId{1, 8, 1}, NodeId{2, 3, 2}};
+  inputs[b] = {NodeId{3, 1, 3}};  // child of (2,3,2), grandchild of root
+  TwigJoinStats stats;
+  const auto roots = TwigSatisfyingRootIds(twig, inputs, &stats);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], (NodeId{2, 3, 2}));
+  EXPECT_GT(stats.id_ops, 0u);
+}
+
+TEST(TwigJoinTest, MissingInputListMeansNoMatch) {
+  KeyTwig twig;
+  twig.root = Leaf(TwigAxis::kDescendant, "ea");
+  twig.root->children.emplace_back(Leaf(TwigAxis::kChild, "eb"));
+  TwigInputs inputs;
+  inputs[twig.root.get()] = {NodeId{1, 5, 1}};
+  TwigJoinStats stats;
+  EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
+}
+
+// --- Equivalence property ----------------------------------------------------
+//
+// For any label-only tree pattern (no predicates), the twig join over a
+// document's extracted ID lists must agree exactly with the DOM
+// evaluator: LUI is exact on tree patterns (paper Table 5, q1-q7).
+
+class TwigEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TwigEquivalence, AgreesWithEvaluatorOnXmarkDocs) {
+  auto parsed = query::ParseQuery(GetParam());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const query::TreePattern& pattern = parsed.value().patterns()[0];
+  const KeyTwig twig = BuildKeyTwig(pattern);
+  const auto twig_nodes = twig.Nodes();
+
+  xmark::GeneratorConfig config;
+  config.num_documents = 40;
+  config.entities_per_document = 8;
+  xmark::XmarkGenerator generator(config);
+
+  int matches = 0;
+  for (int i = 0; i < config.num_documents; ++i) {
+    const xml::Document doc = generator.GenerateDom(i);
+    const DocIndex index = ExtractDocIndex(doc);
+    TwigInputs inputs;
+    bool complete = true;
+    for (const TwigNode* node : twig_nodes) {
+      auto it = index.find(node->key);
+      if (it == index.end()) {
+        complete = false;
+        break;
+      }
+      inputs[node] = it->second.ids;
+    }
+    TwigJoinStats stats;
+    const bool twig_match = complete && TwigMatch(twig, inputs, &stats);
+    const bool real_match = query::Evaluator::Matches(pattern, doc);
+    EXPECT_EQ(twig_match, real_match)
+        << "doc " << i << " pattern " << GetParam();
+    matches += real_match ? 1 : 0;
+  }
+  // The chosen patterns must be non-trivial on this corpus: some but not
+  // all documents match.
+  EXPECT_GT(matches, 0) << GetParam();
+  EXPECT_LT(matches, config.num_documents) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, TwigEquivalence,
+    ::testing::Values(
+        // Mutated docs lack the mailbox wrapper: item/mailbox/mail is a
+        // discriminating twig.
+        "//item[/mailbox/mail]",
+        // Path mutation moves name under description.
+        "//item[/name, /payment]",
+        // Optional-drop documents lose reserve/privacy.
+        "//open_auction[/reserve, /privacy]",
+        "//person[/address[/city], /homepage]",
+        "//open_auction[/annotation/itemref]",
+        "//item[/description/name]",
+        "//person[/watches/watch]",
+        "//closed_auction[/annotation[/happiness], /buyer]"));
+
+}  // namespace
+}  // namespace webdex::index

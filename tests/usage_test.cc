@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "cloud/usage.h"
+
+namespace webdex::cloud {
+namespace {
+
+constexpr double kGb = 1024.0 * 1024.0 * 1024.0;
+
+TEST(UsageTest, AccumulateAndDiff) {
+  Usage a;
+  a.s3_put_requests = 10;
+  a.ddb_write_units = 2.5;
+  a.sqs_requests = 3;
+  Usage b;
+  b.s3_put_requests = 4;
+  b.ddb_write_units = 1.25;
+  b.egress_bytes = 100;
+  a += b;
+  EXPECT_EQ(a.s3_put_requests, 14u);
+  EXPECT_DOUBLE_EQ(a.ddb_write_units, 3.75);
+  EXPECT_EQ(a.egress_bytes, 100u);
+  const Usage d = a - b;
+  EXPECT_EQ(d.s3_put_requests, 10u);
+  EXPECT_DOUBLE_EQ(d.ddb_write_units, 2.5);
+  EXPECT_EQ(d.egress_bytes, 0u);
+}
+
+TEST(UsageMeterTest, BillEachServiceAtTable3Prices) {
+  UsageMeter meter{Pricing::AwsSingaporeOct2012()};
+  Usage& usage = meter.mutable_usage();
+  usage.s3_put_requests = 1000;   // x $0.000011
+  usage.s3_get_requests = 10000;  // x $0.0000011
+  usage.ddb_write_units = 50000;  // x $0.00000032
+  usage.ddb_read_units = 20000;   // x $0.000000032
+  usage.sqs_requests = 100000;    // x $0.000001
+  usage.egress_bytes = static_cast<uint64_t>(kGb);  // x $0.19
+
+  const Bill bill = meter.ComputeBill();
+  EXPECT_DOUBLE_EQ(bill.s3, 1000 * 0.000011 + 10000 * 0.0000011);
+  EXPECT_DOUBLE_EQ(bill.dynamodb, 50000 * 0.00000032 + 20000 * 0.000000032);
+  EXPECT_DOUBLE_EQ(bill.sqs, 100000 * 0.000001);
+  EXPECT_NEAR(bill.egress, 0.19, 1e-9);
+  EXPECT_DOUBLE_EQ(bill.total(), bill.s3 + bill.dynamodb + bill.sqs +
+                                     bill.egress + bill.ec2 + bill.simpledb);
+}
+
+TEST(UsageMeterTest, VmTimeBilledPerTypeAtHourlyRates) {
+  UsageMeter meter{Pricing::AwsSingaporeOct2012()};
+  meter.AddVmTime(InstanceType::kLarge, kMicrosPerHour);        // $0.34
+  meter.AddVmTime(InstanceType::kExtraLarge, kMicrosPerHour / 2);  // $0.34
+  const Bill bill = meter.ComputeBill();
+  EXPECT_NEAR(bill.ec2, 0.34 + 0.68 * 0.5, 1e-9);
+}
+
+TEST(UsageMeterTest, SimpledbBoxHoursBilled) {
+  UsageMeter meter{Pricing::AwsSingaporeOct2012()};
+  meter.mutable_usage().sdb_box_hours = 2.0;
+  EXPECT_NEAR(meter.ComputeBill().simpledb, 2.0 * 0.154, 1e-12);
+}
+
+TEST(UsageMeterTest, SnapshotDiffBillsOnlyTheDelta) {
+  UsageMeter meter{Pricing::AwsSingaporeOct2012()};
+  meter.mutable_usage().sqs_requests = 10;
+  const Usage snapshot = meter.Snapshot();
+  meter.mutable_usage().sqs_requests = 25;
+  const Bill delta = meter.ComputeBill(meter.usage() - snapshot);
+  EXPECT_DOUBLE_EQ(delta.sqs, 15 * 0.000001);
+}
+
+TEST(UsageMeterTest, ResetClearsEverything) {
+  UsageMeter meter{Pricing()};
+  meter.mutable_usage().s3_put_requests = 5;
+  meter.Reset();
+  EXPECT_EQ(meter.usage().s3_put_requests, 0u);
+  EXPECT_DOUBLE_EQ(meter.ComputeBill().total(), 0.0);
+}
+
+TEST(BillTest, ArithmeticAndRendering) {
+  Bill a;
+  a.s3 = 1;
+  a.ec2 = 2;
+  Bill b;
+  b.s3 = 0.25;
+  b.egress = 0.5;
+  Bill d = a - b;
+  EXPECT_DOUBLE_EQ(d.s3, 0.75);
+  EXPECT_DOUBLE_EQ(d.egress, -0.5);
+  d += b;
+  EXPECT_DOUBLE_EQ(d.s3, 1.0);
+  const std::string text = a.ToString();
+  EXPECT_NE(text.find("EC2"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+  // SimpleDB line only appears when the service was used.
+  EXPECT_EQ(text.find("SimpleDB"), std::string::npos);
+}
+
+TEST(PricingTest, InstanceTypeNamesAndRates) {
+  EXPECT_STREQ(InstanceTypeName(InstanceType::kLarge), "L");
+  EXPECT_STREQ(InstanceTypeName(InstanceType::kExtraLarge), "XL");
+  const Pricing p;
+  EXPECT_DOUBLE_EQ(p.VmHour(InstanceType::kLarge), 0.34);
+  EXPECT_DOUBLE_EQ(p.VmHour(InstanceType::kExtraLarge), 0.68);
+}
+
+}  // namespace
+}  // namespace webdex::cloud

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/xquery.h"
+
+namespace webdex::query {
+namespace {
+
+std::string Translate(std::string_view text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return ToXQuery(q.value());
+}
+
+TEST(XQueryTest, SingleNodePattern) {
+  const std::string xq = Translate("//painting:val");
+  EXPECT_NE(xq.find("for $p0n0 in collection(\"webdex\")//painting"),
+            std::string::npos)
+      << xq;
+  EXPECT_NE(xq.find("return <row><col>{string($p0n0)}</col></row>"),
+            std::string::npos)
+      << xq;
+  EXPECT_EQ(xq.find("where"), std::string::npos);
+}
+
+TEST(XQueryTest, ChildAxisRootAnchorsAtDocumentElement) {
+  const std::string xq = Translate("/site");
+  EXPECT_NE(xq.find("collection(\"webdex\")/site"), std::string::npos);
+}
+
+TEST(XQueryTest, PaperQ1BindsEveryNode) {
+  const std::string xq =
+      Translate("//painting[/name:val, //painter/name:val]");
+  EXPECT_NE(xq.find("$p0n1 in $p0n0/name"), std::string::npos) << xq;
+  EXPECT_NE(xq.find("$p0n2 in $p0n0//painter"), std::string::npos) << xq;
+  EXPECT_NE(xq.find("$p0n3 in $p0n2/name"), std::string::npos) << xq;
+  EXPECT_NE(xq.find("<col>{string($p0n1)}</col>"
+                    "<col>{string($p0n3)}</col>"),
+            std::string::npos)
+      << xq;
+}
+
+TEST(XQueryTest, PredicatesBecomeWhereConjuncts) {
+  const std::string xq = Translate(
+      "//painting[/year='1854', /name~'Lion', "
+      "/price in(10,20]]");
+  EXPECT_NE(xq.find("where string($p0n1) = \"1854\""), std::string::npos)
+      << xq;
+  EXPECT_NE(xq.find("and contains(string($p0n2), \"Lion\")"),
+            std::string::npos)
+      << xq;
+  EXPECT_NE(xq.find("and number($p0n3) gt 10 and number($p0n3) le 20"),
+            std::string::npos)
+      << xq;
+}
+
+TEST(XQueryTest, AttributesUseAtSign) {
+  const std::string xq = Translate("//item[/@id:val]");
+  EXPECT_NE(xq.find("$p0n1 in $p0n0/@id"), std::string::npos) << xq;
+}
+
+TEST(XQueryTest, ContProjectsTheNodeItself) {
+  const std::string xq = Translate("//painting/description:cont");
+  EXPECT_NE(xq.find("<col>{$p0n1}</col>"), std::string::npos) << xq;
+  EXPECT_EQ(xq.find("{string($p0n1)}"), std::string::npos) << xq;
+}
+
+TEST(XQueryTest, ValueJoinBecomesStringEquality) {
+  const std::string xq = Translate(
+      "//museum[/painting/@id#x]; //painting[/@id#y] where #x=#y");
+  EXPECT_NE(xq.find("$p1n0 in collection(\"webdex\")//painting"),
+            std::string::npos)
+      << xq;
+  EXPECT_NE(xq.find("string($p0n2) = string($p1n1)"), std::string::npos)
+      << xq;
+}
+
+TEST(XQueryTest, CustomCollectionName) {
+  auto q = ParseQuery("//a");
+  ASSERT_TRUE(q.ok());
+  const std::string xq = ToXQuery(q.value(), "prod-corpus");
+  EXPECT_NE(xq.find("collection(\"prod-corpus\")//a"), std::string::npos);
+}
+
+TEST(XQueryTest, QuotesEscapedInLiterals) {
+  auto q = ParseQuery("//a='x'");
+  ASSERT_TRUE(q.ok());
+  // Force a constant containing a double quote via the AST directly.
+  // (The text syntax cannot express one; the translator must still
+  // escape it.)
+  Query query = std::move(q).value();
+  const_cast<PatternNode*>(query.patterns()[0].nodes()[0])
+      ->predicate.constant = "say \"hi\"";
+  const std::string xq = ToXQuery(query);
+  EXPECT_NE(xq.find("\"say \"\"hi\"\"\""), std::string::npos) << xq;
+}
+
+TEST(XQueryTest, PaperExampleFromHeaderComment) {
+  const std::string xq =
+      Translate("//painting[/name~'Lion', //painter/name/last:val]");
+  EXPECT_NE(xq.find("contains(string($p0n1), \"Lion\")"),
+            std::string::npos)
+      << xq;
+  EXPECT_NE(xq.find("<row><col>{string($p0n4)}</col></row>"),
+            std::string::npos)
+      << xq;
+}
+
+}  // namespace
+}  // namespace webdex::query

@@ -1,0 +1,448 @@
+// webdex_cli — interactive driver for the simulated warehouse.
+//
+// Reads commands from stdin (or from a script file given as argv[1]);
+// `help` lists them.  A typical session:
+//
+//   $ ./webdex_cli
+//   webdex> strategy LUP
+//   webdex> open
+//   webdex> gen 60
+//   webdex> index
+//   webdex> query //item[/name:val, /mailbox/mail]
+//   webdex> bill
+//   webdex> quit
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "cloud/cloud_env.h"
+#include "cloud/snapshot.h"
+#include "common/strings.h"
+#include "cost/cost_model.h"
+#include "engine/warehouse.h"
+#include "index/summary.h"
+#include "query/parser.h"
+#include "query/xquery.h"
+#include "xmark/xmark_generator.h"
+#include "xml/parser.h"
+
+namespace webdex::tools {
+namespace {
+
+class Cli {
+ public:
+  explicit Cli(bool interactive) : interactive_(interactive) {}
+
+  int Run(std::istream& in) {
+    if (interactive_) PrintBanner();
+    std::string line;
+    while (Prompt(), std::getline(in, line)) {
+      if (!Dispatch(line)) break;
+    }
+    return 0;
+  }
+
+ private:
+  void PrintBanner() {
+    std::printf(
+        "webdex — Web data indexing in the (simulated) cloud.\n"
+        "Type 'help' for commands.\n");
+  }
+
+  void Prompt() {
+    if (interactive_) {
+      std::printf("webdex> ");
+      std::fflush(stdout);
+    }
+  }
+
+  // Returns false to quit.
+  bool Dispatch(const std::string& line) {
+    std::istringstream input(line);
+    std::string command;
+    if (!(input >> command) || command[0] == '#') return true;
+    std::string rest;
+    std::getline(input, rest);
+    rest = std::string(Trim(rest));
+
+    if (command == "quit" || command == "exit") return false;
+    if (command == "help") {
+      Help();
+    } else if (command == "strategy") {
+      SetStrategy(rest);
+    } else if (command == "backend") {
+      SetBackend(rest);
+    } else if (command == "instances") {
+      config_.num_instances = std::max(1, std::atoi(rest.c_str()));
+      std::printf("fleet: %d instance(s)\n", config_.num_instances);
+    } else if (command == "type") {
+      config_.instance_type = (rest == "XL" || rest == "xl")
+                                  ? cloud::InstanceType::kExtraLarge
+                                  : cloud::InstanceType::kLarge;
+      std::printf("instance type: %s\n",
+                  cloud::InstanceTypeName(config_.instance_type));
+    } else if (command == "open") {
+      Open();
+    } else if (command == "load") {
+      Load(rest);
+    } else if (command == "loaddir") {
+      LoadDir(rest);
+    } else if (command == "gen") {
+      Generate(rest);
+    } else if (command == "index") {
+      Index();
+    } else if (command == "query") {
+      RunQuery(rest);
+    } else if (command == "xquery") {
+      ShowXQuery(rest);
+    } else if (command == "advise") {
+      Advise(rest);
+    } else if (command == "save") {
+      Save(rest);
+    } else if (command == "restore") {
+      Restore(rest);
+    } else if (command == "bill") {
+      Bill();
+    } else if (command == "stats") {
+      Stats();
+    } else if (command == "docs") {
+      Docs();
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", command.c_str());
+    }
+    return true;
+  }
+
+  void Help() {
+    std::printf(
+        "  strategy LU|LUP|LUI|2LUPI|none   pick the indexing strategy\n"
+        "  backend dynamodb|simpledb        pick the index store\n"
+        "  instances <n>                    fleet size\n"
+        "  type L|XL                        instance type\n"
+        "  open                             create the warehouse\n"
+        "  load <uri> <file.xml>            load one local XML file\n"
+        "  loaddir <dir>                    load every .xml file in a dir\n"
+        "  gen <n> [entities] [split]       generate an XMark corpus\n"
+        "  index                            run the indexing fleet\n"
+        "  query <tree pattern query>       evaluate a query\n"
+        "  xquery <tree pattern query>      show the XQuery translation\n"
+        "  advise <query>                   LUP-vs-LUI advice from stats\n"
+        "  save <file>                      snapshot S3+index to disk\n"
+        "  restore <file>                   reopen a saved snapshot\n"
+        "  bill | stats | docs              inspect the deployment\n"
+        "  quit\n");
+  }
+
+  void SetStrategy(const std::string& name) {
+    if (name == "none") {
+      config_.use_index = false;
+      std::printf("strategy: none (full scans)\n");
+      return;
+    }
+    config_.use_index = true;
+    for (index::StrategyKind kind : index::AllStrategyKinds()) {
+      if (name == index::StrategyKindName(kind)) {
+        config_.strategy = kind;
+        std::printf("strategy: %s\n", name.c_str());
+        return;
+      }
+    }
+    std::printf("unknown strategy '%s'\n", name.c_str());
+  }
+
+  void SetBackend(const std::string& name) {
+    config_.backend = (name == "simpledb") ? engine::IndexBackend::kSimpleDb
+                                           : engine::IndexBackend::kDynamoDb;
+    std::printf("index backend: %s\n",
+                config_.backend == engine::IndexBackend::kSimpleDb
+                    ? "SimpleDB"
+                    : "DynamoDB");
+  }
+
+  bool Opened() {
+    if (warehouse_ == nullptr) {
+      std::printf("no warehouse — run 'open' first\n");
+      return false;
+    }
+    return true;
+  }
+
+  void Open() {
+    if (warehouse_ != nullptr) {
+      std::printf("warehouse already open\n");
+      return;
+    }
+    env_ = std::make_unique<cloud::CloudEnv>();
+    warehouse_ = std::make_unique<engine::Warehouse>(env_.get(), config_);
+    if (auto status = warehouse_->Setup(); !status.ok()) {
+      std::printf("setup failed: %s\n", status.ToString().c_str());
+      warehouse_.reset();
+      env_.reset();
+      return;
+    }
+    std::printf("warehouse open (%s, %d x %s, %s)\n",
+                config_.use_index
+                    ? index::StrategyKindName(config_.strategy)
+                    : "no index",
+                config_.num_instances,
+                cloud::InstanceTypeName(config_.instance_type),
+                config_.backend == engine::IndexBackend::kSimpleDb
+                    ? "SimpleDB"
+                    : "DynamoDB");
+  }
+
+  void Submit(const std::string& uri, std::string text) {
+    // Feed the statistics summary before the text is moved out.
+    if (auto doc = xml::ParseDocument(uri, text); doc.ok()) {
+      summary_.AddDocument(index::ExtractDocIndex(doc.value()));
+    }
+    if (auto status = warehouse_->SubmitDocument(uri, std::move(text));
+        !status.ok()) {
+      std::printf("load %s failed: %s\n", uri.c_str(),
+                  status.ToString().c_str());
+    }
+  }
+
+  void Load(const std::string& args) {
+    if (!Opened()) return;
+    std::istringstream input(args);
+    std::string uri, path;
+    if (!(input >> uri >> path)) {
+      std::printf("usage: load <uri> <file.xml>\n");
+      return;
+    }
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      std::printf("cannot open %s\n", path.c_str());
+      return;
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    Submit(uri, std::move(contents).str());
+    std::printf("loaded %s (%zu documents total)\n", uri.c_str(),
+                warehouse_->document_uris().size());
+  }
+
+  void LoadDir(const std::string& dir) {
+    if (!Opened()) return;
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    size_t loaded = 0;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".xml") {
+        continue;
+      }
+      std::ifstream file(entry.path(), std::ios::binary);
+      if (!file) continue;
+      std::ostringstream contents;
+      contents << file.rdbuf();
+      Submit(entry.path().filename().string(), std::move(contents).str());
+      ++loaded;
+    }
+    if (ec) {
+      std::printf("cannot read %s: %s\n", dir.c_str(),
+                  ec.message().c_str());
+      return;
+    }
+    std::printf("loaded %zu file(s) from %s\n", loaded, dir.c_str());
+  }
+
+  void Generate(const std::string& args) {
+    if (!Opened()) return;
+    std::istringstream input(args);
+    xmark::GeneratorConfig corpus;
+    corpus.num_documents = 60;
+    corpus.entities_per_document = 40;
+    input >> corpus.num_documents >> corpus.entities_per_document;
+    std::string mode;
+    input >> mode;
+    corpus.split_sections = mode != "full";
+    xmark::XmarkGenerator generator(corpus);
+    for (int i = 0; i < corpus.num_documents; ++i) {
+      auto doc = generator.Generate(i);
+      Submit(doc.uri, std::move(doc.text));
+    }
+    std::printf("generated %d XMark documents (%.1f MB)\n",
+                corpus.num_documents,
+                static_cast<double>(warehouse_->data_bytes()) / (1 << 20));
+  }
+
+  void Index() {
+    if (!Opened()) return;
+    auto report = warehouse_->RunIndexers();
+    if (!report.ok()) {
+      std::printf("indexing failed: %s\n",
+                  report.status().ToString().c_str());
+      return;
+    }
+    std::printf(
+        "indexed %llu documents in %.2f virtual s "
+        "(index %.1f MB + %.1f MB overhead)\n",
+        (unsigned long long)report.value().documents,
+        static_cast<double>(report.value().makespan) / 1e6,
+        static_cast<double>(warehouse_->IndexRawBytes()) / (1 << 20),
+        static_cast<double>(warehouse_->IndexOverheadBytes()) / (1 << 20));
+  }
+
+  void RunQuery(const std::string& text) {
+    if (!Opened()) return;
+    if (text.empty()) {
+      std::printf("usage: query <tree pattern query>\n");
+      return;
+    }
+    const cloud::Usage before = env_->meter().Snapshot();
+    auto outcome = warehouse_->ExecuteQuery(text);
+    if (!outcome.ok()) {
+      std::printf("query failed: %s\n", outcome.status().ToString().c_str());
+      return;
+    }
+    const double dollars =
+        env_->meter().ComputeBill(env_->meter().Snapshot() - before).total();
+    std::printf("%zu row(s); fetched %llu docs in %.3f virtual s for "
+                "$%.6f\n",
+                outcome.value().result.rows.size(),
+                (unsigned long long)outcome.value().docs_fetched,
+                static_cast<double>(outcome.value().timings.total) / 1e6,
+                dollars);
+    const size_t limit = 10;
+    for (size_t r = 0; r < outcome.value().result.rows.size(); ++r) {
+      if (r == limit) {
+        std::printf("  ... (%zu more)\n",
+                    outcome.value().result.rows.size() - limit);
+        break;
+      }
+      std::string row;
+      for (const auto& col : outcome.value().result.rows[r]) {
+        if (!row.empty()) row += " | ";
+        row += col.substr(0, 60);
+      }
+      std::printf("  %s\n", row.c_str());
+    }
+  }
+
+  void ShowXQuery(const std::string& text) {
+    auto query = query::ParseQuery(text);
+    if (!query.ok()) {
+      std::printf("parse failed: %s\n", query.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s\n", query::ToXQuery(query.value()).c_str());
+  }
+
+  void Advise(const std::string& text) {
+    auto query = query::ParseQuery(text);
+    if (!query.ok()) {
+      std::printf("parse failed: %s\n", query.status().ToString().c_str());
+      return;
+    }
+    if (summary_.documents() == 0) {
+      std::printf("no statistics yet — load documents first\n");
+      return;
+    }
+    for (const auto& pattern : query.value().patterns()) {
+      const auto advice = summary_.AdviseLookup(pattern);
+      std::printf("%s -> %s (%s)\n", pattern.ToString().c_str(),
+                  index::StrategyKindName(advice.lookup),
+                  advice.reason.c_str());
+    }
+  }
+
+  void Save(const std::string& path) {
+    if (!Opened()) return;
+    if (path.empty()) {
+      std::printf("usage: save <file>\n");
+      return;
+    }
+    if (auto status = cloud::SaveSnapshotFile(*env_, path); !status.ok()) {
+      std::printf("save failed: %s\n", status.ToString().c_str());
+      return;
+    }
+    std::printf("snapshot written to %s\n", path.c_str());
+  }
+
+  void Restore(const std::string& path) {
+    if (warehouse_ != nullptr) {
+      std::printf("a warehouse is already open — restart to restore\n");
+      return;
+    }
+    auto env = std::make_unique<cloud::CloudEnv>();
+    if (auto status = cloud::LoadSnapshotFile(path, env.get());
+        !status.ok()) {
+      std::printf("restore failed: %s\n", status.ToString().c_str());
+      return;
+    }
+    env_ = std::move(env);
+    warehouse_ = std::make_unique<engine::Warehouse>(env_.get(), config_);
+    if (auto status = warehouse_->AttachToExistingCloud(); !status.ok()) {
+      std::printf("attach failed: %s\n", status.ToString().c_str());
+      warehouse_.reset();
+      env_.reset();
+      return;
+    }
+    std::printf("restored %zu documents (%.1f MB) from %s\n",
+                warehouse_->document_uris().size(),
+                static_cast<double>(warehouse_->data_bytes()) / (1 << 20),
+                path.c_str());
+  }
+
+  void Bill() {
+    if (!Opened()) return;
+    std::printf("%s", env_->meter().ComputeBill().ToString().c_str());
+  }
+
+  void Stats() {
+    if (!Opened()) return;
+    const cloud::Usage& usage = env_->meter().usage();
+    std::printf(
+        "documents: %zu (%.1f MB)   distinct paths: %llu\n"
+        "S3: %llu put / %llu get   DynamoDB: %llu put / %llu get "
+        "(%.0f WU / %.0f RU)   SQS: %llu\n"
+        "virtual front-end clock: %.2f s\n",
+        warehouse_->document_uris().size(),
+        static_cast<double>(warehouse_->data_bytes()) / (1 << 20),
+        (unsigned long long)summary_.distinct_paths(),
+        (unsigned long long)usage.s3_put_requests,
+        (unsigned long long)usage.s3_get_requests,
+        (unsigned long long)usage.ddb_put_requests,
+        (unsigned long long)usage.ddb_get_requests, usage.ddb_write_units,
+        usage.ddb_read_units, (unsigned long long)usage.sqs_requests,
+        static_cast<double>(warehouse_->front_end().now()) / 1e6);
+  }
+
+  void Docs() {
+    if (!Opened()) return;
+    const auto& uris = warehouse_->document_uris();
+    for (size_t i = 0; i < uris.size() && i < 20; ++i) {
+      std::printf("  %s\n", uris[i].c_str());
+    }
+    if (uris.size() > 20) std::printf("  ... (%zu more)\n", uris.size() - 20);
+  }
+
+  bool interactive_;
+  engine::WarehouseConfig config_;
+  std::unique_ptr<cloud::CloudEnv> env_;
+  std::unique_ptr<engine::Warehouse> warehouse_;
+  index::PathSummary summary_;
+};
+
+}  // namespace
+}  // namespace webdex::tools
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::ifstream script(argv[1]);
+    if (!script) {
+      std::fprintf(stderr, "cannot open script %s\n", argv[1]);
+      return 1;
+    }
+    webdex::tools::Cli cli(/*interactive=*/false);
+    return cli.Run(script);
+  }
+  webdex::tools::Cli cli(/*interactive=*/true);
+  return cli.Run(std::cin);
+}
