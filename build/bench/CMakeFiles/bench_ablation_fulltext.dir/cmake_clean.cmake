@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fulltext.dir/bench_ablation_fulltext.cc.o"
+  "CMakeFiles/bench_ablation_fulltext.dir/bench_ablation_fulltext.cc.o.d"
+  "bench_ablation_fulltext"
+  "bench_ablation_fulltext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fulltext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

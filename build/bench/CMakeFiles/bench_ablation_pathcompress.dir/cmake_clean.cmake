@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pathcompress.dir/bench_ablation_pathcompress.cc.o"
+  "CMakeFiles/bench_ablation_pathcompress.dir/bench_ablation_pathcompress.cc.o.d"
+  "bench_ablation_pathcompress"
+  "bench_ablation_pathcompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pathcompress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_query_details.dir/bench_table5_query_details.cc.o"
+  "CMakeFiles/bench_table5_query_details.dir/bench_table5_query_details.cc.o.d"
+  "bench_table5_query_details"
+  "bench_table5_query_details.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_query_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_8_simpledb.dir/bench_table7_8_simpledb.cc.o"
+  "CMakeFiles/bench_table7_8_simpledb.dir/bench_table7_8_simpledb.cc.o.d"
+  "bench_table7_8_simpledb"
+  "bench_table7_8_simpledb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_8_simpledb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

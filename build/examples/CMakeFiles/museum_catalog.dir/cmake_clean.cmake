@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/museum_catalog.dir/museum_catalog.cpp.o"
+  "CMakeFiles/museum_catalog.dir/museum_catalog.cpp.o.d"
+  "museum_catalog"
+  "museum_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/museum_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_warehouse.dir/xmark_warehouse.cpp.o"
+  "CMakeFiles/xmark_warehouse.dir/xmark_warehouse.cpp.o.d"
+  "xmark_warehouse"
+  "xmark_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cluster.cc" "src/cloud/CMakeFiles/webdex_cloud.dir/cluster.cc.o" "gcc" "src/cloud/CMakeFiles/webdex_cloud.dir/cluster.cc.o.d"
+  "/root/repo/src/cloud/dynamodb.cc" "src/cloud/CMakeFiles/webdex_cloud.dir/dynamodb.cc.o" "gcc" "src/cloud/CMakeFiles/webdex_cloud.dir/dynamodb.cc.o.d"
+  "/root/repo/src/cloud/instance.cc" "src/cloud/CMakeFiles/webdex_cloud.dir/instance.cc.o" "gcc" "src/cloud/CMakeFiles/webdex_cloud.dir/instance.cc.o.d"
+  "/root/repo/src/cloud/kv_store.cc" "src/cloud/CMakeFiles/webdex_cloud.dir/kv_store.cc.o" "gcc" "src/cloud/CMakeFiles/webdex_cloud.dir/kv_store.cc.o.d"
+  "/root/repo/src/cloud/object_store.cc" "src/cloud/CMakeFiles/webdex_cloud.dir/object_store.cc.o" "gcc" "src/cloud/CMakeFiles/webdex_cloud.dir/object_store.cc.o.d"
+  "/root/repo/src/cloud/pricing.cc" "src/cloud/CMakeFiles/webdex_cloud.dir/pricing.cc.o" "gcc" "src/cloud/CMakeFiles/webdex_cloud.dir/pricing.cc.o.d"
+  "/root/repo/src/cloud/queue_service.cc" "src/cloud/CMakeFiles/webdex_cloud.dir/queue_service.cc.o" "gcc" "src/cloud/CMakeFiles/webdex_cloud.dir/queue_service.cc.o.d"
+  "/root/repo/src/cloud/simpledb.cc" "src/cloud/CMakeFiles/webdex_cloud.dir/simpledb.cc.o" "gcc" "src/cloud/CMakeFiles/webdex_cloud.dir/simpledb.cc.o.d"
+  "/root/repo/src/cloud/snapshot.cc" "src/cloud/CMakeFiles/webdex_cloud.dir/snapshot.cc.o" "gcc" "src/cloud/CMakeFiles/webdex_cloud.dir/snapshot.cc.o.d"
+  "/root/repo/src/cloud/usage.cc" "src/cloud/CMakeFiles/webdex_cloud.dir/usage.cc.o" "gcc" "src/cloud/CMakeFiles/webdex_cloud.dir/usage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/webdex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdex_cloud.dir/cluster.cc.o"
+  "CMakeFiles/webdex_cloud.dir/cluster.cc.o.d"
+  "CMakeFiles/webdex_cloud.dir/dynamodb.cc.o"
+  "CMakeFiles/webdex_cloud.dir/dynamodb.cc.o.d"
+  "CMakeFiles/webdex_cloud.dir/instance.cc.o"
+  "CMakeFiles/webdex_cloud.dir/instance.cc.o.d"
+  "CMakeFiles/webdex_cloud.dir/kv_store.cc.o"
+  "CMakeFiles/webdex_cloud.dir/kv_store.cc.o.d"
+  "CMakeFiles/webdex_cloud.dir/object_store.cc.o"
+  "CMakeFiles/webdex_cloud.dir/object_store.cc.o.d"
+  "CMakeFiles/webdex_cloud.dir/pricing.cc.o"
+  "CMakeFiles/webdex_cloud.dir/pricing.cc.o.d"
+  "CMakeFiles/webdex_cloud.dir/queue_service.cc.o"
+  "CMakeFiles/webdex_cloud.dir/queue_service.cc.o.d"
+  "CMakeFiles/webdex_cloud.dir/simpledb.cc.o"
+  "CMakeFiles/webdex_cloud.dir/simpledb.cc.o.d"
+  "CMakeFiles/webdex_cloud.dir/snapshot.cc.o"
+  "CMakeFiles/webdex_cloud.dir/snapshot.cc.o.d"
+  "CMakeFiles/webdex_cloud.dir/usage.cc.o"
+  "CMakeFiles/webdex_cloud.dir/usage.cc.o.d"
+  "libwebdex_cloud.a"
+  "libwebdex_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdex_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdex_common.dir/rng.cc.o"
+  "CMakeFiles/webdex_common.dir/rng.cc.o.d"
+  "CMakeFiles/webdex_common.dir/status.cc.o"
+  "CMakeFiles/webdex_common.dir/status.cc.o.d"
+  "CMakeFiles/webdex_common.dir/strings.cc.o"
+  "CMakeFiles/webdex_common.dir/strings.cc.o.d"
+  "CMakeFiles/webdex_common.dir/varint.cc.o"
+  "CMakeFiles/webdex_common.dir/varint.cc.o.d"
+  "libwebdex_common.a"
+  "libwebdex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

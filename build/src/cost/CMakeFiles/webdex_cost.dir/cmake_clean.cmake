@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdex_cost.dir/advisor.cc.o"
+  "CMakeFiles/webdex_cost.dir/advisor.cc.o.d"
+  "CMakeFiles/webdex_cost.dir/cost_model.cc.o"
+  "CMakeFiles/webdex_cost.dir/cost_model.cc.o.d"
+  "libwebdex_cost.a"
+  "libwebdex_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdex_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

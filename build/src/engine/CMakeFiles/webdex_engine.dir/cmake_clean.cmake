@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdex_engine.dir/message.cc.o"
+  "CMakeFiles/webdex_engine.dir/message.cc.o.d"
+  "CMakeFiles/webdex_engine.dir/warehouse.cc.o"
+  "CMakeFiles/webdex_engine.dir/warehouse.cc.o.d"
+  "libwebdex_engine.a"
+  "libwebdex_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdex_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

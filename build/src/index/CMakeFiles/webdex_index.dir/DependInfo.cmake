@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/entry.cc" "src/index/CMakeFiles/webdex_index.dir/entry.cc.o" "gcc" "src/index/CMakeFiles/webdex_index.dir/entry.cc.o.d"
+  "/root/repo/src/index/key_twig.cc" "src/index/CMakeFiles/webdex_index.dir/key_twig.cc.o" "gcc" "src/index/CMakeFiles/webdex_index.dir/key_twig.cc.o.d"
+  "/root/repo/src/index/keys.cc" "src/index/CMakeFiles/webdex_index.dir/keys.cc.o" "gcc" "src/index/CMakeFiles/webdex_index.dir/keys.cc.o.d"
+  "/root/repo/src/index/path_match.cc" "src/index/CMakeFiles/webdex_index.dir/path_match.cc.o" "gcc" "src/index/CMakeFiles/webdex_index.dir/path_match.cc.o.d"
+  "/root/repo/src/index/strategy.cc" "src/index/CMakeFiles/webdex_index.dir/strategy.cc.o" "gcc" "src/index/CMakeFiles/webdex_index.dir/strategy.cc.o.d"
+  "/root/repo/src/index/summary.cc" "src/index/CMakeFiles/webdex_index.dir/summary.cc.o" "gcc" "src/index/CMakeFiles/webdex_index.dir/summary.cc.o.d"
+  "/root/repo/src/index/twig_join.cc" "src/index/CMakeFiles/webdex_index.dir/twig_join.cc.o" "gcc" "src/index/CMakeFiles/webdex_index.dir/twig_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/webdex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/webdex_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/webdex_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/webdex_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

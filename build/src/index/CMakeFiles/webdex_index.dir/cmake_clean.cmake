@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdex_index.dir/entry.cc.o"
+  "CMakeFiles/webdex_index.dir/entry.cc.o.d"
+  "CMakeFiles/webdex_index.dir/key_twig.cc.o"
+  "CMakeFiles/webdex_index.dir/key_twig.cc.o.d"
+  "CMakeFiles/webdex_index.dir/keys.cc.o"
+  "CMakeFiles/webdex_index.dir/keys.cc.o.d"
+  "CMakeFiles/webdex_index.dir/path_match.cc.o"
+  "CMakeFiles/webdex_index.dir/path_match.cc.o.d"
+  "CMakeFiles/webdex_index.dir/strategy.cc.o"
+  "CMakeFiles/webdex_index.dir/strategy.cc.o.d"
+  "CMakeFiles/webdex_index.dir/summary.cc.o"
+  "CMakeFiles/webdex_index.dir/summary.cc.o.d"
+  "CMakeFiles/webdex_index.dir/twig_join.cc.o"
+  "CMakeFiles/webdex_index.dir/twig_join.cc.o.d"
+  "libwebdex_index.a"
+  "libwebdex_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdex_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

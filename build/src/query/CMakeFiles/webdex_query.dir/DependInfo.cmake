@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/evaluator.cc" "src/query/CMakeFiles/webdex_query.dir/evaluator.cc.o" "gcc" "src/query/CMakeFiles/webdex_query.dir/evaluator.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/webdex_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/webdex_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/tree_pattern.cc" "src/query/CMakeFiles/webdex_query.dir/tree_pattern.cc.o" "gcc" "src/query/CMakeFiles/webdex_query.dir/tree_pattern.cc.o.d"
+  "/root/repo/src/query/xquery.cc" "src/query/CMakeFiles/webdex_query.dir/xquery.cc.o" "gcc" "src/query/CMakeFiles/webdex_query.dir/xquery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/webdex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/webdex_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdex_query.dir/evaluator.cc.o"
+  "CMakeFiles/webdex_query.dir/evaluator.cc.o.d"
+  "CMakeFiles/webdex_query.dir/parser.cc.o"
+  "CMakeFiles/webdex_query.dir/parser.cc.o.d"
+  "CMakeFiles/webdex_query.dir/tree_pattern.cc.o"
+  "CMakeFiles/webdex_query.dir/tree_pattern.cc.o.d"
+  "CMakeFiles/webdex_query.dir/xquery.cc.o"
+  "CMakeFiles/webdex_query.dir/xquery.cc.o.d"
+  "libwebdex_query.a"
+  "libwebdex_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdex_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmark/paintings.cc" "src/xmark/CMakeFiles/webdex_xmark.dir/paintings.cc.o" "gcc" "src/xmark/CMakeFiles/webdex_xmark.dir/paintings.cc.o.d"
+  "/root/repo/src/xmark/xmark_generator.cc" "src/xmark/CMakeFiles/webdex_xmark.dir/xmark_generator.cc.o" "gcc" "src/xmark/CMakeFiles/webdex_xmark.dir/xmark_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/webdex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/webdex_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

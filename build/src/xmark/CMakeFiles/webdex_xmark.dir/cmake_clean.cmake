@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdex_xmark.dir/paintings.cc.o"
+  "CMakeFiles/webdex_xmark.dir/paintings.cc.o.d"
+  "CMakeFiles/webdex_xmark.dir/xmark_generator.cc.o"
+  "CMakeFiles/webdex_xmark.dir/xmark_generator.cc.o.d"
+  "libwebdex_xmark.a"
+  "libwebdex_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdex_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

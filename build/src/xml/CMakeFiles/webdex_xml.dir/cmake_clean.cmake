@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdex_xml.dir/dom.cc.o"
+  "CMakeFiles/webdex_xml.dir/dom.cc.o.d"
+  "CMakeFiles/webdex_xml.dir/parser.cc.o"
+  "CMakeFiles/webdex_xml.dir/parser.cc.o.d"
+  "CMakeFiles/webdex_xml.dir/serializer.cc.o"
+  "CMakeFiles/webdex_xml.dir/serializer.cc.o.d"
+  "CMakeFiles/webdex_xml.dir/tokenizer.cc.o"
+  "CMakeFiles/webdex_xml.dir/tokenizer.cc.o.d"
+  "libwebdex_xml.a"
+  "libwebdex_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdex_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamodb_test.dir/dynamodb_test.cc.o"
+  "CMakeFiles/dynamodb_test.dir/dynamodb_test.cc.o.d"
+  "dynamodb_test"
+  "dynamodb_test.pdb"
+  "dynamodb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamodb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

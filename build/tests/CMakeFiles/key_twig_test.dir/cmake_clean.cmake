@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_twig_test.dir/key_twig_test.cc.o"
+  "CMakeFiles/key_twig_test.dir/key_twig_test.cc.o.d"
+  "key_twig_test"
+  "key_twig_test.pdb"
+  "key_twig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_twig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

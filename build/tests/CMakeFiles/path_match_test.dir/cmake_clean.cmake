@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_match_test.dir/path_match_test.cc.o"
+  "CMakeFiles/path_match_test.dir/path_match_test.cc.o.d"
+  "path_match_test"
+  "path_match_test.pdb"
+  "path_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

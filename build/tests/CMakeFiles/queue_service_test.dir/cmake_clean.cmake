@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_service_test.dir/queue_service_test.cc.o"
+  "CMakeFiles/queue_service_test.dir/queue_service_test.cc.o.d"
+  "queue_service_test"
+  "queue_service_test.pdb"
+  "queue_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

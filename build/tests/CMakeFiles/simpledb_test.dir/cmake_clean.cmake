@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpledb_test.dir/simpledb_test.cc.o"
+  "CMakeFiles/simpledb_test.dir/simpledb_test.cc.o.d"
+  "simpledb_test"
+  "simpledb_test.pdb"
+  "simpledb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpledb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/summary_test.cc" "tests/CMakeFiles/summary_test.dir/summary_test.cc.o" "gcc" "tests/CMakeFiles/summary_test.dir/summary_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xmark/CMakeFiles/webdex_xmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/webdex_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/webdex_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/webdex_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/webdex_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/webdex_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/webdex_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/webdex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_join_test.dir/twig_join_test.cc.o"
+  "CMakeFiles/twig_join_test.dir/twig_join_test.cc.o.d"
+  "twig_join_test"
+  "twig_join_test.pdb"
+  "twig_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/object_store_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_service_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamodb_test[1]_include.cmake")
+include("/root/repo/build/tests/simpledb_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/dom_test[1]_include.cmake")
+include("/root/repo/build/tests/xmark_test[1]_include.cmake")
+include("/root/repo/build/tests/query_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/xquery_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/extract_test[1]_include.cmake")
+include("/root/repo/build/tests/key_twig_test[1]_include.cmake")
+include("/root/repo/build/tests/message_test[1]_include.cmake")
+include("/root/repo/build/tests/usage_test[1]_include.cmake")
+include("/root/repo/build/tests/twig_join_test[1]_include.cmake")
+include("/root/repo/build/tests/path_match_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_property_test[1]_include.cmake")
+include("/root/repo/build/tests/strategy_test[1]_include.cmake")
+include("/root/repo/build/tests/summary_test[1]_include.cmake")
+include("/root/repo/build/tests/warehouse_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdex_cli.dir/webdex_cli.cc.o"
+  "CMakeFiles/webdex_cli.dir/webdex_cli.cc.o.d"
+  "webdex_cli"
+  "webdex_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
