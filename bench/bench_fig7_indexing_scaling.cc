@@ -41,6 +41,15 @@ void BM_IndexingScaling(benchmark::State& state) {
     state.counters["corpus_MB"] =
         static_cast<double>(point.corpus_bytes) / (1024.0 * 1024.0);
     state.counters["index_s"] = static_cast<double>(point.total) / 1e6;
+    state.counters["wall_ms"] = d.indexing_wall_ms;
+    RecordJson(
+        StrFormat("fig7/%s/%d-%d", index::StrategyKindName(kind), step,
+                  kSteps),
+        {{"wall_ms", d.indexing_wall_ms},
+         {"host_threads", static_cast<double>(HostThreadsFromEnv())},
+         {"corpus_mb",
+          static_cast<double>(point.corpus_bytes) / (1024.0 * 1024.0)},
+         {"makespan_s", static_cast<double>(point.total) / 1e6}});
     Series()[index::StrategyKindName(kind)].push_back(point);
   }
   state.SetLabel(StrFormat("%s %d/%d corpus",
@@ -73,8 +82,10 @@ void PrintFigure() {
 }  // namespace webdex::bench
 
 int main(int argc, char** argv) {
+  webdex::bench::ParseJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   webdex::bench::PrintFigure();
+  webdex::bench::FlushJson();
   return 0;
 }

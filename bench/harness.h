@@ -1,10 +1,13 @@
 #ifndef WEBDEX_BENCH_HARNESS_H_
 #define WEBDEX_BENCH_HARNESS_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cloud/cloud_env.h"
@@ -110,6 +113,85 @@ inline const std::vector<std::string>& Workload() {
   return *queries;
 }
 
+/// Host threads for the warehouse's extraction pipeline (wall-clock
+/// only; virtual results are identical for every value).  Defaults to
+/// auto (one per core); override with WEBDEX_HOST_THREADS, e.g.
+/// WEBDEX_HOST_THREADS=1 for the legacy serial path when measuring the
+/// pipeline's speedup.
+inline int HostThreadsFromEnv() {
+  if (const char* threads = std::getenv("WEBDEX_HOST_THREADS")) {
+    return std::atoi(threads);
+  }
+  return 0;
+}
+
+// --- Machine-readable results (--json out.json) --------------------------
+//
+// Every bench main() may call ParseJsonFlag(&argc, argv) before
+// benchmark::Initialize and FlushJson() before exiting.  Rows recorded
+// with RecordJson land in one JSON array, ready for BENCH_*.json
+// trajectory tracking:
+//   [{"bench": "table4/LUP", "wall_ms": 512.3, "makespan_s": 190.1,
+//     "cost_dollars": 0.84, ...}, ...]
+
+struct JsonRow {
+  std::string bench;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+inline std::string& JsonOutputPath() {
+  static auto* path = new std::string();
+  return *path;
+}
+
+inline std::vector<JsonRow>& JsonRows() {
+  static auto* rows = new std::vector<JsonRow>();
+  return *rows;
+}
+
+/// Consumes `--json <path>` / `--json=<path>` from argv so the remaining
+/// flags can go to benchmark::Initialize untouched.
+inline void ParseJsonFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      JsonOutputPath() = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      JsonOutputPath() = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+inline void RecordJson(std::string bench,
+                       std::vector<std::pair<std::string, double>> metrics) {
+  JsonRows().push_back({std::move(bench), std::move(metrics)});
+}
+
+/// Writes the recorded rows to the --json path (no-op when unset).
+inline void FlushJson() {
+  if (JsonOutputPath().empty()) return;
+  std::FILE* out = std::fopen(JsonOutputPath().c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", JsonOutputPath().c_str());
+    return;
+  }
+  std::fprintf(out, "[\n");
+  for (size_t i = 0; i < JsonRows().size(); ++i) {
+    const JsonRow& row = JsonRows()[i];
+    std::fprintf(out, "  {\"bench\": \"%s\"", row.bench.c_str());
+    for (const auto& [name, value] : row.metrics) {
+      std::fprintf(out, ", \"%s\": %.6g", name.c_str(), value);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < JsonRows().size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("json results written to %s\n", JsonOutputPath().c_str());
+}
+
 /// A fully-loaded warehouse plus its private cloud.
 struct Deployment {
   std::unique_ptr<cloud::CloudEnv> env;
@@ -119,6 +201,10 @@ struct Deployment {
   cloud::Bill upload_bill;
   /// Charges for the index build phase only (Table 6's decomposition).
   cloud::Bill indexing_bill;
+  /// Host wall-clock spent inside RunIndexers() — the quantity the
+  /// host-parallel extraction pipeline shrinks (virtual results are
+  /// unaffected by it).
+  double indexing_wall_ms = 0;
 };
 
 /// Builds a warehouse over the benchmark corpus and (if `use_index`)
@@ -139,6 +225,7 @@ inline Deployment Deploy(index::StrategyKind strategy, bool use_index,
   config.instance_type = cloud::InstanceType::kLarge;  // build fleet
   config.backend = backend;
   config.extract.include_words = full_text;
+  config.host_threads = HostThreadsFromEnv();
   // Build phase uses large instances (paper Section 8.2: DynamoDB is the
   // bottleneck, so xl would not help); query phase re-deploys below.
   d.warehouse =
@@ -162,7 +249,12 @@ inline Deployment Deploy(index::StrategyKind strategy, bool use_index,
   d.upload_bill =
       d.env->meter().ComputeBill(before_indexing - before_upload);
   if (use_index) {
+    const auto wall_start = std::chrono::steady_clock::now();
     auto report = d.warehouse->RunIndexers();
+    d.indexing_wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
     if (!report.ok()) {
       std::fprintf(stderr, "indexing failed: %s\n",
                    report.status().ToString().c_str());

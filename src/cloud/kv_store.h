@@ -63,6 +63,13 @@ class KvStore {
       const std::vector<std::string>& hash_keys) = 0;
 
   // --- Store capability model -------------------------------------------
+  // Thread-safety contract: the capability queries below are consulted by
+  // IndexingStrategy::ExtractItems while sizing items, which the engine's
+  // host-parallel extraction pipeline runs on pooled threads concurrently
+  // with simulated traffic on the event-loop thread.  Implementations
+  // must therefore answer them from immutable configuration only — no
+  // billing, no virtual latency, no mutable state (the DynamoDB and
+  // SimpleDB simulations return compile-time constants).
   virtual const char* Name() const = 0;
   virtual uint64_t MaxItemBytes() const = 0;
   virtual uint64_t MaxValueBytes() const = 0;

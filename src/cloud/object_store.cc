@@ -123,6 +123,15 @@ bool ObjectStore::Exists(const std::string& bucket,
   return it != buckets_.end() && it->second.count(key) > 0;
 }
 
+const std::string* ObjectStore::PeekObject(const std::string& bucket,
+                                           const std::string& key) const {
+  auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) return nullptr;
+  auto object_it = bucket_it->second.find(key);
+  if (object_it == bucket_it->second.end()) return nullptr;
+  return &object_it->second;
+}
+
 Result<std::vector<std::string>> ObjectStore::List(
     SimAgent& agent, const std::string& bucket, const std::string& prefix) {
   auto it = buckets_.find(bucket);

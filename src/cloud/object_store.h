@@ -84,6 +84,15 @@ class ObjectStore {
   uint64_t ObjectCount(const std::string& bucket) const;
 
   // --- Host-side tooling (snapshots; not billed, no virtual latency) ----
+  /// Direct reference to an object's payload, or nullptr if absent.  Used
+  /// by the host-parallel extraction pipeline to read documents without
+  /// billing (the simulated GET is still issued — and billed — by the
+  /// instance when the event loop reaches the task).  Safe to call from
+  /// several host threads concurrently as long as no simulated agent is
+  /// mutating the bucket, which holds during an indexing run: loader
+  /// tasks only read the data bucket.
+  const std::string* PeekObject(const std::string& bucket,
+                                const std::string& key) const;
   /// Iterates every (bucket, key, payload) in deterministic order.
   void ForEachObject(
       const std::function<void(const std::string&, const std::string&,

@@ -109,4 +109,14 @@ size_t QueueService::Count(const std::string& queue) const {
   return it == queues_.end() ? 0 : it->second.size();
 }
 
+std::vector<std::string> QueueService::PeekBodies(
+    const std::string& queue) const {
+  std::vector<std::string> bodies;
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return bodies;
+  bodies.reserve(it->second.size());
+  for (const auto& msg : it->second) bodies.push_back(msg.body);
+  return bodies;
+}
+
 }  // namespace webdex::cloud

@@ -6,6 +6,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cloud/sim.h"
 #include "cloud/usage.h"
@@ -81,6 +82,12 @@ class QueueService {
 
   /// Number of undeleted messages (visible + in flight).  Metadata-only.
   size_t Count(const std::string& queue) const;
+
+  /// Bodies of every undeleted message (visible and in flight), oldest
+  /// first.  Metadata-only, not billed: host-side tooling used by the
+  /// extraction pipeline to speculate on upcoming work without touching
+  /// the at-least-once delivery protocol.
+  std::vector<std::string> PeekBodies(const std::string& queue) const;
 
  private:
   struct PendingMessage {

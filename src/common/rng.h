@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace webdex {
@@ -35,6 +36,14 @@ class Rng {
   /// Returns a fresh generator seeded from this one's stream; use to give
   /// sub-components independent deterministic streams.
   Rng Fork();
+
+  /// Generator whose stream depends only on (`base_seed`, `key`) — not on
+  /// how many values any other stream has drawn.  This is what makes
+  /// per-document work (UUID range keys, Section 6) reproducible no
+  /// matter which simulated instance, host thread, or retry processes the
+  /// document: seeding by the document URI pins the stream to the
+  /// document itself rather than to execution order.
+  static Rng ForKey(uint64_t base_seed, std::string_view key);
 
   /// RFC 4122 version-4 UUID string drawn from this stream, e.g.
   /// "a3e1f2c4-9b7d-4e1a-8f26-0c9d53ab1f40".  The paper (Section 6) uses

@@ -1,0 +1,46 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace webdex::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = std::max(1, num_threads);
+  threads_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Keep draining queued work during shutdown so every Submit()ed
+      // future is eventually satisfied.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // packaged_task catches exceptions and stores them in the future.
+    task();
+  }
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 2 : static_cast<int>(n);
+}
+
+}  // namespace webdex::common

@@ -1,0 +1,72 @@
+#ifndef WEBDEX_COMMON_THREAD_POOL_H_
+#define WEBDEX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace webdex::common {
+
+/// Fixed-size pool of host worker threads draining a FIFO work queue.
+///
+/// This is *host* parallelism only: it spends real CPU cores, never
+/// virtual time.  Simulated components (SimAgent clocks, the usage
+/// meter, queue/store billing) must never be touched from pooled tasks;
+/// see docs/PARALLELISM.md for the layering contract.
+///
+/// Tasks are arbitrary callables.  Submit() returns a std::future for
+/// the task's result; an exception thrown by the task is captured and
+/// rethrown from future::get() on the consuming thread, so worker
+/// threads never terminate the process.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues `fn` and returns the future of its result.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// Number of hardware threads, with a sane floor when the runtime
+  /// cannot tell (hardware_concurrency() may return 0).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace webdex::common
+
+#endif  // WEBDEX_COMMON_THREAD_POOL_H_

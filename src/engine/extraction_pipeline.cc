@@ -1,0 +1,74 @@
+#include "engine/extraction_pipeline.h"
+
+#include "common/rng.h"
+#include "xml/parser.h"
+
+namespace webdex::engine {
+
+ExtractionPipeline::ExtractionPipeline(common::ThreadPool* pool,
+                                       const index::IndexingStrategy* strategy,
+                                       const index::ExtractOptions& options,
+                                       const cloud::KvStore* store,
+                                       const cloud::ObjectStore* s3,
+                                       std::string bucket, uint64_t base_seed)
+    : pool_(pool),
+      strategy_(strategy),
+      options_(options),
+      store_(store),
+      s3_(s3),
+      bucket_(std::move(bucket)),
+      base_seed_(base_seed) {}
+
+ExtractionResult ExtractionPipeline::ExtractNow(
+    const std::string& uri, const std::string& xml_text,
+    const index::IndexingStrategy& strategy,
+    const index::ExtractOptions& options, const cloud::KvStore& store,
+    uint64_t base_seed) {
+  ExtractionResult out;
+  auto doc = xml::ParseDocument(uri, xml_text);
+  if (!doc.ok()) {
+    out.status = doc.status();
+    return out;
+  }
+  out.doc = std::make_shared<const xml::Document>(std::move(doc).value());
+  Rng uuid_rng = Rng::ForKey(base_seed, uri);
+  auto extracted =
+      strategy.ExtractItems(*out.doc, options, store, uuid_rng, &out.stats);
+  if (!extracted.ok()) {
+    out.status = extracted.status();
+    return out;
+  }
+  out.items = std::move(extracted).value();
+  return out;
+}
+
+void ExtractionPipeline::Prefetch(const std::string& uri) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tasks_.count(uri) > 0) return;
+  tasks_.emplace(
+      uri,
+      pool_->Submit([this, uri]() -> std::shared_ptr<const ExtractionResult> {
+        const std::string* text = s3_->PeekObject(bucket_, uri);
+        if (text == nullptr) {
+          auto missing = std::make_shared<ExtractionResult>();
+          missing->status = Status::NotFound("no such object: " + uri);
+          return missing;
+        }
+        return std::make_shared<const ExtractionResult>(ExtractNow(
+            uri, *text, *strategy_, options_, *store_, base_seed_));
+      }).share());
+}
+
+std::shared_ptr<const ExtractionResult> ExtractionPipeline::Take(
+    const std::string& uri) {
+  std::shared_future<std::shared_ptr<const ExtractionResult>> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tasks_.find(uri);
+    if (it == tasks_.end()) return nullptr;
+    task = it->second;
+  }
+  return task.get();
+}
+
+}  // namespace webdex::engine

@@ -1,9 +1,11 @@
 #include "engine/warehouse.h"
 
 #include <algorithm>
+#include <cassert>
 #include <set>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "query/parser.h"
 #include "xml/parser.h"
 
@@ -82,6 +84,7 @@ Status Warehouse::SubmitDocument(const std::string& uri,
 }
 
 WorkerStep Warehouse::IndexerStep(Instance& instance,
+                                  ExtractionPipeline* pipeline,
                                   IndexingRunReport* report) {
   auto& sqs = env_->sqs();
   auto received = sqs.Receive(instance, config_.loader_queue);
@@ -97,13 +100,16 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
   const cloud::ReceivedMessage& msg = **received;
   Micros lease_anchor = instance.now();
 
-  // Phase 1: fetch, parse, extract ("extraction time" in Table 4).
+  // Phase 1: fetch, parse, extract ("extraction time" in Table 4).  The
+  // simulated fetch (billed, latency-charged) always happens here on the
+  // event loop; the host CPU of parse + extract may already have been
+  // spent by the pipeline, in which case its memoized result is charged
+  // to this instance's virtual clock exactly as if computed inline.
   const Micros extract_start = instance.now();
   auto request = LoadRequest::Parse(msg.body);
   // A malformed message is deleted rather than redelivered forever.
   bool task_ok = request.ok();
-  index::ExtractStats extract_stats;
-  std::vector<index::TableItems> table_items;
+  std::shared_ptr<const ExtractionResult> extraction;
   if (task_ok) {
     auto text = env_->s3().Get(instance, config_.data_bucket,
                                request.value().uri);
@@ -115,21 +121,27 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
       // instance (Section 3, intra-machine parallelism).
       instance.ChargeParallelWork(work.parse_per_byte *
                                   static_cast<double>(xml_text.size()));
-      auto doc = xml::ParseDocument(request.value().uri, xml_text);
-      task_ok = doc.ok();
+      if (pipeline != nullptr) {
+        extraction = pipeline->Take(request.value().uri);
+      }
+      if (extraction == nullptr || extraction->status.IsNotFound()) {
+        // Not prefetched (or the speculative read missed the object):
+        // run the identical extraction inline on this thread.
+        extraction = std::make_shared<const ExtractionResult>(
+            ExtractionPipeline::ExtractNow(request.value().uri, xml_text,
+                                           *strategy_, config_.extract,
+                                           index_store(),
+                                           env_->config().seed));
+      }
+      task_ok = extraction->status.ok();
       if (task_ok) {
-        auto extracted = strategy_->ExtractItems(
-            doc.value(), config_.extract, index_store(), env_->rng(),
-            &extract_stats);
-        task_ok = extracted.ok();
-        if (task_ok) {
-          table_items = std::move(extracted).value();
-          instance.ChargeParallelWork(
-              work.extract_per_entry *
-                  static_cast<double>(extract_stats.entries) +
-              work.extract_per_byte *
-                  static_cast<double>(extract_stats.payload_bytes));
-        }
+        instance.ChargeParallelWork(
+            work.extract_per_entry *
+                static_cast<double>(extraction->stats.entries) +
+            work.extract_per_byte *
+                static_cast<double>(extraction->stats.payload_bytes));
+        // Share the parsed DOM with the query phase's host-side cache.
+        doc_cache_.Put(request.value().uri, extraction->doc);
       }
     }
   }
@@ -141,10 +153,10 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
   const Micros upload_start = instance.now();
   if (task_ok) {
     const cloud::Usage before = env_->meter().Snapshot();
-    for (const auto& batch : table_items) {
+    for (const auto& batch : extraction->items) {
       instance.ChargeParallelWork(
           instance.work().kv_encode_per_byte *
-          static_cast<double>(extract_stats.payload_bytes));
+          static_cast<double>(extraction->stats.payload_bytes));
       const Status put =
           index_store().BatchPut(instance, batch.table, batch.items);
       if (!put.ok()) {
@@ -160,9 +172,9 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
                   &lease_anchor);
 
   if (task_ok) {
-    report->extract_stats.entries += extract_stats.entries;
-    report->extract_stats.items += extract_stats.items;
-    report->extract_stats.payload_bytes += extract_stats.payload_bytes;
+    report->extract_stats.entries += extraction->stats.entries;
+    report->extract_stats.items += extraction->stats.items;
+    report->extract_stats.payload_bytes += extraction->stats.payload_bytes;
     report->documents += 1;
   }
 
@@ -197,16 +209,41 @@ void Warehouse::MaybeRenewLease(Instance& instance,
   }
 }
 
+int Warehouse::ResolvedHostThreads() const {
+  if (config_.host_threads > 0) return config_.host_threads;
+  return common::ThreadPool::HardwareThreads();
+}
+
 Result<IndexingRunReport> Warehouse::RunIndexers() {
   if (!config_.use_index) {
     return Status::FailedPrecondition(
         "warehouse configured without an index");
   }
   IndexingRunReport report;
+
+  // Speculative host parallelism: peek the pending loader requests and
+  // start fetch-parse-extract for each document on the pool now; the
+  // event loop below collects the memoized results as its virtual clocks
+  // reach the corresponding deliveries.  With host_threads == 1 the
+  // legacy serial path runs the identical extraction inline.
+  const int host_threads = ResolvedHostThreads();
+  std::unique_ptr<common::ThreadPool> pool;
+  std::unique_ptr<ExtractionPipeline> pipeline;
+  if (host_threads > 1) {
+    pool = std::make_unique<common::ThreadPool>(host_threads);
+    pipeline = std::make_unique<ExtractionPipeline>(
+        pool.get(), strategy_.get(), config_.extract, &index_store(),
+        &env_->s3(), config_.data_bucket, env_->config().seed);
+    for (const auto& body : env_->sqs().PeekBodies(config_.loader_queue)) {
+      auto request = LoadRequest::Parse(body);
+      if (request.ok()) pipeline->Prefetch(request.value().uri);
+    }
+  }
+
   cluster_.SyncClocks(front_end_.now());
   report.makespan = cluster_.RunUntilDrained(
-      [this, &report](Instance& instance) {
-        return IndexerStep(instance, &report);
+      [this, &report, &pipeline](Instance& instance) {
+        return IndexerStep(instance, pipeline.get(), &report);
       },
       front_end_.now());
   // Bill the fleet's rented time.
@@ -285,16 +322,15 @@ Status Warehouse::ProcessQuery(Instance& instance,
       // cache below only avoids redundant *host* CPU when the same
       // immutable document is fetched by several simulated queries.
       parse_work += work.parse_per_byte * static_cast<double>(texts[i].size());
-      auto cached = doc_cache_.find(to_fetch[i]);
-      if (cached != doc_cache_.end()) {
-        docs.push_back(cached->second);
+      if (auto cached = doc_cache_.Get(to_fetch[i]); cached != nullptr) {
+        docs.push_back(std::move(cached));
         continue;
       }
       WEBDEX_ASSIGN_OR_RETURN(xml::Document doc,
                               xml::ParseDocument(to_fetch[i], texts[i]));
       auto shared =
           std::make_shared<const xml::Document>(std::move(doc));
-      doc_cache_.emplace(to_fetch[i], shared);
+      doc_cache_.Put(to_fetch[i], shared);
       docs.push_back(std::move(shared));
     }
     instance.ChargeParallelWork(parse_work);
@@ -304,6 +340,11 @@ Status Warehouse::ProcessQuery(Instance& instance,
   for (const auto& doc : docs) doc_ptrs.push_back(doc.get());
   (void)query::Evaluator::ConsumeWorkStats();
   outcome->result = query::Evaluator::Evaluate(parsed, doc_ptrs);
+  // The evaluator's work counters are thread_local; they are only
+  // visible — and chargeable — on the thread that evaluated.  If this
+  // assertion fires, evaluation ran on a different thread than the one
+  // consuming its stats (see the contract in query/evaluator.h).
+  assert(query::Evaluator::HasPendingWorkStats());
   const auto eval_stats = query::Evaluator::ConsumeWorkStats();
   instance.ChargeParallelWork(
       work.eval_per_byte * static_cast<double>(eval_stats.doc_bytes_scanned) +
@@ -431,6 +472,20 @@ Result<QueryOutcome> Warehouse::ExecuteQuery(const std::string& query_text) {
   WEBDEX_ASSIGN_OR_RETURN(QueryRunReport report,
                           ExecuteQueries({query_text}));
   return std::move(report.outcomes.front());
+}
+
+std::shared_ptr<const xml::Document> Warehouse::DocCache::Get(
+    const std::string& uri) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(uri);
+  return it == cache_.end() ? nullptr : it->second;
+}
+
+void Warehouse::DocCache::Put(const std::string& uri,
+                              std::shared_ptr<const xml::Document> doc) {
+  if (doc == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.emplace(uri, std::move(doc));
 }
 
 uint64_t Warehouse::IndexRawBytes() const {

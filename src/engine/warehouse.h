@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "cloud/cluster.h"
 #include "cloud/kv_store.h"
 #include "common/result.h"
+#include "engine/extraction_pipeline.h"
 #include "engine/message.h"
 #include "index/strategy.h"
 #include "query/evaluator.h"
@@ -37,6 +39,15 @@ struct WarehouseConfig {
 
   cloud::InstanceType instance_type = cloud::InstanceType::kLarge;
   int num_instances = 1;
+
+  /// Host threads for the speculative extraction pipeline that runs the
+  /// parse/extract phase of indexing tasks on real cores while the
+  /// deterministic event loop replays deliveries and billing.  0 = one
+  /// thread per hardware core; 1 = legacy serial path (extraction inline
+  /// on the event-loop thread).  Purely a wall-clock optimization: the
+  /// virtual makespan, usage meter, and IndexingRunReport are
+  /// bit-identical for every value (see docs/PARALLELISM.md).
+  int host_threads = 0;
 
   /// Fault-injection hook (tests): called with (instance id, message
   /// body) after a task has been processed but *before* its queue message
@@ -164,7 +175,12 @@ class Warehouse {
     std::string result_key;
   };
 
+  /// Host threads the extraction pipeline should use (resolves the
+  /// host_threads == 0 default to the hardware concurrency).
+  int ResolvedHostThreads() const;
+
   cloud::WorkerStep IndexerStep(cloud::Instance& instance,
+                                ExtractionPipeline* pipeline,
                                 IndexingRunReport* report);
   cloud::WorkerStep QueryStep(cloud::Instance& instance,
                               std::map<uint64_t, QueryOutcome>* outcomes);
@@ -182,6 +198,22 @@ class Warehouse {
   void MaybeRenewLease(cloud::Instance& instance, const std::string& queue,
                        uint64_t receipt, cloud::Micros* lease_anchor);
 
+  /// Host-side DOM cache (documents are immutable once loaded); purely a
+  /// real-CPU optimization — virtual parse time is charged per fetch.
+  /// Mutex-guarded: the indexing run warms it from results produced on
+  /// pooled host threads, and a future parallel query path may read it
+  /// concurrently.
+  class DocCache {
+   public:
+    std::shared_ptr<const xml::Document> Get(const std::string& uri) const;
+    void Put(const std::string& uri,
+             std::shared_ptr<const xml::Document> doc);
+
+   private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<const xml::Document>> cache_;
+  };
+
   cloud::CloudEnv* env_;
   WarehouseConfig config_;
   std::unique_ptr<index::IndexingStrategy> strategy_;
@@ -190,9 +222,7 @@ class Warehouse {
   std::vector<std::string> document_uris_;
   uint64_t data_bytes_ = 0;
   uint64_t next_query_id_ = 1;
-  /// Host-side DOM cache (documents are immutable once loaded); purely a
-  /// real-CPU optimization — virtual parse time is charged per fetch.
-  std::map<std::string, std::shared_ptr<const xml::Document>> doc_cache_;
+  DocCache doc_cache_;
 };
 
 }  // namespace webdex::engine

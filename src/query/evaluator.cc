@@ -204,15 +204,24 @@ Evaluator::WorkStats& Evaluator::ThreadStats() {
   return stats;
 }
 
+bool& Evaluator::ThreadStatsPending() {
+  thread_local bool pending = false;
+  return pending;
+}
+
 Evaluator::WorkStats Evaluator::ConsumeWorkStats() {
   WorkStats out = ThreadStats();
   ThreadStats() = WorkStats();
+  ThreadStatsPending() = false;
   return out;
 }
+
+bool Evaluator::HasPendingWorkStats() { return ThreadStatsPending(); }
 
 std::vector<PatternMatch> Evaluator::MatchPattern(const TreePattern& pattern,
                                                   const xml::Document& doc) {
   ThreadStats().doc_bytes_scanned += doc.size_bytes();
+  ThreadStatsPending() = true;
   PatternMatcher matcher(pattern, doc);
   auto matches = matcher.AllMatches(/*first_only=*/false);
   ThreadStats().embeddings_found += matches.size();
@@ -222,6 +231,7 @@ std::vector<PatternMatch> Evaluator::MatchPattern(const TreePattern& pattern,
 bool Evaluator::Matches(const TreePattern& pattern,
                         const xml::Document& doc) {
   ThreadStats().doc_bytes_scanned += doc.size_bytes();
+  ThreadStatsPending() = true;
   PatternMatcher matcher(pattern, doc);
   return !matcher.AllMatches(/*first_only=*/true).empty();
 }
@@ -291,6 +301,7 @@ QueryResult Evaluator::Evaluate(const Query& query,
   if (!query.patterns().empty()) combine(0);
 
   ThreadStats().result_bytes += result.SizeBytes();
+  ThreadStatsPending() = true;
   return result;
 }
 

@@ -66,8 +66,20 @@ class Evaluator {
                               const std::vector<const xml::Document*>& docs);
 
   /// Work-accounting hooks: number of document bytes scanned and result
-  /// bytes produced by the last Evaluate call on this thread.  Consumed
-  /// by the engine to charge simulated CPU time.
+  /// bytes produced since the last consume on this thread.  Consumed by
+  /// the engine to charge simulated CPU time.
+  ///
+  /// Threading contract: the counters live in thread_local storage, so
+  /// they are only visible on the thread that ran the evaluation.
+  /// ConsumeWorkStats() MUST be called on the same thread as the
+  /// Evaluate / MatchPattern / Matches calls it accounts for — calling
+  /// it from another thread silently returns that thread's (empty)
+  /// stats and the work goes uncharged.  If query evaluation is ever
+  /// moved onto pooled host threads (the way indexing extraction was),
+  /// each task must consume its own stats before returning and hand
+  /// them to the event loop by value.  HasPendingWorkStats() lets
+  /// callers assert the pairing; the engine does so after every
+  /// evaluation.
   struct WorkStats {
     uint64_t doc_bytes_scanned = 0;
     uint64_t result_bytes = 0;
@@ -75,8 +87,15 @@ class Evaluator {
   };
   static WorkStats ConsumeWorkStats();
 
+  /// True if this thread has recorded evaluation work that has not been
+  /// consumed yet.  Debug/assertion hook for the contract above: after
+  /// an Evaluate call, the *producing* thread sees true until it
+  /// consumes; every other thread sees its own flag (typically false).
+  static bool HasPendingWorkStats();
+
  private:
   static WorkStats& ThreadStats();
+  static bool& ThreadStatsPending();
 };
 
 }  // namespace webdex::query

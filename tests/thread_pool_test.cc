@@ -1,0 +1,70 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace webdex::common {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReturnsTaskResults) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return std::string("fine"); });
+  auto bad = pool.Submit([]() -> std::string {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_EQ(ok.get(), "fine");
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task and keeps serving.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.Submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      (void)pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+}  // namespace
+}  // namespace webdex::common

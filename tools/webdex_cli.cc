@@ -80,6 +80,14 @@ class Cli {
     } else if (command == "instances") {
       config_.num_instances = std::max(1, std::atoi(rest.c_str()));
       std::printf("fleet: %d instance(s)\n", config_.num_instances);
+    } else if (command == "threads") {
+      config_.host_threads = std::max(0, std::atoi(rest.c_str()));
+      if (config_.host_threads == 0) {
+        std::printf("host threads: auto (one per core)\n");
+      } else {
+        std::printf("host threads: %d%s\n", config_.host_threads,
+                    config_.host_threads == 1 ? " (serial)" : "");
+      }
     } else if (command == "type") {
       config_.instance_type = (rest == "XL" || rest == "xl")
                                   ? cloud::InstanceType::kExtraLarge
@@ -123,6 +131,10 @@ class Cli {
         "  strategy LU|LUP|LUI|2LUPI|none   pick the indexing strategy\n"
         "  backend dynamodb|simpledb        pick the index store\n"
         "  instances <n>                    fleet size\n"
+        "  threads <n>                      host extraction threads\n"
+        "                                   (0 = auto, 1 = serial;\n"
+        "                                   wall-clock only, results and\n"
+        "                                   virtual times are identical)\n"
         "  type L|XL                        instance type\n"
         "  open                             create the warehouse\n"
         "  load <uri> <file.xml>            load one local XML file\n"
