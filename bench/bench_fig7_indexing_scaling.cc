@@ -42,14 +42,16 @@ void BM_IndexingScaling(benchmark::State& state) {
         static_cast<double>(point.corpus_bytes) / (1024.0 * 1024.0);
     state.counters["index_s"] = static_cast<double>(point.total) / 1e6;
     state.counters["wall_ms"] = d.indexing_wall_ms;
-    RecordJson(
-        StrFormat("fig7/%s/%d-%d", index::StrategyKindName(kind), step,
-                  kSteps),
-        {{"wall_ms", d.indexing_wall_ms},
-         {"host_threads", static_cast<double>(HostThreadsFromEnv())},
-         {"corpus_mb",
-          static_cast<double>(point.corpus_bytes) / (1024.0 * 1024.0)},
-         {"makespan_s", static_cast<double>(point.total) / 1e6}});
+    std::vector<std::pair<std::string, double>> metrics{
+        {"wall_ms", d.indexing_wall_ms},
+        {"host_threads", static_cast<double>(HostThreadsFromEnv())},
+        {"corpus_mb",
+         static_cast<double>(point.corpus_bytes) / (1024.0 * 1024.0)},
+        {"makespan_s", static_cast<double>(point.total) / 1e6}};
+    AppendFaultColumns(d.env->meter().usage(), &metrics);
+    RecordJson(StrFormat("fig7/%s/%d-%d", index::StrategyKindName(kind),
+                         step, kSteps),
+               std::move(metrics));
     Series()[index::StrategyKindName(kind)].push_back(point);
   }
   state.SetLabel(StrFormat("%s %d/%d corpus",

@@ -49,16 +49,18 @@ void BM_IndexCorpus(benchmark::State& state) {
     state.counters["total_s"] = static_cast<double>(row.total) / 1e6;
     state.counters["docs"] = static_cast<double>(d.indexing.documents);
     state.counters["wall_ms"] = row.wall_ms;
-    RecordJson(
-        StrFormat("table4/%s", row.strategy.c_str()),
-        {{"wall_ms", row.wall_ms},
-         {"host_threads", static_cast<double>(HostThreadsFromEnv())},
-         {"extract_s", static_cast<double>(row.extract_avg) / 1e6},
-         {"upload_s", static_cast<double>(row.upload_avg) / 1e6},
-         {"makespan_s", static_cast<double>(row.total) / 1e6},
-         {"docs", static_cast<double>(d.indexing.documents)},
-         {"put_units", d.indexing.index_put_units},
-         {"cost_dollars", d.indexing_bill.total()}});
+    std::vector<std::pair<std::string, double>> metrics{
+        {"wall_ms", row.wall_ms},
+        {"host_threads", static_cast<double>(HostThreadsFromEnv())},
+        {"extract_s", static_cast<double>(row.extract_avg) / 1e6},
+        {"upload_s", static_cast<double>(row.upload_avg) / 1e6},
+        {"makespan_s", static_cast<double>(row.total) / 1e6},
+        {"docs", static_cast<double>(d.indexing.documents)},
+        {"put_units", d.indexing.index_put_units},
+        {"cost_dollars", d.indexing_bill.total()}};
+    AppendFaultColumns(d.env->meter().usage(), &metrics);
+    RecordJson(StrFormat("table4/%s", row.strategy.c_str()),
+               std::move(metrics));
     Rows().push_back(std::move(row));
   }
   state.SetLabel(index::StrategyKindName(kind));

@@ -170,6 +170,20 @@ inline void RecordJson(std::string bench,
   JsonRows().push_back({std::move(bench), std::move(metrics)});
 }
 
+/// Appends the chaos-layer counters (docs/FAULTS.md) to a row's metrics:
+/// all zero under the default empty fault plan, so trajectory tracking
+/// flags any run where faults started firing or retries crept in.
+inline void AppendFaultColumns(
+    const cloud::Usage& usage,
+    std::vector<std::pair<std::string, double>>* metrics) {
+  metrics->emplace_back("retries",
+                        static_cast<double>(usage.retried_requests));
+  metrics->emplace_back("redeliveries",
+                        static_cast<double>(usage.sqs_redeliveries));
+  metrics->emplace_back("faulted_requests",
+                        static_cast<double>(usage.faulted_requests));
+}
+
 /// Writes the recorded rows to the --json path (no-op when unset).
 inline void FlushJson() {
   if (JsonOutputPath().empty()) return;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "cloud/dynamodb.h"
+#include "cloud/fault.h"
 #include "cloud/instance.h"
 #include "cloud/object_store.h"
 #include "cloud/pricing.h"
@@ -23,6 +24,9 @@ struct CloudConfig {
   SimpleDbConfig simpledb;
   QueueServiceConfig sqs;
   WorkModel work;
+  /// Deterministic chaos schedule (docs/FAULTS.md).  The default plan
+  /// injects nothing and reproduces fault-free runs bit-identically.
+  FaultPlan faults;
 };
 
 /// The simulated cloud region: one S3, one DynamoDB, one SimpleDB, one
@@ -33,10 +37,11 @@ class CloudEnv {
   explicit CloudEnv(const CloudConfig& config = CloudConfig())
       : config_(config),
         meter_(config.pricing),
-        s3_(config.s3, &meter_),
-        dynamodb_(config.dynamodb, &meter_),
+        injector_(config.faults, config.seed, &meter_),
+        s3_(config.s3, &meter_, &injector_),
+        dynamodb_(config.dynamodb, &meter_, &injector_),
         simpledb_(config.simpledb, &meter_),
-        sqs_(config.sqs, &meter_),
+        sqs_(config.sqs, &meter_, &injector_),
         rng_(config.seed) {}
 
   CloudEnv(const CloudEnv&) = delete;
@@ -49,10 +54,12 @@ class CloudEnv {
   SimpleDb& simpledb() { return simpledb_; }
   QueueService& sqs() { return sqs_; }
   Rng& rng() { return rng_; }
+  FaultInjector& fault_injector() { return injector_; }
 
  private:
   CloudConfig config_;
   UsageMeter meter_;
+  FaultInjector injector_;
   ObjectStore s3_;
   DynamoDb dynamodb_;
   SimpleDb simpledb_;

@@ -1,12 +1,15 @@
 #include "cloud/dynamodb.h"
 
+#include "cloud/fault.h"
 #include "common/strings.h"
 
 namespace webdex::cloud {
 
-DynamoDb::DynamoDb(const DynamoDbConfig& config, UsageMeter* meter)
+DynamoDb::DynamoDb(const DynamoDbConfig& config, UsageMeter* meter,
+                   FaultInjector* injector)
     : config_(config),
       meter_(meter),
+      injector_(injector),
       write_limiter_(config.write_units_per_second),
       read_limiter_(config.read_units_per_second) {}
 
@@ -54,7 +57,9 @@ Status DynamoDb::ValidateItem(const Item& item) const {
 }
 
 Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
-                          const std::vector<Item>& items) {
+                          const std::vector<Item>& items,
+                          std::vector<Item>* unprocessed) {
+  if (unprocessed != nullptr) unprocessed->clear();
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no such table: " + table);
   for (const auto& item : items) {
@@ -66,8 +71,35 @@ Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
   while (index < items.size()) {
     const size_t batch_end =
         std::min(items.size(), index + static_cast<size_t>(batch_limit));
+    if (injector_ != nullptr) {
+      // A page-level transient error bills the API request and its round
+      // trip but consumes no write capacity (AWS throttles before
+      // writing); everything not yet stored is reported back.
+      Status fault = injector_->MaybeFail(injector_->plan().dynamodb,
+                                          "ddb.batchput:" + table);
+      if (!fault.ok()) {
+        meter_->mutable_usage().ddb_put_requests += 1;
+        agent.Advance(config_.request_latency);
+        if (unprocessed != nullptr) {
+          unprocessed->insert(unprocessed->end(), items.begin() + index,
+                              items.end());
+        }
+        return fault;
+      }
+    }
+    size_t commit_end = batch_end;
+    if (injector_ != nullptr && unprocessed != nullptr) {
+      // Partial batch failure: the page "succeeds" but a trailing subset
+      // comes back as UnprocessedItems the caller must re-batch.  Only
+      // injected when the caller can observe it.
+      const size_t bounced =
+          injector_->UnprocessedCount(injector_->plan().dynamodb,
+                                      "ddb.unprocessed:" + table,
+                                      batch_end - index);
+      commit_end = batch_end - bounced;
+    }
     double batch_units = 0;
-    for (size_t i = index; i < batch_end; ++i) {
+    for (size_t i = index; i < commit_end; ++i) {
       const Item& item = items[i];
       auto& hash_items = t.items[item.hash_key];
       auto slot = hash_items.find(item.range_key);
@@ -90,6 +122,10 @@ Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
     meter_->mutable_usage().ddb_write_units += batch_units;
     agent.AdvanceTo(write_limiter_.Acquire(agent.now(), batch_units));
     agent.Advance(config_.request_latency);
+    if (commit_end < batch_end) {
+      unprocessed->insert(unprocessed->end(), items.begin() + commit_end,
+                          items.begin() + batch_end);
+    }
     index = batch_end;
   }
   return Status::OK();
@@ -100,6 +136,15 @@ Result<std::vector<Item>> DynamoDb::Get(SimAgent& agent,
                                         const std::string& hash_key) {
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  if (injector_ != nullptr) {
+    Status fault =
+        injector_->MaybeFail(injector_->plan().dynamodb, "ddb.get:" + table);
+    if (!fault.ok()) {
+      meter_->mutable_usage().ddb_get_requests += 1;
+      agent.Advance(config_.request_latency);
+      return fault;
+    }
+  }
   std::vector<Item> out;
   auto hit = it->second.items.find(hash_key);
   if (hit != it->second.items.end()) {
@@ -130,6 +175,15 @@ Result<std::vector<Item>> DynamoDb::BatchGet(
   while (index < hash_keys.size()) {
     const size_t batch_end = std::min(
         hash_keys.size(), index + static_cast<size_t>(batch_limit));
+    if (injector_ != nullptr) {
+      Status fault = injector_->MaybeFail(injector_->plan().dynamodb,
+                                          "ddb.batchget:" + table);
+      if (!fault.ok()) {
+        meter_->mutable_usage().ddb_get_requests += 1;
+        agent.Advance(config_.request_latency);
+        return fault;
+      }
+    }
     double units = 0;
     for (size_t i = index; i < batch_end; ++i) {
       auto hit = it->second.items.find(hash_keys[i]);

@@ -29,9 +29,13 @@ struct DynamoDbConfig {
 ///
 /// Storage overhead: AWS bills 100 bytes of index overhead per item on top
 /// of raw item size; this is the ovh(D, I) term visible in Figure 8.
+class FaultInjector;
+
 class DynamoDb final : public KvStore {
  public:
-  DynamoDb(const DynamoDbConfig& config, UsageMeter* meter);
+  /// `injector` may be null (no fault injection).
+  DynamoDb(const DynamoDbConfig& config, UsageMeter* meter,
+           FaultInjector* injector = nullptr);
 
   DynamoDb(const DynamoDb&) = delete;
   DynamoDb& operator=(const DynamoDb&) = delete;
@@ -39,7 +43,8 @@ class DynamoDb final : public KvStore {
   Status CreateTable(const std::string& table) override;
   bool HasTable(const std::string& table) const override;
   Status BatchPut(SimAgent& agent, const std::string& table,
-                  const std::vector<Item>& items) override;
+                  const std::vector<Item>& items,
+                  std::vector<Item>* unprocessed = nullptr) override;
   Result<std::vector<Item>> Get(SimAgent& agent, const std::string& table,
                                 const std::string& hash_key) override;
   Result<std::vector<Item>> BatchGet(
@@ -102,6 +107,7 @@ class DynamoDb final : public KvStore {
 
   DynamoDbConfig config_;
   UsageMeter* meter_;
+  FaultInjector* injector_;
   RateLimiter write_limiter_;
   RateLimiter read_limiter_;
   std::map<std::string, Table> tables_;

@@ -47,8 +47,17 @@ class KvStore {
   /// (hash, range) key is completely replaced, as in DynamoDB.
   /// Validation errors (oversized item/value, binary data in a text-only
   /// store) fail the whole call without partial effects.
+  ///
+  /// Partial-failure contract (docs/FAULTS.md): when `unprocessed` is
+  /// non-null, a store under fault injection may return OK having stored
+  /// only a prefix, with the bounced items appended to `*unprocessed` for
+  /// the caller to re-batch (DynamoDB's UnprocessedItems).  On a transient
+  /// error status, `*unprocessed` holds every item not yet stored.  When
+  /// `unprocessed` is null the caller cannot observe partial success, so
+  /// stores must not inject it.  `*unprocessed` is cleared on entry.
   virtual Status BatchPut(SimAgent& agent, const std::string& table,
-                          const std::vector<Item>& items) = 0;
+                          const std::vector<Item>& items,
+                          std::vector<Item>* unprocessed = nullptr) = 0;
 
   /// Returns all items whose hash key equals `hash_key` (the get(T,k)
   /// operation of Section 6).  Empty vector if none.

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 
+#include "cloud/fault.h"
 #include "common/strings.h"
 
 namespace webdex::cloud {
 
-ObjectStore::ObjectStore(const ObjectStoreConfig& config, UsageMeter* meter)
+ObjectStore::ObjectStore(const ObjectStoreConfig& config, UsageMeter* meter,
+                         FaultInjector* injector)
     : config_(config),
       meter_(meter),
+      injector_(injector),
       request_limiter_(config.requests_per_second) {}
 
 Status ObjectStore::CreateBucket(const std::string& bucket) {
@@ -37,6 +40,18 @@ Status ObjectStore::Put(SimAgent& agent, const std::string& bucket,
   if (it == buckets_.end()) {
     return Status::NotFound("no such bucket: " + bucket);
   }
+  if (injector_ != nullptr) {
+    // A failed attempt still takes the full round trip (the request body
+    // was sent) and bills a put request, but stores nothing and does not
+    // count payload bytes as ingested.
+    Status fault =
+        injector_->MaybeFail(injector_->plan().s3, "s3.put:" + bucket);
+    if (!fault.ok()) {
+      ChargeTransfer(agent, data.size());
+      meter_->mutable_usage().s3_put_requests += 1;
+      return fault;
+    }
+  }
   ChargeTransfer(agent, data.size());
   meter_->mutable_usage().s3_put_requests += 1;
   meter_->mutable_usage().s3_bytes_in += data.size();
@@ -50,6 +65,15 @@ Result<std::string> ObjectStore::Get(SimAgent& agent,
   auto it = buckets_.find(bucket);
   if (it == buckets_.end()) {
     return Status::NotFound("no such bucket: " + bucket);
+  }
+  if (injector_ != nullptr) {
+    Status fault =
+        injector_->MaybeFail(injector_->plan().s3, "s3.get:" + bucket);
+    if (!fault.ok()) {
+      meter_->mutable_usage().s3_get_requests += 1;
+      ChargeTransfer(agent, 0);
+      return fault;
+    }
   }
   auto obj = it->second.find(key);
   // A failed lookup is still a billed request that took a round trip.
@@ -72,6 +96,17 @@ Result<std::vector<std::string>> ObjectStore::BatchGet(
   auto it = buckets_.find(bucket);
   if (it == buckets_.end()) {
     return Status::NotFound("no such bucket: " + bucket);
+  }
+  if (injector_ != nullptr) {
+    // Call-level fault: the whole parallel fetch aborts before any
+    // transfers complete; one request round trip is billed.
+    Status fault =
+        injector_->MaybeFail(injector_->plan().s3, "s3.batchget:" + bucket);
+    if (!fault.ok()) {
+      meter_->mutable_usage().s3_get_requests += 1;
+      ChargeTransfer(agent, 0);
+      return fault;
+    }
   }
   std::vector<std::string> out;
   out.reserve(keys.size());

@@ -33,9 +33,14 @@ struct ObjectStoreConfig {
 /// advances its virtual clock by the modeled request latency plus transfer
 /// time; every call increments the shared `UsageMeter` with exactly the
 /// requests S3 would have billed.
+class FaultInjector;
+
 class ObjectStore {
  public:
-  ObjectStore(const ObjectStoreConfig& config, UsageMeter* meter);
+  /// `injector` may be null (no fault injection), e.g. in unit tests that
+  /// construct the store directly.
+  ObjectStore(const ObjectStoreConfig& config, UsageMeter* meter,
+              FaultInjector* injector = nullptr);
 
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
@@ -113,6 +118,7 @@ class ObjectStore {
 
   ObjectStoreConfig config_;
   UsageMeter* meter_;
+  FaultInjector* injector_;
   RateLimiter request_limiter_;
   // bucket -> key -> object payload.
   std::map<std::string, std::map<std::string, std::string>> buckets_;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "cloud/fault.h"
+
 namespace webdex::cloud {
 
-QueueService::QueueService(const QueueServiceConfig& config,
-                           UsageMeter* meter)
-    : config_(config), meter_(meter) {}
+QueueService::QueueService(const QueueServiceConfig& config, UsageMeter* meter,
+                           FaultInjector* injector)
+    : config_(config), meter_(meter), injector_(injector) {}
 
 Status QueueService::CreateQueue(const std::string& queue) {
   auto [it, inserted] = queues_.try_emplace(queue);
@@ -21,9 +23,17 @@ Status QueueService::Send(SimAgent& agent, const std::string& queue,
   if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
   agent.Advance(config_.request_latency);
   meter_->mutable_usage().sqs_requests += 1;
+  Micros delay = 0;
+  if (injector_ != nullptr) {
+    Status fault =
+        injector_->MaybeFail(injector_->plan().sqs, "sqs.send:" + queue);
+    if (!fault.ok()) return fault;  // billed, nothing enqueued
+    delay = injector_->DeliveryDelay(injector_->plan().sqs,
+                                     "sqs.delay:" + queue);
+  }
   PendingMessage msg;
   msg.body = std::move(body);
-  msg.visible_at = agent.now();
+  msg.visible_at = agent.now() + delay;
   it->second.push_back(std::move(msg));
   return Status::OK();
 }
@@ -34,15 +44,31 @@ Result<std::optional<ReceivedMessage>> QueueService::Receive(
   if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
   agent.Advance(config_.request_latency);
   meter_->mutable_usage().sqs_requests += 1;
+  if (injector_ != nullptr) {
+    Status fault =
+        injector_->MaybeFail(injector_->plan().sqs, "sqs.receive:" + queue);
+    if (!fault.ok()) return fault;
+  }
   for (auto& msg : it->second) {
     if (msg.visible_at <= agent.now()) {
       msg.visible_at = agent.now() + config_.visibility_timeout;
       msg.receipt = next_receipt_++;
       msg.delivery_count += 1;
+      if (msg.delivery_count > 1) {
+        meter_->mutable_usage().sqs_redeliveries += 1;
+      }
       ReceivedMessage out;
       out.body = msg.body;
       out.receipt = msg.receipt;
       out.delivery_count = msg.delivery_count;
+      if (injector_ != nullptr &&
+          injector_->ShouldDuplicate(injector_->plan().sqs,
+                                     "sqs.dup:" + queue)) {
+        // At-least-once duplicate: the message stays deliverable, so the
+        // receipt just handed out is already stale — this delivery's
+        // Delete will hit "receipt expired" and the work is redone.
+        msg.visible_at = agent.now();
+      }
       return std::optional<ReceivedMessage>(std::move(out));
     }
   }
@@ -55,6 +81,11 @@ Status QueueService::Delete(SimAgent& agent, const std::string& queue,
   if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
   agent.Advance(config_.request_latency);
   meter_->mutable_usage().sqs_requests += 1;
+  if (injector_ != nullptr) {
+    Status fault =
+        injector_->MaybeFail(injector_->plan().sqs, "sqs.delete:" + queue);
+    if (!fault.ok()) return fault;
+  }
   auto& msgs = it->second;
   for (auto iter = msgs.begin(); iter != msgs.end(); ++iter) {
     if (iter->receipt == receipt && receipt != 0) {
@@ -76,6 +107,11 @@ Status QueueService::RenewLease(SimAgent& agent, const std::string& queue,
   if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
   agent.Advance(config_.request_latency);
   meter_->mutable_usage().sqs_requests += 1;
+  if (injector_ != nullptr) {
+    Status fault =
+        injector_->MaybeFail(injector_->plan().sqs, "sqs.renew:" + queue);
+    if (!fault.ok()) return fault;
+  }
   for (auto& msg : it->second) {
     if (msg.receipt == receipt && receipt != 0) {
       if (msg.visible_at <= agent.now()) {

@@ -44,9 +44,13 @@ struct QueueServiceConfig {
 /// delete, lease renewal) advances the caller's virtual clock and
 /// increments the usage meter, because SQS charges per request (QS$ in
 /// Table 3).
+class FaultInjector;
+
 class QueueService {
  public:
-  QueueService(const QueueServiceConfig& config, UsageMeter* meter);
+  /// `injector` may be null (no fault injection).
+  QueueService(const QueueServiceConfig& config, UsageMeter* meter,
+               FaultInjector* injector = nullptr);
 
   QueueService(const QueueService&) = delete;
   QueueService& operator=(const QueueService&) = delete;
@@ -99,6 +103,7 @@ class QueueService {
 
   QueueServiceConfig config_;
   UsageMeter* meter_;
+  FaultInjector* injector_;
   uint64_t next_receipt_ = 1;
   std::map<std::string, std::deque<PendingMessage>> queues_;
 };

@@ -1,0 +1,98 @@
+#include "cloud/retrying_kv_store.h"
+
+namespace webdex::cloud {
+
+RetryingKvStore::RetryingKvStore(KvStore* base,
+                                 const common::RetryPolicy& policy,
+                                 uint64_t seed, UsageMeter* meter)
+    : base_(base), policy_(policy), seed_(seed), meter_(meter) {}
+
+Rng& RetryingKvStore::StreamFor(const std::string& site) {
+  auto it = streams_.find(site);
+  if (it == streams_.end()) {
+    it = streams_.emplace(site, Rng::ForKey(seed_, site)).first;
+  }
+  return it->second;
+}
+
+uint64_t* RetryingKvStore::RetryCounter() {
+  return meter_ == nullptr ? nullptr
+                           : &meter_->mutable_usage().retried_requests;
+}
+
+Status RetryingKvStore::CreateTable(const std::string& table) {
+  return base_->CreateTable(table);
+}
+
+bool RetryingKvStore::HasTable(const std::string& table) const {
+  return base_->HasTable(table);
+}
+
+Status RetryingKvStore::BatchPut(SimAgent& agent, const std::string& table,
+                                 const std::vector<Item>& items,
+                                 std::vector<Item>* unprocessed) {
+  if (unprocessed != nullptr) unprocessed->clear();
+  Rng& rng = StreamFor("retry:batchput:" + table);
+  // Each round re-submits only what has not committed yet: re-batched
+  // unprocessed items after a partial success, or the uncommitted suffix
+  // after a transient page error.  Re-puts of committed items are
+  // harmless anyway (replacement semantics, UUID range keys) — this just
+  // avoids paying their write units twice.
+  std::vector<Item> pending = items;
+  std::vector<Item> leftover;
+  int64_t slept = 0;
+  for (int attempt = 1;; ++attempt) {
+    Status status = base_->BatchPut(agent, table, pending, &leftover);
+    if (status.ok() && leftover.empty()) return Status::OK();
+    if (!status.ok() && !status.IsRetriable()) {
+      if (unprocessed != nullptr) *unprocessed = std::move(leftover);
+      return status;
+    }
+    if (attempt >= policy_.max_attempts) {
+      if (unprocessed != nullptr) *unprocessed = std::move(leftover);
+      return status.ok() ? Status::Unavailable(
+                               "unprocessed items remain after re-batching: " +
+                               table)
+                         : status;
+    }
+    const int64_t cap = common::BackoffCapMicros(policy_, attempt);
+    const int64_t backoff =
+        cap <= 0 ? 0
+                 : static_cast<int64_t>(rng.NextDouble() *
+                                        static_cast<double>(cap + 1));
+    if (policy_.deadline_micros > 0 &&
+        slept + backoff > policy_.deadline_micros) {
+      if (unprocessed != nullptr) *unprocessed = std::move(leftover);
+      return status.ok() ? Status::Unavailable(
+                               "retry deadline exceeded re-batching: " + table)
+                         : status;
+    }
+    agent.Advance(static_cast<Micros>(backoff));
+    slept += backoff;
+    if (uint64_t* counter = RetryCounter()) ++*counter;
+    pending = std::move(leftover);
+    leftover.clear();
+  }
+}
+
+Result<std::vector<Item>> RetryingKvStore::Get(SimAgent& agent,
+                                               const std::string& table,
+                                               const std::string& hash_key) {
+  Rng& rng = StreamFor("retry:get:" + table);
+  return common::CallWithRetry(
+      policy_, rng, [&] { return base_->Get(agent, table, hash_key); },
+      [&](int64_t micros) { agent.Advance(static_cast<Micros>(micros)); },
+      RetryCounter());
+}
+
+Result<std::vector<Item>> RetryingKvStore::BatchGet(
+    SimAgent& agent, const std::string& table,
+    const std::vector<std::string>& hash_keys) {
+  Rng& rng = StreamFor("retry:batchget:" + table);
+  return common::CallWithRetry(
+      policy_, rng, [&] { return base_->BatchGet(agent, table, hash_keys); },
+      [&](int64_t micros) { agent.Advance(static_cast<Micros>(micros)); },
+      RetryCounter());
+}
+
+}  // namespace webdex::cloud

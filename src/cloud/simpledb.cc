@@ -70,7 +70,10 @@ Status SimpleDb::ValidateItem(const Item& item) const {
 }
 
 Status SimpleDb::BatchPut(SimAgent& agent, const std::string& table,
-                          const std::vector<Item>& items) {
+                          const std::vector<Item>& items,
+                          std::vector<Item>* unprocessed) {
+  // SimpleDB is not fault-injected; every item always commits.
+  if (unprocessed != nullptr) unprocessed->clear();
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no such domain: " + table);
   for (const auto& item : items) {

@@ -39,7 +39,8 @@ class SimpleDb final : public KvStore {
   Status CreateTable(const std::string& table) override;
   bool HasTable(const std::string& table) const override;
   Status BatchPut(SimAgent& agent, const std::string& table,
-                  const std::vector<Item>& items) override;
+                  const std::vector<Item>& items,
+                  std::vector<Item>* unprocessed = nullptr) override;
   Result<std::vector<Item>> Get(SimAgent& agent, const std::string& table,
                                 const std::string& hash_key) override;
   Result<std::vector<Item>> BatchGet(

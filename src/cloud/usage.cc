@@ -18,6 +18,10 @@ Usage& Usage::operator+=(const Usage& o) {
   sdb_get_requests += o.sdb_get_requests;
   sdb_box_hours += o.sdb_box_hours;
   sqs_requests += o.sqs_requests;
+  faulted_requests += o.faulted_requests;
+  retried_requests += o.retried_requests;
+  sqs_redeliveries += o.sqs_redeliveries;
+  dead_lettered += o.dead_lettered;
   vm_micros_large += o.vm_micros_large;
   vm_micros_xlarge += o.vm_micros_xlarge;
   egress_bytes += o.egress_bytes;
@@ -39,6 +43,10 @@ Usage Usage::operator-(const Usage& o) const {
   d.sdb_get_requests = sdb_get_requests - o.sdb_get_requests;
   d.sdb_box_hours = sdb_box_hours - o.sdb_box_hours;
   d.sqs_requests = sqs_requests - o.sqs_requests;
+  d.faulted_requests = faulted_requests - o.faulted_requests;
+  d.retried_requests = retried_requests - o.retried_requests;
+  d.sqs_redeliveries = sqs_redeliveries - o.sqs_redeliveries;
+  d.dead_lettered = dead_lettered - o.dead_lettered;
   d.vm_micros_large = vm_micros_large - o.vm_micros_large;
   d.vm_micros_xlarge = vm_micros_xlarge - o.vm_micros_xlarge;
   d.egress_bytes = egress_bytes - o.egress_bytes;

@@ -39,6 +39,15 @@ struct Usage {
   // Queue service (SQS): send + receive + delete + lease renewals.
   uint64_t sqs_requests = 0;
 
+  // Fault-injection and recovery accounting (docs/FAULTS.md).  Faulted
+  // attempts are billed through the ordinary per-service counters above;
+  // these extra counters make the fault overhead itself observable in
+  // reports, stats and bench rows.
+  uint64_t faulted_requests = 0;  // attempts failed by the chaos layer
+  uint64_t retried_requests = 0;  // re-attempts issued by retry helpers
+  uint64_t sqs_redeliveries = 0;  // deliveries with delivery_count > 1
+  uint64_t dead_lettered = 0;     // messages dropped after max deliveries
+
   // Virtual machines: rented time per type.
   Micros vm_micros_large = 0;
   Micros vm_micros_xlarge = 0;

@@ -1,0 +1,85 @@
+#ifndef WEBDEX_COMMON_RETRY_H_
+#define WEBDEX_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace webdex::common {
+
+/// Capped exponential backoff with full jitter, the standard AWS SDK
+/// retry shape.  All durations are in (virtual) microseconds: inside the
+/// simulation the sleep callback advances a SimAgent's clock, so every
+/// retried attempt honestly lengthens makespans and EC2 rental time.
+struct RetryPolicy {
+  /// Total attempts including the first one; <= 1 disables retries.
+  int max_attempts = 5;
+  /// Upper bound of the first backoff's jitter window.
+  int64_t initial_backoff_micros = 50'000;
+  /// Cap on any single backoff's jitter window.
+  int64_t max_backoff_micros = 5'000'000;
+  /// Growth of the jitter window between attempts.
+  double backoff_multiplier = 2.0;
+  /// Budget for the *sum* of backoffs in one call; a retry that would
+  /// exceed it is abandoned and the last error returned.  0 = unlimited.
+  int64_t deadline_micros = 0;
+};
+
+/// Jitter-window cap before the retry following `attempt` (1-based).
+inline int64_t BackoffCapMicros(const RetryPolicy& policy, int attempt) {
+  double cap = static_cast<double>(policy.initial_backoff_micros);
+  for (int i = 1; i < attempt; ++i) cap *= policy.backoff_multiplier;
+  const double max = static_cast<double>(policy.max_backoff_micros);
+  if (cap > max) cap = max;
+  return cap < 0 ? 0 : static_cast<int64_t>(cap);
+}
+
+/// Uniform overloads so CallWithRetry works for functions returning either
+/// a bare Status or a Result<T>.
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+const Status& StatusOf(const Result<T>& result) {
+  return result.status();
+}
+
+/// Invokes `fn` until it succeeds, fails permanently, or the policy is
+/// exhausted; returns the last outcome.  Only `Status::IsRetriable()`
+/// errors are retried.  Before each retry, a backoff drawn uniformly from
+/// [0, cap] ("full jitter") is passed to `sleep(backoff_micros)`; in the
+/// simulation that callback advances the calling agent's virtual clock,
+/// and `rng` must be a deterministic stream (e.g. `Rng::ForKey`) so the
+/// schedule is reproducible.  `retries`, when non-null, is incremented
+/// once per re-attempt (for the Usage fault counters).
+template <typename Fn, typename Sleep>
+auto CallWithRetry(const RetryPolicy& policy, Rng& rng, const Fn& fn,
+                   const Sleep& sleep, uint64_t* retries = nullptr)
+    -> decltype(fn()) {
+  int64_t slept = 0;
+  for (int attempt = 1;; ++attempt) {
+    auto outcome = fn();
+    const Status& status = StatusOf(outcome);
+    if (status.ok() || !status.IsRetriable() ||
+        attempt >= policy.max_attempts) {
+      return outcome;
+    }
+    const int64_t cap = BackoffCapMicros(policy, attempt);
+    const int64_t backoff =
+        cap <= 0 ? 0
+                 : static_cast<int64_t>(rng.NextDouble() *
+                                        static_cast<double>(cap + 1));
+    if (policy.deadline_micros > 0 &&
+        slept + backoff > policy.deadline_micros) {
+      return outcome;
+    }
+    sleep(backoff);
+    slept += backoff;
+    if (retries != nullptr) ++*retries;
+  }
+}
+
+}  // namespace webdex::common
+
+#endif  // WEBDEX_COMMON_RETRY_H_

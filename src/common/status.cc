@@ -22,6 +22,8 @@ const char* StatusCodeName(Status::Code code) {
       return "Corruption";
     case Status::Code::kUnimplemented:
       return "Unimplemented";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -25,6 +25,9 @@ class Status {
     kAlreadyExists,
     kCorruption,
     kUnimplemented,
+    /// A service is transiently unable to serve the request (5xx-style
+    /// errors from the simulated cloud's fault injector).  Retriable.
+    kUnavailable,
   };
 
   /// Default-constructed status is OK.
@@ -60,6 +63,9 @@ class Status {
   static Status Unimplemented(std::string_view msg) {
     return Status(Code::kUnimplemented, msg);
   }
+  static Status Unavailable(std::string_view msg) {
+    return Status(Code::kUnavailable, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -74,6 +80,15 @@ class Status {
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+
+  /// True for errors that a retry with backoff may cure: transient
+  /// service unavailability and throughput throttling.  Everything else
+  /// (NotFound, InvalidArgument, ...) is permanent and must not be
+  /// retried (see common/retry.h).
+  bool IsRetriable() const {
+    return code_ == Code::kUnavailable || code_ == Code::kResourceExhausted;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

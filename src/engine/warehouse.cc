@@ -15,16 +15,35 @@ using cloud::Instance;
 using cloud::Micros;
 using cloud::WorkerStep;
 
+namespace {
+
+/// How a delivered task ended: acknowledged after success (kOk), left in
+/// flight for redelivery after an unabsorbed transient failure (kAbandon),
+/// or acknowledged without effect because it can never succeed (kPoison).
+enum class TaskOutcome { kOk, kAbandon, kPoison };
+
+}  // namespace
+
 Warehouse::Warehouse(cloud::CloudEnv* env, const WarehouseConfig& config)
     : env_(env),
       config_(config),
       strategy_(index::IndexingStrategy::Create(config.strategy)),
+      retrying_store_(std::make_unique<cloud::RetryingKvStore>(
+          config.backend == IndexBackend::kSimpleDb
+              ? static_cast<cloud::KvStore*>(&env->simpledb())
+              : &env->dynamodb(),
+          config.retry, env->config().seed, &env->meter())),
       cluster_(config.num_instances, config.instance_type,
                &env->config().work) {}
 
-cloud::KvStore& Warehouse::index_store() {
-  if (config_.backend == IndexBackend::kSimpleDb) return env_->simpledb();
-  return env_->dynamodb();
+cloud::KvStore& Warehouse::index_store() { return *retrying_store_; }
+
+bool Warehouse::ShouldCrash(cloud::CrashPoint point, int instance_id,
+                            const std::string& task_key) {
+  if (config_.crash_plan && config_.crash_plan(point, instance_id, task_key)) {
+    return true;
+  }
+  return env_->fault_injector().ShouldCrash(point, task_key);
 }
 
 Status Warehouse::Setup() {
@@ -72,13 +91,17 @@ Status Warehouse::AttachToExistingCloud() {
 Status Warehouse::SubmitDocument(const std::string& uri,
                                  std::string xml_text) {
   data_bytes_ += xml_text.size();
-  WEBDEX_RETURN_IF_ERROR(env_->s3().Put(front_end_, config_.data_bucket,
-                                        uri, std::move(xml_text)));
+  WEBDEX_RETURN_IF_ERROR(
+      RetryCall(front_end_, "fe.put", [&] {
+        return env_->s3().Put(front_end_, config_.data_bucket, uri, xml_text);
+      }));
   document_uris_.push_back(uri);
   if (config_.use_index) {
     LoadRequest request{uri};
-    WEBDEX_RETURN_IF_ERROR(env_->sqs().Send(
-        front_end_, config_.loader_queue, request.Serialize()));
+    WEBDEX_RETURN_IF_ERROR(RetryCall(front_end_, "fe.load", [&] {
+      return env_->sqs().Send(front_end_, config_.loader_queue,
+                              request.Serialize());
+    }));
   }
   return Status::OK();
 }
@@ -98,6 +121,18 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
     return step;
   }
   const cloud::ReceivedMessage& msg = **received;
+  if (msg.delivery_count > 1) report->redeliveries += 1;
+  if (config_.max_deliveries > 0 &&
+      msg.delivery_count > config_.max_deliveries) {
+    // Dead-letter: a task that keeps coming back is dropped so one poison
+    // message cannot wedge the fleet forever.
+    env_->meter().mutable_usage().dead_lettered += 1;
+    report->dead_lettered += 1;
+    (void)sqs.Delete(instance, config_.loader_queue, msg.receipt);
+    WorkerStep step;
+    step.processed = true;
+    return step;
+  }
   Micros lease_anchor = instance.now();
 
   // Phase 1: fetch, parse, extract ("extraction time" in Table 4).  The
@@ -107,14 +142,20 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
   // to this instance's virtual clock exactly as if computed inline.
   const Micros extract_start = instance.now();
   auto request = LoadRequest::Parse(msg.body);
-  // A malformed message is deleted rather than redelivered forever.
-  bool task_ok = request.ok();
+  // A malformed message is deleted rather than redelivered forever;
+  // a transiently failing one is abandoned so its lease expires and the
+  // task is redone (docs/FAULTS.md).
+  TaskOutcome outcome = request.ok() ? TaskOutcome::kOk : TaskOutcome::kPoison;
   std::shared_ptr<const ExtractionResult> extraction;
-  if (task_ok) {
-    auto text = env_->s3().Get(instance, config_.data_bucket,
-                               request.value().uri);
-    task_ok = text.ok();
-    if (task_ok) {
+  if (outcome == TaskOutcome::kOk) {
+    auto text = RetryCall(instance, "ix.fetch", [&] {
+      return env_->s3().Get(instance, config_.data_bucket,
+                            request.value().uri);
+    });
+    if (!text.ok()) {
+      outcome = text.status().IsRetriable() ? TaskOutcome::kAbandon
+                                            : TaskOutcome::kPoison;
+    } else {
       const std::string& xml_text = text.value();
       const auto& work = instance.work();
       // Parsing and entry extraction are multi-threaded inside one
@@ -133,8 +174,7 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
                                            index_store(),
                                            env_->config().seed));
       }
-      task_ok = extraction->status.ok();
-      if (task_ok) {
+      if (extraction->status.ok()) {
         instance.ChargeParallelWork(
             work.extract_per_entry *
                 static_cast<double>(extraction->stats.entries) +
@@ -142,6 +182,8 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
                 static_cast<double>(extraction->stats.payload_bytes));
         // Share the parsed DOM with the query phase's host-side cache.
         doc_cache_.Put(request.value().uri, extraction->doc);
+      } else {
+        outcome = TaskOutcome::kPoison;  // malformed document
       }
     }
   }
@@ -151,16 +193,22 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
 
   // Phase 2: upload to the index store ("uploading time").
   const Micros upload_start = instance.now();
-  if (task_ok) {
+  bool crashed = false;
+  if (outcome == TaskOutcome::kOk) {
     const cloud::Usage before = env_->meter().Snapshot();
     for (const auto& batch : extraction->items) {
       instance.ChargeParallelWork(
           instance.work().kv_encode_per_byte *
           static_cast<double>(extraction->stats.payload_bytes));
-      const Status put =
-          index_store().BatchPut(instance, batch.table, batch.items);
-      if (!put.ok()) {
-        task_ok = false;
+      const UploadResult put =
+          PutItemsPaged(instance, batch.table, batch.items, msg.body);
+      if (put.crashed) {
+        crashed = true;
+        break;
+      }
+      if (!put.status.ok()) {
+        outcome = put.status.IsRetriable() ? TaskOutcome::kAbandon
+                                           : TaskOutcome::kPoison;
         break;
       }
     }
@@ -171,7 +219,16 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
   MaybeRenewLease(instance, config_.loader_queue, msg.receipt,
                   &lease_anchor);
 
-  if (task_ok) {
+  if (crashed) {
+    // Mid-upload crash: the half-written index is left as is; re-puts on
+    // redelivery replace the same (hash, range) keys, so the redone task
+    // converges to identical index contents.
+    WorkerStep step;
+    step.processed = true;
+    return step;
+  }
+
+  if (outcome == TaskOutcome::kOk) {
     report->extract_stats.entries += extraction->stats.entries;
     report->extract_stats.items += extraction->stats.items;
     report->extract_stats.payload_bytes += extraction->stats.payload_bytes;
@@ -180,17 +237,52 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
 
   // Fault injection: a crash here loses the delete; the message lease
   // expires and another instance redoes the work (Section 3).
-  if (config_.crash_before_delete &&
-      config_.crash_before_delete(instance.id(), msg.body)) {
+  if (ShouldCrash(cloud::CrashPoint::kBeforeDelete, instance.id(),
+                  msg.body)) {
     WorkerStep step;
     step.processed = true;
     return step;
   }
-  // Malformed tasks are acknowledged too (poison-pill removal).
-  (void)sqs.Delete(instance, config_.loader_queue, msg.receipt);
+  if (outcome == TaskOutcome::kAbandon) {
+    // Transient failure the retry policy could not absorb: keep the
+    // message in flight; its lease expires and the task is redelivered.
+    WorkerStep step;
+    step.processed = true;
+    return step;
+  }
+  // Completed and malformed tasks are both acknowledged (the latter is
+  // poison-pill removal).
+  (void)RetryCall(instance, "ix.ack", [&] {
+    return sqs.Delete(instance, config_.loader_queue, msg.receipt);
+  });
   WorkerStep step;
   step.processed = true;
   return step;
+}
+
+Warehouse::UploadResult Warehouse::PutItemsPaged(
+    Instance& instance, const std::string& table,
+    const std::vector<cloud::Item>& items, const std::string& task_key) {
+  // Paging is externalized from the store (one API call per page) so the
+  // engine can crash *between* pages, leaving a half-written index that
+  // the redelivered task must converge despite.  Fault-free, the billed
+  // sequence is bit-identical to the store's internal paging.
+  auto& store = index_store();
+  const size_t limit = static_cast<size_t>(store.BatchPutLimit());
+  size_t index = 0;
+  while (index < items.size()) {
+    const size_t end = std::min(items.size(), index + limit);
+    if (index > 0 && ShouldCrash(cloud::CrashPoint::kBetweenBatchPutPages,
+                                 instance.id(), task_key)) {
+      return UploadResult{Status::OK(), /*crashed=*/true};
+    }
+    const std::vector<cloud::Item> page(items.begin() + index,
+                                        items.begin() + end);
+    const Status put = store.BatchPut(instance, table, page);
+    if (!put.ok()) return UploadResult{put, /*crashed=*/false};
+    index = end;
+  }
+  return UploadResult{Status::OK(), /*crashed=*/false};
 }
 
 void Warehouse::MaybeRenewLease(Instance& instance,
@@ -312,8 +404,10 @@ Status Warehouse::ProcessQuery(Instance& instance,
   if (!to_fetch.empty()) {
     WEBDEX_ASSIGN_OR_RETURN(
         std::vector<std::string> texts,
-        env_->s3().BatchGet(instance, config_.data_bucket, to_fetch,
-                            instance.parallel_streams()));
+        RetryCall(instance, "qp.fetch", [&] {
+          return env_->s3().BatchGet(instance, config_.data_bucket, to_fetch,
+                                     instance.parallel_streams());
+        }));
     docs.reserve(texts.size());
     double parse_work = 0;
     for (size_t i = 0; i < texts.size(); ++i) {
@@ -358,8 +452,10 @@ Status Warehouse::ProcessQuery(Instance& instance,
                               static_cast<double>(result_xml.size()));
   const std::string result_key =
       StrFormat("result-%llu.xml", static_cast<unsigned long long>(request.id));
-  WEBDEX_RETURN_IF_ERROR(env_->s3().Put(instance, config_.results_bucket,
-                                        result_key, std::move(result_xml)));
+  WEBDEX_RETURN_IF_ERROR(RetryCall(instance, "qp.store", [&] {
+    return env_->s3().Put(instance, config_.results_bucket, result_key,
+                          result_xml);
+  }));
   outcome->timings.transfer_eval = instance.now() - eval_start;
   outcome->timings.total = instance.now() - task_start;
   return Status::OK();
@@ -379,10 +475,19 @@ WorkerStep Warehouse::QueryStep(Instance& instance,
     return step;
   }
   const cloud::ReceivedMessage& msg = **received;
+  if (config_.max_deliveries > 0 &&
+      msg.delivery_count > config_.max_deliveries) {
+    env_->meter().mutable_usage().dead_lettered += 1;
+    (void)sqs.Delete(instance, config_.query_queue, msg.receipt);
+    WorkerStep step;
+    step.processed = true;
+    return step;
+  }
   Micros lease_anchor = instance.now();
 
   auto request = QueryRequest::Parse(msg.body);
-  if (request.ok()) {
+  TaskOutcome task = request.ok() ? TaskOutcome::kOk : TaskOutcome::kPoison;
+  if (task == TaskOutcome::kOk) {
     QueryOutcome outcome;
     const Status processed = ProcessQuery(instance, request.value(),
                                           msg.receipt, &lease_anchor,
@@ -394,19 +499,39 @@ WorkerStep Warehouse::QueryStep(Instance& instance,
           "result-%llu.xml",
           static_cast<unsigned long long>(request.value().id));
       response.row_count = outcome.result.rows.size();
-      (void)sqs.Send(instance, config_.response_queue,
-                     response.Serialize());
-      (*outcomes)[outcome.id] = std::move(outcome);
+      const Status sent = RetryCall(instance, "qp.respond", [&] {
+        return sqs.Send(instance, config_.response_queue,
+                        response.Serialize());
+      });
+      if (sent.ok()) {
+        (*outcomes)[outcome.id] = std::move(outcome);
+      } else {
+        // The response never reached the front end: redo the whole task
+        // on redelivery (a duplicate response later is harmless — the
+        // front end dedups by query id).
+        task = sent.IsRetriable() ? TaskOutcome::kAbandon
+                                  : TaskOutcome::kPoison;
+      }
+    } else {
+      task = processed.IsRetriable() ? TaskOutcome::kAbandon
+                                     : TaskOutcome::kPoison;
     }
   }
 
-  if (config_.crash_before_delete &&
-      config_.crash_before_delete(instance.id(), msg.body)) {
+  if (ShouldCrash(cloud::CrashPoint::kBeforeDelete, instance.id(),
+                  msg.body)) {
     WorkerStep step;
     step.processed = true;
     return step;
   }
-  (void)sqs.Delete(instance, config_.query_queue, msg.receipt);
+  if (task == TaskOutcome::kAbandon) {
+    WorkerStep step;
+    step.processed = true;
+    return step;
+  }
+  (void)RetryCall(instance, "qp.ack", [&] {
+    return sqs.Delete(instance, config_.query_queue, msg.receipt);
+  });
   WorkerStep step;
   step.processed = true;
   return step;
@@ -420,8 +545,10 @@ Result<QueryRunReport> Warehouse::ExecuteQueries(
     request.id = next_query_id_++;
     request.query_text = text;
     ids.push_back(request.id);
-    WEBDEX_RETURN_IF_ERROR(env_->sqs().Send(
-        front_end_, config_.query_queue, request.Serialize()));
+    WEBDEX_RETURN_IF_ERROR(RetryCall(front_end_, "fe.query", [&] {
+      return env_->sqs().Send(front_end_, config_.query_queue,
+                              request.Serialize());
+    }));
   }
 
   std::map<uint64_t, QueryOutcome> outcomes;
@@ -438,23 +565,44 @@ Result<QueryRunReport> Warehouse::ExecuteQueries(
   front_end_.AdvanceTo(cluster_.MaxClock());
 
   // Retrieve every response and its result object (steps 16-18); the
-  // transfer out of the cloud is the billed egress ("AWSDown").
+  // transfer out of the cloud is the billed egress ("AWSDown").  Under
+  // fault injection a response may be delayed (wait for it), duplicated
+  // (dedup by query id), or its delete may fail (the redelivered copy is
+  // processed again — still one id).
   QueryRunReport report;
   report.makespan = makespan;
-  for (size_t i = 0; i < ids.size(); ++i) {
-    auto received = env_->sqs().Receive(front_end_, config_.response_queue);
+  std::set<uint64_t> responded;
+  while (responded.size() < ids.size()) {
+    auto received = RetryCall(front_end_, "fe.receive", [&] {
+      return env_->sqs().Receive(front_end_, config_.response_queue);
+    });
     if (!received.ok()) return received.status();
     if (!received.value().has_value()) {
-      return Status::IOError("missing query response");
+      auto next = env_->sqs().NextDeliverableAt(config_.response_queue);
+      if (!next.has_value()) {
+        // The queue is drained for good: some query never produced a
+        // response (e.g. its task was dead-lettered).
+        return Status::IOError("missing query response");
+      }
+      front_end_.AdvanceTo(*next);
+      continue;
     }
     WEBDEX_ASSIGN_OR_RETURN(QueryResponse response,
                             QueryResponse::Parse(received.value()->body));
-    WEBDEX_ASSIGN_OR_RETURN(std::string result_xml,
-                            env_->s3().Get(front_end_, config_.results_bucket,
-                                           response.result_key));
+    WEBDEX_ASSIGN_OR_RETURN(
+        std::string result_xml,
+        RetryCall(front_end_, "fe.result", [&] {
+          return env_->s3().Get(front_end_, config_.results_bucket,
+                                response.result_key);
+        }));
     env_->meter().AddEgress(result_xml.size());
-    WEBDEX_RETURN_IF_ERROR(env_->sqs().Delete(
-        front_end_, config_.response_queue, received.value()->receipt));
+    // A stale receipt (expired lease or injected duplicate) just means
+    // the response comes around again; it is deduped by id above.
+    (void)RetryCall(front_end_, "fe.ack", [&] {
+      return env_->sqs().Delete(front_end_, config_.response_queue,
+                                received.value()->receipt);
+    });
+    responded.insert(response.id);
   }
   for (uint64_t id : ids) {
     auto it = outcomes.find(id);

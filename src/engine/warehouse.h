@@ -10,8 +10,12 @@
 
 #include "cloud/cloud_env.h"
 #include "cloud/cluster.h"
+#include "cloud/fault.h"
 #include "cloud/kv_store.h"
+#include "cloud/retrying_kv_store.h"
 #include "common/result.h"
+#include "common/retry.h"
+#include "common/rng.h"
 #include "engine/extraction_pipeline.h"
 #include "engine/message.h"
 #include "index/strategy.h"
@@ -49,12 +53,24 @@ struct WarehouseConfig {
   /// bit-identical for every value (see docs/PARALLELISM.md).
   int host_threads = 0;
 
-  /// Fault-injection hook (tests): called with (instance id, message
-  /// body) after a task has been processed but *before* its queue message
-  /// is deleted; returning true simulates the instance crashing at that
-  /// point, so the message lease expires and another instance redoes the
-  /// task (Section 3, fault tolerance).
-  std::function<bool(int, const std::string&)> crash_before_delete;
+  /// Retry policy applied to every simulated cloud call the warehouse
+  /// issues (index store, S3, SQS).  Backoff sleeps advance virtual time,
+  /// so retries lengthen makespans and EC2 bills (docs/FAULTS.md).
+  common::RetryPolicy retry;
+
+  /// A message delivered more than this many times is dead-lettered:
+  /// acknowledged without effect and counted in
+  /// IndexingRunReport::dead_lettered / Usage::dead_lettered.  <= 0
+  /// disables dead-lettering.
+  int max_deliveries = 8;
+
+  /// Crash-injection hook (tests): called with (crash point, instance id,
+  /// message body) at each of the engine's crash points; returning true
+  /// simulates the instance crashing there, so the message lease expires
+  /// and another instance redoes the task (Section 3, fault tolerance).
+  /// Plan-driven crashes (CloudConfig::faults.crash) fire independently
+  /// of this hook.
+  std::function<bool(cloud::CrashPoint, int, const std::string&)> crash_plan;
 };
 
 /// What one indexing run (drain of the loader queue) did — the substance
@@ -70,6 +86,9 @@ struct IndexingRunReport {
   index::ExtractStats extract_stats;
   /// Index-store put units consumed (|op(D, I)| at pricing granularity).
   double index_put_units = 0;
+  /// Fault-recovery accounting (docs/FAULTS.md).
+  uint64_t redeliveries = 0;   // task deliveries with delivery_count > 1
+  uint64_t dead_lettered = 0;  // poison tasks dropped after max_deliveries
 };
 
 /// Per-query timing split matching Figures 9b/9c.
@@ -179,6 +198,44 @@ class Warehouse {
   /// host_threads == 0 default to the hardware concurrency).
   int ResolvedHostThreads() const;
 
+  /// True if the test hook or the cloud's fault plan says the instance
+  /// crashes at `point` while handling the task with body `task_key`.
+  bool ShouldCrash(cloud::CrashPoint point, int instance_id,
+                   const std::string& task_key);
+
+  /// Runs `fn` (returning Status or Result<T>) under the configured retry
+  /// policy; backoff advances `agent`'s virtual clock and jitter is drawn
+  /// from a deterministic per-`site` stream.
+  template <typename Fn>
+  auto RetryCall(cloud::SimAgent& agent, const std::string& site,
+                 const Fn& fn) -> decltype(fn()) {
+    auto it = retry_streams_.find(site);
+    if (it == retry_streams_.end()) {
+      it = retry_streams_
+               .emplace(site, Rng::ForKey(env_->config().seed, "wh:" + site))
+               .first;
+    }
+    return common::CallWithRetry(
+        config_.retry, it->second, fn,
+        [&agent](int64_t micros) {
+          agent.Advance(static_cast<cloud::Micros>(micros));
+        },
+        &env_->meter().mutable_usage().retried_requests);
+  }
+
+  /// Uploads `items` to `table` one BatchPutLimit()-sized page per API
+  /// call (externalizing the store's paging so the engine can crash
+  /// between pages).  `crashed` means the instance died mid-upload: the
+  /// caller must neither ack nor poison the task.
+  struct UploadResult {
+    Status status;
+    bool crashed = false;
+  };
+  UploadResult PutItemsPaged(cloud::Instance& instance,
+                             const std::string& table,
+                             const std::vector<cloud::Item>& items,
+                             const std::string& task_key);
+
   cloud::WorkerStep IndexerStep(cloud::Instance& instance,
                                 ExtractionPipeline* pipeline,
                                 IndexingRunReport* report);
@@ -217,12 +274,16 @@ class Warehouse {
   cloud::CloudEnv* env_;
   WarehouseConfig config_;
   std::unique_ptr<index::IndexingStrategy> strategy_;
+  /// Retry decorator over the backend index store; index_store() returns
+  /// it so every index read/write inherits backoff and re-batching.
+  std::unique_ptr<cloud::RetryingKvStore> retrying_store_;
   cloud::Cluster cluster_;
   FrontEndAgent front_end_;
   std::vector<std::string> document_uris_;
   uint64_t data_bytes_ = 0;
   uint64_t next_query_id_ = 1;
   DocCache doc_cache_;
+  std::map<std::string, Rng, std::less<>> retry_streams_;
 };
 
 }  // namespace webdex::engine

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -35,6 +37,19 @@ TEST(StatusTest, AllConstructorsMapToPredicates) {
   EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+}
+
+TEST(StatusTest, UnavailableIsRetriable) {
+  Status s = Status::Unavailable("injected fault at s3.put:docs");
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_TRUE(s.IsRetriable());
+  EXPECT_EQ(s.ToString(), "Unavailable: injected fault at s3.put:docs");
+  // Throttling is the other transient: also retriable.
+  EXPECT_TRUE(Status::ResourceExhausted("throttled").IsRetriable());
+  // Permanent failures are not.
+  EXPECT_FALSE(Status::NotFound("x").IsRetriable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetriable());
+  EXPECT_FALSE(Status::OK().IsRetriable());
 }
 
 Status Passthrough(const Status& s) {
@@ -82,6 +97,125 @@ TEST(ResultTest, MoveOnlyValue) {
   ASSERT_TRUE(r.ok());
   std::unique_ptr<int> v = std::move(r).value();
   EXPECT_EQ(*v, 5);
+}
+
+// --- Retry -------------------------------------------------------------------
+
+TEST(RetryTest, SucceedsWithoutRetryOnFirstOk) {
+  Rng rng(1);
+  int calls = 0;
+  int64_t slept = 0;
+  uint64_t retries = 0;
+  auto status = common::CallWithRetry(
+      common::RetryPolicy(), rng,
+      [&] {
+        ++calls;
+        return Status::OK();
+      },
+      [&](int64_t micros) { slept += micros; }, &retries);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(slept, 0);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(RetryTest, RetriesTransientUntilSuccess) {
+  Rng rng(1);
+  int calls = 0;
+  uint64_t retries = 0;
+  int64_t slept = 0;
+  auto result = common::CallWithRetry(
+      common::RetryPolicy(), rng,
+      [&]() -> Result<int> {
+        if (++calls < 3) return Status::Unavailable("flaky");
+        return 42;
+      },
+      [&](int64_t micros) { slept += micros; }, &retries);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+  EXPECT_GT(slept, 0);  // the backoffs were actually slept
+}
+
+TEST(RetryTest, PermanentErrorIsNotRetried) {
+  Rng rng(1);
+  int calls = 0;
+  auto status = common::CallWithRetry(
+      common::RetryPolicy(), rng,
+      [&] {
+        ++calls;
+        return Status::NotFound("gone");
+      },
+      [](int64_t) {});
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, AttemptCapReturnsLastError) {
+  common::RetryPolicy policy;
+  policy.max_attempts = 3;
+  Rng rng(1);
+  int calls = 0;
+  auto status = common::CallWithRetry(
+      policy, rng,
+      [&] {
+        ++calls;
+        return Status::ResourceExhausted("throttled");
+      },
+      [](int64_t) {});
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, DeadlineAbandonsBeforeAttemptCap) {
+  common::RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_micros = 1'000'000;
+  policy.backoff_multiplier = 1.0;
+  policy.deadline_micros = 1;  // any non-zero backoff exceeds this
+  Rng rng(1);
+  int calls = 0;
+  int64_t slept = 0;
+  auto status = common::CallWithRetry(
+      policy, rng,
+      [&] {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      [&](int64_t micros) { slept += micros; });
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_LT(calls, 100);
+  EXPECT_LE(slept, policy.deadline_micros);
+}
+
+TEST(RetryTest, BackoffCapGrowsGeometricallyThenSaturates) {
+  common::RetryPolicy policy;
+  policy.initial_backoff_micros = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_micros = 350;
+  EXPECT_EQ(common::BackoffCapMicros(policy, 1), 100);
+  EXPECT_EQ(common::BackoffCapMicros(policy, 2), 200);
+  EXPECT_EQ(common::BackoffCapMicros(policy, 3), 350);  // capped
+  EXPECT_EQ(common::BackoffCapMicros(policy, 9), 350);
+}
+
+TEST(RetryTest, JitterScheduleIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    Rng rng = Rng::ForKey(seed, "retry:test");
+    std::vector<int64_t> backoffs;
+    int calls = 0;
+    (void)common::CallWithRetry(
+        common::RetryPolicy(), rng,
+        [&] {
+          ++calls;
+          return Status::Unavailable("down");
+        },
+        [&](int64_t micros) { backoffs.push_back(micros); });
+    return backoffs;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
 }
 
 // --- Strings -----------------------------------------------------------------

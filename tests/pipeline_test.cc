@@ -47,9 +47,10 @@ RunFingerprint RunIndexing(WarehouseConfig config, int crashes = 0) {
   RunFingerprint out;
   int crashes_remaining = crashes;
   if (crashes > 0) {
-    config.crash_before_delete = [&crashes_remaining](int,
-                                                      const std::string&) {
-      if (crashes_remaining > 0) {
+    config.crash_plan = [&crashes_remaining](cloud::CrashPoint point, int,
+                                             const std::string&) {
+      if (point == cloud::CrashPoint::kBeforeDelete &&
+          crashes_remaining > 0) {
         --crashes_remaining;
         return true;
       }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "cloud/fault.h"
 #include "cloud/queue_service.h"
 
 namespace webdex::cloud {
@@ -7,17 +8,17 @@ namespace {
 
 class TestAgent : public SimAgent {};
 
+QueueServiceConfig TestConfig() {
+  QueueServiceConfig config;
+  config.request_latency = 1'000;
+  config.visibility_timeout = 60 * kMicrosPerSecond;
+  return config;
+}
+
 class QueueServiceTest : public ::testing::Test {
  protected:
-  QueueServiceTest() : meter_(Pricing()), sqs_(Config(), &meter_) {
+  QueueServiceTest() : meter_(Pricing()), sqs_(TestConfig(), &meter_) {
     EXPECT_TRUE(sqs_.CreateQueue("q").ok());
-  }
-
-  static QueueServiceConfig Config() {
-    QueueServiceConfig config;
-    config.request_latency = 1'000;
-    config.visibility_timeout = 60 * kMicrosPerSecond;
-    return config;
   }
 
   UsageMeter meter_;
@@ -122,6 +123,139 @@ TEST_F(QueueServiceTest, CountTracksUndeleted) {
   EXPECT_EQ(sqs_.Count("q"), 2u);  // in flight still counts
   ASSERT_TRUE(sqs_.Delete(agent_, "q", msg.value()->receipt).ok());
   EXPECT_EQ(sqs_.Count("q"), 1u);
+}
+
+TEST_F(QueueServiceTest, DeliveryCountAndStaleReceiptsAcrossExpiries) {
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "task").ok());
+  auto first = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(first.value().has_value());
+  EXPECT_EQ(first.value()->delivery_count, 1);
+  agent_.Advance(61 * kMicrosPerSecond);
+  auto second = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_EQ(second.value()->delivery_count, 2);
+  agent_.Advance(61 * kMicrosPerSecond);
+  auto third = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(third.value().has_value());
+  EXPECT_EQ(third.value()->delivery_count, 3);
+  // Each redelivery after the first is counted by the meter...
+  EXPECT_EQ(meter_.usage().sqs_redeliveries, 2u);
+  // ...and invalidates every earlier receipt for delete *and* renew.
+  EXPECT_TRUE(sqs_.Delete(agent_, "q", first.value()->receipt).IsNotFound());
+  EXPECT_TRUE(
+      sqs_.RenewLease(agent_, "q", second.value()->receipt).IsNotFound());
+  EXPECT_TRUE(sqs_.RenewLease(agent_, "q", third.value()->receipt).ok());
+  EXPECT_TRUE(sqs_.Delete(agent_, "q", third.value()->receipt).ok());
+  EXPECT_TRUE(sqs_.Drained("q"));
+}
+
+TEST_F(QueueServiceTest, NextDeliverableAtTracksRenewedLease) {
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "x").ok());
+  auto msg = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(msg.value().has_value());
+  agent_.Advance(10 * kMicrosPerSecond);
+  ASSERT_TRUE(sqs_.RenewLease(agent_, "q", msg.value()->receipt).ok());
+  // The in-flight message becomes deliverable a full timeout after the
+  // renewal, not after the original receive.
+  auto visible = sqs_.NextDeliverableAt("q");
+  ASSERT_TRUE(visible.has_value());
+  EXPECT_EQ(*visible, agent_.now() + 60 * kMicrosPerSecond);
+}
+
+/// Fixture wiring a FaultInjector into the queue, for the chaos knobs.
+class FaultedQueueTest : public ::testing::Test {
+ protected:
+  explicit FaultedQueueTest(FaultPlan plan = FaultPlan())
+      : meter_(Pricing()),
+        injector_(plan, /*base_seed=*/42, &meter_),
+        sqs_(TestConfig(), &meter_, &injector_) {
+    EXPECT_TRUE(sqs_.CreateQueue("q").ok());
+  }
+
+  UsageMeter meter_;
+  FaultInjector injector_;
+  QueueService sqs_;
+  TestAgent agent_;
+};
+
+FaultPlan AllErrorsPlan() {
+  FaultPlan plan;
+  plan.sqs.error_probability = 1.0;
+  plan.sqs.throttle_share = 0.0;  // always kUnavailable
+  return plan;
+}
+
+class ErroringQueueTest : public FaultedQueueTest {
+ protected:
+  ErroringQueueTest() : FaultedQueueTest(AllErrorsPlan()) {}
+};
+
+TEST_F(ErroringQueueTest, InjectedErrorsAreRetriableAndBilled) {
+  auto status = sqs_.Send(agent_, "q", "x");
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_TRUE(status.IsRetriable());
+  // The failed attempt still bills a request and its latency, but the
+  // message was not enqueued.
+  EXPECT_EQ(meter_.usage().sqs_requests, 1u);
+  EXPECT_EQ(meter_.usage().faulted_requests, 1u);
+  EXPECT_EQ(agent_.now(), 1'000);
+  EXPECT_TRUE(sqs_.Drained("q"));
+  EXPECT_TRUE(sqs_.Receive(agent_, "q").status().IsUnavailable());
+  EXPECT_EQ(meter_.usage().faulted_requests, 2u);
+}
+
+FaultPlan AllDuplicatesPlan() {
+  FaultPlan plan;
+  plan.sqs.duplicate_probability = 1.0;
+  return plan;
+}
+
+class DuplicatingQueueTest : public FaultedQueueTest {
+ protected:
+  DuplicatingQueueTest() : FaultedQueueTest(AllDuplicatesPlan()) {}
+};
+
+TEST_F(DuplicatingQueueTest, DuplicateDeliveryStalesTheReceipt) {
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "task").ok());
+  auto first = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(first.value().has_value());
+  // The duplicate injection left the message deliverable: the receipt just
+  // handed out is already stale, exactly like a real at-least-once dup.
+  EXPECT_TRUE(sqs_.Delete(agent_, "q", first.value()->receipt).IsNotFound());
+  auto second = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_EQ(second.value()->body, "task");
+  EXPECT_EQ(second.value()->delivery_count, 2);
+  EXPECT_EQ(meter_.usage().sqs_redeliveries, 1u);
+}
+
+FaultPlan AllDelaysPlan() {
+  FaultPlan plan;
+  plan.sqs.delay_probability = 1.0;
+  plan.sqs.max_delay = 5 * kMicrosPerSecond;
+  return plan;
+}
+
+class DelayingQueueTest : public FaultedQueueTest {
+ protected:
+  DelayingQueueTest() : FaultedQueueTest(AllDelaysPlan()) {}
+};
+
+TEST_F(DelayingQueueTest, DelayedMessageBecomesVisibleLater) {
+  ASSERT_TRUE(sqs_.Send(agent_, "q", "slow").ok());
+  auto hidden = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(hidden.ok());
+  EXPECT_FALSE(hidden.value().has_value());
+  auto visible_at = sqs_.NextDeliverableAt("q");
+  ASSERT_TRUE(visible_at.has_value());
+  EXPECT_GT(*visible_at, agent_.now());
+  EXPECT_LE(*visible_at, agent_.now() + 5 * kMicrosPerSecond);
+  agent_.AdvanceTo(*visible_at);
+  auto msg = sqs_.Receive(agent_, "q");
+  ASSERT_TRUE(msg.value().has_value());
+  EXPECT_EQ(msg.value()->body, "slow");
+  EXPECT_EQ(msg.value()->delivery_count, 1);  // a delay is not a redelivery
+  EXPECT_EQ(meter_.usage().sqs_redeliveries, 0u);
 }
 
 TEST_F(QueueServiceTest, EveryApiCallBillsOneRequest) {

@@ -175,8 +175,8 @@ TEST(WarehouseTest, CrashedIndexerTaskIsRedone) {
   config.strategy = StrategyKind::kLU;
   config.num_instances = 2;
   int crashes_remaining = 3;
-  config.crash_before_delete = [&](int, const std::string&) {
-    if (crashes_remaining > 0) {
+  config.crash_plan = [&](cloud::CrashPoint point, int, const std::string&) {
+    if (point == cloud::CrashPoint::kBeforeDelete && crashes_remaining > 0) {
       --crashes_remaining;
       return true;
     }
@@ -200,8 +200,10 @@ TEST(WarehouseTest, CrashedQueryTaskIsRedone) {
   WarehouseConfig config;
   config.strategy = StrategyKind::kLU;
   bool crashed = false;
-  config.crash_before_delete = [&](int, const std::string& body) {
-    if (!crashed && body.rfind("QUERY", 0) == 0) {
+  config.crash_plan = [&](cloud::CrashPoint point, int,
+                          const std::string& body) {
+    if (point == cloud::CrashPoint::kBeforeDelete && !crashed &&
+        body.rfind("QUERY", 0) == 0) {
       crashed = true;
       return true;
     }

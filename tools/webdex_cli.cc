@@ -94,6 +94,8 @@ class Cli {
                                   : cloud::InstanceType::kLarge;
       std::printf("instance type: %s\n",
                   cloud::InstanceTypeName(config_.instance_type));
+    } else if (command == "faults") {
+      SetFaults(rest);
     } else if (command == "open") {
       Open();
     } else if (command == "load") {
@@ -136,6 +138,9 @@ class Cli {
         "                                   wall-clock only, results and\n"
         "                                   virtual times are identical)\n"
         "  type L|XL                        instance type\n"
+        "  faults <error_prob> [seed]       chaos plan for the next 'open':\n"
+        "                                   transient faults, duplicates and\n"
+        "                                   delays at that rate (0 = off)\n"
         "  open                             create the warehouse\n"
         "  load <uri> <file.xml>            load one local XML file\n"
         "  loaddir <dir>                    load every .xml file in a dir\n"
@@ -176,6 +181,37 @@ class Cli {
                     : "DynamoDB");
   }
 
+  void SetFaults(const std::string& args) {
+    std::istringstream input(args);
+    double error_probability = 0;
+    if (!(input >> error_probability) || error_probability < 0 ||
+        error_probability > 1) {
+      std::printf("usage: faults <error_prob in [0,1]> [seed]\n");
+      return;
+    }
+    cloud::FaultPlan plan;
+    if (uint64_t seed; input >> seed) plan.seed = seed;
+    plan.s3.error_probability = error_probability;
+    plan.dynamodb.error_probability = error_probability;
+    plan.dynamodb.unprocessed_probability = error_probability;
+    plan.sqs.error_probability = error_probability;
+    plan.sqs.duplicate_probability = error_probability;
+    plan.sqs.delay_probability = error_probability;
+    plan.sqs.max_delay = 2 * cloud::kMicrosPerSecond;
+    cloud_config_.faults = plan;
+    if (plan.Any()) {
+      std::printf(
+          "fault plan: %.1f%% transient faults per attempt (seed %llu); "
+          "applies at the next 'open'\n",
+          error_probability * 100.0, (unsigned long long)plan.seed);
+    } else {
+      std::printf("fault plan: off\n");
+    }
+    if (warehouse_ != nullptr) {
+      std::printf("note: the open warehouse keeps its current plan\n");
+    }
+  }
+
   bool Opened() {
     if (warehouse_ == nullptr) {
       std::printf("no warehouse — run 'open' first\n");
@@ -189,7 +225,7 @@ class Cli {
       std::printf("warehouse already open\n");
       return;
     }
-    env_ = std::make_unique<cloud::CloudEnv>();
+    env_ = std::make_unique<cloud::CloudEnv>(cloud_config_);
     warehouse_ = std::make_unique<engine::Warehouse>(env_.get(), config_);
     if (auto status = warehouse_->Setup(); !status.ok()) {
       std::printf("setup failed: %s\n", status.ToString().c_str());
@@ -382,7 +418,7 @@ class Cli {
       std::printf("a warehouse is already open — restart to restore\n");
       return;
     }
-    auto env = std::make_unique<cloud::CloudEnv>();
+    auto env = std::make_unique<cloud::CloudEnv>(cloud_config_);
     if (auto status = cloud::LoadSnapshotFile(path, env.get());
         !status.ok()) {
       std::printf("restore failed: %s\n", status.ToString().c_str());
@@ -414,6 +450,8 @@ class Cli {
         "documents: %zu (%.1f MB)   distinct paths: %llu\n"
         "S3: %llu put / %llu get   DynamoDB: %llu put / %llu get "
         "(%.0f WU / %.0f RU)   SQS: %llu\n"
+        "faults: %llu injected, %llu retries, %llu redeliveries, "
+        "%llu dead-lettered\n"
         "virtual front-end clock: %.2f s\n",
         warehouse_->document_uris().size(),
         static_cast<double>(warehouse_->data_bytes()) / (1 << 20),
@@ -423,6 +461,10 @@ class Cli {
         (unsigned long long)usage.ddb_put_requests,
         (unsigned long long)usage.ddb_get_requests, usage.ddb_write_units,
         usage.ddb_read_units, (unsigned long long)usage.sqs_requests,
+        (unsigned long long)usage.faulted_requests,
+        (unsigned long long)usage.retried_requests,
+        (unsigned long long)usage.sqs_redeliveries,
+        (unsigned long long)usage.dead_lettered,
         static_cast<double>(warehouse_->front_end().now()) / 1e6);
   }
 
@@ -437,6 +479,7 @@ class Cli {
 
   bool interactive_;
   engine::WarehouseConfig config_;
+  cloud::CloudConfig cloud_config_;
   std::unique_ptr<cloud::CloudEnv> env_;
   std::unique_ptr<engine::Warehouse> warehouse_;
   index::PathSummary summary_;
