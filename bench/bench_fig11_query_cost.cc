@@ -62,6 +62,70 @@ BENCHMARK(BM_QueryCost)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+// Brownout sweep (docs/FAULTS.md): the same LUP workload with a
+// sustained DynamoDB outage of growing length placed over the query
+// phase.  A brief outage is absorbed by retries (cost creeps up with
+// the rented backoff time); a sustained one trips the circuit breaker
+// and every query falls back to a full scan, so the workload cost jumps
+// toward the no-index row above — the retry-vs-scan crossover.
+void BM_QueryCostOutage(benchmark::State& state) {
+  const double outage_seconds = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    // Pass 1 (healthy) pins down when the query phase starts; indexing
+    // is deterministic, so pass 2's build finishes at the same instant
+    // and the outage window hits only the queries.
+    const cloud::Micros query_start =
+        Deploy(index::StrategyKind::kLUP, true, 1,
+               cloud::InstanceType::kLarge, CorpusConfig())
+            .warehouse->front_end()
+            .now();
+    cloud::CloudConfig cloud_config;
+    if (outage_seconds > 0) {
+      cloud::OutageWindow window;
+      window.service = cloud::ServiceId::kDynamoDb;
+      window.start = query_start;
+      window.end = query_start + static_cast<cloud::Micros>(
+                                     outage_seconds * cloud::kMicrosPerSecond);
+      cloud_config.faults.outages.push_back(window);
+    }
+    Deployment d = Deploy(index::StrategyKind::kLUP, true, 1,
+                          cloud::InstanceType::kLarge, CorpusConfig(),
+                          engine::IndexBackend::kDynamoDb, true, 8,
+                          cloud_config);
+    const cloud::Usage before = d.env->meter().Snapshot();
+    auto run = d.warehouse->ExecuteQueries(Workload());
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    const cloud::Usage delta = d.env->meter().Snapshot() - before;
+    const double cost = d.env->meter().ComputeBill(delta).total();
+    state.counters["workload_usd"] = cost;
+    state.counters["degraded"] =
+        static_cast<double>(run.value().degraded_queries);
+    state.counters["breaker_opens"] =
+        static_cast<double>(run.value().breaker_opens);
+    std::vector<std::pair<std::string, double>> metrics;
+    metrics.emplace_back("outage_s", outage_seconds);
+    metrics.emplace_back("workload_usd", cost);
+    metrics.emplace_back(
+        "makespan_s",
+        static_cast<double>(run.value().makespan) / cloud::kMicrosPerSecond);
+    AppendFaultColumns(delta, &metrics);
+    RecordJson(StrFormat("fig11/outage/%.0fs", outage_seconds),
+               std::move(metrics));
+  }
+  state.SetLabel(StrFormat("LUP/L with %.0f s DynamoDB outage",
+                           outage_seconds));
+}
+
+BENCHMARK(BM_QueryCostOutage)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(300)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 void PrintFigure() {
   PrintHeader("Figure 11: query processing cost ($, metered) per query");
   std::printf("%-12s", "Config");
@@ -100,8 +164,10 @@ void PrintFigure() {
 }  // namespace webdex::bench
 
 int main(int argc, char** argv) {
+  webdex::bench::ParseJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   webdex::bench::PrintFigure();
+  webdex::bench::FlushJson();
   return 0;
 }

@@ -182,6 +182,12 @@ inline void AppendFaultColumns(
                         static_cast<double>(usage.sqs_redeliveries));
   metrics->emplace_back("faulted_requests",
                         static_cast<double>(usage.faulted_requests));
+  metrics->emplace_back("degraded_queries",
+                        static_cast<double>(usage.degraded_queries));
+  metrics->emplace_back("breaker_opens",
+                        static_cast<double>(usage.breaker_opens));
+  metrics->emplace_back("scrub_repaired",
+                        static_cast<double>(usage.scrub_repaired));
 }
 
 /// Writes the recorded rows to the --json path (no-op when unset).
@@ -229,9 +235,11 @@ inline Deployment Deploy(index::StrategyKind strategy, bool use_index,
                          const xmark::GeneratorConfig& corpus,
                          engine::IndexBackend backend =
                              engine::IndexBackend::kDynamoDb,
-                         bool full_text = true, int index_instances = 8) {
+                         bool full_text = true, int index_instances = 8,
+                         const cloud::CloudConfig& cloud_config =
+                             cloud::CloudConfig()) {
   Deployment d;
-  d.env = std::make_unique<cloud::CloudEnv>();
+  d.env = std::make_unique<cloud::CloudEnv>(cloud_config);
   engine::WarehouseConfig config;
   config.strategy = strategy;
   config.use_index = use_index;

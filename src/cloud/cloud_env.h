@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "cloud/circuit_breaker.h"
 #include "cloud/dynamodb.h"
 #include "cloud/fault.h"
 #include "cloud/instance.h"
@@ -27,6 +28,10 @@ struct CloudConfig {
   /// Deterministic chaos schedule (docs/FAULTS.md).  The default plan
   /// injects nothing and reproduces fault-free runs bit-identically.
   FaultPlan faults;
+  /// Per-resource circuit breakers over the cloud clients.  Enabled by
+  /// default: fault-free runs never produce the consecutive failures
+  /// that trip one, so they stay bit-identical.
+  CircuitBreakerConfig breaker;
 };
 
 /// The simulated cloud region: one S3, one DynamoDB, one SimpleDB, one
@@ -38,9 +43,10 @@ class CloudEnv {
       : config_(config),
         meter_(config.pricing),
         injector_(config.faults, config.seed, &meter_),
+        breaker_(config.breaker, &meter_),
         s3_(config.s3, &meter_, &injector_),
         dynamodb_(config.dynamodb, &meter_, &injector_),
-        simpledb_(config.simpledb, &meter_),
+        simpledb_(config.simpledb, &meter_, &injector_),
         sqs_(config.sqs, &meter_, &injector_),
         rng_(config.seed) {}
 
@@ -55,11 +61,13 @@ class CloudEnv {
   QueueService& sqs() { return sqs_; }
   Rng& rng() { return rng_; }
   FaultInjector& fault_injector() { return injector_; }
+  CircuitBreaker& breaker() { return breaker_; }
 
  private:
   CloudConfig config_;
   UsageMeter meter_;
   FaultInjector injector_;
+  CircuitBreaker breaker_;
   ObjectStore s3_;
   DynamoDb dynamodb_;
   SimpleDb simpledb_;

@@ -75,8 +75,8 @@ Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
       // A page-level transient error bills the API request and its round
       // trip but consumes no write capacity (AWS throttles before
       // writing); everything not yet stored is reported back.
-      Status fault = injector_->MaybeFail(injector_->plan().dynamodb,
-                                          "ddb.batchput:" + table);
+      Status fault = injector_->MaybeFail(ServiceId::kDynamoDb,
+                                          "ddb.batchput:" + table, agent.now());
       if (!fault.ok()) {
         meter_->mutable_usage().ddb_put_requests += 1;
         agent.Advance(config_.request_latency);
@@ -93,7 +93,7 @@ Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
       // comes back as UnprocessedItems the caller must re-batch.  Only
       // injected when the caller can observe it.
       const size_t bounced =
-          injector_->UnprocessedCount(injector_->plan().dynamodb,
+          injector_->UnprocessedCount(ServiceId::kDynamoDb,
                                       "ddb.unprocessed:" + table,
                                       batch_end - index);
       commit_end = batch_end - bounced;
@@ -138,7 +138,8 @@ Result<std::vector<Item>> DynamoDb::Get(SimAgent& agent,
   if (it == tables_.end()) return Status::NotFound("no such table: " + table);
   if (injector_ != nullptr) {
     Status fault =
-        injector_->MaybeFail(injector_->plan().dynamodb, "ddb.get:" + table);
+        injector_->MaybeFail(ServiceId::kDynamoDb, "ddb.get:" + table,
+                             agent.now());
     if (!fault.ok()) {
       meter_->mutable_usage().ddb_get_requests += 1;
       agent.Advance(config_.request_latency);
@@ -176,8 +177,8 @@ Result<std::vector<Item>> DynamoDb::BatchGet(
     const size_t batch_end = std::min(
         hash_keys.size(), index + static_cast<size_t>(batch_limit));
     if (injector_ != nullptr) {
-      Status fault = injector_->MaybeFail(injector_->plan().dynamodb,
-                                          "ddb.batchget:" + table);
+      Status fault = injector_->MaybeFail(ServiceId::kDynamoDb,
+                                          "ddb.batchget:" + table, agent.now());
       if (!fault.ok()) {
         meter_->mutable_usage().ddb_get_requests += 1;
         agent.Advance(config_.request_latency);
@@ -202,6 +203,84 @@ Result<std::vector<Item>> DynamoDb::BatchGet(
     index = batch_end;
   }
   return out;
+}
+
+Result<std::vector<Item>> DynamoDb::Scan(SimAgent& agent,
+                                        const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  std::vector<Item> out;
+  for (const auto& [hash_key, ranges] : it->second.items) {
+    for (const auto& [range_key, attrs] : ranges) {
+      out.push_back(Item{hash_key, range_key, attrs});
+    }
+  }
+  // Page through at the 1 MB scan limit; every page is a billed request
+  // that consumes read capacity for the bytes it returns.
+  constexpr uint64_t kScanPageBytes = 1024 * 1024;
+  size_t index = 0;
+  do {
+    if (injector_ != nullptr) {
+      Status fault = injector_->MaybeFail(ServiceId::kDynamoDb,
+                                          "ddb.scan:" + table, agent.now());
+      if (!fault.ok()) {
+        meter_->mutable_usage().ddb_get_requests += 1;
+        agent.Advance(config_.request_latency);
+        return fault;
+      }
+    }
+    uint64_t page_bytes = 0;
+    double units = 0;
+    while (index < out.size() && page_bytes < kScanPageBytes) {
+      const uint64_t bytes = out[index].SizeBytes();
+      page_bytes += bytes;
+      units += ReadUnits(bytes);
+      ++index;
+    }
+    if (units == 0) units = ReadUnits(0);  // an empty table still seeks
+    meter_->mutable_usage().ddb_get_requests += 1;
+    meter_->mutable_usage().ddb_read_units += units;
+    agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
+    agent.Advance(config_.request_latency);
+  } while (index < out.size());
+  return out;
+}
+
+Status DynamoDb::DeleteItem(SimAgent& agent, const std::string& table,
+                            const std::string& hash_key,
+                            const std::string& range_key) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  if (injector_ != nullptr) {
+    Status fault = injector_->MaybeFail(ServiceId::kDynamoDb,
+                                        "ddb.delete:" + table, agent.now());
+    if (!fault.ok()) {
+      meter_->mutable_usage().ddb_put_requests += 1;
+      agent.Advance(config_.request_latency);
+      return fault;
+    }
+  }
+  Table& t = it->second;
+  // Deletes consume write capacity sized by the deleted item (AWS);
+  // deleting an absent key still pays the minimum.
+  double units = kMinWriteBytes / 1024.0;
+  auto hit = t.items.find(hash_key);
+  if (hit != t.items.end()) {
+    auto slot = hit->second.find(range_key);
+    if (slot != hit->second.end()) {
+      const Item old{hash_key, range_key, slot->second};
+      units = WriteUnits(old);
+      t.stored_bytes -= old.SizeBytes();
+      t.item_count -= 1;
+      hit->second.erase(slot);
+      if (hit->second.empty()) t.items.erase(hit);
+    }
+  }
+  meter_->mutable_usage().ddb_put_requests += 1;
+  meter_->mutable_usage().ddb_write_units += units;
+  agent.AdvanceTo(write_limiter_.Acquire(agent.now(), units));
+  agent.Advance(config_.request_latency);
+  return Status::OK();
 }
 
 uint64_t DynamoDb::StoredBytes(const std::string& table) const {

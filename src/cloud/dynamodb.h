@@ -50,6 +50,11 @@ class DynamoDb final : public KvStore {
   Result<std::vector<Item>> BatchGet(
       SimAgent& agent, const std::string& table,
       const std::vector<std::string>& hash_keys) override;
+  Result<std::vector<Item>> Scan(SimAgent& agent,
+                                const std::string& table) override;
+  Status DeleteItem(SimAgent& agent, const std::string& table,
+                    const std::string& hash_key,
+                    const std::string& range_key) override;
 
   const char* Name() const override { return "DynamoDB"; }
   uint64_t MaxItemBytes() const override { return 64 * 1024; }

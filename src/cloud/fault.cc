@@ -26,6 +26,34 @@ const char* CrashPointName(CrashPoint point) {
   return "unknown";
 }
 
+const char* ServiceIdName(ServiceId service) {
+  switch (service) {
+    case ServiceId::kS3:
+      return "s3";
+    case ServiceId::kDynamoDb:
+      return "dynamodb";
+    case ServiceId::kSimpleDb:
+      return "simpledb";
+    case ServiceId::kSqs:
+      return "sqs";
+  }
+  return "unknown";
+}
+
+const ServiceFaults& FaultPlan::Faults(ServiceId service) const {
+  switch (service) {
+    case ServiceId::kS3:
+      return s3;
+    case ServiceId::kDynamoDb:
+      return dynamodb;
+    case ServiceId::kSimpleDb:
+      return simpledb;
+    case ServiceId::kSqs:
+      return sqs;
+  }
+  return s3;
+}
+
 FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t base_seed,
                              UsageMeter* meter)
     : plan_(plan),
@@ -43,9 +71,43 @@ Rng& FaultInjector::StreamFor(std::string_view site) {
   return it->second;
 }
 
-Status FaultInjector::MaybeFail(const ServiceFaults& faults,
-                                std::string_view site) {
-  if (!enabled_ || faults.error_probability <= 0) return Status::OK();
+std::vector<FaultInjector::StreamState> FaultInjector::SaveStreams() const {
+  std::vector<StreamState> out;
+  out.reserve(streams_.size());
+  for (const auto& [site, rng] : streams_) {
+    out.emplace_back(site, rng.SaveState());
+  }
+  return out;
+}
+
+void FaultInjector::RestoreStreams(const std::vector<StreamState>& streams) {
+  for (const auto& [site, state] : streams) {
+    StreamFor(site).LoadState(state);
+  }
+}
+
+Status FaultInjector::MaybeFail(ServiceId service, std::string_view site,
+                                Micros now) {
+  if (!enabled_) return Status::OK();
+  // A sustained outage covering `now` overrides the per-attempt profile.
+  for (const auto& outage : plan_.outages) {
+    if (outage.service != service || !outage.Active(now)) continue;
+    const bool fails = outage.error_probability >= 1.0 ||
+                       (outage.error_probability > 0 &&
+                        StreamFor(site).NextBool(outage.error_probability));
+    if (!fails) continue;
+    meter_->mutable_usage().faulted_requests += 1;
+    std::string msg = "sustained outage at ";
+    msg += site;
+    const bool throttled =
+        outage.throttle_share >= 1.0 ||
+        (outage.throttle_share > 0 &&
+         StreamFor(site).NextBool(outage.throttle_share));
+    if (throttled) return Status::ResourceExhausted(msg);
+    return Status::Unavailable(msg);
+  }
+  const ServiceFaults& faults = plan_.Faults(service);
+  if (faults.error_probability <= 0) return Status::OK();
   Rng& rng = StreamFor(site);
   if (!rng.NextBool(faults.error_probability)) return Status::OK();
   meter_->mutable_usage().faulted_requests += 1;
@@ -57,12 +119,12 @@ Status FaultInjector::MaybeFail(const ServiceFaults& faults,
   return Status::Unavailable(msg);
 }
 
-size_t FaultInjector::UnprocessedCount(const ServiceFaults& faults,
+size_t FaultInjector::UnprocessedCount(ServiceId service,
                                        std::string_view site,
                                        size_t page_size) {
-  if (!enabled_ || faults.unprocessed_probability <= 0 || page_size == 0) {
-    return 0;
-  }
+  if (!enabled_ || page_size == 0) return 0;
+  const ServiceFaults& faults = plan_.Faults(service);
+  if (faults.unprocessed_probability <= 0) return 0;
   Rng& rng = StreamFor(site);
   if (!rng.NextBool(faults.unprocessed_probability)) return 0;
   meter_->mutable_usage().faulted_requests += 1;
@@ -72,20 +134,20 @@ size_t FaultInjector::UnprocessedCount(const ServiceFaults& faults,
                  rng.NextBelow(static_cast<uint64_t>(page_size)));
 }
 
-bool FaultInjector::ShouldDuplicate(const ServiceFaults& faults,
-                                    std::string_view site) {
-  if (!enabled_ || faults.duplicate_probability <= 0) return false;
+bool FaultInjector::ShouldDuplicate(ServiceId service, std::string_view site) {
+  if (!enabled_) return false;
+  const ServiceFaults& faults = plan_.Faults(service);
+  if (faults.duplicate_probability <= 0) return false;
   Rng& rng = StreamFor(site);
   if (!rng.NextBool(faults.duplicate_probability)) return false;
   meter_->mutable_usage().faulted_requests += 1;
   return true;
 }
 
-Micros FaultInjector::DeliveryDelay(const ServiceFaults& faults,
-                                    std::string_view site) {
-  if (!enabled_ || faults.delay_probability <= 0 || faults.max_delay <= 0) {
-    return 0;
-  }
+Micros FaultInjector::DeliveryDelay(ServiceId service, std::string_view site) {
+  if (!enabled_) return 0;
+  const ServiceFaults& faults = plan_.Faults(service);
+  if (faults.delay_probability <= 0 || faults.max_delay <= 0) return 0;
   Rng& rng = StreamFor(site);
   if (!rng.NextBool(faults.delay_probability)) return 0;
   return 1 + static_cast<Micros>(

@@ -1,10 +1,13 @@
 #ifndef WEBDEX_CLOUD_FAULT_H_
 #define WEBDEX_CLOUD_FAULT_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "cloud/sim.h"
 #include "cloud/usage.h"
@@ -26,6 +29,17 @@ enum class CrashPoint {
 };
 
 const char* CrashPointName(CrashPoint point);
+
+/// The fault-injectable simulated services.  Used to select a
+/// ServiceFaults profile from the plan and to scope OutageWindows.
+enum class ServiceId {
+  kS3,
+  kDynamoDb,
+  kSimpleDb,
+  kSqs,
+};
+
+const char* ServiceIdName(ServiceId service);
 
 /// Fault profile of one simulated service.  Probabilities are per API
 /// attempt; fields irrelevant to a service are simply ignored (e.g. only
@@ -67,6 +81,25 @@ struct CrashFaults {
   }
 };
 
+/// A sustained outage: one service failing (hard, by default) over a
+/// half-open virtual-time interval [start, end).  Unlike the per-attempt
+/// transient knobs above, an outage persists past any retry budget — the
+/// brownout that forces circuit breakers open and queries onto the
+/// degraded scan path (docs/FAULTS.md).
+struct OutageWindow {
+  ServiceId service = ServiceId::kDynamoDb;
+  Micros start = 0;
+  Micros end = 0;
+  /// Probability an attempt inside the window fails (default: all do).
+  double error_probability = 1.0;
+  /// Share of those failures reported as throttling (kResourceExhausted);
+  /// the rest are kUnavailable.  Extremes skip the coin flip so a hard
+  /// outage never advances the site's random stream.
+  double throttle_share = 1.0;
+
+  bool Active(Micros now) const { return now >= start && now < end; }
+};
+
 /// The complete chaos schedule of a simulated cloud.  Default-constructed
 /// plans inject nothing, keeping every existing run bit-identical.
 struct FaultPlan {
@@ -75,11 +108,16 @@ struct FaultPlan {
   uint64_t seed = 1;
   ServiceFaults s3;
   ServiceFaults dynamodb;
+  ServiceFaults simpledb;
   ServiceFaults sqs;
   CrashFaults crash;
+  std::vector<OutageWindow> outages;
+
+  const ServiceFaults& Faults(ServiceId service) const;
 
   bool Any() const {
-    return s3.Any() || dynamodb.Any() || sqs.Any() || crash.Any();
+    return s3.Any() || dynamodb.Any() || simpledb.Any() || sqs.Any() ||
+           crash.Any() || !outages.empty();
   }
 };
 
@@ -88,10 +126,12 @@ struct FaultPlan {
 /// Determinism contract: every decision is drawn from an `Rng::ForKey`
 /// stream pinned to a *site key* (operation + resource, e.g.
 /// "ddb.batchput:LU-table"), never from execution order of unrelated
-/// calls.  All injection happens on the event-loop thread (pooled host
-/// threads never touch simulated services), so the fault schedule — and
-/// therefore bills and makespans — is identical for host_threads == 1 and
-/// host_threads == N, and independent of host-thread interleaving.
+/// calls.  Sustained outages additionally consult the caller's virtual
+/// clock, which is itself deterministic.  All injection happens on the
+/// event-loop thread (pooled host threads never touch simulated
+/// services), so the fault schedule — and therefore bills and makespans —
+/// is identical for host_threads == 1 and host_threads == N, and
+/// independent of host-thread interleaving.
 ///
 /// Billing contract: the injector only decides; the calling service bills
 /// the failed attempt exactly like a successful request round trip
@@ -100,6 +140,9 @@ struct FaultPlan {
 /// consume no capacity but retried attempts still cost requests and time.
 class FaultInjector {
  public:
+  /// One saved per-site stream cursor (cloud/snapshot.cc).
+  using StreamState = std::pair<std::string, std::array<uint64_t, 4>>;
+
   FaultInjector(const FaultPlan& plan, uint64_t base_seed,
                 UsageMeter* meter);
 
@@ -110,25 +153,32 @@ class FaultInjector {
   bool enabled() const { return enabled_; }
 
   /// Returns a transient error (kUnavailable or kResourceExhausted) with
-  /// probability `faults.error_probability`, OK otherwise.  Increments
-  /// Usage::faulted_requests when it fires.
-  Status MaybeFail(const ServiceFaults& faults, std::string_view site);
+  /// probability `error_probability` of the service's profile — or of an
+  /// OutageWindow active at `now`, which takes precedence — OK otherwise.
+  /// Increments Usage::faulted_requests when it fires.
+  Status MaybeFail(ServiceId service, std::string_view site, Micros now);
 
   /// DynamoDB partial batch failure: how many trailing items of a
   /// `page_size`-item page come back unprocessed (0 = whole page stored).
-  size_t UnprocessedCount(const ServiceFaults& faults, std::string_view site,
+  size_t UnprocessedCount(ServiceId service, std::string_view site,
                           size_t page_size);
 
   /// SQS at-least-once duplicate: leave the message deliverable although
   /// it was just handed out.
-  bool ShouldDuplicate(const ServiceFaults& faults, std::string_view site);
+  bool ShouldDuplicate(ServiceId service, std::string_view site);
 
   /// SQS delayed delivery: extra visibility delay for a sent message.
-  Micros DeliveryDelay(const ServiceFaults& faults, std::string_view site);
+  Micros DeliveryDelay(ServiceId service, std::string_view site);
 
   /// Plan-driven crash decision for the engine's crash points, keyed by
   /// the task's queue-message body.
   bool ShouldCrash(CrashPoint point, std::string_view task_key);
+
+  /// Snapshot support: the per-site stream cursors in site-key order.
+  /// Restoring them makes a resumed run draw the identical continuation
+  /// of every fault schedule (cloud/snapshot.cc, docs/FAULTS.md).
+  std::vector<StreamState> SaveStreams() const;
+  void RestoreStreams(const std::vector<StreamState>& streams);
 
  private:
   Rng& StreamFor(std::string_view site);

@@ -71,6 +71,20 @@ class KvStore {
       SimAgent& agent, const std::string& table,
       const std::vector<std::string>& hash_keys) = 0;
 
+  /// Reads every item of `table` in deterministic (hash, range) key
+  /// order — the *billed* full-table walk (DynamoDB's Scan, SimpleDB's
+  /// paginated select) that the Scrubber uses, as opposed to the free
+  /// host-side ForEachItem below.  Paginated internally; each page costs
+  /// a request, its latency, and data-proportional read capacity.
+  virtual Result<std::vector<Item>> Scan(SimAgent& agent,
+                                        const std::string& table) = 0;
+
+  /// Deletes the item with the given composite key.  Deleting an absent
+  /// item succeeds (as in DynamoDB) but still bills the request.
+  virtual Status DeleteItem(SimAgent& agent, const std::string& table,
+                            const std::string& hash_key,
+                            const std::string& range_key) = 0;
+
   // --- Store capability model -------------------------------------------
   // Thread-safety contract: the capability queries below are consulted by
   // IndexingStrategy::ExtractItems while sizing items, which the engine's

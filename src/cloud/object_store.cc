@@ -45,7 +45,7 @@ Status ObjectStore::Put(SimAgent& agent, const std::string& bucket,
     // was sent) and bills a put request, but stores nothing and does not
     // count payload bytes as ingested.
     Status fault =
-        injector_->MaybeFail(injector_->plan().s3, "s3.put:" + bucket);
+        injector_->MaybeFail(ServiceId::kS3, "s3.put:" + bucket, agent.now());
     if (!fault.ok()) {
       ChargeTransfer(agent, data.size());
       meter_->mutable_usage().s3_put_requests += 1;
@@ -68,7 +68,7 @@ Result<std::string> ObjectStore::Get(SimAgent& agent,
   }
   if (injector_ != nullptr) {
     Status fault =
-        injector_->MaybeFail(injector_->plan().s3, "s3.get:" + bucket);
+        injector_->MaybeFail(ServiceId::kS3, "s3.get:" + bucket, agent.now());
     if (!fault.ok()) {
       meter_->mutable_usage().s3_get_requests += 1;
       ChargeTransfer(agent, 0);
@@ -101,7 +101,8 @@ Result<std::vector<std::string>> ObjectStore::BatchGet(
     // Call-level fault: the whole parallel fetch aborts before any
     // transfers complete; one request round trip is billed.
     Status fault =
-        injector_->MaybeFail(injector_->plan().s3, "s3.batchget:" + bucket);
+        injector_->MaybeFail(ServiceId::kS3, "s3.batchget:" + bucket,
+                             agent.now());
     if (!fault.ok()) {
       meter_->mutable_usage().s3_get_requests += 1;
       ChargeTransfer(agent, 0);

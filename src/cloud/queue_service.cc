@@ -26,10 +26,9 @@ Status QueueService::Send(SimAgent& agent, const std::string& queue,
   Micros delay = 0;
   if (injector_ != nullptr) {
     Status fault =
-        injector_->MaybeFail(injector_->plan().sqs, "sqs.send:" + queue);
+        injector_->MaybeFail(ServiceId::kSqs, "sqs.send:" + queue, agent.now());
     if (!fault.ok()) return fault;  // billed, nothing enqueued
-    delay = injector_->DeliveryDelay(injector_->plan().sqs,
-                                     "sqs.delay:" + queue);
+    delay = injector_->DeliveryDelay(ServiceId::kSqs, "sqs.delay:" + queue);
   }
   PendingMessage msg;
   msg.body = std::move(body);
@@ -46,7 +45,8 @@ Result<std::optional<ReceivedMessage>> QueueService::Receive(
   meter_->mutable_usage().sqs_requests += 1;
   if (injector_ != nullptr) {
     Status fault =
-        injector_->MaybeFail(injector_->plan().sqs, "sqs.receive:" + queue);
+        injector_->MaybeFail(ServiceId::kSqs, "sqs.receive:" + queue,
+                             agent.now());
     if (!fault.ok()) return fault;
   }
   for (auto& msg : it->second) {
@@ -62,8 +62,7 @@ Result<std::optional<ReceivedMessage>> QueueService::Receive(
       out.receipt = msg.receipt;
       out.delivery_count = msg.delivery_count;
       if (injector_ != nullptr &&
-          injector_->ShouldDuplicate(injector_->plan().sqs,
-                                     "sqs.dup:" + queue)) {
+          injector_->ShouldDuplicate(ServiceId::kSqs, "sqs.dup:" + queue)) {
         // At-least-once duplicate: the message stays deliverable, so the
         // receipt just handed out is already stale — this delivery's
         // Delete will hit "receipt expired" and the work is redone.
@@ -83,7 +82,8 @@ Status QueueService::Delete(SimAgent& agent, const std::string& queue,
   meter_->mutable_usage().sqs_requests += 1;
   if (injector_ != nullptr) {
     Status fault =
-        injector_->MaybeFail(injector_->plan().sqs, "sqs.delete:" + queue);
+        injector_->MaybeFail(ServiceId::kSqs, "sqs.delete:" + queue,
+                             agent.now());
     if (!fault.ok()) return fault;
   }
   auto& msgs = it->second;
@@ -109,7 +109,8 @@ Status QueueService::RenewLease(SimAgent& agent, const std::string& queue,
   meter_->mutable_usage().sqs_requests += 1;
   if (injector_ != nullptr) {
     Status fault =
-        injector_->MaybeFail(injector_->plan().sqs, "sqs.renew:" + queue);
+        injector_->MaybeFail(ServiceId::kSqs, "sqs.renew:" + queue,
+                             agent.now());
     if (!fault.ok()) return fault;
   }
   for (auto& msg : it->second) {

@@ -4,8 +4,13 @@ namespace webdex::cloud {
 
 RetryingKvStore::RetryingKvStore(KvStore* base,
                                  const common::RetryPolicy& policy,
-                                 uint64_t seed, UsageMeter* meter)
-    : base_(base), policy_(policy), seed_(seed), meter_(meter) {}
+                                 uint64_t seed, UsageMeter* meter,
+                                 CircuitBreaker* breaker)
+    : base_(base),
+      policy_(policy),
+      seed_(seed),
+      meter_(meter),
+      breaker_(breaker) {}
 
 Rng& RetryingKvStore::StreamFor(const std::string& site) {
   auto it = streams_.find(site);
@@ -18,6 +23,21 @@ Rng& RetryingKvStore::StreamFor(const std::string& site) {
 uint64_t* RetryingKvStore::RetryCounter() {
   return meter_ == nullptr ? nullptr
                            : &meter_->mutable_usage().retried_requests;
+}
+
+Status RetryingKvStore::Gate(SimAgent& agent, const std::string& table) {
+  if (breaker_ == nullptr) return Status::OK();
+  return breaker_->Allow(table, agent.now());
+}
+
+void RetryingKvStore::Record(SimAgent& agent, const std::string& table,
+                             const Status& status) {
+  if (breaker_ == nullptr) return;
+  if (status.ok() || !status.IsRetriable()) {
+    breaker_->RecordSuccess(table);
+  } else {
+    breaker_->RecordFailure(table, agent.now());
+  }
 }
 
 Status RetryingKvStore::CreateTable(const std::string& table) {
@@ -42,7 +62,15 @@ Status RetryingKvStore::BatchPut(SimAgent& agent, const std::string& table,
   std::vector<Item> leftover;
   int64_t slept = 0;
   for (int attempt = 1;; ++attempt) {
-    Status status = base_->BatchPut(agent, table, pending, &leftover);
+    Status status = Gate(agent, table);
+    if (status.ok()) {
+      status = base_->BatchPut(agent, table, pending, &leftover);
+      Record(agent, table, status);
+    } else {
+      // Breaker short-circuit: nothing was attempted or billed; the
+      // backoff below still advances virtual time toward the cooldown.
+      leftover = pending;
+    }
     if (status.ok() && leftover.empty()) return Status::OK();
     if (!status.ok() && !status.IsRetriable()) {
       if (unprocessed != nullptr) *unprocessed = std::move(leftover);
@@ -80,7 +108,13 @@ Result<std::vector<Item>> RetryingKvStore::Get(SimAgent& agent,
                                                const std::string& hash_key) {
   Rng& rng = StreamFor("retry:get:" + table);
   return common::CallWithRetry(
-      policy_, rng, [&] { return base_->Get(agent, table, hash_key); },
+      policy_, rng,
+      [&]() -> Result<std::vector<Item>> {
+        WEBDEX_RETURN_IF_ERROR(Gate(agent, table));
+        auto result = base_->Get(agent, table, hash_key);
+        Record(agent, table, result.status());
+        return result;
+      },
       [&](int64_t micros) { agent.Advance(static_cast<Micros>(micros)); },
       RetryCounter());
 }
@@ -90,7 +124,44 @@ Result<std::vector<Item>> RetryingKvStore::BatchGet(
     const std::vector<std::string>& hash_keys) {
   Rng& rng = StreamFor("retry:batchget:" + table);
   return common::CallWithRetry(
-      policy_, rng, [&] { return base_->BatchGet(agent, table, hash_keys); },
+      policy_, rng,
+      [&]() -> Result<std::vector<Item>> {
+        WEBDEX_RETURN_IF_ERROR(Gate(agent, table));
+        auto result = base_->BatchGet(agent, table, hash_keys);
+        Record(agent, table, result.status());
+        return result;
+      },
+      [&](int64_t micros) { agent.Advance(static_cast<Micros>(micros)); },
+      RetryCounter());
+}
+
+Result<std::vector<Item>> RetryingKvStore::Scan(SimAgent& agent,
+                                               const std::string& table) {
+  Rng& rng = StreamFor("retry:scan:" + table);
+  return common::CallWithRetry(
+      policy_, rng,
+      [&]() -> Result<std::vector<Item>> {
+        WEBDEX_RETURN_IF_ERROR(Gate(agent, table));
+        auto result = base_->Scan(agent, table);
+        Record(agent, table, result.status());
+        return result;
+      },
+      [&](int64_t micros) { agent.Advance(static_cast<Micros>(micros)); },
+      RetryCounter());
+}
+
+Status RetryingKvStore::DeleteItem(SimAgent& agent, const std::string& table,
+                                   const std::string& hash_key,
+                                   const std::string& range_key) {
+  Rng& rng = StreamFor("retry:delete:" + table);
+  return common::CallWithRetry(
+      policy_, rng,
+      [&]() -> Status {
+        WEBDEX_RETURN_IF_ERROR(Gate(agent, table));
+        Status status = base_->DeleteItem(agent, table, hash_key, range_key);
+        Record(agent, table, status);
+        return status;
+      },
       [&](int64_t micros) { agent.Advance(static_cast<Micros>(micros)); },
       RetryCounter());
 }

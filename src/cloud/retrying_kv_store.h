@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "cloud/circuit_breaker.h"
 #include "cloud/kv_store.h"
 #include "cloud/usage.h"
 #include "common/retry.h"
@@ -23,13 +24,23 @@ namespace webdex::cloud {
 /// deterministic per-(operation, table) `Rng::ForKey` streams, keeping
 /// schedules independent of host-thread interleaving.
 ///
+/// When a `CircuitBreaker` is attached, every attempt is gated per table:
+/// an open breaker fails the attempt fast with an *unbilled* kUnavailable
+/// (no request reaches the store), while the backoff between attempts
+/// still advances virtual time — which is exactly what lets the breaker's
+/// cooldown lapse and half-open probes go through mid-retry-loop.  Only
+/// retriable outcomes count against a table's health; a NotFound proves
+/// the service is up.
+///
 /// The capability queries forward straight to the wrapped store (they are
 /// pure), so the decorator is safe to hand to the host-parallel extraction
 /// pipeline wherever the raw store was.
 class RetryingKvStore final : public KvStore {
  public:
+  /// `breaker` may be null (no breaker gating).
   RetryingKvStore(KvStore* base, const common::RetryPolicy& policy,
-                  uint64_t seed, UsageMeter* meter);
+                  uint64_t seed, UsageMeter* meter,
+                  CircuitBreaker* breaker = nullptr);
 
   RetryingKvStore(const RetryingKvStore&) = delete;
   RetryingKvStore& operator=(const RetryingKvStore&) = delete;
@@ -48,6 +59,11 @@ class RetryingKvStore final : public KvStore {
   Result<std::vector<Item>> BatchGet(
       SimAgent& agent, const std::string& table,
       const std::vector<std::string>& hash_keys) override;
+  Result<std::vector<Item>> Scan(SimAgent& agent,
+                                const std::string& table) override;
+  Status DeleteItem(SimAgent& agent, const std::string& table,
+                    const std::string& hash_key,
+                    const std::string& range_key) override;
 
   const char* Name() const override { return base_->Name(); }
   uint64_t MaxItemBytes() const override { return base_->MaxItemBytes(); }
@@ -84,15 +100,22 @@ class RetryingKvStore final : public KvStore {
   bool Empty() const override { return base_->Empty(); }
 
   const common::RetryPolicy& policy() const { return policy_; }
+  CircuitBreaker* breaker() const { return breaker_; }
 
  private:
   Rng& StreamFor(const std::string& site);
   uint64_t* RetryCounter();
+  /// Breaker gate before an attempt on `table`; OK when no breaker.
+  Status Gate(SimAgent& agent, const std::string& table);
+  /// Report an allowed attempt's outcome to the breaker.
+  void Record(SimAgent& agent, const std::string& table,
+              const Status& status);
 
   KvStore* base_;
   common::RetryPolicy policy_;
   uint64_t seed_;
   UsageMeter* meter_;
+  CircuitBreaker* breaker_;
   std::map<std::string, Rng, std::less<>> streams_;
 };
 

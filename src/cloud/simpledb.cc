@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "cloud/fault.h"
 #include "common/strings.h"
 
 namespace webdex::cloud {
@@ -16,9 +17,11 @@ bool IsTextual(const std::string& value) {
 
 }  // namespace
 
-SimpleDb::SimpleDb(const SimpleDbConfig& config, UsageMeter* meter)
+SimpleDb::SimpleDb(const SimpleDbConfig& config, UsageMeter* meter,
+                   FaultInjector* injector)
     : config_(config),
       meter_(meter),
+      injector_(injector),
       request_limiter_(config.requests_per_second) {}
 
 Status SimpleDb::CreateTable(const std::string& table) {
@@ -72,7 +75,6 @@ Status SimpleDb::ValidateItem(const Item& item) const {
 Status SimpleDb::BatchPut(SimAgent& agent, const std::string& table,
                           const std::vector<Item>& items,
                           std::vector<Item>* unprocessed) {
-  // SimpleDB is not fault-injected; every item always commits.
   if (unprocessed != nullptr) unprocessed->clear();
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no such domain: " + table);
@@ -85,6 +87,22 @@ Status SimpleDb::BatchPut(SimAgent& agent, const std::string& table,
   while (index < items.size()) {
     const size_t batch_end =
         std::min(items.size(), index + static_cast<size_t>(batch_limit));
+    if (injector_ != nullptr) {
+      // A failed page bills its API round trip but no box usage (the
+      // data-proportional term); nothing of the page commits, and
+      // everything not yet stored is reported back for re-batching.
+      Status fault = injector_->MaybeFail(ServiceId::kSimpleDb,
+                                          "sdb.batchput:" + table, agent.now());
+      if (!fault.ok()) {
+        meter_->mutable_usage().sdb_put_requests += 1;
+        agent.Advance(config_.request_latency);
+        if (unprocessed != nullptr) {
+          unprocessed->insert(unprocessed->end(), items.begin() + index,
+                              items.end());
+        }
+        return fault;
+      }
+    }
     double box_hours = 0;
     for (size_t i = index; i < batch_end; ++i) {
       const Item& item = items[i];
@@ -118,6 +136,15 @@ Result<std::vector<Item>> SimpleDb::Get(SimAgent& agent,
                                         const std::string& hash_key) {
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no such domain: " + table);
+  if (injector_ != nullptr) {
+    Status fault = injector_->MaybeFail(ServiceId::kSimpleDb,
+                                        "sdb.get:" + table, agent.now());
+    if (!fault.ok()) {
+      meter_->mutable_usage().sdb_get_requests += 1;
+      agent.Advance(config_.request_latency);
+      return fault;
+    }
+  }
   std::vector<Item> out;
   auto hit = it->second.items.find(hash_key);
   if (hit != it->second.items.end()) {
@@ -151,6 +178,74 @@ Result<std::vector<Item>> SimpleDb::BatchGet(
     for (auto& item : r.value()) out.push_back(std::move(item));
   }
   return out;
+}
+
+Result<std::vector<Item>> SimpleDb::Scan(SimAgent& agent,
+                                        const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such domain: " + table);
+  std::vector<Item> out;
+  uint64_t attr_total = 0;
+  for (const auto& [hash_key, ranges] : it->second.items) {
+    for (const auto& [range_key, attrs] : ranges) {
+      attr_total += AttributeCount(attrs);
+      out.push_back(Item{hash_key, range_key, attrs});
+    }
+  }
+  // A full select paginates at 2500 attributes, like Get.
+  const uint64_t pages = attr_total == 0 ? 1 : (attr_total + 2499) / 2500;
+  for (uint64_t page = 0; page < pages; ++page) {
+    if (injector_ != nullptr) {
+      Status fault = injector_->MaybeFail(ServiceId::kSimpleDb,
+                                          "sdb.scan:" + table, agent.now());
+      if (!fault.ok()) {
+        meter_->mutable_usage().sdb_get_requests += 1;
+        agent.Advance(config_.request_latency);
+        return fault;
+      }
+    }
+    meter_->mutable_usage().sdb_get_requests += 1;
+    meter_->mutable_usage().sdb_box_hours +=
+        meter_->pricing().simpledb_box_hours_per_get;
+    agent.AdvanceTo(request_limiter_.Acquire(agent.now(), 1.0));
+    agent.Advance(config_.request_latency);
+  }
+  return out;
+}
+
+Status SimpleDb::DeleteItem(SimAgent& agent, const std::string& table,
+                            const std::string& hash_key,
+                            const std::string& range_key) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no such domain: " + table);
+  if (injector_ != nullptr) {
+    Status fault = injector_->MaybeFail(ServiceId::kSimpleDb,
+                                        "sdb.delete:" + table, agent.now());
+    if (!fault.ok()) {
+      meter_->mutable_usage().sdb_put_requests += 1;
+      agent.Advance(config_.request_latency);
+      return fault;
+    }
+  }
+  Table& t = it->second;
+  auto hit = t.items.find(hash_key);
+  if (hit != t.items.end()) {
+    auto slot = hit->second.find(range_key);
+    if (slot != hit->second.end()) {
+      const Item old{hash_key, range_key, slot->second};
+      t.stored_bytes -= old.SizeBytes();
+      t.item_count -= 1;
+      t.attribute_count -= AttributeCount(slot->second);
+      hit->second.erase(slot);
+      if (hit->second.empty()) t.items.erase(hit);
+    }
+  }
+  meter_->mutable_usage().sdb_put_requests += 1;
+  meter_->mutable_usage().sdb_box_hours +=
+      meter_->pricing().simpledb_box_hours_per_put;
+  agent.AdvanceTo(request_limiter_.Acquire(agent.now(), 1.0));
+  agent.Advance(config_.request_latency);
+  return Status::OK();
 }
 
 uint64_t SimpleDb::StoredBytes(const std::string& table) const {

@@ -29,9 +29,13 @@ struct SimpleDbConfig {
 ///   * at most 256 attributes per item, 1 KB per attribute name;
 ///   * lower request throughput and higher latency;
 ///   * "box usage" machine-hour billing per request.
+class FaultInjector;
+
 class SimpleDb final : public KvStore {
  public:
-  SimpleDb(const SimpleDbConfig& config, UsageMeter* meter);
+  /// `injector` may be null (no fault injection).
+  SimpleDb(const SimpleDbConfig& config, UsageMeter* meter,
+           FaultInjector* injector = nullptr);
 
   SimpleDb(const SimpleDb&) = delete;
   SimpleDb& operator=(const SimpleDb&) = delete;
@@ -46,6 +50,11 @@ class SimpleDb final : public KvStore {
   Result<std::vector<Item>> BatchGet(
       SimAgent& agent, const std::string& table,
       const std::vector<std::string>& hash_keys) override;
+  Result<std::vector<Item>> Scan(SimAgent& agent,
+                                const std::string& table) override;
+  Status DeleteItem(SimAgent& agent, const std::string& table,
+                    const std::string& hash_key,
+                    const std::string& range_key) override;
 
   const char* Name() const override { return "SimpleDB"; }
   uint64_t MaxItemBytes() const override { return 256 * 1024; }
@@ -83,6 +92,7 @@ class SimpleDb final : public KvStore {
 
   SimpleDbConfig config_;
   UsageMeter* meter_;
+  FaultInjector* injector_;
   RateLimiter request_limiter_;
   std::map<std::string, Table> tables_;
 };

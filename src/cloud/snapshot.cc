@@ -8,7 +8,11 @@
 namespace webdex::cloud {
 namespace {
 
-constexpr char kMagic[] = "WDXSNAP1";
+// Version 2 appends the chaos sections (FaultInjector stream cursors and
+// circuit-breaker trackers) after the durable stores; version-1 snapshots
+// are still restorable and simply leave that state fresh.
+constexpr char kMagicV1[] = "WDXSNAP1";
+constexpr char kMagicV2[] = "WDXSNAP2";
 constexpr size_t kMagicLen = 8;
 
 void PutString(std::string* out, const std::string& s) {
@@ -82,7 +86,7 @@ Status RestoreKvStore(const std::string& data, size_t* offset,
 }  // namespace
 
 std::string SerializeSnapshot(CloudEnv& env) {
-  std::string out(kMagic, kMagicLen);
+  std::string out(kMagicV2, kMagicLen);
 
   // File store section: bucket names first (so empty buckets survive),
   // then the objects.
@@ -104,12 +108,80 @@ std::string SerializeSnapshot(CloudEnv& env) {
   // Index store sections.
   SerializeKvStore(env.dynamodb(), &out);
   SerializeKvStore(env.simpledb(), &out);
+
+  // Chaos sections: injector stream cursors, then breaker trackers, so a
+  // restored run resumes the identical fault schedule mid-stream.
+  const auto streams = env.fault_injector().SaveStreams();
+  PutVarint64(&out, streams.size());
+  for (const auto& [site, state] : streams) {
+    PutString(&out, site);
+    for (uint64_t word : state) PutVarint64(&out, word);
+  }
+  const auto trackers = env.breaker().SaveTrackers();
+  PutVarint64(&out, trackers.size());
+  for (const auto& [resource, tracker] : trackers) {
+    PutString(&out, resource);
+    PutVarint64(&out, static_cast<uint64_t>(tracker.state));
+    PutVarint64(&out, static_cast<uint64_t>(tracker.consecutive_failures));
+    PutVarint64(&out, static_cast<uint64_t>(tracker.consecutive_successes));
+    PutVarint64(&out, static_cast<uint64_t>(tracker.opened_at));
+  }
   return out;
 }
 
+namespace {
+
+Status RestoreChaosState(const std::string& snapshot, size_t* offset,
+                         CloudEnv* env) {
+  WEBDEX_ASSIGN_OR_RETURN(uint64_t stream_count,
+                          GetVarint64(snapshot, offset));
+  std::vector<FaultInjector::StreamState> streams;
+  streams.reserve(stream_count);
+  for (uint64_t i = 0; i < stream_count; ++i) {
+    WEBDEX_ASSIGN_OR_RETURN(std::string site, GetString(snapshot, offset));
+    std::array<uint64_t, 4> state;
+    for (auto& word : state) {
+      WEBDEX_ASSIGN_OR_RETURN(word, GetVarint64(snapshot, offset));
+    }
+    streams.emplace_back(std::move(site), state);
+  }
+  env->fault_injector().RestoreStreams(streams);
+
+  WEBDEX_ASSIGN_OR_RETURN(uint64_t tracker_count,
+                          GetVarint64(snapshot, offset));
+  std::vector<CircuitBreaker::TrackerState> trackers;
+  trackers.reserve(tracker_count);
+  for (uint64_t i = 0; i < tracker_count; ++i) {
+    WEBDEX_ASSIGN_OR_RETURN(std::string resource,
+                            GetString(snapshot, offset));
+    HealthTracker tracker;
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t state, GetVarint64(snapshot, offset));
+    if (state > static_cast<uint64_t>(BreakerState::kHalfOpen)) {
+      return Status::Corruption("invalid breaker state in snapshot");
+    }
+    tracker.state = static_cast<BreakerState>(state);
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t failures, GetVarint64(snapshot, offset));
+    tracker.consecutive_failures = static_cast<int>(failures);
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t successes,
+                            GetVarint64(snapshot, offset));
+    tracker.consecutive_successes = static_cast<int>(successes);
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t opened_at, GetVarint64(snapshot, offset));
+    tracker.opened_at = static_cast<Micros>(opened_at);
+    trackers.emplace_back(std::move(resource), tracker);
+  }
+  env->breaker().RestoreTrackers(trackers);
+  return Status::OK();
+}
+
+}  // namespace
+
 Status RestoreSnapshot(const std::string& snapshot, CloudEnv* env) {
-  if (snapshot.size() < kMagicLen ||
-      snapshot.compare(0, kMagicLen, kMagic) != 0) {
+  bool has_chaos_sections = false;
+  if (snapshot.size() >= kMagicLen &&
+      snapshot.compare(0, kMagicLen, kMagicV2) == 0) {
+    has_chaos_sections = true;
+  } else if (snapshot.size() < kMagicLen ||
+             snapshot.compare(0, kMagicLen, kMagicV1) != 0) {
     return Status::Corruption("not a webdex snapshot");
   }
   if (!env->s3().Empty() || !env->dynamodb().Empty() ||
@@ -134,6 +206,9 @@ Status RestoreSnapshot(const std::string& snapshot, CloudEnv* env) {
   }
   WEBDEX_RETURN_IF_ERROR(RestoreKvStore(snapshot, &offset, &env->dynamodb()));
   WEBDEX_RETURN_IF_ERROR(RestoreKvStore(snapshot, &offset, &env->simpledb()));
+  if (has_chaos_sections) {
+    WEBDEX_RETURN_IF_ERROR(RestoreChaosState(snapshot, &offset, env));
+  }
   if (offset != snapshot.size()) {
     return Status::Corruption("trailing bytes in snapshot");
   }

@@ -15,9 +15,12 @@ namespace webdex::cloud {
 /// Rationale: real S3/DynamoDB state survives while EC2 fleets come and
 /// go; snapshots give the simulator the same property across process
 /// runs, so a corpus indexed once in `webdex_cli` can be reopened later
-/// ("save"/"restore").  Ephemeral state — virtual clocks, queue
-/// contents, usage meters — is intentionally *not* saved: it belongs to
-/// the fleet/session, not to the durable stores.
+/// ("save"/"restore").  Version 2 additionally rounds-trips the chaos
+/// state — FaultInjector stream cursors and circuit-breaker trackers —
+/// so a resumed faulted run draws the identical continuation of its
+/// fault schedule (docs/FAULTS.md).  Ephemeral state — virtual clocks,
+/// queue contents, usage meters — is intentionally *not* saved: it
+/// belongs to the fleet/session, not to the durable stores.
 
 /// Serializes the durable state of `env` into a byte string.
 std::string SerializeSnapshot(CloudEnv& env);

@@ -22,6 +22,11 @@ Usage& Usage::operator+=(const Usage& o) {
   retried_requests += o.retried_requests;
   sqs_redeliveries += o.sqs_redeliveries;
   dead_lettered += o.dead_lettered;
+  breaker_opens += o.breaker_opens;
+  breaker_closes += o.breaker_closes;
+  breaker_short_circuits += o.breaker_short_circuits;
+  degraded_queries += o.degraded_queries;
+  scrub_repaired += o.scrub_repaired;
   vm_micros_large += o.vm_micros_large;
   vm_micros_xlarge += o.vm_micros_xlarge;
   egress_bytes += o.egress_bytes;
@@ -47,6 +52,11 @@ Usage Usage::operator-(const Usage& o) const {
   d.retried_requests = retried_requests - o.retried_requests;
   d.sqs_redeliveries = sqs_redeliveries - o.sqs_redeliveries;
   d.dead_lettered = dead_lettered - o.dead_lettered;
+  d.breaker_opens = breaker_opens - o.breaker_opens;
+  d.breaker_closes = breaker_closes - o.breaker_closes;
+  d.breaker_short_circuits = breaker_short_circuits - o.breaker_short_circuits;
+  d.degraded_queries = degraded_queries - o.degraded_queries;
+  d.scrub_repaired = scrub_repaired - o.scrub_repaired;
   d.vm_micros_large = vm_micros_large - o.vm_micros_large;
   d.vm_micros_xlarge = vm_micros_xlarge - o.vm_micros_xlarge;
   d.egress_bytes = egress_bytes - o.egress_bytes;

@@ -48,6 +48,13 @@ struct Usage {
   uint64_t sqs_redeliveries = 0;  // deliveries with delivery_count > 1
   uint64_t dead_lettered = 0;     // messages dropped after max deliveries
 
+  // Brownout accounting (circuit breakers, degraded reads, scrubbing).
+  uint64_t breaker_opens = 0;           // closed/half-open -> open
+  uint64_t breaker_closes = 0;          // half-open -> closed
+  uint64_t breaker_short_circuits = 0;  // calls failed fast, unbilled
+  uint64_t degraded_queries = 0;        // answered via full scan fallback
+  uint64_t scrub_repaired = 0;          // URIs repaired by the Scrubber
+
   // Virtual machines: rented time per type.
   Micros vm_micros_large = 0;
   Micros vm_micros_xlarge = 0;

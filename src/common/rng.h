@@ -1,6 +1,7 @@
 #ifndef WEBDEX_COMMON_RNG_H_
 #define WEBDEX_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -52,6 +53,16 @@ class Rng {
 
   /// Picks an element index weighted by `weights` (all >= 0, sum > 0).
   size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Snapshot support (cloud/snapshot.cc): the stream cursor is exactly
+  /// the four xoshiro256** state words, so saving and loading them makes
+  /// a restored stream continue bit-identically.
+  std::array<uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void LoadState(const std::array<uint64_t, 4>& state) {
+    for (size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   uint64_t state_[4];

@@ -1,0 +1,166 @@
+#include "engine/scrubber.h"
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "common/strings.h"
+#include "engine/extraction_pipeline.h"
+
+namespace webdex::engine {
+namespace {
+
+/// Items are unique per (table, hash, range): range keys are UUIDs drawn
+/// from the per-URI stream, so one key identifies one posting.
+struct ItemKey {
+  std::string table;
+  std::string hash;
+  std::string range;
+
+  bool operator<(const ItemKey& o) const {
+    return std::tie(table, hash, range) < std::tie(o.table, o.hash, o.range);
+  }
+  bool operator==(const ItemKey& o) const {
+    return std::tie(table, hash, range) == std::tie(o.table, o.hash, o.range);
+  }
+};
+
+using ItemMap = std::map<ItemKey, cloud::Attributes>;
+
+/// The document URI a stored posting belongs to.  Layout contract
+/// (index/entry.h BuildEntryItems): every posting carries exactly one
+/// attribute, and its *name* is the source document's URI.
+const std::string* OwnerUri(const cloud::Item& item) {
+  if (item.attrs.size() != 1) return nullptr;
+  return &item.attrs.begin()->first;
+}
+
+}  // namespace
+
+std::string ScrubReport::ToString() const {
+  std::string out = StrFormat(
+      "scrub: %llu documents, %llu postings scanned\n"
+      "  missing: %zu   partial: %zu   orphaned: %zu\n",
+      static_cast<unsigned long long>(documents_checked),
+      static_cast<unsigned long long>(items_scanned), missing_uris.size(),
+      partial_uris.size(), orphaned_uris.size());
+  for (const auto& uri : missing_uris) out += "  missing  " + uri + "\n";
+  for (const auto& uri : partial_uris) out += "  partial  " + uri + "\n";
+  for (const auto& uri : orphaned_uris) out += "  orphaned " + uri + "\n";
+  if (repaired_uris > 0 || items_put > 0 || items_deleted > 0) {
+    out += StrFormat(
+        "  repaired %llu URIs (%llu items put, %llu deleted)\n",
+        static_cast<unsigned long long>(repaired_uris),
+        static_cast<unsigned long long>(items_put),
+        static_cast<unsigned long long>(items_deleted));
+  } else if (Clean()) {
+    out += "  index is clean\n";
+  }
+  return out;
+}
+
+Scrubber::Scrubber(cloud::CloudEnv* env, cloud::KvStore* store,
+                   const index::IndexingStrategy* strategy,
+                   const index::ExtractOptions& options,
+                   std::string data_bucket)
+    : env_(env),
+      store_(store),
+      strategy_(strategy),
+      options_(options),
+      data_bucket_(std::move(data_bucket)) {}
+
+Result<ScrubReport> Scrubber::Run(cloud::SimAgent& agent, bool repair) {
+  ScrubReport report;
+
+  // Billed walk of every index table, grouping postings by owning URI.
+  std::map<std::string, ItemMap> stored_by_uri;
+  for (const auto& table : strategy_->TableNames()) {
+    WEBDEX_ASSIGN_OR_RETURN(std::vector<cloud::Item> items,
+                            store_->Scan(agent, table));
+    report.items_scanned += items.size();
+    for (auto& item : items) {
+      const std::string* uri = OwnerUri(item);
+      // A posting that violates the one-attribute layout belongs to no
+      // document; treat it as orphaned garbage under its own key.
+      const std::string owner = uri != nullptr ? *uri : std::string();
+      stored_by_uri[owner][ItemKey{table, item.hash_key, item.range_key}] =
+          std::move(item.attrs);
+    }
+  }
+
+  // Re-extract every document in the bucket (billed fetches) and compare
+  // with what the index actually holds.
+  WEBDEX_ASSIGN_OR_RETURN(std::vector<std::string> uris,
+                          env_->s3().List(agent, data_bucket_, ""));
+  std::set<std::string> documents(uris.begin(), uris.end());
+  for (const auto& uri : uris) {
+    report.documents_checked += 1;
+    WEBDEX_ASSIGN_OR_RETURN(std::string text,
+                            env_->s3().Get(agent, data_bucket_, uri));
+    ExtractionResult extraction = ExtractionPipeline::ExtractNow(
+        uri, text, *strategy_, options_, *store_, env_->config().seed);
+    ItemMap expected;
+    if (extraction.status.ok()) {
+      for (const auto& table_items : extraction.items) {
+        for (const auto& item : table_items.items) {
+          expected[ItemKey{table_items.table, item.hash_key,
+                           item.range_key}] = item.attrs;
+        }
+      }
+    }
+    // Unparseable (poison) documents expect no postings at all.
+    auto stored_it = stored_by_uri.find(uri);
+    const ItemMap empty;
+    const ItemMap& stored =
+        stored_it == stored_by_uri.end() ? empty : stored_it->second;
+    if (stored == expected) continue;
+    if (stored.empty()) {
+      report.missing_uris.push_back(uri);
+    } else {
+      report.partial_uris.push_back(uri);
+    }
+    if (!repair) continue;
+    // Idempotent repair: re-put the full expected set (committed items
+    // are replaced byte-identically thanks to the deterministic per-URI
+    // UUID streams), then delete stale postings the re-extraction does
+    // not produce.
+    std::map<std::string, std::vector<cloud::Item>> puts;
+    for (const auto& table_items : extraction.items) {
+      for (const auto& item : table_items.items) {
+        puts[table_items.table].push_back(item);
+      }
+    }
+    for (auto& [table, items] : puts) {
+      WEBDEX_RETURN_IF_ERROR(store_->BatchPut(agent, table, items));
+      report.items_put += items.size();
+    }
+    for (const auto& [key, attrs] : stored) {
+      (void)attrs;
+      if (expected.count(key) > 0) continue;
+      WEBDEX_RETURN_IF_ERROR(
+          store_->DeleteItem(agent, key.table, key.hash, key.range));
+      report.items_deleted += 1;
+    }
+    report.repaired_uris += 1;
+  }
+
+  // Postings whose document is gone from the bucket.
+  for (const auto& [uri, items] : stored_by_uri) {
+    if (documents.count(uri) > 0) continue;
+    report.orphaned_uris.push_back(uri);
+    if (!repair) continue;
+    for (const auto& [key, attrs] : items) {
+      (void)attrs;
+      WEBDEX_RETURN_IF_ERROR(
+          store_->DeleteItem(agent, key.table, key.hash, key.range));
+      report.items_deleted += 1;
+    }
+    report.repaired_uris += 1;
+  }
+
+  env_->meter().mutable_usage().scrub_repaired += report.repaired_uris;
+  return report;
+}
+
+}  // namespace webdex::engine

@@ -1,0 +1,79 @@
+#ifndef WEBDEX_ENGINE_SCRUBBER_H_
+#define WEBDEX_ENGINE_SCRUBBER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_env.h"
+#include "cloud/kv_store.h"
+#include "common/result.h"
+#include "index/strategy.h"
+
+namespace webdex::engine {
+
+/// What a scrub pass found, per document URI (docs/FAULTS.md).
+struct ScrubReport {
+  uint64_t documents_checked = 0;
+  uint64_t items_scanned = 0;
+  /// Document in the bucket, index holds none of its postings (e.g. a
+  /// dead-lettered indexing task).
+  std::vector<std::string> missing_uris;
+  /// Document in the bucket, stored postings disagree with a fresh
+  /// re-extraction (e.g. the half-written index of a mid-BatchPut crash).
+  std::vector<std::string> partial_uris;
+  /// Postings whose document no longer exists in the bucket.
+  std::vector<std::string> orphaned_uris;
+  /// Repair outcome (all zero on a report-only pass).
+  uint64_t repaired_uris = 0;
+  uint64_t items_put = 0;
+  uint64_t items_deleted = 0;
+
+  bool Clean() const {
+    return missing_uris.empty() && partial_uris.empty() &&
+           orphaned_uris.empty();
+  }
+
+  std::string ToString() const;
+};
+
+/// Walks a strategy's index tables against the document store and
+/// detects the garbage a fault can leave behind — missing, half-written,
+/// and orphaned postings — then optionally repairs it by idempotent
+/// re-extraction of the affected URIs (deterministic per-URI UUID range
+/// keys make a re-put converge byte-identically to the fault-free index;
+/// see docs/PARALLELISM.md).
+///
+/// Every read and write is *billed*: index tables are walked with the
+/// KvStore::Scan API, documents are re-fetched from S3, and repairs pay
+/// BatchPut/DeleteItem — scrubbing is a priced maintenance job, not free
+/// host-side tooling.
+class Scrubber {
+ public:
+  /// `store` is the index store to audit (typically the warehouse's
+  /// retrying decorator, so scrub traffic gets retries and breaker
+  /// gating like any other client).
+  Scrubber(cloud::CloudEnv* env, cloud::KvStore* store,
+           const index::IndexingStrategy* strategy,
+           const index::ExtractOptions& options, std::string data_bucket);
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// One scrub pass on `agent`'s virtual clock.  With `repair` set,
+  /// re-extracts and re-puts every missing/partial URI and deletes
+  /// orphaned and stale postings; repaired URIs are counted in
+  /// Usage::scrub_repaired.
+  Result<ScrubReport> Run(cloud::SimAgent& agent, bool repair);
+
+ private:
+  cloud::CloudEnv* env_;
+  cloud::KvStore* store_;
+  const index::IndexingStrategy* strategy_;
+  index::ExtractOptions options_;
+  std::string data_bucket_;
+};
+
+}  // namespace webdex::engine
+
+#endif  // WEBDEX_ENGINE_SCRUBBER_H_

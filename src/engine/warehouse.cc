@@ -32,7 +32,8 @@ Warehouse::Warehouse(cloud::CloudEnv* env, const WarehouseConfig& config)
           config.backend == IndexBackend::kSimpleDb
               ? static_cast<cloud::KvStore*>(&env->simpledb())
               : &env->dynamodb(),
-          config.retry, env->config().seed, &env->meter())),
+          config.retry, env->config().seed, &env->meter(),
+          &env->breaker())),
       cluster_(config.num_instances, config.instance_type,
                &env->config().work) {}
 
@@ -52,6 +53,9 @@ Status Warehouse::Setup() {
   WEBDEX_RETURN_IF_ERROR(env_->sqs().CreateQueue(config_.loader_queue));
   WEBDEX_RETURN_IF_ERROR(env_->sqs().CreateQueue(config_.query_queue));
   WEBDEX_RETURN_IF_ERROR(env_->sqs().CreateQueue(config_.response_queue));
+  if (!config_.dead_letter_queue.empty()) {
+    WEBDEX_RETURN_IF_ERROR(env_->sqs().CreateQueue(config_.dead_letter_queue));
+  }
   if (config_.use_index) {
     for (const auto& table : strategy_->TableNames()) {
       WEBDEX_RETURN_IF_ERROR(index_store().CreateTable(table));
@@ -81,7 +85,9 @@ Status Warehouse::AttachToExistingCloud() {
   data_bytes_ = env_->s3().BucketBytes(config_.data_bucket);
   // Queues are ephemeral (not part of snapshots): create them if absent.
   for (const auto& queue : {config_.loader_queue, config_.query_queue,
-                            config_.response_queue}) {
+                            config_.response_queue,
+                            config_.dead_letter_queue}) {
+    if (queue.empty()) continue;
     const Status created = env_->sqs().CreateQueue(queue);
     if (!created.ok() && !created.IsAlreadyExists()) return created;
   }
@@ -125,9 +131,17 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
   if (config_.max_deliveries > 0 &&
       msg.delivery_count > config_.max_deliveries) {
     // Dead-letter: a task that keeps coming back is dropped so one poison
-    // message cannot wedge the fleet forever.
+    // message cannot wedge the fleet forever.  The message is parked on
+    // the dead-letter queue (tagged with its origin) for later
+    // inspection or re-drive (DrainDeadLetters).
     env_->meter().mutable_usage().dead_lettered += 1;
     report->dead_lettered += 1;
+    if (!config_.dead_letter_queue.empty()) {
+      (void)RetryCall(instance, "ix.dlq", [&] {
+        return sqs.Send(instance, config_.dead_letter_queue,
+                        config_.loader_queue + "\n" + msg.body);
+      });
+    }
     (void)sqs.Delete(instance, config_.loader_queue, msg.receipt);
     WorkerStep step;
     step.processed = true;
@@ -366,15 +380,24 @@ Status Warehouse::ProcessQuery(Instance& instance,
     std::set<std::string> fetch_set;
     index::LookupStats stats;
     const Micros get_start = instance.now();
+    Status lookup_status = Status::OK();
     for (const auto& pattern : parsed.patterns()) {
-      WEBDEX_ASSIGN_OR_RETURN(
-          std::vector<std::string> uris,
-          strategy_->LookupPattern(instance, index_store(), pattern,
-                                   config_.extract, &stats));
-      outcome->docs_from_index += uris.size();
-      fetch_set.insert(uris.begin(), uris.end());
+      auto uris = strategy_->LookupPattern(instance, index_store(), pattern,
+                                           config_.extract, &stats);
+      if (!uris.ok()) {
+        lookup_status = uris.status();
+        break;
+      }
+      outcome->docs_from_index += uris.value().size();
+      fetch_set.insert(uris.value().begin(), uris.value().end());
     }
     outcome->timings.index_get = instance.now() - get_start;
+    // A permanent lookup failure is a real error; a retriable one means
+    // the index store is browned out (retries exhausted or its circuit
+    // breaker is open) and the query degrades to a full scan below.
+    if (!lookup_status.ok() && !lookup_status.IsRetriable()) {
+      return lookup_status;
+    }
 
     // Physical plan over the fetched index data (step 11): URI-set
     // merges, path matching, holistic twig joins.
@@ -389,7 +412,19 @@ Status Warehouse::ProcessQuery(Instance& instance,
 
     const cloud::Usage delta = env_->meter().Snapshot() - before;
     outcome->index_get_units = delta.ddb_read_units + delta.sdb_get_requests;
-    to_fetch.assign(fetch_set.begin(), fetch_set.end());
+    if (lookup_status.ok()) {
+      to_fetch.assign(fetch_set.begin(), fetch_set.end());
+    } else {
+      // Degraded read (docs/FAULTS.md): answer from the ground truth by
+      // scanning every document, exactly like the no-index baseline.
+      // Same rows, higher cost — availability is bought with S3 traffic
+      // and VM time instead of index reads.
+      outcome->degraded = true;
+      outcome->docs_from_index = 0;
+      outcome->scan_docs = document_uris_.size();
+      env_->meter().mutable_usage().degraded_queries += 1;
+      to_fetch = document_uris_;
+    }
     MaybeRenewLease(instance, config_.query_queue, receipt, lease_anchor);
   } else {
     // No index: the query runs over the entire warehouse.
@@ -478,6 +513,12 @@ WorkerStep Warehouse::QueryStep(Instance& instance,
   if (config_.max_deliveries > 0 &&
       msg.delivery_count > config_.max_deliveries) {
     env_->meter().mutable_usage().dead_lettered += 1;
+    if (!config_.dead_letter_queue.empty()) {
+      (void)RetryCall(instance, "qp.dlq", [&] {
+        return sqs.Send(instance, config_.dead_letter_queue,
+                        config_.query_queue + "\n" + msg.body);
+      });
+    }
     (void)sqs.Delete(instance, config_.query_queue, msg.receipt);
     WorkerStep step;
     step.processed = true;
@@ -539,6 +580,7 @@ WorkerStep Warehouse::QueryStep(Instance& instance,
 
 Result<QueryRunReport> Warehouse::ExecuteQueries(
     const std::vector<std::string>& queries) {
+  const cloud::Usage run_start = env_->meter().Snapshot();
   std::vector<uint64_t> ids;
   for (const auto& text : queries) {
     QueryRequest request;
@@ -613,7 +655,51 @@ Result<QueryRunReport> Warehouse::ExecuteQueries(
     }
     report.outcomes.push_back(std::move(it->second));
   }
+  const cloud::Usage run_delta = env_->meter().Snapshot() - run_start;
+  report.degraded_queries = run_delta.degraded_queries;
+  report.breaker_opens = run_delta.breaker_opens;
   return report;
+}
+
+Result<ScrubReport> Warehouse::Scrub(bool repair) {
+  Scrubber scrubber(env_, retrying_store_.get(), strategy_.get(),
+                    config_.extract, config_.data_bucket);
+  return scrubber.Run(front_end_, repair);
+}
+
+Result<uint64_t> Warehouse::DrainDeadLetters() {
+  if (config_.dead_letter_queue.empty()) return uint64_t{0};
+  auto& sqs = env_->sqs();
+  uint64_t drained = 0;
+  while (true) {
+    auto received = RetryCall(front_end_, "fe.dlq", [&] {
+      return sqs.Receive(front_end_, config_.dead_letter_queue);
+    });
+    if (!received.ok()) return received.status();
+    if (!received.value().has_value()) {
+      if (sqs.Drained(config_.dead_letter_queue)) break;
+      auto next = sqs.NextDeliverableAt(config_.dead_letter_queue);
+      if (!next.has_value()) break;
+      front_end_.AdvanceTo(*next);
+      continue;
+    }
+    const cloud::ReceivedMessage& msg = **received;
+    // Messages are parked as "<origin-queue>\n<original body>".
+    const size_t split = msg.body.find('\n');
+    if (split != std::string::npos) {
+      const std::string origin = msg.body.substr(0, split);
+      WEBDEX_RETURN_IF_ERROR(RetryCall(front_end_, "fe.requeue", [&] {
+        return sqs.Send(front_end_, origin, msg.body.substr(split + 1));
+      }));
+      drained += 1;
+    }
+    // An unparseable parked message is dropped for good: re-driving it
+    // anywhere would only dead-letter it again.
+    (void)RetryCall(front_end_, "fe.dlq.ack", [&] {
+      return sqs.Delete(front_end_, config_.dead_letter_queue, msg.receipt);
+    });
+  }
+  return drained;
 }
 
 Result<QueryOutcome> Warehouse::ExecuteQuery(const std::string& query_text) {

@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "engine/extraction_pipeline.h"
 #include "engine/message.h"
+#include "engine/scrubber.h"
 #include "index/strategy.h"
 #include "query/evaluator.h"
 
@@ -33,6 +34,11 @@ struct WarehouseConfig {
   std::string loader_queue = "loader-requests";
   std::string query_queue = "query-requests";
   std::string response_queue = "query-responses";
+  /// Poison messages are forwarded here (prefixed with their origin
+  /// queue) instead of being silently dropped, so an operator can
+  /// inspect or re-drive them (DrainDeadLetters, `webdex dlq drain`).
+  /// Empty disables forwarding; dead-lettering itself still applies.
+  std::string dead_letter_queue = "dead-letter";
 
   index::StrategyKind strategy = index::StrategyKind::kLUP;
   index::ExtractOptions extract;
@@ -113,11 +119,22 @@ struct QueryOutcome {
   index::LookupStats lookup;
   /// Index-store get units consumed (|op(q, D, I)|).
   double index_get_units = 0;
+  /// True when the index lookup exhausted its retries (or hit an open
+  /// circuit breaker) and the query fell back to a full warehouse scan.
+  /// The answer is bit-identical to the indexed one, only dearer
+  /// (docs/FAULTS.md).
+  bool degraded = false;
+  /// Documents scanned by the degraded fallback (|D|; 0 when not
+  /// degraded).
+  uint64_t scan_docs = 0;
 };
 
 struct QueryRunReport {
   std::vector<QueryOutcome> outcomes;  // in submission order
   cloud::Micros makespan = 0;
+  /// Brownout accounting for this run (deltas of the usage meter).
+  uint64_t degraded_queries = 0;
+  uint64_t breaker_opens = 0;
 };
 
 /// The complete warehouse of paper Figure 1: front end + file store +
@@ -169,6 +186,18 @@ class Warehouse {
 
   /// Single-query convenience wrapper.
   Result<QueryOutcome> ExecuteQuery(const std::string& query_text);
+
+  // --- Maintenance ---------------------------------------------------------
+
+  /// One scrub pass over this warehouse's index tables on the front
+  /// end's clock (billed).  With `repair`, missing/partial postings are
+  /// re-extracted and stale/orphaned ones deleted (engine/scrubber.h).
+  Result<ScrubReport> Scrub(bool repair);
+
+  /// Re-drives every dead-lettered message back onto its origin queue
+  /// and returns how many were re-driven.  Run RunIndexers() /
+  /// ExecuteQueries() afterwards to process them.
+  Result<uint64_t> DrainDeadLetters();
 
   // --- Introspection -------------------------------------------------------
 

@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "cloud/cloud_env.h"
@@ -49,6 +50,8 @@ cloud::FaultPlan ChaosPlan() {
   plan.dynamodb.error_probability = 0.05;
   plan.dynamodb.throttle_share = 0.7;
   plan.dynamodb.unprocessed_probability = 0.15;
+  plan.simpledb.error_probability = 0.05;
+  plan.simpledb.throttle_share = 0.5;
   plan.sqs.error_probability = 0.04;
   plan.sqs.duplicate_probability = 0.06;
   plan.sqs.delay_probability = 0.2;
@@ -69,12 +72,14 @@ struct ChaosFingerprint {
 };
 
 ChaosFingerprint RunChaos(StrategyKind strategy, const cloud::FaultPlan& plan,
-                     int host_threads) {
+                     int host_threads,
+                     IndexBackend backend = IndexBackend::kDynamoDb) {
   cloud::CloudConfig cloud_config;
   cloud_config.faults = plan;
   auto env = std::make_unique<cloud::CloudEnv>(cloud_config);
   WarehouseConfig config;
   config.strategy = strategy;
+  config.backend = backend;
   config.num_instances = 2;
   config.host_threads = host_threads;
   Warehouse warehouse(env.get(), config);
@@ -103,13 +108,22 @@ ChaosFingerprint RunChaos(StrategyKind strategy, const cloud::FaultPlan& plan,
   return out;
 }
 
-class ChaosTest : public ::testing::TestWithParam<StrategyKind> {};
+/// (strategy, index backend): chaos equivalence must hold on the legacy
+/// SimpleDB deployment exactly as on DynamoDB.
+class ChaosTest
+    : public ::testing::TestWithParam<std::tuple<StrategyKind, IndexBackend>> {
+ protected:
+  StrategyKind strategy() const { return std::get<0>(GetParam()); }
+  IndexBackend backend() const { return std::get<1>(GetParam()); }
+};
 
 // The headline equivalence: a faulted run ends in the same index and
 // answers the query identically, never cheaper or faster than fault-free.
 TEST_P(ChaosTest, FaultedRunConvergesToFaultFreeState) {
-  const ChaosFingerprint clean = RunChaos(GetParam(), cloud::FaultPlan(), 1);
-  const ChaosFingerprint faulted = RunChaos(GetParam(), ChaosPlan(), 1);
+  const ChaosFingerprint clean =
+      RunChaos(strategy(), cloud::FaultPlan(), 1, backend());
+  const ChaosFingerprint faulted =
+      RunChaos(strategy(), ChaosPlan(), 1, backend());
   // The plan actually bit: faults fired and retries happened.
   EXPECT_GT(faulted.usage.faulted_requests, 0u);
   EXPECT_GT(faulted.usage.retried_requests, 0u);
@@ -130,8 +144,10 @@ TEST_P(ChaosTest, FaultedRunConvergesToFaultFreeState) {
 // The fault schedule is a pure function of the seeds, not of host-thread
 // interleaving: chaos runs are bit-identical serial vs. host-parallel.
 TEST_P(ChaosTest, SerialAndParallelChaosRunsAreBitIdentical) {
-  const ChaosFingerprint serial = RunChaos(GetParam(), ChaosPlan(), 1);
-  const ChaosFingerprint parallel = RunChaos(GetParam(), ChaosPlan(), 8);
+  const ChaosFingerprint serial =
+      RunChaos(strategy(), ChaosPlan(), 1, backend());
+  const ChaosFingerprint parallel =
+      RunChaos(strategy(), ChaosPlan(), 8, backend());
   EXPECT_EQ(serial.table_dump, parallel.table_dump);
   EXPECT_EQ(serial.rows, parallel.rows);
   EXPECT_DOUBLE_EQ(serial.dollars, parallel.dollars);
@@ -147,13 +163,21 @@ TEST_P(ChaosTest, SerialAndParallelChaosRunsAreBitIdentical) {
   EXPECT_EQ(serial.usage.sqs_redeliveries, parallel.usage.sqs_redeliveries);
   EXPECT_EQ(serial.usage.sqs_requests, parallel.usage.sqs_requests);
   EXPECT_EQ(serial.usage.ddb_put_requests, parallel.usage.ddb_put_requests);
+  EXPECT_EQ(serial.usage.sdb_put_requests, parallel.usage.sdb_put_requests);
+  EXPECT_EQ(serial.usage.sdb_get_requests, parallel.usage.sdb_get_requests);
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllStrategies, ChaosTest,
-    ::testing::ValuesIn(index::AllStrategyKinds()),
-    [](const ::testing::TestParamInfo<StrategyKind>& info) {
-      return std::string(index::StrategyKindName(info.param));
+    AllStrategiesAndBackends, ChaosTest,
+    ::testing::Combine(
+        ::testing::ValuesIn(index::AllStrategyKinds()),
+        ::testing::Values(IndexBackend::kDynamoDb, IndexBackend::kSimpleDb)),
+    [](const ::testing::TestParamInfo<std::tuple<StrategyKind, IndexBackend>>&
+           info) {
+      return std::string(index::StrategyKindName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == IndexBackend::kSimpleDb
+                  ? "_SimpleDb"
+                  : "_DynamoDb");
     });
 
 // The default (empty) plan is the identity: no counter moves, so every

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "cloud/snapshot.h"
 #include "engine/warehouse.h"
@@ -131,6 +133,116 @@ TEST(SnapshotTest, FileRoundTripThroughWarehouse) {
   EXPECT_EQ(outcome.value().result.rows, original.result.rows);
   EXPECT_EQ(outcome.value().docs_fetched, original.docs_fetched);
   std::remove(path.c_str());
+}
+
+// Version 2 rounds-trips the chaos state: injector stream cursors and
+// circuit-breaker trackers survive, so the whole snapshot re-serializes
+// byte-identically from the restored environment.
+TEST(SnapshotTest, ChaosStateRoundTripsByteIdentically) {
+  CloudConfig config;
+  config.faults.seed = 11;
+  config.faults.s3.error_probability = 0.2;
+  CloudEnv env(config);
+  Agent agent;
+  ASSERT_TRUE(env.s3().CreateBucket("b").ok());
+  for (int i = 0; i < 20; ++i) {
+    // Faulted puts advance the injector streams; the injected errors
+    // themselves are irrelevant here.
+    (void)env.s3().Put(agent, "b", "k" + std::to_string(i), "v");
+  }
+  ASSERT_FALSE(env.fault_injector().SaveStreams().empty());
+  for (int i = 0; i < env.config().breaker.failure_threshold; ++i) {
+    env.breaker().RecordFailure("idx-table", agent.now());
+  }
+  ASSERT_EQ(env.breaker().state("idx-table"), BreakerState::kOpen);
+  env.breaker().RecordSuccess("healthy-table");
+
+  const std::string snapshot = SerializeSnapshot(env);
+  CloudEnv restored(config);
+  ASSERT_TRUE(RestoreSnapshot(snapshot, &restored).ok());
+  EXPECT_EQ(restored.breaker().state("idx-table"), BreakerState::kOpen);
+  EXPECT_EQ(restored.breaker().state("healthy-table"), BreakerState::kClosed);
+  EXPECT_EQ(restored.fault_injector().SaveStreams(),
+            env.fault_injector().SaveStreams());
+  EXPECT_EQ(SerializeSnapshot(restored), snapshot);
+}
+
+// Version-1 snapshots (no chaos sections) still restore; the chaos state
+// simply starts fresh.
+TEST(SnapshotTest, LegacyV1SnapshotsStillRestore) {
+  // A minimal v1 image: magic plus six zero varints (no buckets, no
+  // objects, empty DynamoDB and SimpleDB sections).
+  std::string v1 = "WDXSNAP1";
+  v1.append(6, '\0');
+  CloudEnv restored;
+  ASSERT_TRUE(RestoreSnapshot(v1, &restored).ok());
+  EXPECT_TRUE(restored.s3().Empty());
+  EXPECT_TRUE(restored.dynamodb().Empty());
+  EXPECT_TRUE(restored.fault_injector().SaveStreams().empty());
+  CloudEnv fresh;
+  EXPECT_TRUE(RestoreSnapshot(v1 + "x", &fresh).IsCorruption());
+}
+
+// The point of saving chaos state: a faulted run snapshotted mid-way and
+// resumed in a fresh process draws the identical continuation of its
+// fault schedule — same answers, same makespan, same fault counters and
+// dollars as the run that never stopped.
+TEST(SnapshotTest, MidRunChaosResumeIsDeterministic) {
+  CloudConfig config;
+  config.faults.seed = 5;
+  // S3 stays fault-free so the post-restore attach (an unretried LIST)
+  // cannot be the variable; DynamoDB and SQS chaos exercises the
+  // restored streams during the query phase.
+  config.faults.dynamodb.error_probability = 0.15;
+  config.faults.dynamodb.throttle_share = 0.6;
+  config.faults.sqs.error_probability = 0.05;
+  config.faults.sqs.delay_probability = 0.2;
+  config.faults.sqs.max_delay = kMicrosPerSecond;
+  const std::vector<std::string> workload = {
+      "//painting[/name~'Lion', //painter/name/last:val]",
+      "//painting[/year:val, /museum]"};
+  engine::WarehouseConfig wh;
+  wh.strategy = index::StrategyKind::kLUP;
+
+  // Run A: index under chaos, snapshot, then keep going with queries.
+  CloudEnv env_a(config);
+  engine::Warehouse warehouse_a(&env_a, wh);
+  ASSERT_TRUE(warehouse_a.Setup().ok());
+  for (const auto& doc : xmark::GeneratePaintings()) {
+    ASSERT_TRUE(warehouse_a.SubmitDocument(doc.uri, doc.text).ok());
+  }
+  ASSERT_TRUE(warehouse_a.RunIndexers().ok());
+  const std::string snapshot = SerializeSnapshot(env_a);
+  const Usage before_a = env_a.meter().Snapshot();
+  auto run_a = warehouse_a.ExecuteQueries(workload);
+  ASSERT_TRUE(run_a.ok()) << run_a.status().ToString();
+  const Usage delta_a = env_a.meter().Snapshot() - before_a;
+
+  // Run B: restore into a fresh cloud and run the same queries.
+  CloudEnv env_b(config);
+  ASSERT_TRUE(RestoreSnapshot(snapshot, &env_b).ok());
+  engine::Warehouse warehouse_b(&env_b, wh);
+  ASSERT_TRUE(warehouse_b.AttachToExistingCloud().ok());
+  const Usage before_b = env_b.meter().Snapshot();
+  auto run_b = warehouse_b.ExecuteQueries(workload);
+  ASSERT_TRUE(run_b.ok()) << run_b.status().ToString();
+  const Usage delta_b = env_b.meter().Snapshot() - before_b;
+
+  // The chaos plan actually bit during the resumed phase.
+  EXPECT_GT(delta_a.faulted_requests, 0u);
+
+  ASSERT_EQ(run_a.value().outcomes.size(), run_b.value().outcomes.size());
+  for (size_t i = 0; i < run_a.value().outcomes.size(); ++i) {
+    EXPECT_EQ(run_a.value().outcomes[i].result.rows,
+              run_b.value().outcomes[i].result.rows)
+        << "query " << i;
+  }
+  EXPECT_EQ(run_a.value().makespan, run_b.value().makespan);
+  EXPECT_EQ(delta_a.faulted_requests, delta_b.faulted_requests);
+  EXPECT_EQ(delta_a.retried_requests, delta_b.retried_requests);
+  EXPECT_EQ(delta_a.sqs_requests, delta_b.sqs_requests);
+  EXPECT_DOUBLE_EQ(env_a.meter().ComputeBill(delta_a).total(),
+                   env_b.meter().ComputeBill(delta_b).total());
 }
 
 TEST(SnapshotTest, MissingFileFails) {

@@ -96,6 +96,12 @@ class Cli {
                   cloud::InstanceTypeName(config_.instance_type));
     } else if (command == "faults") {
       SetFaults(rest);
+    } else if (command == "outage") {
+      SetOutage(rest);
+    } else if (command == "scrub") {
+      Scrub(rest);
+    } else if (command == "dlq") {
+      Dlq(rest);
     } else if (command == "open") {
       Open();
     } else if (command == "load") {
@@ -141,6 +147,13 @@ class Cli {
         "  faults <error_prob> [seed]       chaos plan for the next 'open':\n"
         "                                   transient faults, duplicates and\n"
         "                                   delays at that rate (0 = off)\n"
+        "  outage <svc> <start_s> <end_s>   add a sustained outage of\n"
+        "                                   s3|dynamodb|simpledb|sqs to the\n"
+        "                                   plan (virtual-time window;\n"
+        "                                   applies at the next 'open')\n"
+        "  scrub [--repair]                 audit the index against the\n"
+        "                                   documents; --repair fixes it\n"
+        "  dlq drain                        re-drive dead-lettered messages\n"
         "  open                             create the warehouse\n"
         "  load <uri> <file.xml>            load one local XML file\n"
         "  loaddir <dir>                    load every .xml file in a dir\n"
@@ -210,6 +223,82 @@ class Cli {
     if (warehouse_ != nullptr) {
       std::printf("note: the open warehouse keeps its current plan\n");
     }
+  }
+
+  void SetOutage(const std::string& args) {
+    std::istringstream input(args);
+    std::string service;
+    double start_s = 0, end_s = 0;
+    cloud::OutageWindow window;
+    if (!(input >> service >> start_s >> end_s) || end_s <= start_s) {
+      std::printf("usage: outage <s3|dynamodb|simpledb|sqs> <start_s> "
+                  "<end_s>\n");
+      return;
+    }
+    if (service == "s3") {
+      window.service = cloud::ServiceId::kS3;
+    } else if (service == "dynamodb") {
+      window.service = cloud::ServiceId::kDynamoDb;
+    } else if (service == "simpledb") {
+      window.service = cloud::ServiceId::kSimpleDb;
+    } else if (service == "sqs") {
+      window.service = cloud::ServiceId::kSqs;
+    } else {
+      std::printf("unknown service '%s'\n", service.c_str());
+      return;
+    }
+    window.start = static_cast<cloud::Micros>(
+        start_s * cloud::kMicrosPerSecond);
+    window.end = static_cast<cloud::Micros>(end_s * cloud::kMicrosPerSecond);
+    cloud_config_.faults.outages.push_back(window);
+    std::printf(
+        "outage: %s down for virtual [%.1f s, %.1f s); applies at the "
+        "next 'open'\n",
+        cloud::ServiceIdName(window.service), start_s, end_s);
+    if (warehouse_ != nullptr) {
+      std::printf("note: the open warehouse keeps its current plan\n");
+    }
+  }
+
+  void Scrub(const std::string& args) {
+    if (!Opened()) return;
+    if (!config_.use_index) {
+      std::printf("no index to scrub (strategy none)\n");
+      return;
+    }
+    const bool repair = args == "--repair";
+    if (!args.empty() && !repair) {
+      std::printf("usage: scrub [--repair]\n");
+      return;
+    }
+    const cloud::Usage before = env_->meter().Snapshot();
+    auto report = warehouse_->Scrub(repair);
+    if (!report.ok()) {
+      std::printf("scrub failed: %s\n", report.status().ToString().c_str());
+      return;
+    }
+    const double dollars =
+        env_->meter().ComputeBill(env_->meter().Snapshot() - before).total();
+    std::printf("%s  cost: $%.6f\n", report.value().ToString().c_str(),
+                dollars);
+  }
+
+  void Dlq(const std::string& args) {
+    if (!Opened()) return;
+    if (args != "drain") {
+      std::printf("usage: dlq drain\n");
+      return;
+    }
+    auto drained = warehouse_->DrainDeadLetters();
+    if (!drained.ok()) {
+      std::printf("drain failed: %s\n", drained.status().ToString().c_str());
+      return;
+    }
+    std::printf("re-drove %llu dead-lettered message(s)%s\n",
+                (unsigned long long)drained.value(),
+                drained.value() > 0
+                    ? " — run 'index' or 'query' to process them"
+                    : "");
   }
 
   bool Opened() {
@@ -452,6 +541,8 @@ class Cli {
         "(%.0f WU / %.0f RU)   SQS: %llu\n"
         "faults: %llu injected, %llu retries, %llu redeliveries, "
         "%llu dead-lettered\n"
+        "brownout: breaker %llu opens / %llu closes / %llu short-circuits, "
+        "%llu degraded queries, %llu scrub-repaired\n"
         "virtual front-end clock: %.2f s\n",
         warehouse_->document_uris().size(),
         static_cast<double>(warehouse_->data_bytes()) / (1 << 20),
@@ -465,6 +556,11 @@ class Cli {
         (unsigned long long)usage.retried_requests,
         (unsigned long long)usage.sqs_redeliveries,
         (unsigned long long)usage.dead_lettered,
+        (unsigned long long)usage.breaker_opens,
+        (unsigned long long)usage.breaker_closes,
+        (unsigned long long)usage.breaker_short_circuits,
+        (unsigned long long)usage.degraded_queries,
+        (unsigned long long)usage.scrub_repaired,
         static_cast<double>(warehouse_->front_end().now()) / 1e6);
   }
 
