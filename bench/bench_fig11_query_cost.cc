@@ -35,9 +35,9 @@ void BM_QueryCost(benchmark::State& state) {
     Deployment d = Deploy(kind, use_index, 1, type, CorpusConfig());
     std::vector<double> costs;
     double total = 0;
-    for (const auto& query : Workload()) {
+    for (size_t q = 0; q < Workload().size(); ++q) {
       const cloud::Usage before = d.env->meter().Snapshot();
-      auto outcome = d.warehouse->ExecuteQuery(query);
+      auto outcome = d.warehouse->ExecuteQuery(Workload()[q]);
       if (!outcome.ok()) {
         state.SkipWithError(outcome.status().ToString().c_str());
         return;
@@ -48,6 +48,15 @@ void BM_QueryCost(benchmark::State& state) {
               .total();
       costs.push_back(cost);
       total += cost;
+      RecordJson(
+          StrFormat("fig11/%s/%s/q%zu", kConfigs[config_index],
+                    cloud::InstanceTypeName(type), q + 1),
+          {{"usd", cost},
+           {"estimated_cost_usd", outcome.value().estimated_cost_usd},
+           {"actual_cost_usd", outcome.value().actual_cost_usd},
+           {"planner_fallbacks",
+            static_cast<double>(outcome.value().planner_fallbacks)}},
+          {{"chosen_path", outcome.value().chosen_path}});
     }
     state.counters["workload_usd"] = total;
     Results()[StrFormat("%s/%s", kConfigs[config_index],
@@ -111,6 +120,8 @@ void BM_QueryCostOutage(benchmark::State& state) {
     metrics.emplace_back(
         "makespan_s",
         static_cast<double>(run.value().makespan) / cloud::kMicrosPerSecond);
+    metrics.emplace_back("planner_fallbacks",
+                         static_cast<double>(run.value().planner_fallbacks));
     AppendFaultColumns(delta, &metrics);
     RecordJson(StrFormat("fig11/outage/%.0fs", outage_seconds),
                std::move(metrics));

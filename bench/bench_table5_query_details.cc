@@ -7,6 +7,11 @@
 // (equal to "# docs with results") on the pure tree-pattern queries; all
 // strategies imprecise on the three value-join queries (q8-q10), whose
 // counts are summed over the query's tree patterns.
+//
+// The planner section (docs/PLANNER.md) extends the table with the
+// access path chosen per query and compares the 2LUPI planner against
+// forced always-LUP / always-LUI baselines: the per-query LUP-vs-LUI
+// choice should strictly lower the total billed lookup cost.
 
 #include <benchmark/benchmark.h>
 
@@ -18,6 +23,9 @@ namespace {
 struct Row {
   int query = 0;
   uint64_t docs[4] = {0, 0, 0, 0};  // LU, LUP, LUI, 2LUPI
+  std::string path[4];              // planner's chosen access path
+  double est_usd[4] = {0, 0, 0, 0};
+  double actual_usd[4] = {0, 0, 0, 0};
   uint64_t docs_with_results = 0;
   uint64_t result_bytes = 0;
 };
@@ -25,6 +33,19 @@ struct Row {
 std::vector<Row>& Rows() {
   static auto* rows = new std::vector<Row>(Workload().size());
   return *rows;
+}
+
+// Billed index-lookup cost per query for 2LUPI under the planner's
+// automatic choice and the two forced baselines.
+struct BaselineRun {
+  std::vector<double> lookup_usd;  // per query
+  std::vector<std::string> paths;  // per query
+  double total_usd = 0;
+};
+
+BaselineRun& Baseline(int mode) {  // 0 = auto, 1 = force-lup, 2 = force-lui
+  static auto* runs = new BaselineRun[3];
+  return runs[mode];
 }
 
 void BM_QueryDetails(benchmark::State& state) {
@@ -42,7 +63,19 @@ void BM_QueryDetails(benchmark::State& state) {
       Row& row = Rows()[q];
       row.query = static_cast<int>(q) + 1;
       row.docs[strategy_index] = outcome.value().docs_from_index;
+      row.path[strategy_index] = outcome.value().chosen_path;
+      row.est_usd[strategy_index] = outcome.value().estimated_cost_usd;
+      row.actual_usd[strategy_index] = outcome.value().actual_cost_usd;
       row.result_bytes = outcome.value().result.SizeBytes();
+      RecordJson(
+          StrFormat("table5/%s/q%zu", index::StrategyKindName(kind), q + 1),
+          {{"docs_from_index",
+            static_cast<double>(outcome.value().docs_from_index)},
+           {"estimated_cost_usd", outcome.value().estimated_cost_usd},
+           {"actual_cost_usd", outcome.value().actual_cost_usd},
+           {"planner_fallbacks",
+            static_cast<double>(outcome.value().planner_fallbacks)}},
+          {{"chosen_path", outcome.value().chosen_path}});
     }
   }
   state.SetLabel(index::StrategyKindName(kind));
@@ -50,6 +83,53 @@ void BM_QueryDetails(benchmark::State& state) {
 
 BENCHMARK(BM_QueryDetails)
     ->DenseRange(0, 3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// 2LUPI with the planner free to pick a side per query (auto) versus
+// pinned to one of its two tables.  The billed cost of a lookup choice
+// is the whole per-query bill: the index reads themselves (DynamoDB
+// read units) plus the candidate fetches and VM time the candidate set
+// implies — LUP wins the former, LUI the latter, and only their sum
+// shows which side was right.  The result-store write is identical on
+// both sides, so it cancels out of the comparison.
+void BM_PlannerBaselines(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  static const engine::PlannerForce kForce[3] = {
+      engine::PlannerForce::kAuto, engine::PlannerForce::kLup,
+      engine::PlannerForce::kLui};
+  static const char* kModeName[3] = {"auto", "force-lup", "force-lui"};
+  for (auto _ : state) {
+    Deployment d = Deploy(index::StrategyKind::k2LUPI, /*use_index=*/true, 1,
+                          cloud::InstanceType::kLarge, CorpusConfig(),
+                          engine::IndexBackend::kDynamoDb, true, 8,
+                          cloud::CloudConfig(), kForce[mode]);
+    BaselineRun& run = Baseline(mode);
+    run = BaselineRun();
+    for (const auto& query : Workload()) {
+      const cloud::Usage before = d.env->meter().Snapshot();
+      auto outcome = d.warehouse->ExecuteQuery(query);
+      if (!outcome.ok()) {
+        state.SkipWithError(outcome.status().ToString().c_str());
+        return;
+      }
+      const double lookup_usd =
+          d.env->meter()
+              .ComputeBill(d.env->meter().Snapshot() - before)
+              .total();
+      run.lookup_usd.push_back(lookup_usd);
+      run.paths.push_back(outcome.value().chosen_path);
+      run.total_usd += lookup_usd;
+    }
+    state.counters["lookup_usd"] = run.total_usd;
+    RecordJson(StrFormat("table5/2lupi_baseline/%s", kModeName[mode]),
+               {{"lookup_usd", run.total_usd}});
+  }
+  state.SetLabel(StrFormat("2LUPI %s", kModeName[mode]));
+}
+
+BENCHMARK(BM_PlannerBaselines)
+    ->DenseRange(0, 2)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
@@ -88,14 +168,47 @@ void PrintTable() {
   std::printf(
       "(value-join queries q8-q10 sum the document IDs retrieved per tree "
       "pattern, as in the paper)\n");
+
+  PrintHeader("Planner choices per query (docs/PLANNER.md)");
+  std::printf("%-6s %-12s %12s %12s\n", "Query", "2LUPI path", "est ($)",
+              "actual ($)");
+  for (const auto& row : Rows()) {
+    std::printf("q%-5d %-12s %12.8f %12.8f\n", row.query, row.path[3].c_str(),
+                row.est_usd[3], row.actual_usd[3]);
+  }
+
+  const BaselineRun& auto_run = Baseline(0);
+  const BaselineRun& lup_run = Baseline(1);
+  const BaselineRun& lui_run = Baseline(2);
+  if (!auto_run.lookup_usd.empty()) {
+    PrintHeader("2LUPI billed cost of the lookup choice: planner vs forced");
+    std::printf("%-6s %-12s %12s %12s %12s\n", "Query", "auto path",
+                "auto ($)", "force-lup($)", "force-lui($)");
+    for (size_t q = 0; q < auto_run.lookup_usd.size(); ++q) {
+      std::printf("q%-5zu %-12s %12.8f %12.8f %12.8f\n", q + 1,
+                  auto_run.paths[q].c_str(), auto_run.lookup_usd[q],
+                  lup_run.lookup_usd[q], lui_run.lookup_usd[q]);
+    }
+    std::printf("%-6s %-12s %12.8f %12.8f %12.8f\n", "total", "",
+                auto_run.total_usd, lup_run.total_usd, lui_run.total_usd);
+    const bool beats_both = auto_run.total_usd < lup_run.total_usd &&
+                            auto_run.total_usd < lui_run.total_usd;
+    std::printf(
+        "planner %s both forced baselines (auto $%.8f vs lup $%.8f / lui "
+        "$%.8f)\n",
+        beats_both ? "beats" : "DOES NOT beat", auto_run.total_usd,
+        lup_run.total_usd, lui_run.total_usd);
+  }
 }
 
 }  // namespace
 }  // namespace webdex::bench
 
 int main(int argc, char** argv) {
+  webdex::bench::ParseJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   webdex::bench::PrintTable();
+  webdex::bench::FlushJson();
   return 0;
 }

@@ -137,6 +137,8 @@ inline int HostThreadsFromEnv() {
 struct JsonRow {
   std::string bench;
   std::vector<std::pair<std::string, double>> metrics;
+  /// String-valued columns (e.g. the planner's chosen access path).
+  std::vector<std::pair<std::string, std::string>> labels;
 };
 
 inline std::string& JsonOutputPath() {
@@ -165,9 +167,11 @@ inline void ParseJsonFlag(int* argc, char** argv) {
   *argc = out;
 }
 
-inline void RecordJson(std::string bench,
-                       std::vector<std::pair<std::string, double>> metrics) {
-  JsonRows().push_back({std::move(bench), std::move(metrics)});
+inline void RecordJson(
+    std::string bench, std::vector<std::pair<std::string, double>> metrics,
+    std::vector<std::pair<std::string, std::string>> labels = {}) {
+  JsonRows().push_back(
+      {std::move(bench), std::move(metrics), std::move(labels)});
 }
 
 /// Appends the chaos-layer counters (docs/FAULTS.md) to a row's metrics:
@@ -205,6 +209,9 @@ inline void FlushJson() {
     for (const auto& [name, value] : row.metrics) {
       std::fprintf(out, ", \"%s\": %.6g", name.c_str(), value);
     }
+    for (const auto& [name, value] : row.labels) {
+      std::fprintf(out, ", \"%s\": \"%s\"", name.c_str(), value.c_str());
+    }
     std::fprintf(out, "}%s\n", i + 1 < JsonRows().size() ? "," : "");
   }
   std::fprintf(out, "]\n");
@@ -237,11 +244,14 @@ inline Deployment Deploy(index::StrategyKind strategy, bool use_index,
                              engine::IndexBackend::kDynamoDb,
                          bool full_text = true, int index_instances = 8,
                          const cloud::CloudConfig& cloud_config =
-                             cloud::CloudConfig()) {
+                             cloud::CloudConfig(),
+                         engine::PlannerForce planner_force =
+                             engine::PlannerForce::kAuto) {
   Deployment d;
   d.env = std::make_unique<cloud::CloudEnv>(cloud_config);
   engine::WarehouseConfig config;
   config.strategy = strategy;
+  config.planner_force = planner_force;
   config.use_index = use_index;
   config.num_instances = use_index ? index_instances : query_instances;
   config.instance_type = cloud::InstanceType::kLarge;  // build fleet

@@ -86,6 +86,16 @@ BreakerState CircuitBreaker::state(std::string_view resource) const {
   return it == trackers_.end() ? BreakerState::kClosed : it->second.state;
 }
 
+bool CircuitBreaker::WouldAllow(std::string_view resource,
+                                Micros now) const {
+  if (!config_.enabled) return true;
+  auto it = trackers_.find(resource);
+  if (it == trackers_.end()) return true;
+  const HealthTracker& tracker = it->second;
+  if (tracker.state != BreakerState::kOpen) return true;
+  return now - tracker.opened_at >= config_.cooldown;
+}
+
 std::vector<CircuitBreaker::TrackerState> CircuitBreaker::SaveTrackers()
     const {
   std::vector<TrackerState> out;

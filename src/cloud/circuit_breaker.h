@@ -84,6 +84,15 @@ class CircuitBreaker {
   /// never seen).
   BreakerState state(std::string_view resource) const;
 
+  /// Non-mutating health probe for planners: would an attempt against
+  /// `resource` at virtual time `now` be let through?  True when the
+  /// breaker is closed or half-open, and also when it is open but the
+  /// cooldown has lapsed (the next Allow would move it to half-open) —
+  /// so callers that plan around an open breaker still re-try the
+  /// resource once it is probe-eligible, instead of shunning it forever.
+  /// Unlike Allow, no state changes and no Usage counters.
+  bool WouldAllow(std::string_view resource, Micros now) const;
+
   /// Snapshot support: the per-resource trackers in resource order.
   std::vector<TrackerState> SaveTrackers() const;
   void RestoreTrackers(const std::vector<TrackerState>& trackers);

@@ -1,0 +1,169 @@
+#include "engine/access_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/key_twig.h"
+#include "index/lookup_paths.h"
+
+namespace webdex::engine {
+
+cost::FetchShape MakeFetchShape(const PlannerStats& stats, double docs) {
+  cost::FetchShape fetch;
+  fetch.docs = docs;
+  fetch.avg_doc_bytes =
+      stats.documents == 0
+          ? 0
+          : static_cast<double>(stats.data_bytes) /
+                static_cast<double>(stats.documents);
+  if (stats.work != nullptr) {
+    fetch.work_per_byte = stats.work->parse_per_byte + stats.work->eval_per_byte;
+  }
+  fetch.instance_ecu =
+      stats.spec.ecu_per_core * static_cast<double>(stats.spec.cores);
+  fetch.vm_usd_per_hour = stats.vm_usd_per_hour;
+  return fetch;
+}
+
+LookupAccessPath::LookupAccessPath(std::string name, cloud::KvStore* store,
+                                   std::string table,
+                                   const query::TreePattern* pattern,
+                                   const index::ExtractOptions& options,
+                                   const PlannerStats& stats)
+    : name_(std::move(name)),
+      store_(store),
+      table_(std::move(table)),
+      pattern_(pattern),
+      options_(options),
+      stats_(stats),
+      twig_(index::BuildKeyTwig(*pattern, options.include_words)) {}
+
+cost::PathEstimate LookupAccessPath::EstimateCost(
+    const cost::CostModel& model) const {
+  const std::vector<std::string> keys = LookupKeys();
+
+  cost::LookupShape lookup;
+  lookup.keys = keys.size();
+  lookup.batch_get_limit = store_->BatchGetLimit();
+  lookup.min_read_bytes = stats_.min_read_bytes;
+  lookup.billing = stats_.billing;
+  // Average stored item size from the store's host-side accounting (free:
+  // no simulated request is issued for it).
+  const uint64_t item_count = store_->ItemCount(table_);
+  lookup.avg_item_bytes =
+      item_count == 0 ? 0
+                      : static_cast<double>(store_->StoredBytes(table_)) /
+                            static_cast<double>(item_count);
+
+  const index::PathSummary* summary = stats_.summary;
+  const bool has_summary = summary != nullptr && summary->documents() > 0;
+  double docs;
+  if (has_summary) {
+    // Items per key: roughly one per document containing the key (long ID
+    // lists are chunked across items, but the chunk factor is the same for
+    // every candidate path against the same corpus).
+    double items = 0;
+    for (const auto& key : keys) {
+      items += static_cast<double>(summary->DocsWithKey(key));
+    }
+    lookup.est_items = items;
+    docs = std::min(EstimateDocs(*summary),
+                    static_cast<double>(stats_.documents));
+  } else {
+    // No statistics yet: assume the worst (every key is in every document
+    // and nothing prunes).  All lookup paths then tie on the fetch tail
+    // and differ only in index-read cost, which favours the thinner
+    // LUP-side table — the paper's measured static default.
+    lookup.est_items =
+        static_cast<double>(keys.size()) * static_cast<double>(stats_.documents);
+    docs = static_cast<double>(stats_.documents);
+  }
+
+  return cost::EstimateLookupPath(model, lookup, MakeFetchShape(stats_, docs));
+}
+
+std::vector<std::string> LuAccessPath::LookupKeys() const {
+  return twig_.DistinctKeys();
+}
+
+double LuAccessPath::EstimateDocs(const index::PathSummary& summary) const {
+  return static_cast<double>(summary.EstimateLuDocs(*pattern_));
+}
+
+Result<PathResult> LuAccessPath::Execute(cloud::SimAgent& agent) const {
+  PathResult result;
+  WEBDEX_ASSIGN_OR_RETURN(
+      std::set<std::string> uris,
+      index::LookupByKeys(agent, *store_, table_, twig_, &result.stats));
+  result.uris = index::SortedUris(uris);
+  return result;
+}
+
+std::vector<std::string> LupAccessPath::LookupKeys() const {
+  return index::PathLookupKeys(twig_);
+}
+
+double LupAccessPath::EstimateDocs(const index::PathSummary& summary) const {
+  return static_cast<double>(summary.EstimateLupDocs(*pattern_));
+}
+
+Result<PathResult> LupAccessPath::Execute(cloud::SimAgent& agent) const {
+  PathResult result;
+  WEBDEX_ASSIGN_OR_RETURN(
+      std::set<std::string> uris,
+      index::LookupByPaths(agent, *store_, table_, twig_, options_,
+                           &result.stats));
+  result.uris = index::SortedUris(uris);
+  return result;
+}
+
+std::vector<std::string> LuiAccessPath::LookupKeys() const {
+  return twig_.DistinctKeys();
+}
+
+double LuiAccessPath::EstimateDocs(const index::PathSummary& summary) const {
+  // Document-level path statistics cannot see the instance-level
+  // correlation the twig join exploits, so any independence-flavoured
+  // estimate predicts pruning that often is not there.  Trust the twig
+  // join to out-prune the path pre-filter only when the Section 8.5
+  // detector flags the pattern (common linear paths, rare co-occurrence);
+  // otherwise assume path matching already captures the document-level
+  // selectivity, and let the cheaper look-up win the tie.
+  const double lu = static_cast<double>(summary.EstimateLuDocs(*pattern_));
+  if (summary.AdviseLookup(*pattern_).lookup == index::StrategyKind::kLUI) {
+    const double combined =
+        std::ceil(summary.EstimateTwigJoinDocs(*pattern_));
+    return std::min(lu, std::max(combined, 0.0));
+  }
+  const double lup = static_cast<double>(summary.EstimateLupDocs(*pattern_));
+  return std::min(lu, lup);
+}
+
+Result<PathResult> LuiAccessPath::Execute(cloud::SimAgent& agent) const {
+  PathResult result;
+  WEBDEX_ASSIGN_OR_RETURN(
+      std::set<std::string> uris,
+      index::LookupByIds(agent, *store_, table_, twig_, nullptr,
+                         &result.stats));
+  result.uris = index::SortedUris(uris);
+  return result;
+}
+
+ScanAccessPath::ScanAccessPath(const std::vector<std::string>* document_uris,
+                               const PlannerStats& stats)
+    : document_uris_(document_uris), stats_(stats) {}
+
+cost::PathEstimate ScanAccessPath::EstimateCost(
+    const cost::CostModel& model) const {
+  return cost::EstimateScanPath(
+      model, MakeFetchShape(stats_, static_cast<double>(stats_.documents)));
+}
+
+Result<PathResult> ScanAccessPath::Execute(cloud::SimAgent&) const {
+  PathResult result;
+  result.uris = *document_uris_;
+  result.scanned = true;
+  return result;
+}
+
+}  // namespace webdex::engine

@@ -1,0 +1,173 @@
+#ifndef WEBDEX_ENGINE_ACCESS_PATH_H_
+#define WEBDEX_ENGINE_ACCESS_PATH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.h"
+#include "cloud/kv_store.h"
+#include "common/result.h"
+#include "cost/path_cost.h"
+#include "index/key_twig.h"
+#include "index/strategy.h"
+#include "index/summary.h"
+#include "query/tree_pattern.h"
+
+namespace webdex::engine {
+
+/// Corpus- and deployment-level statistics the planner prices access
+/// paths against.  `summary` may be null or empty (e.g. right after a
+/// snapshot restore, before any document is re-indexed through this
+/// facade); estimation then falls back to whole-corpus upper bounds and
+/// the planner behaves like the paper's static default (LUP-side
+/// look-ups win).
+struct PlannerStats {
+  const index::PathSummary* summary = nullptr;
+  uint64_t documents = 0;   // |D|
+  uint64_t data_bytes = 0;  // s(D) in bytes
+  const cloud::WorkModel* work = nullptr;
+  cloud::InstanceSpec spec{1, 1.0, 0.0};
+  double vm_usd_per_hour = 0;
+  /// How the index store bills reads (DynamoDB read units vs SimpleDB
+  /// box usage) and its per-item billed-size floor.
+  cost::IndexBilling billing = cost::IndexBilling::kReadUnits;
+  double min_read_bytes = 0;
+};
+
+/// What executing one access path produced: the candidate document URIs
+/// for one tree pattern, plus the look-up work counters the caller
+/// charges to the executing instance.
+struct PathResult {
+  std::vector<std::string> uris;
+  index::LookupStats stats;
+  /// True when the candidates are the entire corpus (ScanAccessPath):
+  /// the executor then runs the degraded/no-index fetch-everything tail.
+  bool scanned = false;
+};
+
+/// One physical way to produce candidate documents for a tree pattern
+/// (docs/PLANNER.md): an index look-up against a concrete table, or the
+/// full warehouse scan.  Paths are constructed per query by the
+/// QueryPlanner, priced with EstimateCost, and at most one per pattern
+/// is executed — so an un-chosen path is never billed.
+class AccessPath {
+ public:
+  virtual ~AccessPath() = default;
+
+  /// Stable short name used in EXPLAIN output, QueryOutcome::chosen_path
+  /// and bench columns: "LU", "LUP", "LUI", "2LUPI/lup", "2LUPI/lui",
+  /// "scan".
+  virtual const std::string& name() const = 0;
+
+  /// Index table this path reads — the circuit-breaker resource whose
+  /// health gates the path's viability.  Empty for the scan path.
+  virtual const std::string& table() const = 0;
+
+  /// Prices the path from planner statistics and host-side store
+  /// accounting only: no simulated requests, no virtual time, no billing.
+  virtual cost::PathEstimate EstimateCost(
+      const cost::CostModel& model) const = 0;
+
+  /// Runs the path: index round-trips advance `agent`'s clock and are
+  /// billed; CPU work is reported via PathResult::stats for the caller
+  /// to charge.  A retriable failure means the backing table is browned
+  /// out — the executor falls back to the scan path.
+  virtual Result<PathResult> Execute(cloud::SimAgent& agent) const = 0;
+};
+
+/// Shared machinery of the three index look-up paths: the key twig, the
+/// backing table, and summary-driven estimation.  Subclasses supply the
+/// look-up core (index/lookup_paths.h) and the candidate-document
+/// estimator.
+class LookupAccessPath : public AccessPath {
+ public:
+  LookupAccessPath(std::string name, cloud::KvStore* store,
+                   std::string table, const query::TreePattern* pattern,
+                   const index::ExtractOptions& options,
+                   const PlannerStats& stats);
+
+  const std::string& name() const override { return name_; }
+  const std::string& table() const override { return table_; }
+  cost::PathEstimate EstimateCost(const cost::CostModel& model) const override;
+
+ protected:
+  /// Distinct index keys the look-up will BatchGet.
+  virtual std::vector<std::string> LookupKeys() const = 0;
+  /// Candidate documents predicted from a non-empty summary.
+  virtual double EstimateDocs(const index::PathSummary& summary) const = 0;
+
+  std::string name_;
+  cloud::KvStore* store_;
+  std::string table_;
+  const query::TreePattern* pattern_;
+  index::ExtractOptions options_;
+  PlannerStats stats_;
+  index::KeyTwig twig_;
+};
+
+/// The LU look-up (Section 5.1) as an access path.
+class LuAccessPath final : public LookupAccessPath {
+ public:
+  using LookupAccessPath::LookupAccessPath;
+  Result<PathResult> Execute(cloud::SimAgent& agent) const override;
+
+ protected:
+  std::vector<std::string> LookupKeys() const override;
+  double EstimateDocs(const index::PathSummary& summary) const override;
+};
+
+/// The LUP path-filter look-up (Section 5.2); with table
+/// "idx-2lupi-paths" it is the standalone LUP side of a 2LUPI index.
+class LupAccessPath final : public LookupAccessPath {
+ public:
+  using LookupAccessPath::LookupAccessPath;
+  Result<PathResult> Execute(cloud::SimAgent& agent) const override;
+
+ protected:
+  std::vector<std::string> LookupKeys() const override;
+  double EstimateDocs(const index::PathSummary& summary) const override;
+};
+
+/// The LUI twig-join look-up (Section 5.3); with table "idx-2lupi-ids"
+/// it is the standalone LUI side of a 2LUPI index (no semijoin
+/// pre-filter — the planner runs one side only).
+class LuiAccessPath final : public LookupAccessPath {
+ public:
+  using LookupAccessPath::LookupAccessPath;
+  Result<PathResult> Execute(cloud::SimAgent& agent) const override;
+
+ protected:
+  std::vector<std::string> LookupKeys() const override;
+  double EstimateDocs(const index::PathSummary& summary) const override;
+};
+
+/// The full warehouse scan (the PR4 degraded fallback relocated into the
+/// planner): candidates are every document.  Free at look-up time —
+/// all the cost is in the fetch-everything tail — and always viable, so
+/// brownout handling is simply "the planner picks the only healthy
+/// path".
+class ScanAccessPath final : public AccessPath {
+ public:
+  ScanAccessPath(const std::vector<std::string>* document_uris,
+                 const PlannerStats& stats);
+
+  const std::string& name() const override { return name_; }
+  const std::string& table() const override { return table_; }
+  cost::PathEstimate EstimateCost(const cost::CostModel& model) const override;
+  Result<PathResult> Execute(cloud::SimAgent& agent) const override;
+
+ private:
+  std::string name_ = "scan";
+  std::string table_;
+  const std::vector<std::string>* document_uris_;
+  PlannerStats stats_;
+};
+
+/// The fetch + evaluate tail shape shared by every path of this
+/// deployment, for `docs` candidate documents.
+cost::FetchShape MakeFetchShape(const PlannerStats& stats, double docs);
+
+}  // namespace webdex::engine
+
+#endif  // WEBDEX_ENGINE_ACCESS_PATH_H_

@@ -32,13 +32,20 @@ ExtractionResult ExtractionPipeline::ExtractNow(
   }
   out.doc = std::make_shared<const xml::Document>(std::move(doc).value());
   Rng uuid_rng = Rng::ForKey(base_seed, uri);
-  auto extracted =
-      strategy.ExtractItems(*out.doc, options, store, uuid_rng, &out.stats);
+  const index::DocIndex doc_index = index::ExtractDocIndex(*out.doc, options);
+  auto extracted = strategy.ExtractItems(*out.doc, doc_index, options, store,
+                                         uuid_rng, &out.stats);
   if (!extracted.ok()) {
     out.status = extracted.status();
     return out;
   }
   out.items = std::move(extracted).value();
+  // The planner's PathSummary only needs each key's distinct data paths,
+  // a sliver of the DocIndex; keep it so the warehouse can account the
+  // document without re-extracting (docs/PLANNER.md).
+  for (const auto& [key, entry] : doc_index) {
+    out.key_paths.emplace(key, entry.paths);
+  }
   return out;
 }
 

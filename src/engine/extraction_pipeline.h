@@ -28,6 +28,10 @@ struct ExtractionResult {
   std::shared_ptr<const xml::Document> doc;
   index::ExtractStats stats;
   std::vector<index::TableItems> items;
+  /// Each index key's distinct data paths — the document's contribution
+  /// to the planner's index::PathSummary (fed by the warehouse once the
+  /// task commits, deduplicated by URI across redeliveries).
+  std::map<std::string, std::vector<std::string>> key_paths;
 };
 
 /// Speculative host-parallel execution of the fetch-parse-extract phase of

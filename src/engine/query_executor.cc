@@ -1,0 +1,256 @@
+#include "engine/query_executor.h"
+
+#include <cassert>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+#include "engine/query_planner.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "xml/parser.h"
+
+namespace webdex::engine {
+
+using cloud::Instance;
+using cloud::Micros;
+
+Status QueryExecutor::LookupLegacy(Instance& instance,
+                                   const query::LogicalPlan& logical,
+                                   std::vector<std::string>* to_fetch,
+                                   QueryOutcome* outcome) {
+  Warehouse& w = *warehouse_;
+  const auto& work = instance.work();
+  // Index look-up (Figure 1, step 10): per tree pattern, then union.
+  const cloud::Usage before = w.env_->meter().Snapshot();
+  std::set<std::string> fetch_set;
+  index::LookupStats stats;
+  const Micros get_start = instance.now();
+  Status lookup_status = Status::OK();
+  for (const auto& pattern : logical.query().patterns()) {
+    auto uris = w.strategy_->LookupPattern(instance, w.index_store(), pattern,
+                                           w.config_.extract, &stats);
+    if (!uris.ok()) {
+      lookup_status = uris.status();
+      break;
+    }
+    outcome->docs_from_index += uris.value().size();
+    fetch_set.insert(uris.value().begin(), uris.value().end());
+  }
+  outcome->timings.index_get = instance.now() - get_start;
+  // A permanent lookup failure is a real error; a retriable one means
+  // the index store is browned out (retries exhausted or its circuit
+  // breaker is open) and the query degrades to a full scan below.
+  if (!lookup_status.ok() && !lookup_status.IsRetriable()) {
+    return lookup_status;
+  }
+
+  // Physical plan over the fetched index data (step 11): URI-set
+  // merges, path matching, holistic twig joins.
+  const Micros plan_start = instance.now();
+  instance.ChargeParallelWork(
+      work.lookup_merge_per_item * static_cast<double>(stats.uri_merge_ops) +
+      work.lookup_merge_per_item * static_cast<double>(stats.items_fetched) +
+      work.path_match_per_path * static_cast<double>(stats.paths_tested) +
+      work.twig_per_id * static_cast<double>(stats.twig_id_ops));
+  outcome->timings.plan_exec = instance.now() - plan_start;
+  outcome->lookup = stats;
+
+  const cloud::Usage delta = w.env_->meter().Snapshot() - before;
+  outcome->index_get_units = delta.ddb_read_units + delta.sdb_get_requests;
+  if (lookup_status.ok()) {
+    outcome->chosen_path = w.strategy_->name();
+    to_fetch->assign(fetch_set.begin(), fetch_set.end());
+  } else {
+    // Degraded read (docs/FAULTS.md): answer from the ground truth by
+    // scanning every document, exactly like the no-index baseline.
+    // Same rows, higher cost — availability is bought with S3 traffic
+    // and VM time instead of index reads.
+    outcome->chosen_path = "scan";
+    outcome->degraded = true;
+    outcome->docs_from_index = 0;
+    outcome->scan_docs = w.document_uris_.size();
+    w.env_->meter().mutable_usage().degraded_queries += 1;
+    *to_fetch = w.document_uris_;
+  }
+  return Status::OK();
+}
+
+Status QueryExecutor::LookupPlanned(Instance& instance,
+                                    const query::LogicalPlan& logical,
+                                    std::vector<std::string>* to_fetch,
+                                    QueryOutcome* outcome) {
+  Warehouse& w = *warehouse_;
+  const auto& work = instance.work();
+  // Planning is host-side arithmetic over the path summary and breaker
+  // health: free, instantaneous, nothing billed.
+  const QueryPlanner planner = w.MakePlanner();
+  const PhysicalPlan plan =
+      planner.Plan(logical, w.cost_model_, instance.now());
+  outcome->chosen_path = plan.ChosenDescription();
+  outcome->estimated_cost_usd = plan.EstimatedUsd();
+  outcome->estimated_requests = plan.EstimatedRequests();
+  outcome->planner_fallbacks = plan.planner_fallbacks;
+
+  const cloud::Usage before = w.env_->meter().Snapshot();
+  std::set<std::string> fetch_set;
+  index::LookupStats stats;
+  const Micros get_start = instance.now();
+  bool scanned = false;
+  for (const auto& pattern_plan : plan.patterns) {
+    const PlannedPath& chosen = pattern_plan.chosen_path();
+    auto result = chosen.path->Execute(instance);
+    if (!result.ok()) {
+      if (!result.status().IsRetriable()) return result.status();
+      // Runtime brownout: the chosen look-up exhausted its retries
+      // mid-query.  Degrade to the scan path — the same fallback the
+      // planner would have chosen had the breaker opened before planning.
+      scanned = true;
+      outcome->planner_fallbacks += 1;
+      break;
+    }
+    if (result.value().scanned) {
+      scanned = true;
+      break;
+    }
+    stats += result.value().stats;
+    outcome->docs_from_index += result.value().uris.size();
+    fetch_set.insert(result.value().uris.begin(), result.value().uris.end());
+  }
+  outcome->timings.index_get = instance.now() - get_start;
+
+  const Micros plan_start = instance.now();
+  instance.ChargeParallelWork(
+      work.lookup_merge_per_item * static_cast<double>(stats.uri_merge_ops) +
+      work.lookup_merge_per_item * static_cast<double>(stats.items_fetched) +
+      work.path_match_per_path * static_cast<double>(stats.paths_tested) +
+      work.twig_per_id * static_cast<double>(stats.twig_id_ops));
+  outcome->timings.plan_exec = instance.now() - plan_start;
+  outcome->lookup = stats;
+
+  const cloud::Usage delta = w.env_->meter().Snapshot() - before;
+  outcome->index_get_units = delta.ddb_read_units + delta.sdb_get_requests;
+  if (scanned) {
+    // Degraded semantics identical to the legacy fallback (docs/FAULTS.md).
+    outcome->chosen_path = "scan";
+    outcome->degraded = true;
+    outcome->docs_from_index = 0;
+    outcome->scan_docs = w.document_uris_.size();
+    w.env_->meter().mutable_usage().degraded_queries += 1;
+    *to_fetch = w.document_uris_;
+  } else {
+    to_fetch->assign(fetch_set.begin(), fetch_set.end());
+  }
+  return Status::OK();
+}
+
+Status QueryExecutor::Run(Instance& instance, const QueryRequest& request,
+                          uint64_t receipt, Micros* lease_anchor,
+                          QueryOutcome* outcome) {
+  Warehouse& w = *warehouse_;
+  const Micros task_start = instance.now();
+  outcome->id = request.id;
+  outcome->query_text = request.query_text;
+
+  WEBDEX_ASSIGN_OR_RETURN(query::Query parsed,
+                          query::ParseQuery(request.query_text));
+  const query::LogicalPlan logical =
+      query::LogicalPlan::Build(std::move(parsed));
+
+  const auto& work = instance.work();
+  const cloud::Usage task_before = w.env_->meter().Snapshot();
+  std::vector<std::string> to_fetch;
+  if (w.config_.use_index) {
+    if (w.config_.use_planner) {
+      WEBDEX_RETURN_IF_ERROR(
+          LookupPlanned(instance, logical, &to_fetch, outcome));
+    } else {
+      WEBDEX_RETURN_IF_ERROR(
+          LookupLegacy(instance, logical, &to_fetch, outcome));
+    }
+    w.MaybeRenewLease(instance, w.config_.query_queue, receipt, lease_anchor);
+  } else {
+    // No index: the query runs over the entire warehouse.
+    outcome->chosen_path = "scan";
+    to_fetch = w.document_uris_;
+  }
+  outcome->docs_fetched = to_fetch.size();
+
+  // Transfer the candidate documents into the instance and evaluate
+  // (steps 12-13), over one parallel S3 stream per core.
+  const Micros eval_start = instance.now();
+  std::vector<std::shared_ptr<const xml::Document>> docs;
+  if (!to_fetch.empty()) {
+    WEBDEX_ASSIGN_OR_RETURN(
+        std::vector<std::string> texts,
+        w.RetryCall(instance, "qp.fetch", [&] {
+          return w.env_->s3().BatchGet(instance, w.config_.data_bucket,
+                                       to_fetch,
+                                       instance.parallel_streams());
+        }));
+    docs.reserve(texts.size());
+    double parse_work = 0;
+    for (size_t i = 0; i < texts.size(); ++i) {
+      // Parse CPU is charged in virtual time for every query, as the
+      // real system re-parses every fetched document; the host-side DOM
+      // cache below only avoids redundant *host* CPU when the same
+      // immutable document is fetched by several simulated queries.
+      parse_work += work.parse_per_byte * static_cast<double>(texts[i].size());
+      if (auto cached = w.doc_cache_.Get(to_fetch[i]); cached != nullptr) {
+        docs.push_back(std::move(cached));
+        continue;
+      }
+      WEBDEX_ASSIGN_OR_RETURN(xml::Document doc,
+                              xml::ParseDocument(to_fetch[i], texts[i]));
+      auto shared = std::make_shared<const xml::Document>(std::move(doc));
+      w.doc_cache_.Put(to_fetch[i], shared);
+      docs.push_back(std::move(shared));
+    }
+    instance.ChargeParallelWork(parse_work);
+  }
+  std::vector<const xml::Document*> doc_ptrs;
+  doc_ptrs.reserve(docs.size());
+  for (const auto& doc : docs) doc_ptrs.push_back(doc.get());
+  (void)query::Evaluator::ConsumeWorkStats();
+  outcome->result = query::Evaluator::Evaluate(logical.query(), doc_ptrs);
+  // The evaluator's work counters are thread_local; they are only
+  // visible — and chargeable — on the thread that evaluated.  If this
+  // assertion fires, evaluation ran on a different thread than the one
+  // consuming its stats (see the contract in query/evaluator.h).
+  assert(query::Evaluator::HasPendingWorkStats());
+  const auto eval_stats = query::Evaluator::ConsumeWorkStats();
+  instance.ChargeParallelWork(
+      work.eval_per_byte * static_cast<double>(eval_stats.doc_bytes_scanned) +
+      work.result_per_byte * static_cast<double>(eval_stats.result_bytes));
+
+  w.MaybeRenewLease(instance, w.config_.query_queue, receipt, lease_anchor);
+
+  // Store the results in the file store (step 14).
+  std::string result_xml = outcome->result.ToXml();
+  instance.ChargeParallelWork(work.result_per_byte *
+                              static_cast<double>(result_xml.size()));
+  const std::string result_key =
+      StrFormat("result-%llu.xml", static_cast<unsigned long long>(request.id));
+  WEBDEX_RETURN_IF_ERROR(w.RetryCall(instance, "qp.store", [&] {
+    return w.env_->s3().Put(instance, w.config_.results_bucket, result_key,
+                            result_xml);
+  }));
+  outcome->timings.transfer_eval = instance.now() - eval_start;
+  outcome->timings.total = instance.now() - task_start;
+
+  // Metered reality next to the estimate: what this task actually cost
+  // (requests + capacity billed during the task, plus its share of rented
+  // VM time), for the estimated-vs-actual columns of the reports.
+  const cloud::Usage task_delta = w.env_->meter().Snapshot() - task_before;
+  const cloud::Bill task_bill = w.env_->meter().ComputeBill(task_delta);
+  const double vm_usd =
+      w.env_->meter().pricing().VmHour(w.config_.instance_type) *
+      static_cast<double>(outcome->timings.total) / 3600e6;
+  outcome->actual_cost_usd = task_bill.total() + vm_usd;
+  outcome->actual_requests = static_cast<double>(
+      task_delta.s3_get_requests + task_delta.s3_put_requests +
+      task_delta.ddb_get_requests + task_delta.sdb_get_requests);
+  return Status::OK();
+}
+
+}  // namespace webdex::engine

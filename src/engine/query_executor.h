@@ -1,0 +1,54 @@
+#ifndef WEBDEX_ENGINE_QUERY_EXECUTOR_H_
+#define WEBDEX_ENGINE_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "cloud/instance.h"
+#include "common/status.h"
+#include "engine/warehouse.h"
+#include "query/logical_plan.h"
+
+namespace webdex::engine {
+
+/// The execution layer of the query engine (docs/PLANNER.md): runs one
+/// query task end to end on a simulated instance — parse to LogicalPlan,
+/// plan to PhysicalPlan (or the legacy fixed-strategy look-up when the
+/// planner is off), execute the chosen access paths, fetch + evaluate the
+/// candidate documents, store the result.
+///
+/// Extracted from Warehouse::ProcessQuery; it operates on the warehouse's
+/// private state (stores, caches, retry streams) as a friend, so the
+/// observable behaviour of the planner-off path is byte-identical to the
+/// pre-refactor engine.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(Warehouse* warehouse) : warehouse_(warehouse) {}
+
+  /// Body of one query task, after the message has been received.
+  /// `receipt`/`lease_anchor` let long phases renew the message lease.
+  Status Run(cloud::Instance& instance, const QueryRequest& request,
+             uint64_t receipt, cloud::Micros* lease_anchor,
+             QueryOutcome* outcome);
+
+ private:
+  /// Planner-off look-up: the deployed strategy's fixed pipeline, with
+  /// retriable failure degrading to a full scan (pre-planner semantics,
+  /// preserved verbatim for the on/off equivalence tests).
+  Status LookupLegacy(cloud::Instance& instance,
+                      const query::LogicalPlan& logical,
+                      std::vector<std::string>* to_fetch,
+                      QueryOutcome* outcome);
+
+  /// Planner-on look-up: cost-based access-path choice per pattern, with
+  /// the scan path as both the breaker-blocked and the runtime fallback.
+  Status LookupPlanned(cloud::Instance& instance,
+                       const query::LogicalPlan& logical,
+                       std::vector<std::string>* to_fetch,
+                       QueryOutcome* outcome);
+
+  Warehouse* warehouse_;
+};
+
+}  // namespace webdex::engine
+
+#endif  // WEBDEX_ENGINE_QUERY_EXECUTOR_H_

@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "engine/query_executor.h"
 #include "query/parser.h"
 #include "xml/parser.h"
 
@@ -28,6 +29,7 @@ Warehouse::Warehouse(cloud::CloudEnv* env, const WarehouseConfig& config)
     : env_(env),
       config_(config),
       strategy_(index::IndexingStrategy::Create(config.strategy)),
+      cost_model_(env->meter().pricing()),
       retrying_store_(std::make_unique<cloud::RetryingKvStore>(
           config.backend == IndexBackend::kSimpleDb
               ? static_cast<cloud::KvStore*>(&env->simpledb())
@@ -68,6 +70,10 @@ void Warehouse::AdoptExistingData(const Warehouse& other) {
   document_uris_ = other.document_uris_;
   data_bytes_ = other.data_bytes_;
   next_query_id_ = other.next_query_id_;
+  // The planner statistics travel with the data: the new fleet prices
+  // access paths against the same corpus the old fleet indexed.
+  path_summary_ = other.path_summary_;
+  summarized_uris_ = other.summarized_uris_;
   front_end_.AdvanceTo(other.front_end_.now());
 }
 
@@ -247,6 +253,11 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
     report->extract_stats.items += extraction->stats.items;
     report->extract_stats.payload_bytes += extraction->stats.payload_bytes;
     report->documents += 1;
+    // Feed the planner's corpus statistics once per document: a crashed
+    // task redone on redelivery must not double-count its paths.
+    if (summarized_uris_.insert(request.value().uri).second) {
+      path_summary_.AddDocument(extraction->key_paths);
+    }
   }
 
   // Fault injection: a crash here loses the delete; the message lease
@@ -365,135 +376,45 @@ Status Warehouse::ProcessQuery(Instance& instance,
                                const QueryRequest& request,
                                uint64_t receipt, Micros* lease_anchor,
                                QueryOutcome* outcome) {
-  const Micros task_start = instance.now();
-  outcome->id = request.id;
-  outcome->query_text = request.query_text;
+  QueryExecutor executor(this);
+  return executor.Run(instance, request, receipt, lease_anchor, outcome);
+}
 
-  WEBDEX_ASSIGN_OR_RETURN(query::Query parsed,
-                          query::ParseQuery(request.query_text));
-
-  const auto& work = instance.work();
-  std::vector<std::string> to_fetch;
-  if (config_.use_index) {
-    // Index look-up (Figure 1, step 10): per tree pattern, then union.
-    const cloud::Usage before = env_->meter().Snapshot();
-    std::set<std::string> fetch_set;
-    index::LookupStats stats;
-    const Micros get_start = instance.now();
-    Status lookup_status = Status::OK();
-    for (const auto& pattern : parsed.patterns()) {
-      auto uris = strategy_->LookupPattern(instance, index_store(), pattern,
-                                           config_.extract, &stats);
-      if (!uris.ok()) {
-        lookup_status = uris.status();
-        break;
-      }
-      outcome->docs_from_index += uris.value().size();
-      fetch_set.insert(uris.value().begin(), uris.value().end());
-    }
-    outcome->timings.index_get = instance.now() - get_start;
-    // A permanent lookup failure is a real error; a retriable one means
-    // the index store is browned out (retries exhausted or its circuit
-    // breaker is open) and the query degrades to a full scan below.
-    if (!lookup_status.ok() && !lookup_status.IsRetriable()) {
-      return lookup_status;
-    }
-
-    // Physical plan over the fetched index data (step 11): URI-set
-    // merges, path matching, holistic twig joins.
-    const Micros plan_start = instance.now();
-    instance.ChargeParallelWork(
-        work.lookup_merge_per_item * static_cast<double>(stats.uri_merge_ops) +
-        work.lookup_merge_per_item * static_cast<double>(stats.items_fetched) +
-        work.path_match_per_path * static_cast<double>(stats.paths_tested) +
-        work.twig_per_id * static_cast<double>(stats.twig_id_ops));
-    outcome->timings.plan_exec = instance.now() - plan_start;
-    outcome->lookup = stats;
-
-    const cloud::Usage delta = env_->meter().Snapshot() - before;
-    outcome->index_get_units = delta.ddb_read_units + delta.sdb_get_requests;
-    if (lookup_status.ok()) {
-      to_fetch.assign(fetch_set.begin(), fetch_set.end());
-    } else {
-      // Degraded read (docs/FAULTS.md): answer from the ground truth by
-      // scanning every document, exactly like the no-index baseline.
-      // Same rows, higher cost — availability is bought with S3 traffic
-      // and VM time instead of index reads.
-      outcome->degraded = true;
-      outcome->docs_from_index = 0;
-      outcome->scan_docs = document_uris_.size();
-      env_->meter().mutable_usage().degraded_queries += 1;
-      to_fetch = document_uris_;
-    }
-    MaybeRenewLease(instance, config_.query_queue, receipt, lease_anchor);
+QueryPlanner Warehouse::MakePlanner() {
+  QueryPlanner::Context context;
+  context.store = &index_store();
+  context.breaker = &env_->breaker();
+  context.strategy = config_.strategy;
+  context.options = config_.extract;
+  context.document_uris = &document_uris_;
+  context.force = config_.planner_force;
+  context.use_index = config_.use_index;
+  context.stats.summary = &path_summary_;
+  context.stats.documents = document_uris_.size();
+  context.stats.data_bytes = data_bytes_;
+  context.stats.work = &env_->config().work;
+  context.stats.spec = cloud::SpecFor(config_.instance_type);
+  context.stats.vm_usd_per_hour =
+      env_->meter().pricing().VmHour(config_.instance_type);
+  if (config_.backend == IndexBackend::kSimpleDb) {
+    context.stats.billing = cost::IndexBilling::kBoxUsage;
+    context.stats.min_read_bytes = 0;
   } else {
-    // No index: the query runs over the entire warehouse.
-    to_fetch = document_uris_;
+    context.stats.billing = cost::IndexBilling::kReadUnits;
+    // DynamoDB's per-item read-unit floor (DynamoDb::kMinReadBytes).
+    context.stats.min_read_bytes = 128;
   }
-  outcome->docs_fetched = to_fetch.size();
+  return QueryPlanner(std::move(context));
+}
 
-  // Transfer the candidate documents into the instance and evaluate
-  // (steps 12-13), over one parallel S3 stream per core.
-  const Micros eval_start = instance.now();
-  std::vector<std::shared_ptr<const xml::Document>> docs;
-  if (!to_fetch.empty()) {
-    WEBDEX_ASSIGN_OR_RETURN(
-        std::vector<std::string> texts,
-        RetryCall(instance, "qp.fetch", [&] {
-          return env_->s3().BatchGet(instance, config_.data_bucket, to_fetch,
-                                     instance.parallel_streams());
-        }));
-    docs.reserve(texts.size());
-    double parse_work = 0;
-    for (size_t i = 0; i < texts.size(); ++i) {
-      // Parse CPU is charged in virtual time for every query, as the
-      // real system re-parses every fetched document; the host-side DOM
-      // cache below only avoids redundant *host* CPU when the same
-      // immutable document is fetched by several simulated queries.
-      parse_work += work.parse_per_byte * static_cast<double>(texts[i].size());
-      if (auto cached = doc_cache_.Get(to_fetch[i]); cached != nullptr) {
-        docs.push_back(std::move(cached));
-        continue;
-      }
-      WEBDEX_ASSIGN_OR_RETURN(xml::Document doc,
-                              xml::ParseDocument(to_fetch[i], texts[i]));
-      auto shared =
-          std::make_shared<const xml::Document>(std::move(doc));
-      doc_cache_.Put(to_fetch[i], shared);
-      docs.push_back(std::move(shared));
-    }
-    instance.ChargeParallelWork(parse_work);
-  }
-  std::vector<const xml::Document*> doc_ptrs;
-  doc_ptrs.reserve(docs.size());
-  for (const auto& doc : docs) doc_ptrs.push_back(doc.get());
-  (void)query::Evaluator::ConsumeWorkStats();
-  outcome->result = query::Evaluator::Evaluate(parsed, doc_ptrs);
-  // The evaluator's work counters are thread_local; they are only
-  // visible — and chargeable — on the thread that evaluated.  If this
-  // assertion fires, evaluation ran on a different thread than the one
-  // consuming its stats (see the contract in query/evaluator.h).
-  assert(query::Evaluator::HasPendingWorkStats());
-  const auto eval_stats = query::Evaluator::ConsumeWorkStats();
-  instance.ChargeParallelWork(
-      work.eval_per_byte * static_cast<double>(eval_stats.doc_bytes_scanned) +
-      work.result_per_byte * static_cast<double>(eval_stats.result_bytes));
-
-  MaybeRenewLease(instance, config_.query_queue, receipt, lease_anchor);
-
-  // Store the results in the file store (step 14).
-  std::string result_xml = outcome->result.ToXml();
-  instance.ChargeParallelWork(work.result_per_byte *
-                              static_cast<double>(result_xml.size()));
-  const std::string result_key =
-      StrFormat("result-%llu.xml", static_cast<unsigned long long>(request.id));
-  WEBDEX_RETURN_IF_ERROR(RetryCall(instance, "qp.store", [&] {
-    return env_->s3().Put(instance, config_.results_bucket, result_key,
-                          result_xml);
-  }));
-  outcome->timings.transfer_eval = instance.now() - eval_start;
-  outcome->timings.total = instance.now() - task_start;
-  return Status::OK();
+Result<std::string> Warehouse::ExplainQuery(const std::string& query_text) {
+  WEBDEX_ASSIGN_OR_RETURN(query::Query parsed, query::ParseQuery(query_text));
+  const query::LogicalPlan logical =
+      query::LogicalPlan::Build(std::move(parsed));
+  const QueryPlanner planner = MakePlanner();
+  const PhysicalPlan plan =
+      planner.Plan(logical, cost_model_, front_end_.now());
+  return logical.ToString() + plan.ToString();
 }
 
 WorkerStep Warehouse::QueryStep(Instance& instance,
@@ -653,6 +574,8 @@ Result<QueryRunReport> Warehouse::ExecuteQueries(
           StrFormat("no outcome recorded for query %llu",
                     static_cast<unsigned long long>(id)));
     }
+    report.planner_fallbacks +=
+        static_cast<uint64_t>(it->second.planner_fallbacks);
     report.outcomes.push_back(std::move(it->second));
   }
   const cloud::Usage run_delta = env_->meter().Snapshot() - run_start;

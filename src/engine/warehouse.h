@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -16,10 +17,13 @@
 #include "common/result.h"
 #include "common/retry.h"
 #include "common/rng.h"
+#include "cost/cost_model.h"
 #include "engine/extraction_pipeline.h"
 #include "engine/message.h"
+#include "engine/query_planner.h"
 #include "engine/scrubber.h"
 #include "index/strategy.h"
+#include "index/summary.h"
 #include "query/evaluator.h"
 
 namespace webdex::engine {
@@ -46,6 +50,17 @@ struct WarehouseConfig {
 
   /// false = no-index baseline: every query scans the whole warehouse.
   bool use_index = true;
+
+  /// Cost-based query planning (docs/PLANNER.md): per pattern, the
+  /// engine::QueryPlanner prices every access path the deployed strategy
+  /// supports and runs the cheapest healthy one.  false = the deployed
+  /// strategy's fixed look-up pipeline, byte-identical to the
+  /// pre-planner engine (same rows either way).
+  bool use_planner = true;
+  /// Pins the 2LUPI side choice, for the always-LUP / always-LUI
+  /// baselines the planner is benchmarked against (ignored by the other
+  /// strategies).
+  PlannerForce planner_force = PlannerForce::kAuto;
 
   cloud::InstanceType instance_type = cloud::InstanceType::kLarge;
   int num_instances = 1;
@@ -127,6 +142,21 @@ struct QueryOutcome {
   /// Documents scanned by the degraded fallback (|D|; 0 when not
   /// degraded).
   uint64_t scan_docs = 0;
+  /// Which access path(s) answered the query: "+"-joined per-pattern
+  /// path names with the planner on (e.g. "2LUPI/lup"), the strategy
+  /// name with the planner off, "scan" for degraded/no-index queries.
+  std::string chosen_path;
+  /// The planner's pre-execution price tag for the chosen paths (0 with
+  /// the planner off).
+  double estimated_cost_usd = 0;
+  double estimated_requests = 0;
+  /// What the task actually cost: requests + capacity metered during the
+  /// task plus its rented VM time.
+  double actual_cost_usd = 0;
+  double actual_requests = 0;
+  /// Patterns that fell back to the scan path — blocked by an open
+  /// circuit breaker at plan time, or failed retriably at run time.
+  int planner_fallbacks = 0;
 };
 
 struct QueryRunReport {
@@ -135,6 +165,8 @@ struct QueryRunReport {
   /// Brownout accounting for this run (deltas of the usage meter).
   uint64_t degraded_queries = 0;
   uint64_t breaker_opens = 0;
+  /// Scan fallbacks taken by the planner, summed over the outcomes.
+  uint64_t planner_fallbacks = 0;
 };
 
 /// The complete warehouse of paper Figure 1: front end + file store +
@@ -187,6 +219,13 @@ class Warehouse {
   /// Single-query convenience wrapper.
   Result<QueryOutcome> ExecuteQuery(const std::string& query_text);
 
+  /// EXPLAIN: parses and plans `query_text` against the current index
+  /// statistics and breaker health *without executing it* — host-side
+  /// only, nothing billed, no virtual time.  Returns the logical plan
+  /// followed by the physical plan with every candidate's estimate
+  /// (`webdex_cli explain`).
+  Result<std::string> ExplainQuery(const std::string& query_text);
+
   // --- Maintenance ---------------------------------------------------------
 
   /// One scrub pass over this warehouse's index tables on the front
@@ -210,12 +249,22 @@ class Warehouse {
   }
   uint64_t data_bytes() const { return data_bytes_; }
 
+  /// The planner's corpus statistics, maintained incrementally as
+  /// documents are indexed (each document counted once, across
+  /// redeliveries).
+  const index::PathSummary& path_summary() const { return path_summary_; }
+
   /// Raw + overhead bytes currently held by this warehouse's index
   /// tables (sr and ovh of Section 7.1).
   uint64_t IndexRawBytes() const;
   uint64_t IndexOverheadBytes() const;
 
  private:
+  /// The execution layer operates on the warehouse's private state
+  /// (stores, caches, retry streams) so the planner-off path stays
+  /// byte-identical to the pre-refactor ProcessQuery.
+  friend class QueryExecutor;
+
   class FrontEndAgent : public cloud::SimAgent {};
 
   struct PendingResponse {
@@ -271,11 +320,16 @@ class Warehouse {
   cloud::WorkerStep QueryStep(cloud::Instance& instance,
                               std::map<uint64_t, QueryOutcome>* outcomes);
 
-  // Body of one query task, after the message has been received.
+  // Body of one query task, after the message has been received —
+  // delegates to the QueryExecutor layer (engine/query_executor.h).
   // `receipt`/`lease_anchor` let long phases renew the message lease.
   Status ProcessQuery(cloud::Instance& instance, const QueryRequest& request,
                       uint64_t receipt, cloud::Micros* lease_anchor,
                       QueryOutcome* outcome);
+
+  /// Builds the cost-based planner over this warehouse's index store,
+  /// corpus statistics, pricing and breaker (engine/query_planner.h).
+  QueryPlanner MakePlanner();
 
   // Heartbeat stand-in: renews the queue lease whenever at least a
   // quarter of the visibility timeout has passed since `*lease_anchor`
@@ -303,6 +357,14 @@ class Warehouse {
   cloud::CloudEnv* env_;
   WarehouseConfig config_;
   std::unique_ptr<index::IndexingStrategy> strategy_;
+  /// Analytical pricing shared by the planner and the advisors, over this
+  /// environment's price sheet.
+  cost::CostModel cost_model_;
+  /// Planner statistics: distinct paths/keys per document, fed by the
+  /// indexing run as each task commits; `summarized_uris_` dedups across
+  /// redeliveries so a re-done task never double-counts its document.
+  index::PathSummary path_summary_;
+  std::set<std::string> summarized_uris_;
   /// Retry decorator over the backend index store; index_store() returns
   /// it so every index read/write inherits backoff and re-batching.
   std::unique_ptr<cloud::RetryingKvStore> retrying_store_;

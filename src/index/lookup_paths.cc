@@ -1,0 +1,227 @@
+#include "index/lookup_paths.h"
+
+#include <algorithm>
+
+#include "index/keys.h"
+#include "index/path_match.h"
+#include "index/twig_join.h"
+
+namespace webdex::index {
+
+using cloud::Item;
+using cloud::KvStore;
+
+Result<FetchedEntries> FetchEntries(cloud::SimAgent& agent, KvStore& store,
+                                    const std::string& table,
+                                    const std::vector<std::string>& keys,
+                                    LookupStats* stats) {
+  FetchedEntries merged;
+  auto fetched = store.BatchGet(agent, table, keys);
+  if (!fetched.ok()) return fetched.status();
+  stats->keys_looked_up += keys.size();
+  for (const Item& item : fetched.value()) {
+    stats->items_fetched += 1;
+    stats->bytes_fetched += item.SizeBytes();
+    auto& per_uri = merged[item.hash_key];
+    for (const auto& [uri, values] : item.attrs) {
+      auto& dst = per_uri[uri];
+      dst.insert(dst.end(), values.begin(), values.end());
+    }
+  }
+  return merged;
+}
+
+std::vector<std::string> SortedUris(const std::set<std::string>& uris) {
+  return {uris.begin(), uris.end()};
+}
+
+std::set<std::string> IntersectUris(const FetchedEntries& entries,
+                                    const std::vector<std::string>& keys,
+                                    LookupStats* stats) {
+  std::set<std::string> result;
+  bool first = true;
+  for (const std::string& key : keys) {
+    auto it = entries.find(key);
+    if (it == entries.end()) return {};
+    std::set<std::string> uris;
+    for (const auto& [uri, values] : it->second) {
+      (void)values;
+      uris.insert(uri);
+    }
+    stats->uri_merge_ops += uris.size();
+    if (first) {
+      result = std::move(uris);
+      first = false;
+    } else {
+      std::set<std::string> next;
+      std::set_intersection(result.begin(), result.end(), uris.begin(),
+                            uris.end(), std::inserter(next, next.begin()));
+      result = std::move(next);
+    }
+    if (result.empty()) return {};
+  }
+  return result;
+}
+
+Result<std::set<std::string>> LookupByKeys(cloud::SimAgent& agent,
+                                           KvStore& store,
+                                           const std::string& table,
+                                           const KeyTwig& twig,
+                                           LookupStats* stats) {
+  const std::vector<std::string> keys = twig.DistinctKeys();
+  WEBDEX_ASSIGN_OR_RETURN(FetchedEntries entries,
+                          FetchEntries(agent, store, table, keys, stats));
+  return IntersectUris(entries, keys, stats);
+}
+
+std::vector<std::string> PathLookupKeys(const KeyTwig& twig) {
+  const std::vector<QueryPath> query_paths = BuildQueryPaths(twig);
+  std::vector<std::string> lookup_keys;
+  for (const auto& path : query_paths) {
+    if (std::find(lookup_keys.begin(), lookup_keys.end(),
+                  path.LookupKey()) == lookup_keys.end()) {
+      lookup_keys.push_back(path.LookupKey());
+    }
+  }
+  return lookup_keys;
+}
+
+Result<std::set<std::string>> LookupByPaths(cloud::SimAgent& agent,
+                                            KvStore& store,
+                                            const std::string& table,
+                                            const KeyTwig& twig,
+                                            const ExtractOptions& options,
+                                            LookupStats* stats) {
+  const std::vector<QueryPath> query_paths = BuildQueryPaths(twig);
+  const std::vector<std::string> lookup_keys = PathLookupKeys(twig);
+  WEBDEX_ASSIGN_OR_RETURN(
+      FetchedEntries entries,
+      FetchEntries(agent, store, table, lookup_keys, stats));
+
+  std::set<std::string> result;
+  bool first = true;
+  for (const QueryPath& query_path : query_paths) {
+    auto it = entries.find(query_path.LookupKey());
+    if (it == entries.end()) return std::set<std::string>{};
+    std::set<std::string> uris;
+    for (const auto& [uri, values] : it->second) {
+      // Values are either plain paths or front-coded path blobs,
+      // depending on how the index was built.
+      bool matched = false;
+      for (const std::string& value : values) {
+        if (matched) break;
+        if (options.compress_paths) {
+          std::string raw = value;
+          if (!store.SupportsBinaryValues()) {
+            WEBDEX_ASSIGN_OR_RETURN(raw, HexDearmour(value));
+          }
+          WEBDEX_ASSIGN_OR_RETURN(std::vector<std::string> data_paths,
+                                  DecodePaths(raw));
+          for (const std::string& data_path : data_paths) {
+            stats->paths_tested += 1;
+            if (PathMatches(query_path, data_path)) {
+              matched = true;
+              break;
+            }
+          }
+        } else {
+          stats->paths_tested += 1;
+          if (PathMatches(query_path, value)) matched = true;
+        }
+      }
+      if (matched) uris.insert(uri);
+    }
+    stats->uri_merge_ops += uris.size();
+    if (first) {
+      result = std::move(uris);
+      first = false;
+    } else {
+      std::set<std::string> next;
+      std::set_intersection(result.begin(), result.end(), uris.begin(),
+                            uris.end(), std::inserter(next, next.begin()));
+      result = std::move(next);
+    }
+    if (result.empty()) return std::set<std::string>{};
+  }
+  return result;
+}
+
+Result<std::set<std::string>> LookupByIds(
+    cloud::SimAgent& agent, KvStore& store, const std::string& table,
+    const KeyTwig& twig, const std::set<std::string>* restrict_to,
+    LookupStats* stats) {
+  const std::vector<std::string> keys = twig.DistinctKeys();
+  WEBDEX_ASSIGN_OR_RETURN(FetchedEntries entries,
+                          FetchEntries(agent, store, table, keys, stats));
+
+  // Candidate URIs: those present for every key (any absent key ->
+  // document cannot embed the twig), further reduced by `restrict_to`.
+  std::set<std::string> candidates = IntersectUris(entries, keys, stats);
+  if (restrict_to != nullptr) {
+    std::set<std::string> reduced;
+    std::set_intersection(candidates.begin(), candidates.end(),
+                          restrict_to->begin(), restrict_to->end(),
+                          std::inserter(reduced, reduced.begin()));
+    stats->uri_merge_ops += candidates.size();
+    candidates = std::move(reduced);
+  }
+
+  // Decode ID lists per (key, URI).
+  const bool binary = store.SupportsBinaryValues();
+  std::map<std::string, std::map<std::string, std::vector<xml::NodeId>>>
+      ids_by_key_uri;
+  for (const std::string& key : keys) {
+    auto entry_it = entries.find(key);
+    if (entry_it == entries.end()) return std::set<std::string>{};
+    for (const auto& [uri, blobs] : entry_it->second) {
+      if (candidates.count(uri) == 0) continue;
+      std::vector<xml::NodeId> ids;
+      for (const std::string& blob : blobs) {
+        std::string raw = blob;
+        if (!binary) {
+          WEBDEX_ASSIGN_OR_RETURN(raw, HexDearmour(blob));
+        }
+        WEBDEX_ASSIGN_OR_RETURN(std::vector<xml::NodeId> chunk,
+                                DecodeIds(raw));
+        ids.insert(ids.end(), chunk.begin(), chunk.end());
+      }
+      // Single blobs are already sorted by pre (kept sorted at indexing
+      // time, Section 5.3); chunked entries may arrive in any range-key
+      // order, so restore the order chunk-wise.
+      if (blobs.size() > 1) {
+        std::sort(ids.begin(), ids.end());
+        stats->twig_id_ops += ids.size();
+      }
+      ids_by_key_uri[key][uri] = std::move(ids);
+    }
+  }
+
+  // Holistic twig join per candidate document.
+  const std::vector<const TwigNode*> twig_nodes = twig.Nodes();
+  std::set<std::string> result;
+  for (const std::string& uri : candidates) {
+    TwigInputs inputs;
+    bool complete = true;
+    for (const TwigNode* node : twig_nodes) {
+      auto key_it = ids_by_key_uri.find(node->key);
+      if (key_it == ids_by_key_uri.end()) {
+        complete = false;
+        break;
+      }
+      auto uri_it = key_it->second.find(uri);
+      if (uri_it == key_it->second.end() || uri_it->second.empty()) {
+        complete = false;
+        break;
+      }
+      inputs[node] = uri_it->second;
+    }
+    if (!complete) continue;
+    TwigJoinStats twig_stats;
+    const bool matched = TwigMatch(twig, inputs, &twig_stats);
+    stats->twig_id_ops += twig_stats.id_ops;
+    if (matched) result.insert(uri);
+  }
+  return result;
+}
+
+}  // namespace webdex::index

@@ -1,0 +1,82 @@
+#ifndef WEBDEX_INDEX_LOOKUP_PATHS_H_
+#define WEBDEX_INDEX_LOOKUP_PATHS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cloud/kv_store.h"
+#include "common/result.h"
+#include "index/entry.h"
+#include "index/key_twig.h"
+#include "index/strategy.h"
+
+namespace webdex::index {
+
+/// The three index look-up cores of Section 5, factored out of the
+/// strategies so the query planner's physical access paths
+/// (engine/access_path.h) can run either side of a 2LUPI index on its
+/// own.  The strategies' LookupPattern methods delegate here with the
+/// tables of Table 2, so planner-off execution is byte-identical to the
+/// pre-planner code.
+///
+/// All three advance `agent`'s virtual clock through the store calls and
+/// report CPU work via `stats`; the caller charges it to the simulated
+/// machine that ran the look-up.
+
+/// Merged view of everything the index holds for a set of keys:
+/// key -> URI -> concatenated attribute values.
+using FetchedEntries =
+    std::map<std::string, std::map<std::string, std::vector<std::string>>>;
+
+/// BatchGets `keys` from `table` and merges the returned items per
+/// (key, URI) — the shared fetch front end of every look-up.
+Result<FetchedEntries> FetchEntries(cloud::SimAgent& agent,
+                                    cloud::KvStore& store,
+                                    const std::string& table,
+                                    const std::vector<std::string>& keys,
+                                    LookupStats* stats);
+
+/// Intersects URI sets across all `keys` of `entries` (the LU merge).
+std::set<std::string> IntersectUris(const FetchedEntries& entries,
+                                    const std::vector<std::string>& keys,
+                                    LookupStats* stats);
+
+/// The LU look-up core: fetch every twig key and intersect the URI sets
+/// (Section 5.1).
+Result<std::set<std::string>> LookupByKeys(cloud::SimAgent& agent,
+                                           cloud::KvStore& store,
+                                           const std::string& table,
+                                           const KeyTwig& twig,
+                                           LookupStats* stats);
+
+/// The LUP look-up core (also 2LUPI's first phase): intersects, over all
+/// query paths, the URIs having a matching stored data path
+/// (Section 5.2).
+Result<std::set<std::string>> LookupByPaths(cloud::SimAgent& agent,
+                                            cloud::KvStore& store,
+                                            const std::string& table,
+                                            const KeyTwig& twig,
+                                            const ExtractOptions& options,
+                                            LookupStats* stats);
+
+/// The LUI look-up core (also 2LUPI's second phase): decodes per-URI ID
+/// lists and runs the holistic twig join (Section 5.3).  When
+/// `restrict_to` is non-null, URIs outside it are skipped — the 2LUPI
+/// semijoin reduction of Figure 5.
+Result<std::set<std::string>> LookupByIds(
+    cloud::SimAgent& agent, cloud::KvStore& store, const std::string& table,
+    const KeyTwig& twig, const std::set<std::string>* restrict_to,
+    LookupStats* stats);
+
+/// The distinct index keys a LookupByPaths call fetches (the LookupKey of
+/// every query path, deduplicated in first-appearance order).  Exposed so
+/// cost estimation can size the BatchGet without running it.
+std::vector<std::string> PathLookupKeys(const KeyTwig& twig);
+
+std::vector<std::string> SortedUris(const std::set<std::string>& uris);
+
+}  // namespace webdex::index
+
+#endif  // WEBDEX_INDEX_LOOKUP_PATHS_H_

@@ -76,10 +76,26 @@ class IndexingStrategy {
   /// the client-generated UUID range keys (Section 6).  Items are sized
   /// to the store's limits: oversized ID lists are chunked across items,
   /// and binary payloads are hex-armoured for text-only stores.
+  ///
+  /// Computes the document's DocIndex internally; callers that need the
+  /// DocIndex for their own bookkeeping (e.g. the extraction pipeline
+  /// feeding the planner's PathSummary) should compute it once and use
+  /// the overload below, which skips the recomputation.
+  Result<std::vector<TableItems>> ExtractItems(const xml::Document& doc,
+                                               const ExtractOptions& options,
+                                               const cloud::KvStore& store,
+                                               Rng& uuid_rng,
+                                               ExtractStats* stats) const {
+    return ExtractItems(doc, ExtractDocIndex(doc, options), options, store,
+                        uuid_rng, stats);
+  }
+
+  /// Same, from a precomputed `doc_index` (must be
+  /// ExtractDocIndex(doc, options) for the same document and options).
   virtual Result<std::vector<TableItems>> ExtractItems(
-      const xml::Document& doc, const ExtractOptions& options,
-      const cloud::KvStore& store, Rng& uuid_rng,
-      ExtractStats* stats) const = 0;
+      const xml::Document& doc, const DocIndex& doc_index,
+      const ExtractOptions& options, const cloud::KvStore& store,
+      Rng& uuid_rng, ExtractStats* stats) const = 0;
 
   /// Answers the look-up task for one tree pattern (Section 5): returns
   /// the sorted URIs of documents that may contain matches.  Index-store

@@ -1,6 +1,7 @@
 #include "index/summary.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/strings.h"
 #include "index/key_twig.h"
@@ -9,10 +10,19 @@
 namespace webdex::index {
 
 void PathSummary::AddDocument(const DocIndex& index) {
-  documents_ += 1;
+  std::map<std::string, std::vector<std::string>> key_paths;
   for (const auto& [key, entry] : index) {
+    key_paths.emplace(key, entry.paths);
+  }
+  AddDocument(key_paths);
+}
+
+void PathSummary::AddDocument(
+    const std::map<std::string, std::vector<std::string>>& key_paths) {
+  documents_ += 1;
+  for (const auto& [key, paths] : key_paths) {
     docs_per_key_[key] += 1;
-    for (const auto& path : entry.paths) {
+    for (const auto& path : paths) {
       auto [it, inserted] = docs_per_path_.try_emplace(path, 0);
       it->second += 1;
       if (inserted) {
@@ -73,6 +83,25 @@ double PathSummary::EstimateIndependentCombination(
   for (const auto& path : BuildQueryPaths(twig)) {
     expected *= static_cast<double>(DocsMatchingPath(path)) /
                 static_cast<double>(documents_);
+  }
+  return expected;
+}
+
+double PathSummary::EstimateTwigJoinDocs(
+    const query::TreePattern& pattern) const {
+  if (documents_ == 0) return 0;
+  const KeyTwig twig = BuildKeyTwig(pattern);
+  std::vector<double> fractions;
+  for (const auto& path : BuildQueryPaths(twig)) {
+    fractions.push_back(static_cast<double>(DocsMatchingPath(path)) /
+                        static_cast<double>(documents_));
+  }
+  std::sort(fractions.begin(), fractions.end());
+  double expected = static_cast<double>(documents_);
+  double exponent = 1.0;
+  for (double fraction : fractions) {
+    expected *= std::pow(fraction, exponent);
+    exponent /= 2;
   }
   return expected;
 }

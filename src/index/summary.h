@@ -28,6 +28,12 @@ class PathSummary {
   /// the document counts once).
   void AddDocument(const DocIndex& index);
 
+  /// Same, from just the key -> distinct-paths slice of the DocIndex
+  /// (what engine::ExtractionResult::key_paths carries — the summary
+  /// never needs the structural IDs).
+  void AddDocument(
+      const std::map<std::string, std::vector<std::string>>& key_paths);
+
   uint64_t documents() const { return documents_; }
   uint64_t distinct_paths() const { return docs_per_path_.size(); }
 
@@ -52,6 +58,19 @@ class PathSummary {
   /// the branches co-occur rarely and only a structural join can prune.
   double EstimateIndependentCombination(
       const query::TreePattern& pattern) const;
+
+  /// Damped-independence estimate of the documents surviving the
+  /// holistic twig join (the LUI/2LUPI candidate set).  The naive
+  /// independence product multiplies per-branch fractions that are in
+  /// practice strongly correlated (the documents carrying a pattern's
+  /// rarest branch usually carry the others too), which under-estimates
+  /// by orders of magnitude and makes an ID-side look-up appear free.
+  /// Exponential backoff — full weight on the most selective branch,
+  /// square root on the next, fourth root on the third, ... — is the
+  /// standard damping for conjuncts of unknown correlation; the query
+  /// planner uses this estimate, while AdviseLookup keeps the raw
+  /// product as the paper's Section 8.5 detector.
+  double EstimateTwigJoinDocs(const query::TreePattern& pattern) const;
 
   struct Advice {
     /// kLUP or kLUI — which look-up the statistics favour for this

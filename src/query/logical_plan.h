@@ -1,0 +1,54 @@
+#ifndef WEBDEX_QUERY_LOGICAL_PLAN_H_
+#define WEBDEX_QUERY_LOGICAL_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "query/tree_pattern.h"
+
+namespace webdex::query {
+
+/// Structural facts about one tree pattern, derived once at planning
+/// time.  These are the inputs the physical planner's cost estimation
+/// keys off (branch shape, predicate load, join participation) — all
+/// index-independent.
+struct PatternFacts {
+  int pattern = 0;       // position within the query
+  int nodes = 0;         // pattern nodes
+  int branches = 0;      // root-to-leaf label paths
+  int outputs = 0;       // val/cont-annotated nodes
+  int predicates = 0;    // non-kNone value predicates
+  bool has_range = false;   // range predicates (index must ignore them)
+  bool joined = false;      // participates in a value join
+};
+
+/// The logical layer of the query engine (docs/PLANNER.md): the parsed
+/// Query normalized into its planner-facing shape — the tree patterns to
+/// answer, the value joins connecting them, and per-pattern structural
+/// annotations.  A LogicalPlan says *what* to compute; it knows nothing
+/// about indexes, stores, or money.  engine::QueryPlanner turns it into
+/// a PhysicalPlan of concrete access paths.
+class LogicalPlan {
+ public:
+  /// Normalizes a parsed query (takes ownership: Query is move-only and
+  /// the plan is the query's carrier through execution).
+  static LogicalPlan Build(Query query);
+
+  const Query& query() const { return query_; }
+  const std::vector<PatternFacts>& patterns() const { return patterns_; }
+
+  bool has_value_joins() const { return query_.HasValueJoins(); }
+
+  /// Multi-line rendering (the header of EXPLAIN output).
+  std::string ToString() const;
+
+ private:
+  explicit LogicalPlan(Query query);
+
+  Query query_;
+  std::vector<PatternFacts> patterns_;
+};
+
+}  // namespace webdex::query
+
+#endif  // WEBDEX_QUERY_LOGICAL_PLAN_H_

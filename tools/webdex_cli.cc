@@ -114,6 +114,10 @@ class Cli {
       Index();
     } else if (command == "query") {
       RunQuery(rest);
+    } else if (command == "explain") {
+      Explain(rest);
+    } else if (command == "planner") {
+      SetPlanner(rest);
     } else if (command == "xquery") {
       ShowXQuery(rest);
     } else if (command == "advise") {
@@ -160,6 +164,12 @@ class Cli {
         "  gen <n> [entities] [split]       generate an XMark corpus\n"
         "  index                            run the indexing fleet\n"
         "  query <tree pattern query>       evaluate a query\n"
+        "  explain <tree pattern query>     show the logical and physical\n"
+        "                                   plans with every access path's\n"
+        "                                   cost estimate (nothing billed)\n"
+        "  planner on|off|force-lup|force-lui|auto\n"
+        "                                   cost-based access-path planning\n"
+        "                                   (applies at the next 'open')\n"
         "  xquery <tree pattern query>      show the XQuery translation\n"
         "  advise <query>                   LUP-vs-LUI advice from stats\n"
         "  save <file>                      snapshot S3+index to disk\n"
@@ -446,6 +456,17 @@ class Cli {
                 (unsigned long long)outcome.value().docs_fetched,
                 static_cast<double>(outcome.value().timings.total) / 1e6,
                 dollars);
+    if (!outcome.value().chosen_path.empty()) {
+      std::printf("  path %s  est $%.8f (%.0f req)  actual $%.8f (%.0f req)"
+                  "%s\n",
+                  outcome.value().chosen_path.c_str(),
+                  outcome.value().estimated_cost_usd,
+                  outcome.value().estimated_requests,
+                  outcome.value().actual_cost_usd,
+                  outcome.value().actual_requests,
+                  outcome.value().planner_fallbacks > 0 ? "  [fell back]"
+                                                        : "");
+    }
     const size_t limit = 10;
     for (size_t r = 0; r < outcome.value().result.rows.size(); ++r) {
       if (r == limit) {
@@ -459,6 +480,47 @@ class Cli {
         row += col.substr(0, 60);
       }
       std::printf("  %s\n", row.c_str());
+    }
+  }
+
+  void Explain(const std::string& text) {
+    if (!Opened()) return;
+    if (text.empty()) {
+      std::printf("usage: explain <tree pattern query>\n");
+      return;
+    }
+    auto explained = warehouse_->ExplainQuery(text);
+    if (!explained.ok()) {
+      std::printf("explain failed: %s\n",
+                  explained.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", explained.value().c_str());
+  }
+
+  void SetPlanner(const std::string& args) {
+    if (args == "on" || args == "auto") {
+      config_.use_planner = true;
+      config_.planner_force = engine::PlannerForce::kAuto;
+    } else if (args == "off") {
+      config_.use_planner = false;
+      config_.planner_force = engine::PlannerForce::kAuto;
+    } else if (args == "force-lup") {
+      config_.use_planner = true;
+      config_.planner_force = engine::PlannerForce::kLup;
+    } else if (args == "force-lui") {
+      config_.use_planner = true;
+      config_.planner_force = engine::PlannerForce::kLui;
+    } else {
+      std::printf("usage: planner on|off|force-lup|force-lui|auto\n");
+      return;
+    }
+    std::printf("planner: %s\n",
+                config_.use_planner
+                    ? engine::PlannerForceName(config_.planner_force)
+                    : "off (fixed strategy pipeline)");
+    if (warehouse_ != nullptr) {
+      std::printf("note: the open warehouse keeps its current planner\n");
     }
   }
 
@@ -585,6 +647,21 @@ class Cli {
 }  // namespace webdex::tools
 
 int main(int argc, char** argv) {
+  if (argc > 2 && std::string(argv[1]) == "explain") {
+    // One-shot EXPLAIN: deploy a small deterministic 2LUPI warehouse and
+    // plan the query against it (nothing beyond the canned corpus is
+    // billed by the explain itself).
+    std::string query;
+    for (int i = 2; i < argc; ++i) {
+      if (!query.empty()) query += " ";
+      query += argv[i];
+    }
+    std::istringstream script("strategy 2LUPI\nopen\ngen 12 8\nindex\n"
+                              "explain " +
+                              query + "\n");
+    webdex::tools::Cli cli(/*interactive=*/false);
+    return cli.Run(script);
+  }
   if (argc > 1) {
     std::ifstream script(argv[1]);
     if (!script) {
