@@ -123,6 +123,7 @@ void BM_QueryCostOutage(benchmark::State& state) {
     metrics.emplace_back("planner_fallbacks",
                          static_cast<double>(run.value().planner_fallbacks));
     AppendFaultColumns(delta, &metrics);
+    AppendMetricColumns(d.env->metrics(), &metrics);
     RecordJson(StrFormat("fig11/outage/%.0fs", outage_seconds),
                std::move(metrics));
   }

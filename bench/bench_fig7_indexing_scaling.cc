@@ -49,6 +49,7 @@ void BM_IndexingScaling(benchmark::State& state) {
          static_cast<double>(point.corpus_bytes) / (1024.0 * 1024.0)},
         {"makespan_s", static_cast<double>(point.total) / 1e6}};
     AppendFaultColumns(d.env->meter().usage(), &metrics);
+    AppendMetricColumns(d.env->metrics(), &metrics);
     RecordJson(StrFormat("fig7/%s/%d-%d", index::StrategyKindName(kind),
                          step, kSteps),
                std::move(metrics));

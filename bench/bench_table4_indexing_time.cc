@@ -59,6 +59,7 @@ void BM_IndexCorpus(benchmark::State& state) {
         {"put_units", d.indexing.index_put_units},
         {"cost_dollars", d.indexing_bill.total()}};
     AppendFaultColumns(d.env->meter().usage(), &metrics);
+    AppendMetricColumns(d.env->metrics(), &metrics);
     RecordJson(StrFormat("table4/%s", row.strategy.c_str()),
                std::move(metrics));
     Rows().push_back(std::move(row));

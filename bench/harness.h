@@ -10,7 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+
 #include "cloud/cloud_env.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "engine/warehouse.h"
 #include "index/strategy.h"
@@ -194,7 +197,28 @@ inline void AppendFaultColumns(
                         static_cast<double>(usage.scrub_repaired));
 }
 
+/// Appends the metric registry's counters to a row's metrics as
+/// `metric.<name>` columns (service request/error totals, retry and
+/// fault counts, ...).  Gauges and histograms are skipped: the gauges
+/// mirror Usage fields the rows already carry, and a histogram has no
+/// single-number column.  std::map iteration makes the column set
+/// sorted, so rows stay diff-stable run over run.
+inline void AppendMetricColumns(
+    const common::MetricRegistry& registry,
+    std::vector<std::pair<std::string, double>>* metrics) {
+  for (const auto& name : registry.Names()) {
+    if (const common::Counter* counter = registry.FindCounter(name)) {
+      metrics->emplace_back("metric." + name,
+                            static_cast<double>(counter->value()));
+    }
+  }
+}
+
 /// Writes the recorded rows to the --json path (no-op when unset).
+/// Column order inside a row is deterministic — "bench" first, then
+/// metrics and labels each sorted by name — and every string is escaped,
+/// so the files diff cleanly across runs and survive quotes/backslashes
+/// in bench names or label values.
 inline void FlushJson() {
   if (JsonOutputPath().empty()) return;
   std::FILE* out = std::fopen(JsonOutputPath().c_str(), "w");
@@ -204,13 +228,30 @@ inline void FlushJson() {
   }
   std::fprintf(out, "[\n");
   for (size_t i = 0; i < JsonRows().size(); ++i) {
-    const JsonRow& row = JsonRows()[i];
-    std::fprintf(out, "  {\"bench\": \"%s\"", row.bench.c_str());
+    JsonRow row = JsonRows()[i];
+    std::stable_sort(
+        row.metrics.begin(), row.metrics.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::stable_sort(
+        row.labels.begin(), row.labels.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::fprintf(out, "  {\"bench\": \"%s\"",
+                 JsonEscape(row.bench).c_str());
     for (const auto& [name, value] : row.metrics) {
-      std::fprintf(out, ", \"%s\": %.6g", name.c_str(), value);
+      // NaN/inf are not JSON; null keeps the row parseable and the
+      // broken metric visible.
+      if (value == value && value - value == 0) {
+        std::fprintf(out, ", \"%s\": %.6g",
+                     JsonEscape(name).c_str(), value);
+      } else {
+        std::fprintf(out, ", \"%s\": null",
+                     JsonEscape(name).c_str());
+      }
     }
     for (const auto& [name, value] : row.labels) {
-      std::fprintf(out, ", \"%s\": \"%s\"", name.c_str(), value.c_str());
+      std::fprintf(out, ", \"%s\": \"%s\"",
+                   JsonEscape(name).c_str(),
+                   JsonEscape(value).c_str());
     }
     std::fprintf(out, "}%s\n", i + 1 < JsonRows().size() ? "," : "");
   }

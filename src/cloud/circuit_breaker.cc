@@ -22,17 +22,29 @@ HealthTracker& CircuitBreaker::TrackerFor(std::string_view resource) {
   return it->second;
 }
 
+void CircuitBreaker::TraceTransition(const char* kind,
+                                     std::string_view resource, Micros now) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  std::string name = kind;
+  name += ":";
+  name += resource;
+  tracer_->EndSpan(tracer_->BeginSpan(name, now), now);
+}
+
 Status CircuitBreaker::Allow(std::string_view resource, Micros now) {
   if (!config_.enabled) return Status::OK();
+  last_now_ = now;
   HealthTracker& tracker = TrackerFor(resource);
   if (tracker.state != BreakerState::kOpen) return Status::OK();
   if (now - tracker.opened_at >= config_.cooldown) {
     // Cooldown lapsed: let real probe attempts through.
     tracker.state = BreakerState::kHalfOpen;
     tracker.consecutive_successes = 0;
+    TraceTransition("breaker.half_open", resource, now);
     return Status::OK();
   }
   meter_->mutable_usage().breaker_short_circuits += 1;
+  if (short_circuits_metric_ != nullptr) short_circuits_metric_->Add(1);
   std::string msg = "circuit breaker open: ";
   msg += resource;
   return Status::Unavailable(msg);
@@ -49,6 +61,8 @@ void CircuitBreaker::RecordSuccess(std::string_view resource) {
       if (++tracker.consecutive_successes >= config_.success_threshold) {
         tracker = HealthTracker();  // back to a fresh closed breaker
         meter_->mutable_usage().breaker_closes += 1;
+        if (closes_metric_ != nullptr) closes_metric_->Add(1);
+        TraceTransition("breaker.close", resource, last_now_);
       }
       break;
     case BreakerState::kOpen:
@@ -60,6 +74,7 @@ void CircuitBreaker::RecordSuccess(std::string_view resource) {
 
 void CircuitBreaker::RecordFailure(std::string_view resource, Micros now) {
   if (!config_.enabled) return;
+  last_now_ = now;
   HealthTracker& tracker = TrackerFor(resource);
   switch (tracker.state) {
     case BreakerState::kClosed:
@@ -67,6 +82,8 @@ void CircuitBreaker::RecordFailure(std::string_view resource, Micros now) {
         tracker.state = BreakerState::kOpen;
         tracker.opened_at = now;
         meter_->mutable_usage().breaker_opens += 1;
+        if (opens_metric_ != nullptr) opens_metric_->Add(1);
+        TraceTransition("breaker.open", resource, now);
       }
       break;
     case BreakerState::kHalfOpen:
@@ -75,6 +92,8 @@ void CircuitBreaker::RecordFailure(std::string_view resource, Micros now) {
       tracker.opened_at = now;
       tracker.consecutive_successes = 0;
       meter_->mutable_usage().breaker_opens += 1;
+      if (opens_metric_ != nullptr) opens_metric_->Add(1);
+      TraceTransition("breaker.open", resource, now);
       break;
     case BreakerState::kOpen:
       break;

@@ -10,7 +10,9 @@
 
 #include "cloud/sim.h"
 #include "cloud/usage.h"
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/tracer.h"
 
 namespace webdex::cloud {
 
@@ -60,8 +62,25 @@ class CircuitBreaker {
   /// One saved per-resource tracker (cloud/snapshot.cc).
   using TrackerState = std::pair<std::string, HealthTracker>;
 
-  CircuitBreaker(const CircuitBreakerConfig& config, UsageMeter* meter)
-      : config_(config), meter_(meter) {}
+  /// `metrics` mirrors transition counts under `cloud.breaker.*`;
+  /// `tracer` records a zero-duration span per transition
+  /// (`breaker.open:<resource>` etc.).  Both may be null.
+  CircuitBreaker(const CircuitBreakerConfig& config, UsageMeter* meter,
+                 common::MetricRegistry* metrics = nullptr,
+                 common::Tracer* tracer = nullptr)
+      : config_(config),
+        meter_(meter),
+        tracer_(tracer),
+        opens_metric_(metrics == nullptr
+                          ? nullptr
+                          : metrics->GetCounter("cloud.breaker.opens.count")),
+        closes_metric_(metrics == nullptr
+                           ? nullptr
+                           : metrics->GetCounter("cloud.breaker.closes.count")),
+        short_circuits_metric_(
+            metrics == nullptr
+                ? nullptr
+                : metrics->GetCounter("cloud.breaker.short_circuits.count")) {}
 
   CircuitBreaker(const CircuitBreaker&) = delete;
   CircuitBreaker& operator=(const CircuitBreaker&) = delete;
@@ -99,9 +118,20 @@ class CircuitBreaker {
 
  private:
   HealthTracker& TrackerFor(std::string_view resource);
+  /// Records a state transition as a zero-duration span at `now`.
+  void TraceTransition(const char* kind, std::string_view resource,
+                       Micros now);
 
   CircuitBreakerConfig config_;
   UsageMeter* meter_;
+  common::Tracer* tracer_ = nullptr;
+  common::Counter* opens_metric_ = nullptr;
+  common::Counter* closes_metric_ = nullptr;
+  common::Counter* short_circuits_metric_ = nullptr;
+  /// Virtual time of the last Allow/RecordFailure; RecordSuccess has no
+  /// timestamp parameter, so its half-open -> closed transition span is
+  /// stamped with this (the success it reports was observed then).
+  Micros last_now_ = 0;
   std::map<std::string, HealthTracker, std::less<>> trackers_;
 };
 

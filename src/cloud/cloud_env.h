@@ -2,6 +2,7 @@
 #define WEBDEX_CLOUD_CLOUD_ENV_H_
 
 #include <memory>
+#include <string>
 
 #include "cloud/circuit_breaker.h"
 #include "cloud/dynamodb.h"
@@ -12,7 +13,9 @@
 #include "cloud/queue_service.h"
 #include "cloud/simpledb.h"
 #include "cloud/usage.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/tracer.h"
 
 namespace webdex::cloud {
 
@@ -42,12 +45,12 @@ class CloudEnv {
   explicit CloudEnv(const CloudConfig& config = CloudConfig())
       : config_(config),
         meter_(config.pricing),
-        injector_(config.faults, config.seed, &meter_),
-        breaker_(config.breaker, &meter_),
-        s3_(config.s3, &meter_, &injector_),
-        dynamodb_(config.dynamodb, &meter_, &injector_),
-        simpledb_(config.simpledb, &meter_, &injector_),
-        sqs_(config.sqs, &meter_, &injector_),
+        injector_(config.faults, config.seed, &meter_, &metrics_),
+        breaker_(config.breaker, &meter_, &metrics_, &tracer_),
+        s3_(config.s3, &meter_, &injector_, &metrics_),
+        dynamodb_(config.dynamodb, &meter_, &injector_, &metrics_),
+        simpledb_(config.simpledb, &meter_, &injector_, &metrics_),
+        sqs_(config.sqs, &meter_, &injector_, &metrics_),
         rng_(config.seed) {}
 
   CloudEnv(const CloudEnv&) = delete;
@@ -62,10 +65,27 @@ class CloudEnv {
   Rng& rng() { return rng_; }
   FaultInjector& fault_injector() { return injector_; }
   CircuitBreaker& breaker() { return breaker_; }
+  common::MetricRegistry& metrics() { return metrics_; }
+  common::Tracer& tracer() { return tracer_; }
+
+  /// Mirrors every Usage field into a `usage.<field>` gauge so readers
+  /// that only speak the registry (webdex stats, bench rows, Prometheus
+  /// scrapes) see the same numbers the billing meter holds.  Usage stays
+  /// the source of truth; call this before reading the gauges.
+  void PublishUsageMetrics() {
+    meter_.usage().ForEachField([this](const char* name, auto value) {
+      metrics_.GetGauge(std::string("usage.") + name)
+          ->Set(static_cast<double>(value));
+    });
+  }
 
  private:
   CloudConfig config_;
   UsageMeter meter_;
+  /// Declared before the services so their ctors may resolve metric
+  /// handles; same single-event-loop-thread contract as `meter_`.
+  common::MetricRegistry metrics_;
+  common::Tracer tracer_;
   FaultInjector injector_;
   CircuitBreaker breaker_;
   ObjectStore s3_;

@@ -6,10 +6,23 @@
 namespace webdex::cloud {
 
 DynamoDb::DynamoDb(const DynamoDbConfig& config, UsageMeter* meter,
-                   FaultInjector* injector)
+                   FaultInjector* injector, common::MetricRegistry* metrics)
     : config_(config),
       meter_(meter),
       injector_(injector),
+      batch_put_metrics_(OpMetrics::For(metrics, "service.dynamodb.batch_put")),
+      get_metrics_(OpMetrics::For(metrics, "service.dynamodb.get")),
+      batch_get_metrics_(OpMetrics::For(metrics, "service.dynamodb.batch_get")),
+      scan_metrics_(OpMetrics::For(metrics, "service.dynamodb.scan")),
+      delete_metrics_(OpMetrics::For(metrics, "service.dynamodb.delete_item")),
+      write_units_metric_(
+          metrics == nullptr
+              ? nullptr
+              : metrics->GetGauge("service.dynamodb.write_units.total")),
+      read_units_metric_(
+          metrics == nullptr
+              ? nullptr
+              : metrics->GetGauge("service.dynamodb.read_units.total")),
       write_limiter_(config.write_units_per_second),
       read_limiter_(config.read_units_per_second) {}
 
@@ -71,6 +84,7 @@ Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
   while (index < items.size()) {
     const size_t batch_end =
         std::min(items.size(), index + static_cast<size_t>(batch_limit));
+    const Micros page_start = agent.now();
     if (injector_ != nullptr) {
       // A page-level transient error bills the API request and its round
       // trip but consumes no write capacity (AWS throttles before
@@ -80,6 +94,7 @@ Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
       if (!fault.ok()) {
         meter_->mutable_usage().ddb_put_requests += 1;
         agent.Advance(config_.request_latency);
+        batch_put_metrics_.Record(agent, page_start, /*error=*/true);
         if (unprocessed != nullptr) {
           unprocessed->insert(unprocessed->end(), items.begin() + index,
                               items.end());
@@ -120,8 +135,10 @@ Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
     }
     meter_->mutable_usage().ddb_put_requests += 1;
     meter_->mutable_usage().ddb_write_units += batch_units;
+    if (write_units_metric_ != nullptr) write_units_metric_->Add(batch_units);
     agent.AdvanceTo(write_limiter_.Acquire(agent.now(), batch_units));
     agent.Advance(config_.request_latency);
+    batch_put_metrics_.Record(agent, page_start, /*error=*/false);
     if (commit_end < batch_end) {
       unprocessed->insert(unprocessed->end(), items.begin() + commit_end,
                           items.begin() + batch_end);
@@ -136,6 +153,7 @@ Result<std::vector<Item>> DynamoDb::Get(SimAgent& agent,
                                         const std::string& hash_key) {
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  const Micros op_start = agent.now();
   if (injector_ != nullptr) {
     Status fault =
         injector_->MaybeFail(ServiceId::kDynamoDb, "ddb.get:" + table,
@@ -143,6 +161,7 @@ Result<std::vector<Item>> DynamoDb::Get(SimAgent& agent,
     if (!fault.ok()) {
       meter_->mutable_usage().ddb_get_requests += 1;
       agent.Advance(config_.request_latency);
+      get_metrics_.Record(agent, op_start, /*error=*/true);
       return fault;
     }
   }
@@ -160,8 +179,10 @@ Result<std::vector<Item>> DynamoDb::Get(SimAgent& agent,
   if (units == 0) units = ReadUnits(0);  // a miss still does a seek
   meter_->mutable_usage().ddb_get_requests += 1;
   meter_->mutable_usage().ddb_read_units += units;
+  if (read_units_metric_ != nullptr) read_units_metric_->Add(units);
   agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
   agent.Advance(config_.request_latency);
+  get_metrics_.Record(agent, op_start, /*error=*/false);
   return out;
 }
 
@@ -176,12 +197,14 @@ Result<std::vector<Item>> DynamoDb::BatchGet(
   while (index < hash_keys.size()) {
     const size_t batch_end = std::min(
         hash_keys.size(), index + static_cast<size_t>(batch_limit));
+    const Micros page_start = agent.now();
     if (injector_ != nullptr) {
       Status fault = injector_->MaybeFail(ServiceId::kDynamoDb,
                                           "ddb.batchget:" + table, agent.now());
       if (!fault.ok()) {
         meter_->mutable_usage().ddb_get_requests += 1;
         agent.Advance(config_.request_latency);
+        batch_get_metrics_.Record(agent, page_start, /*error=*/true);
         return fault;
       }
     }
@@ -198,8 +221,10 @@ Result<std::vector<Item>> DynamoDb::BatchGet(
     if (units == 0) units = ReadUnits(0);
     meter_->mutable_usage().ddb_get_requests += 1;
     meter_->mutable_usage().ddb_read_units += units;
+    if (read_units_metric_ != nullptr) read_units_metric_->Add(units);
     agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
     agent.Advance(config_.request_latency);
+    batch_get_metrics_.Record(agent, page_start, /*error=*/false);
     index = batch_end;
   }
   return out;
@@ -220,12 +245,14 @@ Result<std::vector<Item>> DynamoDb::Scan(SimAgent& agent,
   constexpr uint64_t kScanPageBytes = 1024 * 1024;
   size_t index = 0;
   do {
+    const Micros page_start = agent.now();
     if (injector_ != nullptr) {
       Status fault = injector_->MaybeFail(ServiceId::kDynamoDb,
                                           "ddb.scan:" + table, agent.now());
       if (!fault.ok()) {
         meter_->mutable_usage().ddb_get_requests += 1;
         agent.Advance(config_.request_latency);
+        scan_metrics_.Record(agent, page_start, /*error=*/true);
         return fault;
       }
     }
@@ -240,8 +267,10 @@ Result<std::vector<Item>> DynamoDb::Scan(SimAgent& agent,
     if (units == 0) units = ReadUnits(0);  // an empty table still seeks
     meter_->mutable_usage().ddb_get_requests += 1;
     meter_->mutable_usage().ddb_read_units += units;
+    if (read_units_metric_ != nullptr) read_units_metric_->Add(units);
     agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
     agent.Advance(config_.request_latency);
+    scan_metrics_.Record(agent, page_start, /*error=*/false);
   } while (index < out.size());
   return out;
 }
@@ -251,12 +280,14 @@ Status DynamoDb::DeleteItem(SimAgent& agent, const std::string& table,
                             const std::string& range_key) {
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no such table: " + table);
+  const Micros op_start = agent.now();
   if (injector_ != nullptr) {
     Status fault = injector_->MaybeFail(ServiceId::kDynamoDb,
                                         "ddb.delete:" + table, agent.now());
     if (!fault.ok()) {
       meter_->mutable_usage().ddb_put_requests += 1;
       agent.Advance(config_.request_latency);
+      delete_metrics_.Record(agent, op_start, /*error=*/true);
       return fault;
     }
   }
@@ -278,8 +309,10 @@ Status DynamoDb::DeleteItem(SimAgent& agent, const std::string& table,
   }
   meter_->mutable_usage().ddb_put_requests += 1;
   meter_->mutable_usage().ddb_write_units += units;
+  if (write_units_metric_ != nullptr) write_units_metric_->Add(units);
   agent.AdvanceTo(write_limiter_.Acquire(agent.now(), units));
   agent.Advance(config_.request_latency);
+  delete_metrics_.Record(agent, op_start, /*error=*/false);
   return Status::OK();
 }
 

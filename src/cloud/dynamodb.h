@@ -7,7 +7,9 @@
 
 #include "cloud/kv_store.h"
 #include "cloud/sim.h"
+#include "cloud/trace.h"
 #include "cloud/usage.h"
+#include "common/metrics.h"
 
 namespace webdex::cloud {
 
@@ -33,9 +35,11 @@ class FaultInjector;
 
 class DynamoDb final : public KvStore {
  public:
-  /// `injector` may be null (no fault injection).
+  /// `injector` may be null (no fault injection); `metrics` may be null
+  /// (no per-op `service.dynamodb.*` metrics).
   DynamoDb(const DynamoDbConfig& config, UsageMeter* meter,
-           FaultInjector* injector = nullptr);
+           FaultInjector* injector = nullptr,
+           common::MetricRegistry* metrics = nullptr);
 
   DynamoDb(const DynamoDb&) = delete;
   DynamoDb& operator=(const DynamoDb&) = delete;
@@ -113,6 +117,13 @@ class DynamoDb final : public KvStore {
   DynamoDbConfig config_;
   UsageMeter* meter_;
   FaultInjector* injector_;
+  OpMetrics batch_put_metrics_;
+  OpMetrics get_metrics_;
+  OpMetrics batch_get_metrics_;
+  OpMetrics scan_metrics_;
+  OpMetrics delete_metrics_;
+  common::Gauge* write_units_metric_ = nullptr;
+  common::Gauge* read_units_metric_ = nullptr;
   RateLimiter write_limiter_;
   RateLimiter read_limiter_;
   std::map<std::string, Table> tables_;

@@ -8,10 +8,21 @@
 namespace webdex::cloud {
 
 ObjectStore::ObjectStore(const ObjectStoreConfig& config, UsageMeter* meter,
-                         FaultInjector* injector)
+                         FaultInjector* injector,
+                         common::MetricRegistry* metrics)
     : config_(config),
       meter_(meter),
       injector_(injector),
+      put_metrics_(OpMetrics::For(metrics, "service.s3.put")),
+      get_metrics_(OpMetrics::For(metrics, "service.s3.get")),
+      batch_get_metrics_(OpMetrics::For(metrics, "service.s3.batch_get")),
+      list_metrics_(OpMetrics::For(metrics, "service.s3.list")),
+      bytes_in_metric_(metrics == nullptr
+                           ? nullptr
+                           : metrics->GetCounter("service.s3.bytes_in.total")),
+      bytes_out_metric_(metrics == nullptr
+                            ? nullptr
+                            : metrics->GetCounter("service.s3.bytes_out.total")),
       request_limiter_(config.requests_per_second) {}
 
 Status ObjectStore::CreateBucket(const std::string& bucket) {
@@ -40,6 +51,7 @@ Status ObjectStore::Put(SimAgent& agent, const std::string& bucket,
   if (it == buckets_.end()) {
     return Status::NotFound("no such bucket: " + bucket);
   }
+  const Micros op_start = agent.now();
   if (injector_ != nullptr) {
     // A failed attempt still takes the full round trip (the request body
     // was sent) and bills a put request, but stores nothing and does not
@@ -49,12 +61,15 @@ Status ObjectStore::Put(SimAgent& agent, const std::string& bucket,
     if (!fault.ok()) {
       ChargeTransfer(agent, data.size());
       meter_->mutable_usage().s3_put_requests += 1;
+      put_metrics_.Record(agent, op_start, /*error=*/true);
       return fault;
     }
   }
   ChargeTransfer(agent, data.size());
   meter_->mutable_usage().s3_put_requests += 1;
   meter_->mutable_usage().s3_bytes_in += data.size();
+  if (bytes_in_metric_ != nullptr) bytes_in_metric_->Add(data.size());
+  put_metrics_.Record(agent, op_start, /*error=*/false);
   it->second[key] = std::move(data);
   return Status::OK();
 }
@@ -66,12 +81,14 @@ Result<std::string> ObjectStore::Get(SimAgent& agent,
   if (it == buckets_.end()) {
     return Status::NotFound("no such bucket: " + bucket);
   }
+  const Micros op_start = agent.now();
   if (injector_ != nullptr) {
     Status fault =
         injector_->MaybeFail(ServiceId::kS3, "s3.get:" + bucket, agent.now());
     if (!fault.ok()) {
       meter_->mutable_usage().s3_get_requests += 1;
       ChargeTransfer(agent, 0);
+      get_metrics_.Record(agent, op_start, /*error=*/true);
       return fault;
     }
   }
@@ -80,10 +97,13 @@ Result<std::string> ObjectStore::Get(SimAgent& agent,
   meter_->mutable_usage().s3_get_requests += 1;
   if (obj == it->second.end()) {
     ChargeTransfer(agent, 0);
+    get_metrics_.Record(agent, op_start, /*error=*/true);
     return Status::NotFound("no such object: " + bucket + "/" + key);
   }
   ChargeTransfer(agent, obj->second.size());
   meter_->mutable_usage().s3_bytes_out += obj->second.size();
+  if (bytes_out_metric_ != nullptr) bytes_out_metric_->Add(obj->second.size());
+  get_metrics_.Record(agent, op_start, /*error=*/false);
   return obj->second;
 }
 
@@ -97,6 +117,7 @@ Result<std::vector<std::string>> ObjectStore::BatchGet(
   if (it == buckets_.end()) {
     return Status::NotFound("no such bucket: " + bucket);
   }
+  const Micros op_start = agent.now();
   if (injector_ != nullptr) {
     // Call-level fault: the whole parallel fetch aborts before any
     // transfers complete; one request round trip is billed.
@@ -106,6 +127,7 @@ Result<std::vector<std::string>> ObjectStore::BatchGet(
     if (!fault.ok()) {
       meter_->mutable_usage().s3_get_requests += 1;
       ChargeTransfer(agent, 0);
+      batch_get_metrics_.Record(agent, op_start, /*error=*/true);
       return fault;
     }
   }
@@ -122,6 +144,7 @@ Result<std::vector<std::string>> ObjectStore::BatchGet(
     auto obj = it->second.find(key);
     meter_->mutable_usage().s3_get_requests += 1;
     if (obj == it->second.end()) {
+      batch_get_metrics_.Record(agent, op_start, /*error=*/true);
       return Status::NotFound("no such object: " + bucket + "/" + key);
     }
     double micros = static_cast<double>(config_.request_latency);
@@ -132,6 +155,9 @@ Result<std::vector<std::string>> ObjectStore::BatchGet(
     stream_micros[next_stream] += micros;
     next_stream = (next_stream + 1) % stream_micros.size();
     meter_->mutable_usage().s3_bytes_out += obj->second.size();
+    if (bytes_out_metric_ != nullptr) {
+      bytes_out_metric_->Add(obj->second.size());
+    }
     out.push_back(obj->second);
   }
   const double makespan =
@@ -139,6 +165,7 @@ Result<std::vector<std::string>> ObjectStore::BatchGet(
   agent.AdvanceTo(request_limiter_.Acquire(
       agent.now(), static_cast<double>(keys.size())));
   agent.Advance(static_cast<Micros>(makespan));
+  batch_get_metrics_.Record(agent, op_start, /*error=*/false);
   return out;
 }
 
@@ -179,9 +206,11 @@ Result<std::vector<std::string>> ObjectStore::List(
        iter != it->second.end() && StartsWith(iter->first, prefix); ++iter) {
     keys.push_back(iter->first);
   }
+  const Micros op_start = agent.now();
   const uint64_t pages = keys.empty() ? 1 : (keys.size() + 999) / 1000;
   meter_->mutable_usage().s3_get_requests += pages;
   for (uint64_t i = 0; i < pages; ++i) ChargeTransfer(agent, 0);
+  list_metrics_.Record(agent, op_start, /*error=*/false);
   return keys;
 }
 

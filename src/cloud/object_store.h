@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "cloud/sim.h"
+#include "cloud/trace.h"
 #include "cloud/usage.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -38,9 +40,11 @@ class FaultInjector;
 class ObjectStore {
  public:
   /// `injector` may be null (no fault injection), e.g. in unit tests that
-  /// construct the store directly.
+  /// construct the store directly; `metrics` may be null (no per-op
+  /// `service.s3.*` metrics — billing through `meter` is unaffected).
   ObjectStore(const ObjectStoreConfig& config, UsageMeter* meter,
-              FaultInjector* injector = nullptr);
+              FaultInjector* injector = nullptr,
+              common::MetricRegistry* metrics = nullptr);
 
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
@@ -119,6 +123,14 @@ class ObjectStore {
   ObjectStoreConfig config_;
   UsageMeter* meter_;
   FaultInjector* injector_;
+  // Per-operation service metrics (docs/OBSERVABILITY.md); no-ops when
+  // the store was built without a registry.
+  OpMetrics put_metrics_;
+  OpMetrics get_metrics_;
+  OpMetrics batch_get_metrics_;
+  OpMetrics list_metrics_;
+  common::Counter* bytes_in_metric_ = nullptr;
+  common::Counter* bytes_out_metric_ = nullptr;
   RateLimiter request_limiter_;
   // bucket -> key -> object payload.
   std::map<std::string, std::map<std::string, std::string>> buckets_;

@@ -7,8 +7,19 @@
 namespace webdex::cloud {
 
 QueueService::QueueService(const QueueServiceConfig& config, UsageMeter* meter,
-                           FaultInjector* injector)
-    : config_(config), meter_(meter), injector_(injector) {}
+                           FaultInjector* injector,
+                           common::MetricRegistry* metrics)
+    : config_(config),
+      meter_(meter),
+      injector_(injector),
+      send_metrics_(OpMetrics::For(metrics, "service.sqs.send")),
+      receive_metrics_(OpMetrics::For(metrics, "service.sqs.receive")),
+      delete_metrics_(OpMetrics::For(metrics, "service.sqs.delete")),
+      renew_metrics_(OpMetrics::For(metrics, "service.sqs.renew")),
+      redelivery_metric_(
+          metrics == nullptr
+              ? nullptr
+              : metrics->GetCounter("service.sqs.redeliveries.count")) {}
 
 Status QueueService::CreateQueue(const std::string& queue) {
   auto [it, inserted] = queues_.try_emplace(queue);
@@ -21,15 +32,20 @@ Status QueueService::Send(SimAgent& agent, const std::string& queue,
                           std::string body) {
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
+  const Micros op_start = agent.now();
   agent.Advance(config_.request_latency);
   meter_->mutable_usage().sqs_requests += 1;
   Micros delay = 0;
   if (injector_ != nullptr) {
     Status fault =
         injector_->MaybeFail(ServiceId::kSqs, "sqs.send:" + queue, agent.now());
-    if (!fault.ok()) return fault;  // billed, nothing enqueued
+    if (!fault.ok()) {
+      send_metrics_.Record(agent, op_start, /*error=*/true);
+      return fault;  // billed, nothing enqueued
+    }
     delay = injector_->DeliveryDelay(ServiceId::kSqs, "sqs.delay:" + queue);
   }
+  send_metrics_.Record(agent, op_start, /*error=*/false);
   PendingMessage msg;
   msg.body = std::move(body);
   msg.visible_at = agent.now() + delay;
@@ -41,14 +57,19 @@ Result<std::optional<ReceivedMessage>> QueueService::Receive(
     SimAgent& agent, const std::string& queue) {
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
+  const Micros op_start = agent.now();
   agent.Advance(config_.request_latency);
   meter_->mutable_usage().sqs_requests += 1;
   if (injector_ != nullptr) {
     Status fault =
         injector_->MaybeFail(ServiceId::kSqs, "sqs.receive:" + queue,
                              agent.now());
-    if (!fault.ok()) return fault;
+    if (!fault.ok()) {
+      receive_metrics_.Record(agent, op_start, /*error=*/true);
+      return fault;
+    }
   }
+  receive_metrics_.Record(agent, op_start, /*error=*/false);
   for (auto& msg : it->second) {
     if (msg.visible_at <= agent.now()) {
       msg.visible_at = agent.now() + config_.visibility_timeout;
@@ -56,6 +77,7 @@ Result<std::optional<ReceivedMessage>> QueueService::Receive(
       msg.delivery_count += 1;
       if (msg.delivery_count > 1) {
         meter_->mutable_usage().sqs_redeliveries += 1;
+        if (redelivery_metric_ != nullptr) redelivery_metric_->Add(1);
       }
       ReceivedMessage out;
       out.body = msg.body;
@@ -78,14 +100,19 @@ Status QueueService::Delete(SimAgent& agent, const std::string& queue,
                             uint64_t receipt) {
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
+  const Micros op_start = agent.now();
   agent.Advance(config_.request_latency);
   meter_->mutable_usage().sqs_requests += 1;
   if (injector_ != nullptr) {
     Status fault =
         injector_->MaybeFail(ServiceId::kSqs, "sqs.delete:" + queue,
                              agent.now());
-    if (!fault.ok()) return fault;
+    if (!fault.ok()) {
+      delete_metrics_.Record(agent, op_start, /*error=*/true);
+      return fault;
+    }
   }
+  delete_metrics_.Record(agent, op_start, /*error=*/false);
   auto& msgs = it->second;
   for (auto iter = msgs.begin(); iter != msgs.end(); ++iter) {
     if (iter->receipt == receipt && receipt != 0) {
@@ -105,14 +132,19 @@ Status QueueService::RenewLease(SimAgent& agent, const std::string& queue,
                                 uint64_t receipt) {
   auto it = queues_.find(queue);
   if (it == queues_.end()) return Status::NotFound("no such queue: " + queue);
+  const Micros op_start = agent.now();
   agent.Advance(config_.request_latency);
   meter_->mutable_usage().sqs_requests += 1;
   if (injector_ != nullptr) {
     Status fault =
         injector_->MaybeFail(ServiceId::kSqs, "sqs.renew:" + queue,
                              agent.now());
-    if (!fault.ok()) return fault;
+    if (!fault.ok()) {
+      renew_metrics_.Record(agent, op_start, /*error=*/true);
+      return fault;
+    }
   }
+  renew_metrics_.Record(agent, op_start, /*error=*/false);
   for (auto& msg : it->second) {
     if (msg.receipt == receipt && receipt != 0) {
       if (msg.visible_at <= agent.now()) {

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "cloud/sim.h"
+#include "cloud/trace.h"
 #include "cloud/usage.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -48,9 +50,11 @@ class FaultInjector;
 
 class QueueService {
  public:
-  /// `injector` may be null (no fault injection).
+  /// `injector` may be null (no fault injection); `metrics` may be null
+  /// (no per-op `service.sqs.*` metrics).
   QueueService(const QueueServiceConfig& config, UsageMeter* meter,
-               FaultInjector* injector = nullptr);
+               FaultInjector* injector = nullptr,
+               common::MetricRegistry* metrics = nullptr);
 
   QueueService(const QueueService&) = delete;
   QueueService& operator=(const QueueService&) = delete;
@@ -104,6 +108,11 @@ class QueueService {
   QueueServiceConfig config_;
   UsageMeter* meter_;
   FaultInjector* injector_;
+  OpMetrics send_metrics_;
+  OpMetrics receive_metrics_;
+  OpMetrics delete_metrics_;
+  OpMetrics renew_metrics_;
+  common::Counter* redelivery_metric_ = nullptr;
   uint64_t next_receipt_ = 1;
   std::map<std::string, std::deque<PendingMessage>> queues_;
 };

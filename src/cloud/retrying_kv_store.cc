@@ -5,12 +5,21 @@ namespace webdex::cloud {
 RetryingKvStore::RetryingKvStore(KvStore* base,
                                  const common::RetryPolicy& policy,
                                  uint64_t seed, UsageMeter* meter,
-                                 CircuitBreaker* breaker)
+                                 CircuitBreaker* breaker,
+                                 common::MetricRegistry* metrics,
+                                 common::Tracer* tracer)
     : base_(base),
       policy_(policy),
       seed_(seed),
       meter_(meter),
-      breaker_(breaker) {}
+      breaker_(breaker),
+      tracer_(tracer),
+      attempts_metric_(metrics == nullptr ? nullptr
+                                          : metrics->GetCounter(
+                                                "cloud.retry.attempts.count")),
+      retries_metric_(metrics == nullptr ? nullptr
+                                         : metrics->GetCounter(
+                                               "cloud.retry.retries.count")) {}
 
 Rng& RetryingKvStore::StreamFor(const std::string& site) {
   auto it = streams_.find(site);
@@ -62,14 +71,23 @@ Status RetryingKvStore::BatchPut(SimAgent& agent, const std::string& table,
   std::vector<Item> leftover;
   int64_t slept = 0;
   for (int attempt = 1;; ++attempt) {
-    Status status = Gate(agent, table);
-    if (status.ok()) {
-      status = base_->BatchPut(agent, table, pending, &leftover);
-      Record(agent, table, status);
-    } else {
-      // Breaker short-circuit: nothing was attempted or billed; the
-      // backoff below still advances virtual time toward the cooldown.
-      leftover = pending;
+    Status status;
+    {
+      // One span per retry-loop round, breaker short-circuits included;
+      // its metered delta is empty when no request reached the store.
+      MeteredSpan span(tracer_, meter_, agent, "attempt.batch_put");
+      span.AddAttr("attempt", attempt);
+      if (attempts_metric_ != nullptr) attempts_metric_->Add(1);
+      status = Gate(agent, table);
+      if (status.ok()) {
+        status = base_->BatchPut(agent, table, pending, &leftover);
+        Record(agent, table, status);
+      } else {
+        // Breaker short-circuit: nothing was attempted or billed; the
+        // backoff below still advances virtual time toward the cooldown.
+        leftover = pending;
+      }
+      if (!status.ok()) span.AddAttr("error", 1);
     }
     if (status.ok() && leftover.empty()) return Status::OK();
     if (!status.ok() && !status.IsRetriable()) {
@@ -98,6 +116,7 @@ Status RetryingKvStore::BatchPut(SimAgent& agent, const std::string& table,
     agent.Advance(static_cast<Micros>(backoff));
     slept += backoff;
     if (uint64_t* counter = RetryCounter()) ++*counter;
+    if (retries_metric_ != nullptr) retries_metric_->Add(1);
     pending = std::move(leftover);
     leftover.clear();
   }
@@ -107,15 +126,27 @@ Result<std::vector<Item>> RetryingKvStore::Get(SimAgent& agent,
                                                const std::string& table,
                                                const std::string& hash_key) {
   Rng& rng = StreamFor("retry:get:" + table);
+  int attempt = 0;
   return common::CallWithRetry(
       policy_, rng,
       [&]() -> Result<std::vector<Item>> {
-        WEBDEX_RETURN_IF_ERROR(Gate(agent, table));
+        MeteredSpan span(tracer_, meter_, agent, "attempt.get");
+        span.AddAttr("attempt", ++attempt);
+        if (attempts_metric_ != nullptr) attempts_metric_->Add(1);
+        Status gate = Gate(agent, table);
+        if (!gate.ok()) {
+          span.AddAttr("error", 1);
+          return gate;
+        }
         auto result = base_->Get(agent, table, hash_key);
         Record(agent, table, result.status());
+        if (!result.status().ok()) span.AddAttr("error", 1);
         return result;
       },
-      [&](int64_t micros) { agent.Advance(static_cast<Micros>(micros)); },
+      [&](int64_t micros) {
+        agent.Advance(static_cast<Micros>(micros));
+        if (retries_metric_ != nullptr) retries_metric_->Add(1);
+      },
       RetryCounter());
 }
 
@@ -123,30 +154,54 @@ Result<std::vector<Item>> RetryingKvStore::BatchGet(
     SimAgent& agent, const std::string& table,
     const std::vector<std::string>& hash_keys) {
   Rng& rng = StreamFor("retry:batchget:" + table);
+  int attempt = 0;
   return common::CallWithRetry(
       policy_, rng,
       [&]() -> Result<std::vector<Item>> {
-        WEBDEX_RETURN_IF_ERROR(Gate(agent, table));
+        MeteredSpan span(tracer_, meter_, agent, "attempt.batch_get");
+        span.AddAttr("attempt", ++attempt);
+        if (attempts_metric_ != nullptr) attempts_metric_->Add(1);
+        Status gate = Gate(agent, table);
+        if (!gate.ok()) {
+          span.AddAttr("error", 1);
+          return gate;
+        }
         auto result = base_->BatchGet(agent, table, hash_keys);
         Record(agent, table, result.status());
+        if (!result.status().ok()) span.AddAttr("error", 1);
         return result;
       },
-      [&](int64_t micros) { agent.Advance(static_cast<Micros>(micros)); },
+      [&](int64_t micros) {
+        agent.Advance(static_cast<Micros>(micros));
+        if (retries_metric_ != nullptr) retries_metric_->Add(1);
+      },
       RetryCounter());
 }
 
 Result<std::vector<Item>> RetryingKvStore::Scan(SimAgent& agent,
                                                const std::string& table) {
   Rng& rng = StreamFor("retry:scan:" + table);
+  int attempt = 0;
   return common::CallWithRetry(
       policy_, rng,
       [&]() -> Result<std::vector<Item>> {
-        WEBDEX_RETURN_IF_ERROR(Gate(agent, table));
+        MeteredSpan span(tracer_, meter_, agent, "attempt.scan");
+        span.AddAttr("attempt", ++attempt);
+        if (attempts_metric_ != nullptr) attempts_metric_->Add(1);
+        Status gate = Gate(agent, table);
+        if (!gate.ok()) {
+          span.AddAttr("error", 1);
+          return gate;
+        }
         auto result = base_->Scan(agent, table);
         Record(agent, table, result.status());
+        if (!result.status().ok()) span.AddAttr("error", 1);
         return result;
       },
-      [&](int64_t micros) { agent.Advance(static_cast<Micros>(micros)); },
+      [&](int64_t micros) {
+        agent.Advance(static_cast<Micros>(micros));
+        if (retries_metric_ != nullptr) retries_metric_->Add(1);
+      },
       RetryCounter());
 }
 
@@ -154,15 +209,27 @@ Status RetryingKvStore::DeleteItem(SimAgent& agent, const std::string& table,
                                    const std::string& hash_key,
                                    const std::string& range_key) {
   Rng& rng = StreamFor("retry:delete:" + table);
+  int attempt = 0;
   return common::CallWithRetry(
       policy_, rng,
       [&]() -> Status {
-        WEBDEX_RETURN_IF_ERROR(Gate(agent, table));
+        MeteredSpan span(tracer_, meter_, agent, "attempt.delete_item");
+        span.AddAttr("attempt", ++attempt);
+        if (attempts_metric_ != nullptr) attempts_metric_->Add(1);
+        Status gate = Gate(agent, table);
+        if (!gate.ok()) {
+          span.AddAttr("error", 1);
+          return gate;
+        }
         Status status = base_->DeleteItem(agent, table, hash_key, range_key);
         Record(agent, table, status);
+        if (!status.ok()) span.AddAttr("error", 1);
         return status;
       },
-      [&](int64_t micros) { agent.Advance(static_cast<Micros>(micros)); },
+      [&](int64_t micros) {
+        agent.Advance(static_cast<Micros>(micros));
+        if (retries_metric_ != nullptr) retries_metric_->Add(1);
+      },
       RetryCounter());
 }
 

@@ -7,9 +7,12 @@
 
 #include "cloud/circuit_breaker.h"
 #include "cloud/kv_store.h"
+#include "cloud/trace.h"
 #include "cloud/usage.h"
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "common/rng.h"
+#include "common/tracer.h"
 
 namespace webdex::cloud {
 
@@ -37,10 +40,15 @@ namespace webdex::cloud {
 /// pipeline wherever the raw store was.
 class RetryingKvStore final : public KvStore {
  public:
-  /// `breaker` may be null (no breaker gating).
+  /// `breaker` may be null (no breaker gating).  `metrics` mirrors
+  /// attempt/retry counts under `cloud.retry.*`; `tracer` (when enabled)
+  /// records one `attempt.<op>` span per attempt, each carrying its own
+  /// metered Usage delta.  Both may be null.
   RetryingKvStore(KvStore* base, const common::RetryPolicy& policy,
                   uint64_t seed, UsageMeter* meter,
-                  CircuitBreaker* breaker = nullptr);
+                  CircuitBreaker* breaker = nullptr,
+                  common::MetricRegistry* metrics = nullptr,
+                  common::Tracer* tracer = nullptr);
 
   RetryingKvStore(const RetryingKvStore&) = delete;
   RetryingKvStore& operator=(const RetryingKvStore&) = delete;
@@ -116,6 +124,9 @@ class RetryingKvStore final : public KvStore {
   uint64_t seed_;
   UsageMeter* meter_;
   CircuitBreaker* breaker_;
+  common::Tracer* tracer_ = nullptr;
+  common::Counter* attempts_metric_ = nullptr;
+  common::Counter* retries_metric_ = nullptr;
   std::map<std::string, Rng, std::less<>> streams_;
 };
 

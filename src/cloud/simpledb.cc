@@ -18,10 +18,14 @@ bool IsTextual(const std::string& value) {
 }  // namespace
 
 SimpleDb::SimpleDb(const SimpleDbConfig& config, UsageMeter* meter,
-                   FaultInjector* injector)
+                   FaultInjector* injector, common::MetricRegistry* metrics)
     : config_(config),
       meter_(meter),
       injector_(injector),
+      batch_put_metrics_(OpMetrics::For(metrics, "service.simpledb.batch_put")),
+      get_metrics_(OpMetrics::For(metrics, "service.simpledb.get")),
+      scan_metrics_(OpMetrics::For(metrics, "service.simpledb.scan")),
+      delete_metrics_(OpMetrics::For(metrics, "service.simpledb.delete_item")),
       request_limiter_(config.requests_per_second) {}
 
 Status SimpleDb::CreateTable(const std::string& table) {
@@ -87,6 +91,7 @@ Status SimpleDb::BatchPut(SimAgent& agent, const std::string& table,
   while (index < items.size()) {
     const size_t batch_end =
         std::min(items.size(), index + static_cast<size_t>(batch_limit));
+    const Micros page_start = agent.now();
     if (injector_ != nullptr) {
       // A failed page bills its API round trip but no box usage (the
       // data-proportional term); nothing of the page commits, and
@@ -96,6 +101,7 @@ Status SimpleDb::BatchPut(SimAgent& agent, const std::string& table,
       if (!fault.ok()) {
         meter_->mutable_usage().sdb_put_requests += 1;
         agent.Advance(config_.request_latency);
+        batch_put_metrics_.Record(agent, page_start, /*error=*/true);
         if (unprocessed != nullptr) {
           unprocessed->insert(unprocessed->end(), items.begin() + index,
                               items.end());
@@ -126,6 +132,7 @@ Status SimpleDb::BatchPut(SimAgent& agent, const std::string& table,
     meter_->mutable_usage().sdb_box_hours += box_hours;
     agent.AdvanceTo(request_limiter_.Acquire(agent.now(), 1.0));
     agent.Advance(config_.request_latency);
+    batch_put_metrics_.Record(agent, page_start, /*error=*/false);
     index = batch_end;
   }
   return Status::OK();
@@ -136,12 +143,14 @@ Result<std::vector<Item>> SimpleDb::Get(SimAgent& agent,
                                         const std::string& hash_key) {
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no such domain: " + table);
+  const Micros op_start = agent.now();
   if (injector_ != nullptr) {
     Status fault = injector_->MaybeFail(ServiceId::kSimpleDb,
                                         "sdb.get:" + table, agent.now());
     if (!fault.ok()) {
       meter_->mutable_usage().sdb_get_requests += 1;
       agent.Advance(config_.request_latency);
+      get_metrics_.Record(agent, op_start, /*error=*/true);
       return fault;
     }
   }
@@ -165,6 +174,7 @@ Result<std::vector<Item>> SimpleDb::Get(SimAgent& agent,
     agent.AdvanceTo(request_limiter_.Acquire(agent.now(), 1.0));
     agent.Advance(config_.request_latency);
   }
+  get_metrics_.Record(agent, op_start, /*error=*/false);
   return out;
 }
 
@@ -195,12 +205,14 @@ Result<std::vector<Item>> SimpleDb::Scan(SimAgent& agent,
   // A full select paginates at 2500 attributes, like Get.
   const uint64_t pages = attr_total == 0 ? 1 : (attr_total + 2499) / 2500;
   for (uint64_t page = 0; page < pages; ++page) {
+    const Micros page_start = agent.now();
     if (injector_ != nullptr) {
       Status fault = injector_->MaybeFail(ServiceId::kSimpleDb,
                                           "sdb.scan:" + table, agent.now());
       if (!fault.ok()) {
         meter_->mutable_usage().sdb_get_requests += 1;
         agent.Advance(config_.request_latency);
+        scan_metrics_.Record(agent, page_start, /*error=*/true);
         return fault;
       }
     }
@@ -209,6 +221,7 @@ Result<std::vector<Item>> SimpleDb::Scan(SimAgent& agent,
         meter_->pricing().simpledb_box_hours_per_get;
     agent.AdvanceTo(request_limiter_.Acquire(agent.now(), 1.0));
     agent.Advance(config_.request_latency);
+    scan_metrics_.Record(agent, page_start, /*error=*/false);
   }
   return out;
 }
@@ -218,12 +231,14 @@ Status SimpleDb::DeleteItem(SimAgent& agent, const std::string& table,
                             const std::string& range_key) {
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no such domain: " + table);
+  const Micros op_start = agent.now();
   if (injector_ != nullptr) {
     Status fault = injector_->MaybeFail(ServiceId::kSimpleDb,
                                         "sdb.delete:" + table, agent.now());
     if (!fault.ok()) {
       meter_->mutable_usage().sdb_put_requests += 1;
       agent.Advance(config_.request_latency);
+      delete_metrics_.Record(agent, op_start, /*error=*/true);
       return fault;
     }
   }
@@ -245,6 +260,7 @@ Status SimpleDb::DeleteItem(SimAgent& agent, const std::string& table,
       meter_->pricing().simpledb_box_hours_per_put;
   agent.AdvanceTo(request_limiter_.Acquire(agent.now(), 1.0));
   agent.Advance(config_.request_latency);
+  delete_metrics_.Record(agent, op_start, /*error=*/false);
   return Status::OK();
 }
 

@@ -7,7 +7,9 @@
 
 #include "cloud/kv_store.h"
 #include "cloud/sim.h"
+#include "cloud/trace.h"
 #include "cloud/usage.h"
+#include "common/metrics.h"
 
 namespace webdex::cloud {
 
@@ -33,9 +35,11 @@ class FaultInjector;
 
 class SimpleDb final : public KvStore {
  public:
-  /// `injector` may be null (no fault injection).
+  /// `injector` may be null (no fault injection); `metrics` may be null
+  /// (no per-op `service.simpledb.*` metrics).
   SimpleDb(const SimpleDbConfig& config, UsageMeter* meter,
-           FaultInjector* injector = nullptr);
+           FaultInjector* injector = nullptr,
+           common::MetricRegistry* metrics = nullptr);
 
   SimpleDb(const SimpleDb&) = delete;
   SimpleDb& operator=(const SimpleDb&) = delete;
@@ -93,6 +97,10 @@ class SimpleDb final : public KvStore {
   SimpleDbConfig config_;
   UsageMeter* meter_;
   FaultInjector* injector_;
+  OpMetrics batch_put_metrics_;
+  OpMetrics get_metrics_;
+  OpMetrics scan_metrics_;
+  OpMetrics delete_metrics_;
   RateLimiter request_limiter_;
   std::map<std::string, Table> tables_;
 };

@@ -5,61 +5,17 @@
 namespace webdex::cloud {
 
 Usage& Usage::operator+=(const Usage& o) {
-  s3_put_requests += o.s3_put_requests;
-  s3_get_requests += o.s3_get_requests;
-  s3_bytes_in += o.s3_bytes_in;
-  s3_bytes_out += o.s3_bytes_out;
-  ddb_put_requests += o.ddb_put_requests;
-  ddb_get_requests += o.ddb_get_requests;
-  ddb_items_written += o.ddb_items_written;
-  ddb_write_units += o.ddb_write_units;
-  ddb_read_units += o.ddb_read_units;
-  sdb_put_requests += o.sdb_put_requests;
-  sdb_get_requests += o.sdb_get_requests;
-  sdb_box_hours += o.sdb_box_hours;
-  sqs_requests += o.sqs_requests;
-  faulted_requests += o.faulted_requests;
-  retried_requests += o.retried_requests;
-  sqs_redeliveries += o.sqs_redeliveries;
-  dead_lettered += o.dead_lettered;
-  breaker_opens += o.breaker_opens;
-  breaker_closes += o.breaker_closes;
-  breaker_short_circuits += o.breaker_short_circuits;
-  degraded_queries += o.degraded_queries;
-  scrub_repaired += o.scrub_repaired;
-  vm_micros_large += o.vm_micros_large;
-  vm_micros_xlarge += o.vm_micros_xlarge;
-  egress_bytes += o.egress_bytes;
+#define WEBDEX_USAGE_ADD(field) field += o.field;
+  WEBDEX_USAGE_FIELDS(WEBDEX_USAGE_ADD)
+#undef WEBDEX_USAGE_ADD
   return *this;
 }
 
 Usage Usage::operator-(const Usage& o) const {
   Usage d;
-  d.s3_put_requests = s3_put_requests - o.s3_put_requests;
-  d.s3_get_requests = s3_get_requests - o.s3_get_requests;
-  d.s3_bytes_in = s3_bytes_in - o.s3_bytes_in;
-  d.s3_bytes_out = s3_bytes_out - o.s3_bytes_out;
-  d.ddb_put_requests = ddb_put_requests - o.ddb_put_requests;
-  d.ddb_get_requests = ddb_get_requests - o.ddb_get_requests;
-  d.ddb_items_written = ddb_items_written - o.ddb_items_written;
-  d.ddb_write_units = ddb_write_units - o.ddb_write_units;
-  d.ddb_read_units = ddb_read_units - o.ddb_read_units;
-  d.sdb_put_requests = sdb_put_requests - o.sdb_put_requests;
-  d.sdb_get_requests = sdb_get_requests - o.sdb_get_requests;
-  d.sdb_box_hours = sdb_box_hours - o.sdb_box_hours;
-  d.sqs_requests = sqs_requests - o.sqs_requests;
-  d.faulted_requests = faulted_requests - o.faulted_requests;
-  d.retried_requests = retried_requests - o.retried_requests;
-  d.sqs_redeliveries = sqs_redeliveries - o.sqs_redeliveries;
-  d.dead_lettered = dead_lettered - o.dead_lettered;
-  d.breaker_opens = breaker_opens - o.breaker_opens;
-  d.breaker_closes = breaker_closes - o.breaker_closes;
-  d.breaker_short_circuits = breaker_short_circuits - o.breaker_short_circuits;
-  d.degraded_queries = degraded_queries - o.degraded_queries;
-  d.scrub_repaired = scrub_repaired - o.scrub_repaired;
-  d.vm_micros_large = vm_micros_large - o.vm_micros_large;
-  d.vm_micros_xlarge = vm_micros_xlarge - o.vm_micros_xlarge;
-  d.egress_bytes = egress_bytes - o.egress_bytes;
+#define WEBDEX_USAGE_SUB(field) d.field = field - o.field;
+  WEBDEX_USAGE_FIELDS(WEBDEX_USAGE_SUB)
+#undef WEBDEX_USAGE_SUB
   return d;
 }
 

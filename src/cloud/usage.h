@@ -9,6 +9,40 @@
 
 namespace webdex::cloud {
 
+/// Every field of Usage, in declaration order.  operator+= / operator-,
+/// the ForEachField visitors, the `usage.<field>` metric mirror
+/// (CloudEnv::PublishUsageMetrics) and the `usage.<field>` span
+/// attributes (cloud/trace.h) are all generated from this list, so a new
+/// counter added here automatically flows through arithmetic, stats,
+/// metrics and traces — usage_test.cc verifies the list covers the whole
+/// struct so a field added below without a matching X(...) entry fails.
+#define WEBDEX_USAGE_FIELDS(X) \
+  X(s3_put_requests)           \
+  X(s3_get_requests)           \
+  X(s3_bytes_in)               \
+  X(s3_bytes_out)              \
+  X(ddb_put_requests)          \
+  X(ddb_get_requests)          \
+  X(ddb_items_written)         \
+  X(ddb_write_units)           \
+  X(ddb_read_units)            \
+  X(sdb_put_requests)          \
+  X(sdb_get_requests)          \
+  X(sdb_box_hours)             \
+  X(sqs_requests)              \
+  X(faulted_requests)          \
+  X(retried_requests)          \
+  X(sqs_redeliveries)          \
+  X(dead_lettered)             \
+  X(breaker_opens)             \
+  X(breaker_closes)            \
+  X(breaker_short_circuits)    \
+  X(degraded_queries)          \
+  X(scrub_repaired)            \
+  X(vm_micros_large)           \
+  X(vm_micros_xlarge)          \
+  X(egress_bytes)
+
 /// Raw consumption counters for every simulated cloud service.
 ///
 /// Every simulated API call increments these, so the dollar amounts the
@@ -64,6 +98,33 @@ struct Usage {
 
   Usage& operator+=(const Usage& o);
   Usage operator-(const Usage& o) const;
+
+  /// Calls fn("field_name", field_value) for every field, in declaration
+  /// order.  `fn` must be generic: values are uint64_t, double or Micros.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+#define WEBDEX_USAGE_VISIT(field) fn(#field, field);
+    WEBDEX_USAGE_FIELDS(WEBDEX_USAGE_VISIT)
+#undef WEBDEX_USAGE_VISIT
+  }
+
+  /// Mutable variant: fn("field_name", &field).
+  template <typename Fn>
+  void ForEachField(Fn&& fn) {
+#define WEBDEX_USAGE_VISIT(field) fn(#field, &field);
+    WEBDEX_USAGE_FIELDS(WEBDEX_USAGE_VISIT)
+#undef WEBDEX_USAGE_VISIT
+  }
+
+  /// Number of fields in WEBDEX_USAGE_FIELDS; every field is 8 bytes
+  /// (uint64_t / double / Micros), so usage_test.cc asserts
+  /// kFieldCount * 8 == sizeof(Usage) to catch a field missing from the
+  /// list.
+  static constexpr int kFieldCount = 0
+#define WEBDEX_USAGE_COUNT(field) +1
+      WEBDEX_USAGE_FIELDS(WEBDEX_USAGE_COUNT)
+#undef WEBDEX_USAGE_COUNT
+      ;
 };
 
 /// One line item per cloud service, in dollars, as in the paper's Table 6

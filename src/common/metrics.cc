@@ -1,0 +1,263 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace webdex::common {
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty() || name.front() < 'a' || name.front() > 'z') return false;
+  bool saw_dot = false;
+  bool segment_empty = true;
+  for (char c : name) {
+    if (c == '.') {
+      if (segment_empty) return false;  // leading dot or ".."
+      saw_dot = true;
+      segment_empty = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      segment_empty = false;
+    } else {
+      return false;
+    }
+  }
+  return saw_dot && !segment_empty;
+}
+
+void Histogram::Record(double v) {
+  buckets_[BucketIndex(v)] += 1;
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += 1;
+  sum_ += v;
+}
+
+void Histogram::Merge(const Histogram& o) {
+  if (o.count_ == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += o.buckets_[i];
+  if (count_ == 0) {
+    min_ = o.min_;
+    max_ = o.max_;
+  } else {
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+}
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN
+  // ilogb is exact on binary floats: v in (2^e, 2^(e+1)] maps to bucket
+  // e + 32 except exact powers of two, whose ilogb is e itself; nudge
+  // them down so bucket upper bounds are inclusive.
+  int e = std::ilogb(v);
+  if (std::exp2(double(e)) == v) e -= 1;
+  return std::clamp(e + 32, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketUpperBound(int i) { return std::exp2(double(i - 31)); }
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, uint64_t(std::ceil(q * double(count_))));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      return std::clamp(BucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+MetricRegistry::Metric* MetricRegistry::GetOrCreate(const std::string& name,
+                                                    Type type) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    if (!ValidMetricName(name)) {
+      std::fprintf(stderr,
+                   "metric name '%s' violates the naming grammar "
+                   "(docs/OBSERVABILITY.md)\n",
+                   name.c_str());
+      std::abort();
+    }
+    auto metric = std::make_unique<Metric>();
+    metric->type = type;
+    if (type == Type::kHistogram) {
+      metric->histogram = std::make_unique<Histogram>();
+    }
+    it = metrics_.emplace(name, std::move(metric)).first;
+  }
+  if (it->second->type != type) {
+    std::fprintf(stderr, "metric '%s' re-registered with a different type\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second.get();
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  return &GetOrCreate(name, Type::kCounter)->counter;
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  return &GetOrCreate(name, Type::kGauge)->gauge;
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  return GetOrCreate(name, Type::kHistogram)->histogram.get();
+}
+
+const Counter* MetricRegistry::FindCounter(const std::string& name) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second->type != Type::kCounter) {
+    return nullptr;
+  }
+  return &it->second->counter;
+}
+
+const Gauge* MetricRegistry::FindGauge(const std::string& name) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second->type != Type::kGauge) return nullptr;
+  return &it->second->gauge;
+}
+
+const Histogram* MetricRegistry::FindHistogram(const std::string& name) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second->type != Type::kHistogram) {
+    return nullptr;
+  }
+  return it->second->histogram.get();
+}
+
+uint64_t MetricRegistry::CounterValue(const std::string& name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+double MetricRegistry::GaugeValue(const std::string& name) const {
+  const Gauge* g = FindGauge(name);
+  return g == nullptr ? 0.0 : g->value();
+}
+
+std::vector<std::string> MetricRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "webdex_";
+  for (char c : name) out += (c == '.') ? '_' : c;
+  return out;
+}
+
+// %.17g round-trips doubles exactly; trims to a plain integer rendering
+// for whole values so counters stay readable.
+std::string Num(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.17g", v);
+}
+
+}  // namespace
+
+std::string MetricRegistry::ToPrometheus() const {
+  std::string out;
+  for (const auto& [name, metric] : metrics_) {
+    const std::string prom = PrometheusName(name);
+    switch (metric->type) {
+      case Type::kCounter:
+        out += StrFormat("# TYPE %s counter\n", prom.c_str());
+        out += StrFormat("%s %llu\n", prom.c_str(),
+                         (unsigned long long)metric->counter.value());
+        break;
+      case Type::kGauge:
+        out += StrFormat("# TYPE %s gauge\n", prom.c_str());
+        out += StrFormat("%s %s\n", prom.c_str(),
+                         Num(metric->gauge.value()).c_str());
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *metric->histogram;
+        out += StrFormat("# TYPE %s histogram\n", prom.c_str());
+        uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          if (h.bucket_count(i) == 0) continue;
+          cumulative += h.bucket_count(i);
+          out += StrFormat("%s_bucket{le=\"%s\"} %llu\n", prom.c_str(),
+                           Num(Histogram::BucketUpperBound(i)).c_str(),
+                           (unsigned long long)cumulative);
+        }
+        out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", prom.c_str(),
+                         (unsigned long long)h.count());
+        out += StrFormat("%s_sum %s\n", prom.c_str(), Num(h.sum()).c_str());
+        out += StrFormat("%s_count %llu\n", prom.c_str(),
+                         (unsigned long long)h.count());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::string counters, gauges, histograms;
+  for (const auto& [name, metric] : metrics_) {
+    switch (metric->type) {
+      case Type::kCounter:
+        if (!counters.empty()) counters += ",";
+        counters += StrFormat("\"%s\":%llu", name.c_str(),
+                              (unsigned long long)metric->counter.value());
+        break;
+      case Type::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        gauges += StrFormat("\"%s\":%s", name.c_str(),
+                            Num(metric->gauge.value()).c_str());
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *metric->histogram;
+        if (!histograms.empty()) histograms += ",";
+        std::string buckets;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          if (h.bucket_count(i) == 0) continue;
+          if (!buckets.empty()) buckets += ",";
+          buckets += StrFormat("[%d,%llu]", i,
+                               (unsigned long long)h.bucket_count(i));
+        }
+        histograms += StrFormat(
+            "\"%s\":{\"count\":%llu,\"sum\":%s,\"min\":%s,\"max\":%s,"
+            "\"buckets\":[%s]}",
+            name.c_str(), (unsigned long long)h.count(), Num(h.sum()).c_str(),
+            Num(h.min()).c_str(), Num(h.max()).c_str(), buckets.c_str());
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+void MetricRegistry::Reset() {
+  for (auto& [name, metric] : metrics_) {
+    metric->counter.Reset();
+    metric->gauge.Reset();
+    if (metric->histogram != nullptr) metric->histogram->Reset();
+  }
+}
+
+}  // namespace webdex::common

@@ -1,0 +1,148 @@
+#ifndef WEBDEX_COMMON_METRICS_H_
+#define WEBDEX_COMMON_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webdex::common {
+
+/// Checks a metric name against the documented grammar
+/// (docs/OBSERVABILITY.md):
+///
+///   name    := segment ('.' segment)+        -- at least two segments
+///   segment := [a-z0-9_]+                    -- first segment starts [a-z]
+///
+/// Examples: `service.s3.get.latency_us`, `planner.estimate_error_ratio`.
+bool ValidMetricName(std::string_view name);
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-value (or accumulated-double) metric.  `Add` exists for cumulative
+/// fractional quantities such as DynamoDB capacity units.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed log-bucketed histogram over virtual-time latencies and dollar
+/// costs.  Buckets are powers of two: bucket 0 collects v <= 2^-31
+/// (including zero and negatives), bucket i in [1, 63] collects
+/// (2^(i-32), 2^(i-31)].  The layout is fixed, so histograms merge by
+/// bucket-wise addition and every operation is deterministic — no
+/// rescaling, no floating-point accumulation order dependence in the
+/// bucket counts.  Exact count/sum/min/max ride along for cheap summary
+/// statistics; quantiles interpolate to a bucket upper bound clamped to
+/// the observed [min, max].
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(double v);
+  void Merge(const Histogram& o);
+  void Reset() { *this = Histogram(); }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / double(count_); }
+  uint64_t bucket_count(int i) const { return buckets_[i]; }
+
+  /// Quantile estimate for q in [0, 1]: the upper bound of the bucket
+  /// holding the ceil(q * count)-th smallest sample, clamped to
+  /// [min, max].  Error is at most one power-of-two bucket.
+  double Quantile(double q) const;
+
+  /// Bucket index for a value (0..63) and a bucket's exclusive upper
+  /// bound; exposed for tests and the Prometheus exposition.
+  static int BucketIndex(double v);
+  static double BucketUpperBound(int i);
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Process-wide registry of named metrics with hierarchical dot-separated
+/// names.  Names are validated against the grammar above at registration;
+/// an invalid name or a type clash aborts — both are programming errors
+/// that tools/trace_lint.py would otherwise only catch downstream.
+///
+/// Thread-safety: same contract as UsageMeter — registration and
+/// recording happen only on the simulation event-loop thread, so the
+/// registry carries no locks and serial vs host_threads=8 runs meter
+/// identically.  Host-parallel extraction threads never record.
+/// Registration returns stable pointers (metrics are never removed,
+/// only Reset).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Read-side lookups for tooling; null / zero when unregistered.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+  uint64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+
+  /// All registered names, sorted (map order).
+  std::vector<std::string> Names() const;
+
+  /// Prometheus text exposition: dots become underscores under a
+  /// `webdex_` prefix, histograms emit cumulative `_bucket{le=...}`
+  /// lines plus `_sum` / `_count` (docs/OBSERVABILITY.md).
+  std::string ToPrometheus() const;
+
+  /// One deterministic JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,sum,min,max,buckets:[[i,n],...]}}}.
+  std::string ToJson() const;
+
+  /// Zeroes every registered metric (names stay registered).
+  void Reset();
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Type type;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric* GetOrCreate(const std::string& name, Type type);
+
+  std::map<std::string, std::unique_ptr<Metric>> metrics_;
+};
+
+}  // namespace webdex::common
+
+#endif  // WEBDEX_COMMON_METRICS_H_

@@ -41,6 +41,11 @@ std::string HumanDuration(int64_t micros);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Escapes a string for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters become their \-escapes.  Returns
+/// the escaped body only (no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace webdex
 
 #endif  // WEBDEX_COMMON_STRINGS_H_

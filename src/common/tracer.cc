@@ -1,0 +1,144 @@
+#include "common/tracer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace webdex::common {
+
+void Tracer::Clear() {
+  spans_.clear();
+  stack_.clear();
+}
+
+uint64_t Tracer::BeginSpan(std::string_view name, int64_t now_us) {
+  if (!enabled_) return 0;
+  TraceSpan span;
+  span.id = spans_.size() + 1;
+  span.parent = current();
+  span.name = std::string(name);
+  span.start_us = now_us;
+  span.end_us = now_us;
+  spans_.push_back(std::move(span));
+  stack_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::AddAttr(uint64_t span, std::string_view key, double value) {
+  if (span == 0 || span > spans_.size()) return;
+  auto& attrs = spans_[span - 1].attrs;
+  for (auto& [k, v] : attrs) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  attrs.emplace_back(std::string(key), value);
+}
+
+void Tracer::EndSpan(uint64_t span, int64_t now_us) {
+  if (span == 0 || span > spans_.size()) return;
+  // Close any inner spans left open (early returns without RAII).
+  while (!stack_.empty()) {
+    const uint64_t top = stack_.back();
+    stack_.pop_back();
+    TraceSpan& s = spans_[top - 1];
+    s.end_us = now_us;
+    std::sort(s.attrs.begin(), s.attrs.end());
+    if (top == span) return;
+  }
+}
+
+const TraceSpan* Tracer::Find(uint64_t id) const {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+std::vector<const TraceSpan*> Tracer::Roots() const {
+  std::vector<const TraceSpan*> roots;
+  for (const TraceSpan& s : spans_) {
+    if (s.parent == 0) roots.push_back(&s);
+  }
+  return roots;
+}
+
+std::vector<const TraceSpan*> Tracer::Children(uint64_t id) const {
+  std::vector<const TraceSpan*> children;
+  for (const TraceSpan& s : spans_) {
+    if (s.parent == id) children.push_back(&s);
+  }
+  return children;
+}
+
+double Tracer::Attr(const TraceSpan& span, std::string_view key,
+                    double fallback) {
+  for (const auto& [k, v] : span.attrs) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::string Tracer::ToJsonl() const {
+  std::string out;
+  for (const TraceSpan& s : spans_) {
+    std::string attrs;
+    for (const auto& [k, v] : s.attrs) {
+      if (!attrs.empty()) attrs += ",";
+      attrs += StrFormat("\"%s\":%.17g", JsonEscape(k).c_str(), v);
+    }
+    out += StrFormat(
+        "{\"id\":%llu,\"parent\":%llu,\"name\":\"%s\",\"start_us\":%lld,"
+        "\"end_us\":%lld,\"attrs\":{%s}}\n",
+        (unsigned long long)s.id, (unsigned long long)s.parent,
+        JsonEscape(s.name).c_str(), (long long)s.start_us, (long long)s.end_us,
+        attrs.c_str());
+  }
+  return out;
+}
+
+void Tracer::RenderTree(const TraceSpan& span, int depth,
+                        std::string* out) const {
+  out->append(static_cast<size_t>(2 * depth), ' ');
+  *out += StrFormat("%s [%lld..%lld]", span.name.c_str(),
+                    (long long)span.start_us, (long long)span.end_us);
+  for (const auto& [k, v] : span.attrs) {
+    *out += StrFormat(" %s=%.17g", k.c_str(), v);
+  }
+  *out += "\n";
+  for (const TraceSpan* child : Children(span.id)) {
+    RenderTree(*child, depth + 1, out);
+  }
+}
+
+std::string Tracer::Canonical() const {
+  std::string out;
+  for (const TraceSpan* root : Roots()) RenderTree(*root, 0, &out);
+  return out;
+}
+
+void Tracer::RenderCost(const TraceSpan& span, int depth,
+                        std::string* out) const {
+  const double total = Attr(span, "usd");
+  double children_total = 0;
+  const auto children = Children(span.id);
+  for (const TraceSpan* child : children) {
+    children_total += Attr(*child, "usd");
+  }
+  std::string label(static_cast<size_t>(2 * depth), ' ');
+  label += span.name;
+  *out += StrFormat("%-40s $%.9f  self $%.9f  %s\n", label.c_str(), total,
+                    total - children_total,
+                    HumanDuration(span.end_us - span.start_us).c_str());
+  for (const TraceSpan* child : children) RenderCost(*child, depth + 1, out);
+}
+
+std::string Tracer::CostRollup() const {
+  std::string out;
+  double total = 0;
+  for (const TraceSpan* root : Roots()) total += Attr(*root, "usd");
+  out += StrFormat("%-40s $%.9f\n", "TOTAL", total);
+  for (const TraceSpan* root : Roots()) RenderCost(*root, 0, &out);
+  return out;
+}
+
+}  // namespace webdex::common

@@ -1,0 +1,98 @@
+#ifndef WEBDEX_COMMON_TRACER_H_
+#define WEBDEX_COMMON_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace webdex::common {
+
+/// One node of a span tree.  All timestamps are *virtual* microseconds
+/// from the simulation clocks — the tracer never reads the wall clock,
+/// so traces are bit-identical across hosts and host-thread counts.
+struct TraceSpan {
+  uint64_t id = 0;      // creation ordinal, 1-based; doubles as sort key
+  uint64_t parent = 0;  // 0 = root span
+  std::string name;
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+  /// Numeric attributes, sorted by key once the span ends.  By
+  /// convention `usd` carries the span's metered dollar cost and
+  /// `usage.<field>` the cloud::Usage delta fields (see cloud/trace.h).
+  std::vector<std::pair<std::string, double>> attrs;
+};
+
+/// Records trees of virtual-time spans.  Disabled by default: BeginSpan
+/// returns 0 and every other call ignores span id 0, so instrumented
+/// code paths cost one branch when tracing is off.
+///
+/// Spans nest through an explicit stack: BeginSpan parents the new span
+/// to the innermost open span.  All recording happens on the simulation
+/// event-loop thread (the same single-threaded contract as UsageMeter),
+/// and span ids are creation ordinals, so serial and host-parallel runs
+/// of the same experiment produce identical traces (tested by
+/// observability_test.cc).
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Drops all recorded spans and the open-span stack.
+  void Clear();
+
+  /// Opens a span at virtual time `now_us`; returns its id (0 when
+  /// disabled).
+  uint64_t BeginSpan(std::string_view name, int64_t now_us);
+
+  /// Attaches a numeric attribute; last write per key wins.
+  void AddAttr(uint64_t span, std::string_view key, double value);
+
+  /// Closes `span` at `now_us`.  Any unclosed inner spans are closed at
+  /// the same instant (RAII holders make this path rare).
+  void EndSpan(uint64_t span, int64_t now_us);
+
+  /// Innermost open span id, or 0.
+  uint64_t current() const { return stack_.empty() ? 0 : stack_.back(); }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const TraceSpan* Find(uint64_t id) const;
+  std::vector<const TraceSpan*> Roots() const;
+  std::vector<const TraceSpan*> Children(uint64_t id) const;
+
+  /// Attribute lookup with a default; spans store attrs sorted by key.
+  static double Attr(const TraceSpan& span, std::string_view key,
+                     double fallback = 0.0);
+
+  /// One JSON object per line, in span-id order:
+  /// {"id":1,"parent":0,"name":"query","start_us":0,"end_us":42,
+  ///  "attrs":{"usd":1.2e-06}}
+  std::string ToJsonl() const;
+
+  /// Canonical human/diff-friendly rendering: depth-first tree, children
+  /// in id order, attrs sorted.  Two runs are equivalent iff their
+  /// canonical renderings are byte-identical.
+  std::string Canonical() const;
+
+  /// Flamegraph-style cost rollup over the `usd` attribute: every line
+  /// shows a span's total metered dollars, the `self` share not covered
+  /// by its children, and its virtual-time duration.
+  std::string CostRollup() const;
+
+ private:
+  void RenderTree(const TraceSpan& span, int depth, std::string* out) const;
+  void RenderCost(const TraceSpan& span, int depth, std::string* out) const;
+
+  bool enabled_ = false;
+  std::vector<TraceSpan> spans_;  // spans_[id - 1]
+  std::vector<uint64_t> stack_;
+};
+
+}  // namespace webdex::common
+
+#endif  // WEBDEX_COMMON_TRACER_H_

@@ -84,6 +84,8 @@ Status QueryExecutor::LookupPlanned(Instance& instance,
   const auto& work = instance.work();
   // Planning is host-side arithmetic over the path summary and breaker
   // health: free, instantaneous, nothing billed.
+  cloud::MeteredSpan plan_span(&w.env_->tracer(), &w.env_->meter(),
+                               instance, "plan");
   const QueryPlanner planner = w.MakePlanner();
   const PhysicalPlan plan =
       planner.Plan(logical, w.cost_model_, instance.now());
@@ -91,6 +93,8 @@ Status QueryExecutor::LookupPlanned(Instance& instance,
   outcome->estimated_cost_usd = plan.EstimatedUsd();
   outcome->estimated_requests = plan.EstimatedRequests();
   outcome->planner_fallbacks = plan.planner_fallbacks;
+  plan_span.AddAttr("estimated_usd", plan.EstimatedUsd());
+  plan_span.End();
 
   const cloud::Usage before = w.env_->meter().Snapshot();
   std::set<std::string> fetch_set;
@@ -99,8 +103,13 @@ Status QueryExecutor::LookupPlanned(Instance& instance,
   bool scanned = false;
   for (const auto& pattern_plan : plan.patterns) {
     const PlannedPath& chosen = pattern_plan.chosen_path();
+    // One span per executed access path, named after the path it ran
+    // ("path.lup", "path.lui", "path.scan", ...).
+    cloud::MeteredSpan path_span(&w.env_->tracer(), &w.env_->meter(),
+                                 instance, "path." + chosen.path->name());
     auto result = chosen.path->Execute(instance);
     if (!result.ok()) {
+      path_span.AddAttr("error", 1);
       if (!result.status().IsRetriable()) return result.status();
       // Runtime brownout: the chosen look-up exhausted its retries
       // mid-query.  Degrade to the scan path — the same fallback the
@@ -179,6 +188,9 @@ Status QueryExecutor::Run(Instance& instance, const QueryRequest& request,
   // Transfer the candidate documents into the instance and evaluate
   // (steps 12-13), over one parallel S3 stream per core.
   const Micros eval_start = instance.now();
+  cloud::MeteredSpan fetch_span(&w.env_->tracer(), &w.env_->meter(),
+                                instance, "fetch");
+  fetch_span.AddAttr("documents", static_cast<double>(to_fetch.size()));
   std::vector<std::shared_ptr<const xml::Document>> docs;
   if (!to_fetch.empty()) {
     WEBDEX_ASSIGN_OR_RETURN(
@@ -208,6 +220,9 @@ Status QueryExecutor::Run(Instance& instance, const QueryRequest& request,
     }
     instance.ChargeParallelWork(parse_work);
   }
+  fetch_span.End();
+  cloud::MeteredSpan eval_span(&w.env_->tracer(), &w.env_->meter(),
+                               instance, "eval");
   std::vector<const xml::Document*> doc_ptrs;
   doc_ptrs.reserve(docs.size());
   for (const auto& doc : docs) doc_ptrs.push_back(doc.get());
@@ -222,10 +237,13 @@ Status QueryExecutor::Run(Instance& instance, const QueryRequest& request,
   instance.ChargeParallelWork(
       work.eval_per_byte * static_cast<double>(eval_stats.doc_bytes_scanned) +
       work.result_per_byte * static_cast<double>(eval_stats.result_bytes));
+  eval_span.End();
 
   w.MaybeRenewLease(instance, w.config_.query_queue, receipt, lease_anchor);
 
   // Store the results in the file store (step 14).
+  cloud::MeteredSpan store_span(&w.env_->tracer(), &w.env_->meter(),
+                                instance, "store");
   std::string result_xml = outcome->result.ToXml();
   instance.ChargeParallelWork(work.result_per_byte *
                               static_cast<double>(result_xml.size()));
@@ -235,6 +253,7 @@ Status QueryExecutor::Run(Instance& instance, const QueryRequest& request,
     return w.env_->s3().Put(instance, w.config_.results_bucket, result_key,
                             result_xml);
   }));
+  store_span.End();
   outcome->timings.transfer_eval = instance.now() - eval_start;
   outcome->timings.total = instance.now() - task_start;
 
@@ -250,6 +269,23 @@ Status QueryExecutor::Run(Instance& instance, const QueryRequest& request,
   outcome->actual_requests = static_cast<double>(
       task_delta.s3_get_requests + task_delta.s3_put_requests +
       task_delta.ddb_get_requests + task_delta.sdb_get_requests);
+
+  // Engine-level metrics for this task, plus the planner's report card:
+  // the actual/estimated cost ratio (1.0 = a perfect estimate), recorded
+  // only when the estimate was exercised as priced (planner on, not
+  // degraded mid-flight).
+  common::MetricRegistry& registry = w.env_->metrics();
+  registry.GetCounter("engine.query.count")->Add(1);
+  if (outcome->degraded) {
+    registry.GetCounter("engine.query.degraded.count")->Add(1);
+  }
+  registry.GetHistogram("engine.query.latency_us")
+      ->Record(static_cast<double>(outcome->timings.total));
+  if (w.config_.use_planner && w.config_.use_index && !outcome->degraded &&
+      outcome->estimated_cost_usd > 0) {
+    registry.GetHistogram("planner.estimate_error_ratio")
+        ->Record(outcome->actual_cost_usd / outcome->estimated_cost_usd);
+  }
   return Status::OK();
 }
 

@@ -35,7 +35,7 @@ Warehouse::Warehouse(cloud::CloudEnv* env, const WarehouseConfig& config)
               ? static_cast<cloud::KvStore*>(&env->simpledb())
               : &env->dynamodb(),
           config.retry, env->config().seed, &env->meter(),
-          &env->breaker())),
+          &env->breaker(), &env->metrics(), &env->tracer())),
       cluster_(config.num_instances, config.instance_type,
                &env->config().work) {}
 
@@ -133,6 +133,11 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
     return step;
   }
   const cloud::ReceivedMessage& msg = **received;
+  // One span per delivered indexing task (redeliveries are separate
+  // spans: each one bills its own requests and VM time).
+  cloud::MeteredSpan task_span(&env_->tracer(), &env_->meter(), instance,
+                               "index.task");
+  task_span.AddAttr("delivery", msg.delivery_count);
   if (msg.delivery_count > 1) report->redeliveries += 1;
   if (config_.max_deliveries > 0 &&
       msg.delivery_count > config_.max_deliveries) {
@@ -161,6 +166,8 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
   // spent by the pipeline, in which case its memoized result is charged
   // to this instance's virtual clock exactly as if computed inline.
   const Micros extract_start = instance.now();
+  cloud::MeteredSpan extract_span(&env_->tracer(), &env_->meter(), instance,
+                                  "extract");
   auto request = LoadRequest::Parse(msg.body);
   // A malformed message is deleted rather than redelivered forever;
   // a transiently failing one is abandoned so its lease expires and the
@@ -207,12 +214,15 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
       }
     }
   }
+  extract_span.End();
   report->extraction_micros += instance.now() - extract_start;
   MaybeRenewLease(instance, config_.loader_queue, msg.receipt,
                   &lease_anchor);
 
   // Phase 2: upload to the index store ("uploading time").
   const Micros upload_start = instance.now();
+  cloud::MeteredSpan upload_span(&env_->tracer(), &env_->meter(), instance,
+                                 "upload");
   bool crashed = false;
   if (outcome == TaskOutcome::kOk) {
     const cloud::Usage before = env_->meter().Snapshot();
@@ -235,6 +245,7 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
     const cloud::Usage delta = env_->meter().Snapshot() - before;
     report->index_put_units += delta.ddb_write_units + delta.sdb_put_requests;
   }
+  upload_span.End();
   report->upload_micros += instance.now() - upload_start;
   MaybeRenewLease(instance, config_.loader_queue, msg.receipt,
                   &lease_anchor);
@@ -357,6 +368,10 @@ Result<IndexingRunReport> Warehouse::RunIndexers() {
     }
   }
 
+  // Root span of the run: its usage delta includes the fleet's rented VM
+  // time billed below, so the rolled-up cost is the whole run's bill.
+  cloud::MeteredSpan run_span(&env_->tracer(), &env_->meter(), front_end_,
+                              "index.run");
   cluster_.SyncClocks(front_end_.now());
   report.makespan = cluster_.RunUntilDrained(
       [this, &report, &pipeline](Instance& instance) {
@@ -369,6 +384,8 @@ Result<IndexingRunReport> Warehouse::RunIndexers() {
                             inst->now() - front_end_.now());
   }
   front_end_.AdvanceTo(cluster_.MaxClock());
+  run_span.AddAttr("documents", static_cast<double>(report.documents));
+  run_span.AddAttr("makespan_us", static_cast<double>(report.makespan));
   return report;
 }
 
@@ -431,6 +448,10 @@ WorkerStep Warehouse::QueryStep(Instance& instance,
     return step;
   }
   const cloud::ReceivedMessage& msg = **received;
+  // One span per delivered query task, like index.task above.
+  cloud::MeteredSpan task_span(&env_->tracer(), &env_->meter(), instance,
+                               "query");
+  task_span.AddAttr("delivery", msg.delivery_count);
   if (config_.max_deliveries > 0 &&
       msg.delivery_count > config_.max_deliveries) {
     env_->meter().mutable_usage().dead_lettered += 1;
@@ -450,6 +471,8 @@ WorkerStep Warehouse::QueryStep(Instance& instance,
   auto request = QueryRequest::Parse(msg.body);
   TaskOutcome task = request.ok() ? TaskOutcome::kOk : TaskOutcome::kPoison;
   if (task == TaskOutcome::kOk) {
+    task_span.AddAttr("query_id",
+                      static_cast<double>(request.value().id));
     QueryOutcome outcome;
     const Status processed = ProcessQuery(instance, request.value(),
                                           msg.receipt, &lease_anchor,
@@ -461,10 +484,13 @@ WorkerStep Warehouse::QueryStep(Instance& instance,
           "result-%llu.xml",
           static_cast<unsigned long long>(request.value().id));
       response.row_count = outcome.result.rows.size();
+      cloud::MeteredSpan respond_span(&env_->tracer(), &env_->meter(),
+                                      instance, "respond");
       const Status sent = RetryCall(instance, "qp.respond", [&] {
         return sqs.Send(instance, config_.response_queue,
                         response.Serialize());
       });
+      respond_span.End();
       if (sent.ok()) {
         (*outcomes)[outcome.id] = std::move(outcome);
       } else {
@@ -502,16 +528,23 @@ WorkerStep Warehouse::QueryStep(Instance& instance,
 Result<QueryRunReport> Warehouse::ExecuteQueries(
     const std::vector<std::string>& queries) {
   const cloud::Usage run_start = env_->meter().Snapshot();
+  cloud::MeteredSpan run_span(&env_->tracer(), &env_->meter(), front_end_,
+                              "query.run");
+  run_span.AddAttr("queries", static_cast<double>(queries.size()));
   std::vector<uint64_t> ids;
-  for (const auto& text : queries) {
-    QueryRequest request;
-    request.id = next_query_id_++;
-    request.query_text = text;
-    ids.push_back(request.id);
-    WEBDEX_RETURN_IF_ERROR(RetryCall(front_end_, "fe.query", [&] {
-      return env_->sqs().Send(front_end_, config_.query_queue,
-                              request.Serialize());
-    }));
+  {
+    cloud::MeteredSpan submit_span(&env_->tracer(), &env_->meter(),
+                                   front_end_, "submit");
+    for (const auto& text : queries) {
+      QueryRequest request;
+      request.id = next_query_id_++;
+      request.query_text = text;
+      ids.push_back(request.id);
+      WEBDEX_RETURN_IF_ERROR(RetryCall(front_end_, "fe.query", [&] {
+        return env_->sqs().Send(front_end_, config_.query_queue,
+                                request.Serialize());
+      }));
+    }
   }
 
   std::map<uint64_t, QueryOutcome> outcomes;
@@ -534,6 +567,8 @@ Result<QueryRunReport> Warehouse::ExecuteQueries(
   // processed again — still one id).
   QueryRunReport report;
   report.makespan = makespan;
+  cloud::MeteredSpan collect_span(&env_->tracer(), &env_->meter(),
+                                  front_end_, "collect");
   std::set<uint64_t> responded;
   while (responded.size() < ids.size()) {
     auto received = RetryCall(front_end_, "fe.receive", [&] {
@@ -567,6 +602,7 @@ Result<QueryRunReport> Warehouse::ExecuteQueries(
     });
     responded.insert(response.id);
   }
+  collect_span.End();
   for (uint64_t id : ids) {
     auto it = outcomes.find(id);
     if (it == outcomes.end()) {
@@ -585,6 +621,10 @@ Result<QueryRunReport> Warehouse::ExecuteQueries(
 }
 
 Result<ScrubReport> Warehouse::Scrub(bool repair) {
+  cloud::MeteredSpan pass_span(&env_->tracer(), &env_->meter(), front_end_,
+                               "scrub.pass");
+  pass_span.AddAttr("repair", repair ? 1 : 0);
+  env_->metrics().GetCounter("engine.scrub.passes.count")->Add(1);
   Scrubber scrubber(env_, retrying_store_.get(), strategy_.get(),
                     config_.extract, config_.data_bucket);
   return scrubber.Run(front_end_, repair);

@@ -14,6 +14,7 @@
 #include "cloud/fault.h"
 #include "cloud/kv_store.h"
 #include "cloud/retrying_kv_store.h"
+#include "cloud/trace.h"
 #include "common/result.h"
 #include "common/retry.h"
 #include "common/rng.h"
@@ -283,7 +284,10 @@ class Warehouse {
 
   /// Runs `fn` (returning Status or Result<T>) under the configured retry
   /// policy; backoff advances `agent`'s virtual clock and jitter is drawn
-  /// from a deterministic per-`site` stream.
+  /// from a deterministic per-`site` stream.  With the tracer enabled,
+  /// each attempt gets its own `attempt.<site>` span carrying the usage
+  /// it metered (retried attempts show up as siblings, so a span tree
+  /// prices every billed attempt, not just the one that succeeded).
   template <typename Fn>
   auto RetryCall(cloud::SimAgent& agent, const std::string& site,
                  const Fn& fn) -> decltype(fn()) {
@@ -293,12 +297,39 @@ class Warehouse {
                .emplace(site, Rng::ForKey(env_->config().seed, "wh:" + site))
                .first;
     }
-    return common::CallWithRetry(
-        config_.retry, it->second, fn,
-        [&agent](int64_t micros) {
-          agent.Advance(static_cast<cloud::Micros>(micros));
-        },
-        &env_->meter().mutable_usage().retried_requests);
+    // The sleep callback fires exactly once per retry, in lockstep with
+    // the `retries` counter, so bumping the mirror metric here keeps
+    // `cloud.retry.retries.count` equal to Usage::retried_requests.
+    common::Counter* retries_metric =
+        env_->metrics().GetCounter("cloud.retry.retries.count");
+    const auto sleep = [&agent, retries_metric](int64_t micros) {
+      agent.Advance(static_cast<cloud::Micros>(micros));
+      retries_metric->Add(1);
+    };
+    common::Counter* attempts_metric =
+        env_->metrics().GetCounter("cloud.retry.attempts.count");
+    uint64_t* retries = &env_->meter().mutable_usage().retried_requests;
+    if (!env_->tracer().enabled()) {
+      const auto counted = [&]() -> decltype(fn()) {
+        attempts_metric->Add(1);
+        return fn();
+      };
+      return common::CallWithRetry(config_.retry, it->second, counted, sleep,
+                                   retries);
+    }
+    const std::string span_name = "attempt." + site;
+    int attempt = 0;
+    const auto traced = [&]() -> decltype(fn()) {
+      attempts_metric->Add(1);
+      cloud::MeteredSpan span(&env_->tracer(), &env_->meter(), agent,
+                              span_name);
+      span.AddAttr("attempt", ++attempt);
+      auto outcome = fn();
+      if (!common::StatusOf(outcome).ok()) span.AddAttr("error", 1);
+      return outcome;
+    };
+    return common::CallWithRetry(config_.retry, it->second, traced, sleep,
+                                 retries);
   }
 
   /// Uploads `items` to `table` one BatchPutLimit()-sized page per API

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
+#include "cloud/cloud_env.h"
 #include "cloud/usage.h"
+#include "common/metrics.h"
 
 namespace webdex::cloud {
 namespace {
@@ -93,6 +98,82 @@ TEST(BillTest, ArithmeticAndRendering) {
   EXPECT_NE(text.find("TOTAL"), std::string::npos);
   // SimpleDB line only appears when the service was used.
   EXPECT_EQ(text.find("SimpleDB"), std::string::npos);
+}
+
+// WEBDEX_USAGE_FIELDS must enumerate every field of Usage: all fields
+// are 8 bytes wide (uint64_t / double / Micros), so a field added to the
+// struct but missing from the X-macro shows up as a size mismatch here.
+TEST(UsageFieldsTest, FieldListCoversWholeStruct) {
+  static_assert(Usage::kFieldCount * 8 == sizeof(Usage),
+                "WEBDEX_USAGE_FIELDS is missing a Usage field");
+  EXPECT_EQ(Usage::kFieldCount * 8, static_cast<int>(sizeof(Usage)));
+}
+
+TEST(UsageFieldsTest, ConstVisitorSeesEveryFieldOnce) {
+  Usage u;
+  u.s3_put_requests = 7;
+  u.ddb_write_units = 2.5;
+  u.vm_micros_large = 123;
+  std::set<std::string> names;
+  int count = 0;
+  double total = 0;
+  static_cast<const Usage&>(u).ForEachField(
+      [&](const char* name, auto value) {
+        names.insert(name);
+        ++count;
+        total += static_cast<double>(value);
+      });
+  EXPECT_EQ(count, Usage::kFieldCount);
+  EXPECT_EQ(static_cast<int>(names.size()), Usage::kFieldCount);
+  EXPECT_EQ(names.count("s3_put_requests"), 1u);
+  EXPECT_EQ(names.count("ddb_write_units"), 1u);
+  EXPECT_EQ(names.count("egress_bytes"), 1u);
+  EXPECT_DOUBLE_EQ(total, 7 + 2.5 + 123);
+}
+
+TEST(UsageFieldsTest, MutableVisitorReachesEveryField) {
+  Usage u;
+  u.ForEachField([](const char*, auto* field) { *field += 1; });
+  // Every field was writable through the visitor; summing via the const
+  // visitor proves each of the kFieldCount fields now holds 1.
+  double total = 0;
+  static_cast<const Usage&>(u).ForEachField(
+      [&](const char*, auto value) { total += static_cast<double>(value); });
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(Usage::kFieldCount));
+}
+
+// Usage stays the billing source of truth; the registry's `usage.<field>`
+// gauges are a published mirror.  Cross-check the two after real metered
+// traffic so a drifting mirror (stale publish, wrong field name, lossy
+// cast) fails loudly.
+TEST(UsageMetricsMirrorTest, GaugesMatchMeterAfterPublish) {
+  CloudEnv env;
+  SimAgent agent;
+  ASSERT_TRUE(env.s3().CreateBucket("bucket").ok());
+  ASSERT_TRUE(env.s3().Put(agent, "bucket", "key", std::string(2048, 'x')).ok());
+  ASSERT_TRUE(env.s3().Get(agent, "bucket", "key").ok());
+  env.meter().AddVmTime(InstanceType::kLarge, kMicrosPerHour);
+  env.meter().AddEgress(512);
+
+  env.PublishUsageMetrics();
+  int checked = 0;
+  env.meter().usage().ForEachField([&](const char* name, auto value) {
+    const std::string gauge = std::string("usage.") + name;
+    EXPECT_DOUBLE_EQ(env.metrics().GaugeValue(gauge),
+                     static_cast<double>(value))
+        << gauge;
+    ++checked;
+  });
+  EXPECT_EQ(checked, Usage::kFieldCount);
+  // Sanity: the traffic above actually moved the counters being mirrored.
+  EXPECT_GT(env.metrics().GaugeValue("usage.s3_put_requests"), 0.0);
+  EXPECT_GT(env.metrics().GaugeValue("usage.vm_micros_large"), 0.0);
+
+  // Republishing after more traffic overwrites, not accumulates.
+  ASSERT_TRUE(env.s3().Get(agent, "bucket", "key").ok());
+  env.PublishUsageMetrics();
+  EXPECT_DOUBLE_EQ(env.metrics().GaugeValue("usage.s3_get_requests"),
+                   static_cast<double>(env.meter().usage().s3_get_requests));
 }
 
 TEST(PricingTest, InstanceTypeNamesAndRates) {

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Lints the observability surface of a live webdex_cli binary.
+
+Checks (docs/OBSERVABILITY.md):
+  * every metric name the binary exposes obeys the documented grammar
+      name    := segment ('.' segment)+      -- at least two segments
+      segment := [a-z0-9_]+                  -- first segment starts [a-z]
+  * the Prometheus exposition is consistent with the JSON dump: every
+    counter/gauge appears as webdex_<dots-to-underscores> with the same
+    value, every histogram emits _bucket{le=...}/_sum/_count lines;
+  * a one-shot trace emits well-formed JSONL: ordinal ids, parents that
+    precede their children, end >= start, non-negative `usd` attrs, and
+    parent usd covering the sum of its children's.
+
+Usage: trace_lint.py <path-to-webdex_cli>
+Exit code 0 on a clean lint; failures are listed on stderr.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+
+METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+QUERY = "//item[/name:val]"
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def run(binary, *args):
+    result = subprocess.run(
+        [binary, *args], capture_output=True, text=True, timeout=300
+    )
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout + result.stderr)
+        sys.exit(f"{' '.join(args)}: exit {result.returncode}")
+    return result.stdout
+
+
+def lint_names(dump):
+    names = (
+        list(dump["counters"])
+        + list(dump["gauges"])
+        + list(dump["histograms"])
+    )
+    if not names:
+        fail("metrics dump is empty")
+    for name in names:
+        if not METRIC_NAME.match(name):
+            fail(f"metric name violates the grammar: {name!r}")
+    return names
+
+
+def lint_prometheus(dump, text):
+    lines = [l for l in text.splitlines() if l.startswith("webdex_")]
+    if not lines:
+        fail("no webdex_-prefixed lines in the Prometheus exposition")
+    body = "\n".join(lines)
+    for name, value in dump["counters"].items():
+        prom = "webdex_" + name.replace(".", "_")
+        if not re.search(rf"^{re.escape(prom)} {value}$", body, re.M):
+            fail(f"counter {name} missing from Prometheus as '{prom} {value}'")
+    for name in dump["gauges"]:
+        prom = "webdex_" + name.replace(".", "_")
+        if not re.search(rf"^{re.escape(prom)} ", body, re.M):
+            fail(f"gauge {name} missing from Prometheus as '{prom}'")
+    for name, h in dump["histograms"].items():
+        prom = "webdex_" + name.replace(".", "_")
+        for suffix in ("_bucket{le=", "_sum", "_count"):
+            if prom + suffix not in body:
+                fail(f"histogram {name} missing Prometheus '{prom}{suffix}'")
+        if not re.search(rf"^{re.escape(prom)}_count {h['count']}$", body, re.M):
+            fail(f"histogram {name} count mismatch in Prometheus")
+
+
+def lint_trace_jsonl(path):
+    with open(path) as f:
+        spans = [json.loads(line) for line in f if line.strip()]
+    if not spans:
+        fail("trace JSONL is empty")
+        return
+    usd = {}
+    child_usd = {}
+    for ordinal, span in enumerate(spans, start=1):
+        sid = span["id"]
+        if sid != ordinal:
+            fail(f"span ids are not creation ordinals: got {sid} at {ordinal}")
+        if span["parent"] >= sid:
+            fail(f"span {sid} has non-preceding parent {span['parent']}")
+        if span["end_us"] < span["start_us"]:
+            fail(f"span {sid} ({span['name']}) ends before it starts")
+        attrs = span.get("attrs", {})
+        usd[sid] = attrs.get("usd", 0.0)
+        if usd[sid] < 0:
+            fail(f"span {sid} ({span['name']}) has negative usd")
+        for key in attrs:
+            if key.startswith("usage.") and not METRIC_NAME.match(key):
+                fail(f"span {sid} usage attr violates the grammar: {key!r}")
+        child_usd[span["parent"]] = child_usd.get(span["parent"], 0.0) + usd[sid]
+    for span in spans:
+        sid = span["id"]
+        if sid in child_usd and usd[sid] + 1e-12 < child_usd[sid]:
+            fail(
+                f"span {sid} ({span['name']}) usd {usd[sid]} smaller than "
+                f"its children's sum {child_usd[sid]}"
+            )
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    binary = sys.argv[1]
+
+    json_out = run(binary, "metrics", QUERY, "--json")
+    dump_lines = [l for l in json_out.splitlines() if l.startswith('{"counters"')]
+    if len(dump_lines) != 1:
+        sys.exit("could not locate the JSON metrics dump in the output")
+    dump = json.loads(dump_lines[0])
+    names = lint_names(dump)
+
+    prom_out = run(binary, "metrics", QUERY, "--prometheus")
+    lint_prometheus(dump, prom_out)
+
+    with tempfile.NamedTemporaryFile(suffix=".jsonl") as tmp:
+        run(binary, "trace", "--jsonl", tmp.name, QUERY)
+        lint_trace_jsonl(tmp.name)
+
+    if errors:
+        for e in errors:
+            print(f"trace_lint: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"trace_lint: {len(names)} metric names clean, trace JSONL clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -114,6 +114,10 @@ class Cli {
       Index();
     } else if (command == "query") {
       RunQuery(rest);
+    } else if (command == "trace") {
+      Trace(rest);
+    } else if (command == "metrics") {
+      Metrics(rest);
     } else if (command == "explain") {
       Explain(rest);
     } else if (command == "planner") {
@@ -164,6 +168,14 @@ class Cli {
         "  gen <n> [entities] [split]       generate an XMark corpus\n"
         "  index                            run the indexing fleet\n"
         "  query <tree pattern query>       evaluate a query\n"
+        "  trace [--jsonl <file>] <query>   evaluate a query with tracing\n"
+        "                                   on and print the span tree's\n"
+        "                                   cost rollup (every subtree's\n"
+        "                                   dollars = the metered sum of\n"
+        "                                   its children); --jsonl also\n"
+        "                                   writes the raw spans to a file\n"
+        "  metrics [--prometheus|--json]    dump the metric registry\n"
+        "                                   (docs/OBSERVABILITY.md)\n"
         "  explain <tree pattern query>     show the logical and physical\n"
         "                                   plans with every access path's\n"
         "                                   cost estimate (nothing billed)\n"
@@ -483,6 +495,63 @@ class Cli {
     }
   }
 
+  void Trace(const std::string& args) {
+    if (!Opened()) return;
+    std::string text = args;
+    std::string jsonl_path;
+    if (text.rfind("--jsonl", 0) == 0) {
+      std::istringstream input(text);
+      std::string flag;
+      input >> flag >> jsonl_path;
+      std::getline(input, text);
+      text = std::string(Trim(text));
+      if (jsonl_path.empty()) {
+        std::printf("usage: trace [--jsonl <file>] <tree pattern query>\n");
+        return;
+      }
+    }
+    if (text.empty()) {
+      std::printf("usage: trace [--jsonl <file>] <tree pattern query>\n");
+      return;
+    }
+    common::Tracer& tracer = env_->tracer();
+    const bool was_enabled = tracer.enabled();
+    tracer.set_enabled(true);
+    tracer.Clear();
+    auto outcome = warehouse_->ExecuteQuery(text);
+    tracer.set_enabled(was_enabled);
+    if (!outcome.ok()) {
+      std::printf("query failed: %s\n", outcome.status().ToString().c_str());
+      return;
+    }
+    std::printf("%zu row(s); %zu span(s) recorded\n",
+                outcome.value().result.rows.size(), tracer.spans().size());
+    std::printf("%s", tracer.CostRollup().c_str());
+    if (!jsonl_path.empty()) {
+      std::ofstream out(jsonl_path, std::ios::binary);
+      if (!out) {
+        std::printf("cannot write %s\n", jsonl_path.c_str());
+        return;
+      }
+      out << tracer.ToJsonl();
+      std::printf("spans written to %s\n", jsonl_path.c_str());
+    }
+  }
+
+  void Metrics(const std::string& args) {
+    if (!Opened()) return;
+    // Usage is the billing source of truth; mirror it into the registry
+    // so one dump carries both service metrics and billing counters.
+    env_->PublishUsageMetrics();
+    if (args == "--prometheus") {
+      std::printf("%s", env_->metrics().ToPrometheus().c_str());
+    } else if (args.empty() || args == "--json") {
+      std::printf("%s\n", env_->metrics().ToJson().c_str());
+    } else {
+      std::printf("usage: metrics [--prometheus|--json]\n");
+    }
+  }
+
   void Explain(const std::string& text) {
     if (!Opened()) return;
     if (text.empty()) {
@@ -596,7 +665,15 @@ class Cli {
 
   void Stats() {
     if (!Opened()) return;
-    const cloud::Usage& usage = env_->meter().usage();
+    // Counters are read back through the metric registry (the usage meter
+    // stays the billing source of truth; PublishUsageMetrics mirrors it
+    // into `usage.*` gauges — observability_test.cc cross-checks the two).
+    env_->PublishUsageMetrics();
+    const common::MetricRegistry& metrics = env_->metrics();
+    const auto usage = [&metrics](const char* field) {
+      return (unsigned long long)metrics.GaugeValue(std::string("usage.") +
+                                                    field);
+    };
     std::printf(
         "documents: %zu (%.1f MB)   distinct paths: %llu\n"
         "S3: %llu put / %llu get   DynamoDB: %llu put / %llu get "
@@ -609,21 +686,20 @@ class Cli {
         warehouse_->document_uris().size(),
         static_cast<double>(warehouse_->data_bytes()) / (1 << 20),
         (unsigned long long)summary_.distinct_paths(),
-        (unsigned long long)usage.s3_put_requests,
-        (unsigned long long)usage.s3_get_requests,
-        (unsigned long long)usage.ddb_put_requests,
-        (unsigned long long)usage.ddb_get_requests, usage.ddb_write_units,
-        usage.ddb_read_units, (unsigned long long)usage.sqs_requests,
-        (unsigned long long)usage.faulted_requests,
-        (unsigned long long)usage.retried_requests,
-        (unsigned long long)usage.sqs_redeliveries,
-        (unsigned long long)usage.dead_lettered,
-        (unsigned long long)usage.breaker_opens,
-        (unsigned long long)usage.breaker_closes,
-        (unsigned long long)usage.breaker_short_circuits,
-        (unsigned long long)usage.degraded_queries,
-        (unsigned long long)usage.scrub_repaired,
+        usage("s3_put_requests"), usage("s3_get_requests"),
+        usage("ddb_put_requests"), usage("ddb_get_requests"),
+        metrics.GaugeValue("usage.ddb_write_units"),
+        metrics.GaugeValue("usage.ddb_read_units"), usage("sqs_requests"),
+        usage("faulted_requests"), usage("retried_requests"),
+        usage("sqs_redeliveries"), usage("dead_lettered"),
+        usage("breaker_opens"), usage("breaker_closes"),
+        usage("breaker_short_circuits"), usage("degraded_queries"),
+        usage("scrub_repaired"),
         static_cast<double>(warehouse_->front_end().now()) / 1e6);
+    if (!env_->tracer().spans().empty()) {
+      std::printf("last trace (flamegraph-style cost rollup):\n%s",
+                  env_->tracer().CostRollup().c_str());
+    }
   }
 
   void Docs() {
@@ -647,6 +723,32 @@ class Cli {
 }  // namespace webdex::tools
 
 int main(int argc, char** argv) {
+  if (argc > 2 && (std::string(argv[1]) == "trace" ||
+                   std::string(argv[1]) == "metrics")) {
+    // One-shot trace/metrics: deploy a small deterministic 2LUPI
+    // warehouse, run the query with tracing on, and print the cost
+    // rollup (trace) or the metric registry (metrics <query> [--fmt]).
+    std::string query;
+    std::string fmt;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--prometheus" || arg == "--json") {
+        fmt = arg;
+        continue;
+      }
+      if (!query.empty()) query += " ";
+      query += arg;
+    }
+    std::string script = "strategy 2LUPI\nopen\ngen 12 8\nindex\n";
+    if (std::string(argv[1]) == "trace") {
+      script += "trace " + query + "\n";
+    } else {
+      script += "query " + query + "\nmetrics " + fmt + "\n";
+    }
+    std::istringstream input(script);
+    webdex::tools::Cli cli(/*interactive=*/false);
+    return cli.Run(input);
+  }
   if (argc > 2 && std::string(argv[1]) == "explain") {
     // One-shot EXPLAIN: deploy a small deterministic 2LUPI warehouse and
     // plan the query against it (nothing beyond the canned corpus is
