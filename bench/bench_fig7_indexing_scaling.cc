@@ -33,6 +33,7 @@ void BM_IndexingScaling(benchmark::State& state) {
   xmark::GeneratorConfig corpus = IndexingCorpusConfig();
   corpus.num_documents = corpus.num_documents * step / kSteps;
   for (auto _ : state) {
+    const uint64_t allocs_before = AllocCount();
     Deployment d = Deploy(kind, /*use_index=*/true, 1,
                           cloud::InstanceType::kLarge, corpus);
     Point point;
@@ -48,6 +49,8 @@ void BM_IndexingScaling(benchmark::State& state) {
         {"corpus_mb",
          static_cast<double>(point.corpus_bytes) / (1024.0 * 1024.0)},
         {"makespan_s", static_cast<double>(point.total) / 1e6}};
+    AppendResourceColumns(allocs_before, &metrics);
+    AppendInternColumns(&metrics);
     AppendFaultColumns(d.env->meter().usage(), &metrics);
     AppendMetricColumns(d.env->metrics(), &metrics);
     RecordJson(StrFormat("fig7/%s/%d-%d", index::StrategyKindName(kind),

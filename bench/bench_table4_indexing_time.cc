@@ -35,6 +35,7 @@ void BM_IndexCorpus(benchmark::State& state) {
   const index::StrategyKind kind =
       index::AllStrategyKinds()[static_cast<size_t>(state.range(0))];
   for (auto _ : state) {
+    const uint64_t allocs_before = AllocCount();
     Deployment d = Deploy(kind, /*use_index=*/true, /*query_instances=*/1,
                           cloud::InstanceType::kLarge, IndexingCorpusConfig());
     Row row;
@@ -58,6 +59,8 @@ void BM_IndexCorpus(benchmark::State& state) {
         {"docs", static_cast<double>(d.indexing.documents)},
         {"put_units", d.indexing.index_put_units},
         {"cost_dollars", d.indexing_bill.total()}};
+    AppendResourceColumns(allocs_before, &metrics);
+    AppendInternColumns(&metrics);
     AppendFaultColumns(d.env->meter().usage(), &metrics);
     AppendMetricColumns(d.env->metrics(), &metrics);
     RecordJson(StrFormat("table4/%s", row.strategy.c_str()),

@@ -1,26 +1,95 @@
 #ifndef WEBDEX_BENCH_HARNESS_H_
 #define WEBDEX_BENCH_HARNESS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include <algorithm>
 
+#include <sys/resource.h>
+
 #include "cloud/cloud_env.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "engine/warehouse.h"
+#include "index/intern.h"
 #include "index/strategy.h"
 #include "query/evaluator.h"
 #include "query/parser.h"
 #include "xmark/xmark_generator.h"
 #include "xml/parser.h"
+
+// --- Allocation counting -------------------------------------------------
+//
+// Each bench binary is a single translation unit including this header,
+// so defining the replacement global operator new/delete here gives every
+// bench an `allocs` column for free: heap allocations are the cost the
+// arena-interned index core removes, and the counter makes regressions
+// (a reintroduced per-key std::string, say) show up in BENCH_*.json
+// trajectories.  Sanitizer builds intercept operator new themselves, so
+// the counter is compiled out there and AllocCount() reports 0.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define WEBDEX_BENCH_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define WEBDEX_BENCH_COUNT_ALLOCS 0
+#else
+#define WEBDEX_BENCH_COUNT_ALLOCS 1
+#endif
+#else
+#define WEBDEX_BENCH_COUNT_ALLOCS 1
+#endif
+
+namespace webdex::bench {
+
+inline std::atomic<uint64_t>& AllocCounter() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+/// Heap allocations since process start (0 under ASan/TSan, where the
+/// replacement operators are compiled out).
+inline uint64_t AllocCount() {
+  return AllocCounter().load(std::memory_order_relaxed);
+}
+
+}  // namespace webdex::bench
+
+#if WEBDEX_BENCH_COUNT_ALLOCS
+void* operator new(std::size_t size) {
+  webdex::bench::AllocCounter().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  webdex::bench::AllocCounter().fetch_add(1, std::memory_order_relaxed);
+  // posix_memalign, not aligned_alloc: the latter demands size be a
+  // multiple of the alignment, which operator new does not guarantee.
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(static_cast<std::size_t>(align),
+                                  sizeof(void*)),
+                     size ? size : 1) == 0) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#endif  // WEBDEX_BENCH_COUNT_ALLOCS
 
 namespace webdex::bench {
 
@@ -175,6 +244,43 @@ inline void RecordJson(
     std::vector<std::pair<std::string, std::string>> labels = {}) {
   JsonRows().push_back(
       {std::move(bench), std::move(metrics), std::move(labels)});
+}
+
+/// Peak resident set size of the process in KB (getrusage; Linux reports
+/// ru_maxrss in kilobytes).  Monotone over the process lifetime.
+inline uint64_t PeakRssKb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<uint64_t>(usage.ru_maxrss);
+}
+
+/// Appends host-resource columns to a row: `allocs` (heap allocations
+/// performed during the measured region — pass the AllocCount() snapshot
+/// taken before it) and `peak_rss_kb`.  Wall-clock-side observability for
+/// the native index core: virtual results never depend on these.
+inline void AppendResourceColumns(
+    uint64_t allocs_before,
+    std::vector<std::pair<std::string, double>>* metrics) {
+  metrics->emplace_back("allocs",
+                        static_cast<double>(AllocCount() - allocs_before));
+  metrics->emplace_back("peak_rss_kb", static_cast<double>(PeakRssKb()));
+}
+
+/// Appends the global key/path interner's footprint to a row:
+/// `intern_keys` / `intern_bytes` / `intern_paths` / `intern_path_bytes`.
+/// The interner is process-global, so values are cumulative across the
+/// deployments a bench binary runs (deterministic for a fixed bench
+/// order).
+inline void AppendInternColumns(
+    std::vector<std::pair<std::string, double>>* metrics) {
+  const index::InternCore& core = index::InternCore::Global();
+  const index::InternStats stats = core.keys().Stats();
+  metrics->emplace_back("intern_keys", static_cast<double>(stats.keys));
+  metrics->emplace_back("intern_bytes", static_cast<double>(stats.bytes));
+  metrics->emplace_back("intern_paths",
+                        static_cast<double>(core.paths().size()));
+  metrics->emplace_back("intern_path_bytes",
+                        static_cast<double>(core.paths().bytes()));
 }
 
 /// Appends the chaos-layer counters (docs/FAULTS.md) to a row's metrics:

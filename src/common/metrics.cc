@@ -40,6 +40,20 @@ void Histogram::Record(double v) {
   sum_ += v;
 }
 
+void Histogram::RecordN(double v, uint64_t n) {
+  if (n == 0) return;
+  buckets_[BucketIndex(v)] += n;
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += n;
+  sum_ += v * double(n);
+}
+
 void Histogram::Merge(const Histogram& o) {
   if (o.count_ == 0) return;
   for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += o.buckets_[i];

@@ -58,6 +58,10 @@ class Histogram {
   static constexpr int kNumBuckets = 64;
 
   void Record(double v);
+  /// Records `n` samples of value `v` in O(1) — what publishers of
+  /// pre-aggregated distributions (e.g. the interner's probe-length
+  /// counts) use to rebuild a histogram without n Record calls.
+  void RecordN(double v, uint64_t n);
   void Merge(const Histogram& o);
   void Reset() { *this = Histogram(); }
 

@@ -32,20 +32,17 @@ ExtractionResult ExtractionPipeline::ExtractNow(
   }
   out.doc = std::make_shared<const xml::Document>(std::move(doc).value());
   Rng uuid_rng = Rng::ForKey(base_seed, uri);
-  const index::DocIndex doc_index = index::ExtractDocIndex(*out.doc, options);
-  auto extracted = strategy.ExtractItems(*out.doc, doc_index, options, store,
-                                         uuid_rng, &out.stats);
+  // Kept on the result: the planner's PathSummary consumes it directly
+  // once the warehouse commits the task, without re-extracting
+  // (docs/PLANNER.md).
+  out.doc_index = index::ExtractDocIndex(*out.doc, options);
+  auto extracted = strategy.ExtractItems(*out.doc, out.doc_index, options,
+                                         store, uuid_rng, &out.stats);
   if (!extracted.ok()) {
     out.status = extracted.status();
     return out;
   }
   out.items = std::move(extracted).value();
-  // The planner's PathSummary only needs each key's distinct data paths,
-  // a sliver of the DocIndex; keep it so the warehouse can account the
-  // document without re-extracting (docs/PLANNER.md).
-  for (const auto& [key, entry] : doc_index) {
-    out.key_paths.emplace(key, entry.paths);
-  }
   return out;
 }
 

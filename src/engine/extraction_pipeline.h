@@ -28,10 +28,11 @@ struct ExtractionResult {
   std::shared_ptr<const xml::Document> doc;
   index::ExtractStats stats;
   std::vector<index::TableItems> items;
-  /// Each index key's distinct data paths — the document's contribution
-  /// to the planner's index::PathSummary (fed by the warehouse once the
-  /// task commits, deduplicated by URI across redeliveries).
-  std::map<std::string, std::vector<std::string>> key_paths;
+  /// The document's handle-keyed DocIndex — the warehouse feeds it to the
+  /// planner's index::PathSummary once the task commits (deduplicated by
+  /// URI across redeliveries).  Handles resolve against the global
+  /// InternCore, so the result is shareable across host threads.
+  index::DocIndex doc_index;
 };
 
 /// Speculative host-parallel execution of the fetch-parse-extract phase of

@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "engine/query_executor.h"
+#include "index/intern.h"
 #include "query/parser.h"
 #include "xml/parser.h"
 
@@ -267,7 +268,7 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
     // Feed the planner's corpus statistics once per document: a crashed
     // task redone on redelivery must not double-count its paths.
     if (summarized_uris_.insert(request.value().uri).second) {
-      path_summary_.AddDocument(extraction->key_paths);
+      path_summary_.AddDocument(extraction->doc_index);
     }
   }
 
@@ -386,6 +387,10 @@ Result<IndexingRunReport> Warehouse::RunIndexers() {
   front_end_.AdvanceTo(cluster_.MaxClock());
   run_span.AddAttr("documents", static_cast<double>(report.documents));
   run_span.AddAttr("makespan_us", static_cast<double>(report.makespan));
+  // Snapshot the interner after the fleet drains: pooled extraction
+  // threads are joined, so this runs on the event-loop thread as the
+  // MetricRegistry contract requires.
+  index::PublishInternMetrics(&env_->metrics());
   return report;
 }
 

@@ -9,56 +9,122 @@
 namespace webdex::index {
 namespace {
 
-void AddOccurrence(DocIndex* index, const std::string& key,
-                   const xml::NodeId& id, const std::string& path) {
-  NodeEntry& entry = (*index)[key];
-  entry.ids.push_back(id);
-  entry.paths.push_back(path);
+/// One key occurrence recorded during the walk; `entry` is filled by the
+/// grouping pass.
+struct Occurrence {
+  KeyHandle key;
+  PathHandle path;
+  xml::NodeId id;
+  uint32_t entry;
+};
+
+/// Per-thread reusable extraction state: the occurrence buffer plus a
+/// tiny open-addressed KeyHandle -> dense-entry-index table.  Everything
+/// is cleared per document but keeps its capacity, so steady-state
+/// extraction allocates nothing.
+struct ExtractScratch {
+  std::vector<Occurrence> occurrences;
+  /// Packed slots: high 32 bits = key+1 (0 = empty), low 32 = entry idx.
+  std::vector<uint64_t> table;
+  uint32_t distinct = 0;
+  std::vector<uint32_t> id_cursor;
+  std::vector<uint32_t> path_cursor;
+
+  void Reset() {
+    occurrences.clear();
+    distinct = 0;  // GrowTable re-zeroes the slots before use
+  }
+
+  static size_t SlotOf(KeyHandle key, size_t mask) {
+    // Fibonacci hashing spreads consecutive handles.
+    return (uint64_t{key} * 11400714819323198485ull >> 33) & mask;
+  }
+
+  void GrowTable(size_t at_least) {
+    size_t size = 1024;
+    while (size < at_least * 2) size *= 2;
+    if (size <= table.size()) {
+      std::fill(table.begin(), table.end(), 0);
+      return;
+    }
+    table.assign(size, 0);
+  }
+
+  uint32_t EntryOf(KeyHandle key) {
+    const size_t mask = table.size() - 1;
+    size_t i = SlotOf(key, mask);
+    while (true) {
+      const uint64_t slot = table[i];
+      if (slot == 0) {
+        table[i] = (uint64_t{key} + 1) << 32 | distinct;
+        return distinct++;
+      }
+      if ((slot >> 32) == uint64_t{key} + 1) {
+        return static_cast<uint32_t>(slot);
+      }
+      i = (i + 1) & mask;
+    }
+  }
+};
+
+ExtractScratch& ScratchForThread() {
+  thread_local ExtractScratch scratch;
+  return scratch;
 }
 
-void Walk(const xml::Node& node, const std::string& parent_path,
-          const ExtractOptions& options, DocIndex* index) {
+struct WalkContext {
+  StringInterner* keys;
+  PathDict* paths;
+  const ExtractOptions* options;
+  std::vector<Occurrence>* occurrences;
+
+  void Add(KeyHandle key, const xml::NodeId& id, PathHandle path) {
+    occurrences->push_back(Occurrence{key, path, id, 0});
+  }
+};
+
+void Walk(const xml::Node& node, PathHandle parent_path, WalkContext& ctx) {
   switch (node.kind()) {
     case xml::NodeKind::kElement: {
-      const std::string key = ElementKey(node.label());
-      const std::string path = parent_path + "/" + PathComponent(key);
-      AddOccurrence(index, key, node.id(), path);
+      const KeyHandle key = InternElementKey(*ctx.keys, node.label());
+      const PathHandle path = ctx.paths->Extend(parent_path, key);
+      ctx.Add(key, node.id(), path);
       for (const auto& child : node.children()) {
-        Walk(*child, path, options, index);
+        Walk(*child, path, ctx);
       }
       break;
     }
     case xml::NodeKind::kAttribute: {
       // Two keys per attribute: a‖name and a‖name value (Section 5).
-      const std::string name_key = AttributeNameKey(node.label());
-      const std::string name_path =
-          parent_path + "/" + PathComponent(name_key);
-      AddOccurrence(index, name_key, node.id(), name_path);
-      const std::string value_key =
-          AttributeValueKey(node.label(), node.value());
-      AddOccurrence(index, value_key, node.id(),
-                    parent_path + "/" + PathComponent(value_key));
-      if (options.include_words) {
+      const KeyHandle name_key =
+          InternAttributeNameKey(*ctx.keys, node.label());
+      const PathHandle name_path = ctx.paths->Extend(parent_path, name_key);
+      ctx.Add(name_key, node.id(), name_path);
+      const KeyHandle value_key =
+          InternAttributeValueKey(*ctx.keys, node.label(), node.value());
+      ctx.Add(value_key, node.id(),
+              ctx.paths->Extend(parent_path, value_key));
+      if (ctx.options->include_words) {
         // Attribute-value words share the attribute's structural ID (an
         // attribute is a leaf, so its value has no separate position);
         // the key twig connects them with a self edge.
-        for (const auto& word : xml::TokenizeWords(node.value())) {
-          const std::string word_key = WordKey(word);
-          AddOccurrence(index, word_key, node.id(),
-                        name_path + "/" + PathComponent(word_key));
-        }
+        xml::ForEachWord(node.value(), [&](std::string_view word) {
+          const KeyHandle word_key = InternWordKey(*ctx.keys, word);
+          ctx.Add(word_key, node.id(),
+                  ctx.paths->Extend(name_path, word_key));
+        });
       }
       break;
     }
     case xml::NodeKind::kText: {
-      if (!options.include_words) break;
-      for (const auto& word : xml::TokenizeWords(node.value())) {
-        const std::string word_key = WordKey(word);
+      if (!ctx.options->include_words) break;
+      xml::ForEachWord(node.value(), [&](std::string_view word) {
+        const KeyHandle word_key = InternWordKey(*ctx.keys, word);
         // Word occurrences carry the text node's ID: a child of the
         // enclosing element in (pre, post, depth) space.
-        AddOccurrence(index, word_key, node.id(),
-                      parent_path + "/" + PathComponent(word_key));
-      }
+        ctx.Add(word_key, node.id(),
+                ctx.paths->Extend(parent_path, word_key));
+      });
       break;
     }
   }
@@ -66,42 +132,129 @@ void Walk(const xml::Node& node, const std::string& parent_path,
 
 }  // namespace
 
+const DocIndex::Entry* DocIndex::Find(std::string_view key) const {
+  const StringInterner& keys = core_->keys();
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [&keys](const Entry& e, std::string_view k) {
+        return keys.Resolve(e.key) < k;
+      });
+  if (it == entries_.end() || keys.Resolve(it->key) != key) return nullptr;
+  return &*it;
+}
+
+std::vector<std::string> DocIndex::PathVector(const Entry& e) const {
+  std::vector<std::string> out;
+  out.reserve(e.path_count);
+  for (uint32_t i = 0; i < e.path_count; ++i) {
+    out.emplace_back(path(paths(e)[i]));
+  }
+  return out;
+}
+
+DocIndex ExtractDocIndexInto(const xml::Document& doc,
+                             const ExtractOptions& options, InternCore* core) {
+  DocIndex index(core);
+  ExtractScratch& scratch = ScratchForThread();
+  scratch.Reset();
+
+  WalkContext ctx{&core->keys(), &core->paths(), &options,
+                  &scratch.occurrences};
+  Walk(doc.root(), kNoHandle, ctx);
+
+  // Group occurrences by key: assign each a dense entry index, count, and
+  // scatter IDs / paths into the two slabs.
+  scratch.GrowTable(scratch.occurrences.size());
+  for (Occurrence& occ : scratch.occurrences) {
+    occ.entry = scratch.EntryOf(occ.key);
+  }
+  const uint32_t distinct = scratch.distinct;
+  index.entries_.assign(distinct, DocIndex::Entry{});
+  for (const Occurrence& occ : scratch.occurrences) {
+    DocIndex::Entry& e = index.entries_[occ.entry];
+    e.key = occ.key;
+    e.id_count += 1;
+    e.path_count += 1;
+  }
+  uint32_t id_offset = 0;
+  uint32_t path_offset = 0;
+  for (DocIndex::Entry& e : index.entries_) {
+    e.id_begin = id_offset;
+    e.path_begin = path_offset;
+    id_offset += e.id_count;
+    path_offset += e.path_count;
+  }
+  index.ids_.resize(id_offset);
+  index.paths_.resize(path_offset);
+  scratch.id_cursor.assign(distinct, 0);
+  scratch.path_cursor.assign(distinct, 0);
+  for (const Occurrence& occ : scratch.occurrences) {
+    const DocIndex::Entry& e = index.entries_[occ.entry];
+    index.ids_[e.id_begin + scratch.id_cursor[occ.entry]++] = occ.id;
+    index.paths_[e.path_begin + scratch.path_cursor[occ.entry]++] = occ.path;
+  }
+
+  // Per entry: IDs arrive in document order already (pre-order walk), but
+  // repeated words within one text node produce duplicates worth
+  // removing; paths order by their resolved strings — the legacy map's
+  // sorted-vector contract, and what keeps serialization byte-identical.
+  const PathDict& dict = core->paths();
+  for (DocIndex::Entry& e : index.entries_) {
+    auto id_begin = index.ids_.begin() + e.id_begin;
+    auto id_end = id_begin + e.id_count;
+    if (!std::is_sorted(id_begin, id_end)) std::sort(id_begin, id_end);
+    e.id_count = static_cast<uint32_t>(
+        std::distance(id_begin, std::unique(id_begin, id_end)));
+
+    auto path_begin = index.paths_.begin() + e.path_begin;
+    auto path_end = path_begin + e.path_count;
+    std::sort(path_begin, path_end, [&dict](PathHandle a, PathHandle b) {
+      return a != b && dict.Resolve(a) < dict.Resolve(b);
+    });
+    e.path_count = static_cast<uint32_t>(
+        std::distance(path_begin, std::unique(path_begin, path_end)));
+  }
+
+  // Entries iterate in resolved-key-string order (the legacy std::map
+  // contract); handle values — which depend on which thread interned a
+  // key first — never influence the order.
+  const StringInterner& keys = core->keys();
+  std::sort(index.entries_.begin(), index.entries_.end(),
+            [&keys](const DocIndex::Entry& a, const DocIndex::Entry& b) {
+              return a.key != b.key &&
+                     keys.Resolve(a.key) < keys.Resolve(b.key);
+            });
+  return index;
+}
+
 DocIndex ExtractDocIndex(const xml::Document& doc,
                          const ExtractOptions& options) {
-  DocIndex index;
-  Walk(doc.root(), "", options, &index);
-  for (auto& [key, entry] : index) {
-    (void)key;
-    // IDs arrive in document order already (pre-order walk), but repeated
-    // words within one text node produce duplicates worth removing.
-    std::sort(entry.ids.begin(), entry.ids.end());
-    entry.ids.erase(std::unique(entry.ids.begin(), entry.ids.end()),
-                    entry.ids.end());
-    std::sort(entry.paths.begin(), entry.paths.end());
-    entry.paths.erase(std::unique(entry.paths.begin(), entry.paths.end()),
-                      entry.paths.end());
-  }
-  return index;
+  return ExtractDocIndexInto(doc, options, &InternCore::Global());
 }
 
 DocIndexStats ComputeStats(const DocIndex& index) {
   DocIndexStats stats;
-  for (const auto& [key, entry] : index) {
-    (void)key;
+  for (const auto& entry : index.entries()) {
     stats.keys += 1;
-    stats.ids += entry.ids.size();
-    for (const auto& path : entry.paths) stats.path_bytes += path.size();
+    stats.ids += entry.id_count;
+    for (uint32_t i = 0; i < entry.path_count; ++i) {
+      stats.path_bytes += index.path(index.paths(entry)[i]).size();
+    }
   }
   return stats;
+}
+
+void AppendEncodedId(std::string* blob, const xml::NodeId& id) {
+  PutVarint64(blob, id.pre);
+  PutVarint64(blob, id.post);
+  PutVarint64(blob, id.depth);
 }
 
 std::string EncodeIds(const std::vector<xml::NodeId>& ids) {
   std::string blob;
   blob.reserve(ids.size() * 4);
   for (const auto& id : ids) {
-    PutVarint64(&blob, id.pre);
-    PutVarint64(&blob, id.post);
-    PutVarint64(&blob, id.depth);
+    AppendEncodedId(&blob, id);
   }
   return blob;
 }
@@ -122,23 +275,39 @@ Result<std::vector<xml::NodeId>> DecodeIds(std::string_view blob) {
   return ids;
 }
 
-std::string EncodePaths(const std::vector<std::string>& paths) {
+namespace {
+
+template <typename PathList>
+std::string EncodePathsImpl(const PathList& paths) {
   std::string blob;
-  const std::string* previous = nullptr;
+  std::string_view previous;
+  bool have_previous = false;
   for (const auto& path : paths) {
+    const std::string_view current(path);
     size_t shared = 0;
-    if (previous != nullptr) {
-      const size_t limit = std::min(previous->size(), path.size());
-      while (shared < limit && (*previous)[shared] == path[shared]) {
+    if (have_previous) {
+      const size_t limit = std::min(previous.size(), current.size());
+      while (shared < limit && previous[shared] == current[shared]) {
         ++shared;
       }
     }
     PutVarint64(&blob, shared);
-    PutVarint64(&blob, path.size() - shared);
-    blob.append(path, shared, path.size() - shared);
-    previous = &path;
+    PutVarint64(&blob, current.size() - shared);
+    blob.append(current.data() + shared, current.size() - shared);
+    previous = current;
+    have_previous = true;
   }
   return blob;
+}
+
+}  // namespace
+
+std::string EncodePaths(const std::vector<std::string>& paths) {
+  return EncodePathsImpl(paths);
+}
+
+std::string EncodePathViews(const std::vector<std::string_view>& paths) {
+  return EncodePathsImpl(paths);
 }
 
 Result<std::vector<std::string>> DecodePaths(std::string_view blob) {

@@ -2,29 +2,86 @@
 #define WEBDEX_INDEX_ENTRY_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "index/intern.h"
 #include "xml/dom.h"
 
 namespace webdex::index {
 
-/// Everything one document contributes to the index under one key: the
-/// sorted structural identifiers of the key's occurrences (LUI payload)
-/// and the distinct root-to-node label paths (LUP payload).
-struct NodeEntry {
-  /// Sorted by pre component — kept sorted at extraction time so the
-  /// holistic twig join's inputs need no sort (paper Section 5.3).
-  std::vector<xml::NodeId> ids;
-  /// Distinct paths like "/esite/eregions/eitem/ename", sorted.
-  std::vector<std::string> paths;
-};
+/// All index data extracted from one document, keyed by interned handles
+/// and backed by flat slabs (the native index core — docs/PERFORMANCE.md).
+///
+/// The legacy representation was `std::map<std::string, NodeEntry>` with
+/// per-key `vector<string>` paths: every occurrence hashed, compared and
+/// copied heap strings.  Here each entry is three integers' worth of
+/// bookkeeping — an interned key handle plus [begin, count) ranges into
+/// two document-wide slabs: structural IDs (`ids`) and interned path
+/// handles (`paths`).  Key and path *strings* live once in the shared
+/// InternCore arena.
+///
+/// Entries iterate sorted by resolved key string, each entry's IDs sorted
+/// by pre-order and deduplicated, each entry's paths sorted by resolved
+/// path string and deduplicated — exactly the legacy map's iteration
+/// contract, so serialization (and the stored dump bytes) are unchanged.
+class DocIndex {
+ public:
+  struct Entry {
+    KeyHandle key = kNoHandle;
+    uint32_t id_begin = 0;
+    uint32_t id_count = 0;
+    uint32_t path_begin = 0;
+    uint32_t path_count = 0;
+  };
 
-/// All index data extracted from one document: key -> entry.
-using DocIndex = std::map<std::string, NodeEntry>;
+  DocIndex() : core_(&InternCore::Global()) {}
+  explicit DocIndex(const InternCore* core) : core_(core) {}
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const InternCore& core() const { return *core_; }
+
+  /// Sorted by resolved key string.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  std::string_view key(const Entry& e) const {
+    return core_->keys().Resolve(e.key);
+  }
+  /// The entry's sorted, deduplicated structural IDs.
+  const xml::NodeId* ids(const Entry& e) const {
+    return ids_.data() + e.id_begin;
+  }
+  /// The entry's path handles, sorted by resolved string, deduplicated.
+  const PathHandle* paths(const Entry& e) const {
+    return paths_.data() + e.path_begin;
+  }
+  std::string_view path(PathHandle handle) const {
+    return core_->paths().Resolve(handle);
+  }
+
+  /// Binary search by key string; nullptr when absent.
+  const Entry* Find(std::string_view key) const;
+  bool Contains(std::string_view key) const { return Find(key) != nullptr; }
+
+  /// Materializing conveniences for tests and non-hot-path callers.
+  std::vector<xml::NodeId> IdVector(const Entry& e) const {
+    return {ids(e), ids(e) + e.id_count};
+  }
+  std::vector<std::string> PathVector(const Entry& e) const;
+
+ private:
+  friend DocIndex ExtractDocIndexInto(const xml::Document&,
+                                      const struct ExtractOptions&,
+                                      InternCore*);
+
+  const InternCore* core_;
+  std::vector<Entry> entries_;
+  std::vector<xml::NodeId> ids_;
+  std::vector<PathHandle> paths_;
+};
 
 struct ExtractOptions {
   /// Emit w‖word keys for text and attribute-value words.  Figure 8
@@ -42,8 +99,13 @@ struct ExtractOptions {
 /// attribute name + valued keys, and word keys.  Word occurrences carry
 /// the structural ID of their text node (a child of the enclosing
 /// element); attribute-value words carry the attribute's own ID.
+/// Interns into the global InternCore; safe to call from any host thread.
 DocIndex ExtractDocIndex(const xml::Document& doc,
                          const ExtractOptions& options = {});
+
+/// Same, interning into an explicit core (tests, isolation).
+DocIndex ExtractDocIndexInto(const xml::Document& doc,
+                             const ExtractOptions& options, InternCore* core);
 
 /// Statistics of an extraction, for work accounting and the |op(D, I)|
 /// metric of Section 7.1.
@@ -64,6 +126,9 @@ DocIndexStats ComputeStats(const DocIndex& index);
 /// Appends the encoding of `ids` (must be sorted by pre) to a fresh blob.
 std::string EncodeIds(const std::vector<xml::NodeId>& ids);
 
+/// Appends one ID's encoding to `blob` — the chunking loop's primitive.
+void AppendEncodedId(std::string* blob, const xml::NodeId& id);
+
 /// Decodes a blob; fails with Corruption on malformed input.
 Result<std::vector<xml::NodeId>> DecodeIds(std::string_view blob);
 
@@ -83,6 +148,9 @@ Result<std::string> HexDearmour(std::string_view text);
 
 /// Encodes `paths` (must be sorted) as one front-coded blob.
 std::string EncodePaths(const std::vector<std::string>& paths);
+
+/// Same, over views (the slab-serialization hot path).
+std::string EncodePathViews(const std::vector<std::string_view>& paths);
 
 /// Decodes a front-coded blob back into the sorted path list.
 Result<std::vector<std::string>> DecodePaths(std::string_view blob);

@@ -1,0 +1,362 @@
+#include "index/intern.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "index/keys.h"
+
+namespace webdex::index {
+
+// FNV-1a, the same simple deterministic hash the codebase's Rng family
+// builds on; good enough dispersion for short index keys and endian- and
+// platform-stable so goldens hold everywhere.
+uint64_t StringInterner::HashBytes(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  // Finalize so that low and high bits are both usable (shard = high
+  // bits, bucket = low bits).
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+StringInterner::Header& StringInterner::Shard::HeaderSlot(uint32_t local) {
+  const uint32_t block = BlockOf(local);
+  Header* base = blocks[block].load(std::memory_order_relaxed);
+  if (base == nullptr) {
+    base = new Header[size_t{kBlockBase} << block];
+    blocks[block].store(base, std::memory_order_release);
+  }
+  return base[local - FirstLocalOf(block)];
+}
+
+const char* StringInterner::Shard::CopyToArena(std::string_view s) {
+  char* data;
+  if (s.size() > kArenaChunkBytes) {
+    // Oversized string gets a dedicated chunk; the current bump chunk —
+    // if any — stays usable at the back.
+    chunks.push_back(std::make_unique<char[]>(s.size()));
+    data = chunks.back().get();
+    if (chunks.size() >= 2) {
+      std::swap(chunks[chunks.size() - 1], chunks[chunks.size() - 2]);
+    } else {
+      chunk_used = kArenaChunkBytes;  // no bump chunk yet: force one next
+    }
+  } else {
+    if (chunks.empty() || s.size() > kArenaChunkBytes - chunk_used) {
+      chunks.push_back(std::make_unique<char[]>(kArenaChunkBytes));
+      chunk_used = 0;
+    }
+    data = chunks.back().get() + chunk_used;
+    chunk_used += s.size();
+  }
+  std::memcpy(data, s.data(), s.size());
+  return data;
+}
+
+void StringInterner::Shard::Grow() {
+  const size_t new_size = buckets.empty() ? 1024 : buckets.size() * 2;
+  std::vector<uint32_t> next(new_size, 0);
+  const size_t mask = new_size - 1;
+  for (uint32_t slot : buckets) {
+    if (slot == 0) continue;
+    const Header& h = HeaderAt(slot - 1);
+    size_t i = h.hash & mask;
+    while (next[i] != 0) i = (i + 1) & mask;
+    next[i] = slot;
+  }
+  buckets = std::move(next);
+}
+
+KeyHandle StringInterner::Intern(std::string_view s) {
+  const uint64_t hash = HashBytes(s);
+  const uint32_t shard_idx = ShardOf(hash);
+  Shard& shard = shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.lookups += 1;
+  if (shard.buckets.empty() ||
+      (shard.count + 1) * 4 > shard.buckets.size() * 3) {
+    shard.Grow();
+  }
+  const size_t mask = shard.buckets.size() - 1;
+  size_t i = hash & mask;
+  uint32_t probes = 0;
+  while (true) {
+    const uint32_t slot = shard.buckets[i];
+    if (slot == 0) break;
+    const Header& h = shard.HeaderAt(slot - 1);
+    if (h.hash == hash && h.len == s.size() &&
+        std::memcmp(h.data, s.data(), s.size()) == 0) {
+      shard.probe_len[std::min<uint32_t>(probes,
+                                         InternStats::kProbeSlots - 1)] += 1;
+      return (slot - 1) * kShards + shard_idx;
+    }
+    i = (i + 1) & mask;
+    probes += 1;
+  }
+  shard.probe_len[std::min<uint32_t>(probes, InternStats::kProbeSlots - 1)] +=
+      1;
+  const uint32_t local = shard.count;
+  Header& h = shard.HeaderSlot(local);
+  h.data = shard.CopyToArena(s);
+  h.hash = hash;
+  h.len = static_cast<uint32_t>(s.size());
+  shard.count += 1;
+  shard.byte_count += s.size();
+  shard.buckets[i] = local + 1;
+  return local * kShards + shard_idx;
+}
+
+KeyHandle StringInterner::Find(std::string_view s) const {
+  const uint64_t hash = HashBytes(s);
+  const uint32_t shard_idx = ShardOf(hash);
+  const Shard& shard = shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.buckets.empty()) return kNoHandle;
+  const size_t mask = shard.buckets.size() - 1;
+  size_t i = hash & mask;
+  while (true) {
+    const uint32_t slot = shard.buckets[i];
+    if (slot == 0) return kNoHandle;
+    const Header& h = shard.HeaderAt(slot - 1);
+    if (h.hash == hash && h.len == s.size() &&
+        std::memcmp(h.data, s.data(), s.size()) == 0) {
+      return (slot - 1) * kShards + shard_idx;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+uint64_t StringInterner::size() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.count;
+  }
+  return total;
+}
+
+InternStats StringInterner::Stats() const {
+  InternStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.keys += shard.count;
+    stats.bytes += shard.byte_count;
+    stats.lookups += shard.lookups;
+    for (int i = 0; i < InternStats::kProbeSlots; ++i) {
+      stats.probe_len[i] += shard.probe_len[i];
+    }
+  }
+  return stats;
+}
+
+// --- PathDict --------------------------------------------------------------
+
+PathDict::Node& PathDict::Shard::NodeSlot(uint32_t local) {
+  const uint32_t block = BlockOf(local);
+  Node* base = blocks[block].load(std::memory_order_relaxed);
+  if (base == nullptr) {
+    base = new Node[size_t{kBlockBase} << block];
+    blocks[block].store(base, std::memory_order_release);
+  }
+  return base[local - FirstLocalOf(block)];
+}
+
+char* PathDict::Shard::AllocArena(size_t n) {
+  if (n > kArenaChunkBytes) {
+    chunks.push_back(std::make_unique<char[]>(n));
+    char* data = chunks.back().get();
+    if (chunks.size() >= 2) {
+      std::swap(chunks[chunks.size() - 1], chunks[chunks.size() - 2]);
+    } else {
+      chunk_used = kArenaChunkBytes;
+    }
+    return data;  // dedicated chunk; the bump chunk stays usable
+  }
+  if (chunks.empty() || n > kArenaChunkBytes - chunk_used) {
+    chunks.push_back(std::make_unique<char[]>(kArenaChunkBytes));
+    chunk_used = 0;
+  }
+  char* data = chunks.back().get() + chunk_used;
+  chunk_used += n;
+  return data;
+}
+
+void PathDict::Shard::Grow() {
+  const size_t new_size = buckets.empty() ? 1024 : buckets.size() * 2;
+  std::vector<uint32_t> next(new_size, 0);
+  const size_t mask = new_size - 1;
+  for (uint32_t slot : buckets) {
+    if (slot == 0) continue;
+    const Node& n = NodeAt(slot - 1);
+    // Rehash from the packed pair exactly as Extend does.
+    const uint64_t key =
+        (uint64_t{n.parent} << 32) | uint64_t{n.component};
+    const uint64_t h = StringInterner::HashBytes(
+        {reinterpret_cast<const char*>(&key), sizeof(key)});
+    size_t i = h & mask;
+    while (next[i] != 0) i = (i + 1) & mask;
+    next[i] = slot;
+  }
+  buckets = std::move(next);
+}
+
+PathHandle PathDict::Extend(PathHandle parent, KeyHandle component) {
+  const uint64_t key = (uint64_t{parent} << 32) | uint64_t{component};
+  const uint64_t hash = StringInterner::HashBytes(
+      {reinterpret_cast<const char*>(&key), sizeof(key)});
+  const uint32_t shard_idx =
+      static_cast<uint32_t>(hash >> 60) & (kShards - 1);
+  Shard& shard = shards_[shard_idx];
+
+  // Assemble the escaped full path outside the lock on first sight; the
+  // common case (already interned) never needs it.  Parent resolution is
+  // lock-free, so no cross-shard lock order exists.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.buckets.empty() ||
+      (shard.count + 1) * 4 > shard.buckets.size() * 3) {
+    shard.Grow();
+  }
+  const size_t mask = shard.buckets.size() - 1;
+  size_t i = hash & mask;
+  while (true) {
+    const uint32_t slot = shard.buckets[i];
+    if (slot == 0) break;
+    const Node& n = shard.NodeAt(slot - 1);
+    if (n.parent == parent && n.component == component) {
+      return (slot - 1) * kShards + shard_idx;
+    }
+    i = (i + 1) & mask;
+  }
+
+  // Miss: build parent + "/" + escaped(component) into the shard arena.
+  thread_local std::string scratch;
+  scratch.clear();
+  if (parent != kNoHandle) {
+    const std::string_view parent_str = Resolve(parent);
+    scratch.append(parent_str.data(), parent_str.size());
+  }
+  scratch.push_back('/');
+  AppendPathComponent(&scratch, keys_->Resolve(component));
+
+  const uint32_t local = shard.count;
+  Node& n = shard.NodeSlot(local);
+  char* data = shard.AllocArena(scratch.size());
+  std::memcpy(data, scratch.data(), scratch.size());
+  n.str = data;
+  n.parent = parent;
+  n.component = component;
+  n.len = static_cast<uint32_t>(scratch.size());
+  n.depth = parent == kNoHandle ? 1 : Depth(parent) + 1;
+  shard.count += 1;
+  shard.byte_count += scratch.size();
+  shard.buckets[i] = local + 1;
+  return local * kShards + shard_idx;
+}
+
+void PathDict::Components(PathHandle handle,
+                          std::vector<KeyHandle>* out) const {
+  out->clear();
+  for (PathHandle h = handle; h != kNoHandle; h = Parent(h)) {
+    out->push_back(LastKey(h));
+  }
+  std::reverse(out->begin(), out->end());
+}
+
+uint64_t PathDict::size() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.count;
+  }
+  return total;
+}
+
+uint64_t PathDict::bytes() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.byte_count;
+  }
+  return total;
+}
+
+// --- InternCore ------------------------------------------------------------
+
+InternCore& InternCore::Global() {
+  static InternCore* core = new InternCore();
+  return *core;
+}
+
+namespace {
+
+KeyHandle InternPrefixed(StringInterner& interner, char prefix,
+                         std::string_view body) {
+  thread_local std::string scratch;
+  scratch.clear();
+  scratch.reserve(body.size() + 1);
+  scratch.push_back(prefix);
+  scratch.append(body);
+  return interner.Intern(scratch);
+}
+
+}  // namespace
+
+KeyHandle InternElementKey(StringInterner& interner, std::string_view label) {
+  return InternPrefixed(interner, kElementPrefix, label);
+}
+
+KeyHandle InternAttributeNameKey(StringInterner& interner,
+                                 std::string_view name) {
+  return InternPrefixed(interner, kAttributePrefix, name);
+}
+
+KeyHandle InternAttributeValueKey(StringInterner& interner,
+                                  std::string_view name,
+                                  std::string_view value) {
+  thread_local std::string scratch;
+  scratch.clear();
+  scratch.reserve(name.size() + value.size() + 2);
+  scratch.push_back(kAttributePrefix);
+  scratch.append(name);
+  scratch.push_back(' ');
+  scratch.append(value);
+  return interner.Intern(scratch);
+}
+
+KeyHandle InternWordKey(StringInterner& interner, std::string_view word) {
+  return InternPrefixed(interner, kWordPrefix, word);
+}
+
+// --- Metrics ---------------------------------------------------------------
+
+void PublishInternMetrics(common::MetricRegistry* registry,
+                          const InternCore& core) {
+  const InternStats stats = core.keys().Stats();
+  registry->GetGauge("index.intern.keys")
+      ->Set(static_cast<double>(stats.keys));
+  registry->GetGauge("index.intern.bytes")
+      ->Set(static_cast<double>(stats.bytes));
+  registry->GetGauge("index.intern.lookups")
+      ->Set(static_cast<double>(stats.lookups));
+  registry->GetGauge("index.intern.paths")
+      ->Set(static_cast<double>(core.paths().size()));
+  registry->GetGauge("index.intern.path_bytes")
+      ->Set(static_cast<double>(core.paths().bytes()));
+  common::Histogram* probes =
+      registry->GetHistogram("index.intern.probe_len");
+  probes->Reset();
+  for (int i = 0; i < InternStats::kProbeSlots; ++i) {
+    probes->RecordN(static_cast<double>(i), stats.probe_len[i]);
+  }
+}
+
+void PublishInternMetrics(common::MetricRegistry* registry) {
+  PublishInternMetrics(registry, InternCore::Global());
+}
+
+}  // namespace webdex::index

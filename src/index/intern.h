@@ -1,0 +1,295 @@
+#ifndef WEBDEX_INDEX_INTERN_H_
+#define WEBDEX_INDEX_INTERN_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace webdex::index {
+
+/// Arena-backed string interning for the native index core
+/// (docs/PERFORMANCE.md).  The extraction hot path touches every key and
+/// label path of every document many times; interning maps each distinct
+/// string to a stable 32-bit handle exactly once, after which the pipeline
+/// compares, hashes, sorts and copies integers instead of heap strings.
+///
+/// Layout (in the spirit of radb's string_index): each shard keeps an
+/// open-addressed bucket array of handle slots, a directory of
+/// geometrically growing header blocks `{data, hash, len}`, and an
+/// append-only chunked byte arena holding the key bytes.  Nothing is ever
+/// moved or freed, so handles — and the `string_view`s Resolve returns —
+/// stay valid for the interner's lifetime.
+
+/// Stable identifier of an interned string.  Never reused, never
+/// invalidated.  kNoHandle doubles as "absent" (Find miss) and as the
+/// root parent in PathDict.
+using KeyHandle = uint32_t;
+using PathHandle = uint32_t;
+inline constexpr uint32_t kNoHandle = 0xFFFFFFFFu;
+
+/// Point-in-time interner health, aggregated over shards.  Probe-length
+/// counts are clamped at kProbeSlots-1 (a probe of >= 15 steps lands in
+/// the last slot).
+struct InternStats {
+  static constexpr int kProbeSlots = 16;
+  uint64_t keys = 0;       // distinct interned strings
+  uint64_t bytes = 0;      // key bytes held in the arenas
+  uint64_t lookups = 0;    // Intern() calls (hits + misses)
+  std::array<uint64_t, kProbeSlots> probe_len{};  // probe-length histogram
+};
+
+/// Sharded open-addressed interner.  Intern/Find lock one shard; Resolve
+/// is lock-free (the caller holding a handle implies a happens-before
+/// edge with the insert that produced it — see docs/PERFORMANCE.md).
+class StringInterner {
+ public:
+  static constexpr uint32_t kShards = 16;
+
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns the handle of `s`, interning it on first sight.  The bytes
+  /// are copied into the shard arena; `s` need not outlive the call.
+  KeyHandle Intern(std::string_view s);
+
+  /// Handle of `s` if already interned, kNoHandle otherwise.
+  KeyHandle Find(std::string_view s) const;
+
+  /// The interned bytes behind `handle`; valid for the interner's
+  /// lifetime.  `handle` must have come from this interner.
+  std::string_view Resolve(KeyHandle handle) const {
+    const Shard& shard = shards_[handle & (kShards - 1)];
+    const Header& h = shard.HeaderAt(handle / kShards);
+    return {h.data, h.len};
+  }
+
+  /// Precomputed hash of the interned bytes (same function Intern uses).
+  uint64_t ResolveHash(KeyHandle handle) const {
+    const Shard& shard = shards_[handle & (kShards - 1)];
+    return shard.HeaderAt(handle / kShards).hash;
+  }
+
+  /// Distinct strings interned so far (locks every shard).
+  uint64_t size() const;
+
+  InternStats Stats() const;
+
+  static uint64_t HashBytes(std::string_view s);
+
+ private:
+  struct Header {
+    const char* data;
+    uint64_t hash;
+    uint32_t len;
+  };
+
+  /// Header blocks grow geometrically: block b holds kBlockBase << b
+  /// headers, so a 64-slot directory covers every possible local index
+  /// while appends never move existing headers.
+  static constexpr uint32_t kBlockBaseLog2 = 12;
+  static constexpr uint32_t kBlockBase = 1u << kBlockBaseLog2;
+  static constexpr uint32_t kBlockSlots = 20;
+  static constexpr size_t kArenaChunkBytes = 1u << 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Open-addressed table of local_index+1 (0 = empty); size is a
+    /// power of two.
+    std::vector<uint32_t> buckets;
+    uint32_t count = 0;
+    /// Directory of header blocks; slots are release-published so
+    /// lock-free Resolve may chase them with acquire loads.
+    std::array<std::atomic<Header*>, kBlockSlots> blocks{};
+    std::vector<std::unique_ptr<char[]>> chunks;
+    size_t chunk_used = kArenaChunkBytes;  // forces first allocation
+    // Stats, maintained under mu.
+    uint64_t byte_count = 0;
+    uint64_t lookups = 0;
+    std::array<uint64_t, InternStats::kProbeSlots> probe_len{};
+
+    ~Shard() {
+      // Destruction is externally synchronized (no concurrent readers
+      // can outlive the interner that hands out the handles).
+      for (auto& slot : blocks) delete[] slot.load(std::memory_order_relaxed);
+    }
+
+    Header& HeaderSlot(uint32_t local);
+    const Header& HeaderAt(uint32_t local) const {
+      const uint32_t block = BlockOf(local);
+      return blocks[block].load(std::memory_order_acquire)
+          [local - FirstLocalOf(block)];
+    }
+    const char* CopyToArena(std::string_view s);
+    void Grow();
+  };
+
+  static uint32_t BlockOf(uint32_t local) {
+    // Block b starts at local kBlockBase*(2^b - 1).
+    return 31 - static_cast<uint32_t>(
+                    __builtin_clz((local >> kBlockBaseLog2) + 1));
+  }
+  static uint32_t FirstLocalOf(uint32_t block) {
+    return kBlockBase * ((1u << block) - 1);
+  }
+
+  static uint32_t ShardOf(uint64_t hash) {
+    // Top bits pick the shard so the in-shard bucket index (low bits)
+    // stays decorrelated.
+    return static_cast<uint32_t>(hash >> 60) & (kShards - 1);
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Interns full root-to-node label paths as linked (parent, component)
+/// pairs — a trie over PathHandles.  Extend is O(1) amortized per node
+/// visited during extraction; the full escaped path string (exactly what
+/// the pre-interning code built per occurrence) is assembled once on
+/// first sight and cached in the arena, so Resolve is a pointer load.
+class PathDict {
+ public:
+  /// `keys` must outlive the dict; component handles are interpreted
+  /// against it.
+  explicit PathDict(StringInterner* keys) : keys_(keys) {}
+  PathDict(const PathDict&) = delete;
+  PathDict& operator=(const PathDict&) = delete;
+
+  /// Handle of `parent`/`component` (parent == kNoHandle means a
+  /// root-level component).  The cached string is
+  /// parent-string + "/" + percent-escaped component (index::PathComponent
+  /// escaping), matching the stored-path format byte for byte.
+  PathHandle Extend(PathHandle parent, KeyHandle component);
+
+  /// The cached full path string ("/esite/eregions/eitem/ename").
+  std::string_view Resolve(PathHandle handle) const {
+    const Node& n = shards_[handle & (kShards - 1)].NodeAt(handle / kShards);
+    return {n.str, n.len};
+  }
+
+  PathHandle Parent(PathHandle handle) const {
+    return shards_[handle & (kShards - 1)].NodeAt(handle / kShards).parent;
+  }
+  KeyHandle LastKey(PathHandle handle) const {
+    return shards_[handle & (kShards - 1)].NodeAt(handle / kShards).component;
+  }
+  uint32_t Depth(PathHandle handle) const {
+    return shards_[handle & (kShards - 1)].NodeAt(handle / kShards).depth;
+  }
+
+  /// Root-to-node component key handles, in path order.
+  void Components(PathHandle handle, std::vector<KeyHandle>* out) const;
+
+  uint64_t size() const;
+  uint64_t bytes() const;
+
+ private:
+  static constexpr uint32_t kShards = StringInterner::kShards;
+  static constexpr uint32_t kBlockBaseLog2 = 12;
+  static constexpr uint32_t kBlockBase = 1u << kBlockBaseLog2;
+  static constexpr uint32_t kBlockSlots = 20;
+  static constexpr size_t kArenaChunkBytes = 1u << 16;
+
+  struct Node {
+    const char* str;   // cached full escaped path
+    PathHandle parent;
+    KeyHandle component;
+    uint32_t len;
+    uint32_t depth;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<uint32_t> buckets;  // local_index+1, keyed by (parent, comp)
+    uint32_t count = 0;
+    std::array<std::atomic<Node*>, kBlockSlots> blocks{};
+    std::vector<std::unique_ptr<char[]>> chunks;
+    size_t chunk_used = kArenaChunkBytes;
+    uint64_t byte_count = 0;
+
+    ~Shard() {
+      for (auto& slot : blocks) delete[] slot.load(std::memory_order_relaxed);
+    }
+
+    Node& NodeSlot(uint32_t local);
+    const Node& NodeAt(uint32_t local) const {
+      const uint32_t block = BlockOf(local);
+      return blocks[block].load(std::memory_order_acquire)
+          [local - FirstLocalOf(block)];
+    }
+    char* AllocArena(size_t n);
+    void Grow();
+  };
+
+  static uint32_t BlockOf(uint32_t local) {
+    return 31 - static_cast<uint32_t>(
+                    __builtin_clz((local >> kBlockBaseLog2) + 1));
+  }
+  static uint32_t FirstLocalOf(uint32_t block) {
+    return kBlockBase * ((1u << block) - 1);
+  }
+
+  StringInterner* keys_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// The process-wide interning core the extraction pipeline runs on: one
+/// key interner plus the path dictionary over it.  A single global
+/// instance is shared by every document, thread and CloudEnv — handles
+/// are only ever compared through their resolved strings when ordering
+/// matters, so insertion order (which host thread got there first) never
+/// leaks into serialized bytes (the determinism contract of
+/// docs/PARALLELISM.md).
+class InternCore {
+ public:
+  InternCore() : paths_(&keys_) {}
+  InternCore(const InternCore&) = delete;
+  InternCore& operator=(const InternCore&) = delete;
+
+  StringInterner& keys() { return keys_; }
+  const StringInterner& keys() const { return keys_; }
+  PathDict& paths() { return paths_; }
+  const PathDict& paths() const { return paths_; }
+
+  static InternCore& Global();
+
+ private:
+  StringInterner keys_;
+  PathDict paths_;
+};
+
+/// Prefix-composing intern helpers for the key(n) encodings of Section 5
+/// ("e"+label, "a"+name, "a"+name+" "+value, "w"+word) — assemble the key
+/// in a reused thread-local scratch buffer and intern it without a heap
+/// allocation per call.
+KeyHandle InternElementKey(StringInterner& interner, std::string_view label);
+KeyHandle InternAttributeNameKey(StringInterner& interner,
+                                 std::string_view name);
+KeyHandle InternAttributeValueKey(StringInterner& interner,
+                                  std::string_view name,
+                                  std::string_view value);
+KeyHandle InternWordKey(StringInterner& interner, std::string_view word);
+
+/// Mirrors the global interner's health into `registry` —
+/// `index.intern.keys` / `.bytes` / `.paths` / `.path_bytes` /
+/// `.lookups` gauges plus the `index.intern.probe_len` histogram
+/// (rebuilt, like PublishUsageMetrics rebuilds the usage gauges).  Must
+/// be called from the event-loop thread; the interner itself never
+/// touches the registry (MetricRegistry's single-thread contract).
+void PublishInternMetrics(common::MetricRegistry* registry);
+
+/// Same, reading an explicit core (tests).
+void PublishInternMetrics(common::MetricRegistry* registry,
+                          const InternCore& core);
+
+}  // namespace webdex::index
+
+#endif  // WEBDEX_INDEX_INTERN_H_

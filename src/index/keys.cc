@@ -37,50 +37,68 @@ std::string WordKey(std::string_view word) {
   return key;
 }
 
+void AppendPathComponent(std::string* out, std::string_view key) {
+  for (char c : key) {
+    if (c == '/') {
+      out->append("%2F");
+    } else if (c == '%') {
+      out->append("%25");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
 std::string PathComponent(std::string_view key) {
   std::string out;
   out.reserve(key.size());
-  for (char c : key) {
-    if (c == '/') {
-      out.append("%2F");
-    } else if (c == '%') {
-      out.append("%25");
-    } else {
-      out.push_back(c);
-    }
-  }
+  AppendPathComponent(&out, key);
   return out;
 }
 
-std::vector<std::string> SplitPath(std::string_view path) {
-  std::vector<std::string> components;
+void SplitPathInto(std::string_view path, std::string* scratch,
+                   std::vector<std::string_view>* out) {
+  out->clear();
+  scratch->clear();
+  // Unescaped bytes land in the scratch buffer; reserving up front keeps
+  // its data pointer stable, so earlier views survive later appends.
+  scratch->reserve(path.size());
   size_t start = path.empty() || path[0] != '/' ? 0 : 1;
   while (start <= path.size()) {
     size_t end = path.find('/', start);
     if (end == std::string_view::npos) end = path.size();
     std::string_view raw = path.substr(start, end - start);
-    std::string component;
-    component.reserve(raw.size());
-    for (size_t i = 0; i < raw.size(); ++i) {
-      if (raw[i] == '%' && i + 2 < raw.size()) {
-        if (raw.substr(i, 3) == "%2F") {
-          component.push_back('/');
-          i += 2;
-          continue;
+    if (raw.find('%') == std::string_view::npos) {
+      out->push_back(raw);  // common case: view straight into `path`
+    } else {
+      const size_t scratch_start = scratch->size();
+      for (size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] == '%' && i + 2 < raw.size()) {
+          if (raw.substr(i, 3) == "%2F") {
+            scratch->push_back('/');
+            i += 2;
+            continue;
+          }
+          if (raw.substr(i, 3) == "%25") {
+            scratch->push_back('%');
+            i += 2;
+            continue;
+          }
         }
-        if (raw.substr(i, 3) == "%25") {
-          component.push_back('%');
-          i += 2;
-          continue;
-        }
+        scratch->push_back(raw[i]);
       }
-      component.push_back(raw[i]);
+      out->push_back(std::string_view(*scratch).substr(scratch_start));
     }
-    components.push_back(std::move(component));
     if (end == path.size()) break;
     start = end + 1;
   }
-  return components;
+}
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::string scratch;
+  std::vector<std::string_view> views;
+  SplitPathInto(path, &scratch, &views);
+  return {views.begin(), views.end()};
 }
 
 }  // namespace webdex::index

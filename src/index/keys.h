@@ -35,8 +35,20 @@ std::string WordKey(std::string_view word);
 /// always recovers the original components.
 std::string PathComponent(std::string_view key);
 
+/// Appends the escaped component directly to `out` — the hot-path form
+/// of PathComponent, free of the intermediate return string.
+void AppendPathComponent(std::string* out, std::string_view key);
+
 /// Splits a stored label path into its unescaped key components.
 std::vector<std::string> SplitPath(std::string_view path);
+
+/// Allocation-light splitter: components are returned as views into
+/// `path` where no unescaping was needed, and into `*scratch` otherwise.
+/// `*scratch` is cleared and sized up front so the views stay valid until
+/// the next call with the same scratch buffer; `path` must outlive the
+/// returned views.  `out` is cleared and reused.
+void SplitPathInto(std::string_view path, std::string* scratch,
+                   std::vector<std::string_view>* out);
 
 }  // namespace webdex::index
 

@@ -86,6 +86,91 @@ std::vector<std::string> PathLookupKeys(const KeyTwig& twig) {
   return lookup_keys;
 }
 
+namespace {
+
+/// Splits `path` appending into a shared component buffer; `storage` must
+/// have been reserved for every path it will ever hold (unescaping only
+/// shrinks), so earlier views never dangle.
+void SplitPathAppend(std::string_view path, std::string* storage,
+                     std::vector<std::string_view>* out) {
+  size_t start = path.empty() || path[0] != '/' ? 0 : 1;
+  while (start <= path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    std::string_view raw = path.substr(start, end - start);
+    if (raw.find('%') == std::string_view::npos) {
+      out->push_back(raw);
+    } else {
+      const size_t storage_start = storage->size();
+      for (size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] == '%' && i + 2 < raw.size()) {
+          if (raw.substr(i, 3) == "%2F") {
+            storage->push_back('/');
+            i += 2;
+            continue;
+          }
+          if (raw.substr(i, 3) == "%25") {
+            storage->push_back('%');
+            i += 2;
+            continue;
+          }
+        }
+        storage->push_back(raw[i]);
+      }
+      out->push_back(std::string_view(*storage).substr(storage_start));
+    }
+    if (end == path.size()) break;
+    start = end + 1;
+  }
+}
+
+/// One stored attribute value, decoded and split at most once even when
+/// several query paths share the same lookup key.  Decoding stays lazy —
+/// a value the legacy loop never reached (early match) is still never
+/// decoded, so error behavior on corrupt trailing values is unchanged.
+struct SplitValue {
+  bool ready = false;
+  std::vector<std::string> owned;  // decoded paths (front-coded values)
+  std::string component_storage;   // unescaped component bytes
+  std::vector<std::string_view> components;  // all paths' components, flat
+  /// Each data path as [begin, count) into `components`.
+  std::vector<std::pair<uint32_t, uint32_t>> paths;
+
+  Status Decode(const std::string& value, bool compressed, bool binary) {
+    ready = true;
+    std::string_view raw = value;
+    std::string dearmoured;
+    if (compressed) {
+      if (!binary) {
+        WEBDEX_ASSIGN_OR_RETURN(dearmoured, HexDearmour(value));
+        raw = dearmoured;
+      }
+      WEBDEX_ASSIGN_OR_RETURN(owned, DecodePaths(raw));
+    }
+    size_t total_bytes = 0;
+    if (compressed) {
+      for (const std::string& p : owned) total_bytes += p.size();
+    } else {
+      total_bytes = value.size();
+    }
+    component_storage.reserve(total_bytes);
+    auto add = [this](std::string_view path) {
+      const uint32_t begin = static_cast<uint32_t>(components.size());
+      SplitPathAppend(path, &component_storage, &components);
+      paths.emplace_back(begin,
+                         static_cast<uint32_t>(components.size()) - begin);
+    };
+    if (compressed) {
+      for (const std::string& p : owned) add(p);
+    } else {
+      add(value);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
 Result<std::set<std::string>> LookupByPaths(cloud::SimAgent& agent,
                                             KvStore& store,
                                             const std::string& table,
@@ -98,6 +183,13 @@ Result<std::set<std::string>> LookupByPaths(cloud::SimAgent& agent,
       FetchedEntries entries,
       FetchEntries(agent, store, table, lookup_keys, stats));
 
+  // Decode-and-split cache, keyed by each (key, URI)'s stable value
+  // vector.  Distinct query paths sharing a lookup key re-test the same
+  // stored paths; pre-splitting each value once replaces the legacy
+  // re-split-per-test inner loop.
+  const bool binary = store.SupportsBinaryValues();
+  std::map<const std::vector<std::string>*, std::vector<SplitValue>> cache;
+
   std::set<std::string> result;
   bool first = true;
   for (const QueryPath& query_path : query_paths) {
@@ -107,26 +199,23 @@ Result<std::set<std::string>> LookupByPaths(cloud::SimAgent& agent,
     for (const auto& [uri, values] : it->second) {
       // Values are either plain paths or front-coded path blobs,
       // depending on how the index was built.
+      std::vector<SplitValue>& split_values = cache[&values];
+      if (split_values.empty()) split_values.resize(values.size());
       bool matched = false;
-      for (const std::string& value : values) {
+      for (size_t v = 0; v < values.size(); ++v) {
         if (matched) break;
-        if (options.compress_paths) {
-          std::string raw = value;
-          if (!store.SupportsBinaryValues()) {
-            WEBDEX_ASSIGN_OR_RETURN(raw, HexDearmour(value));
-          }
-          WEBDEX_ASSIGN_OR_RETURN(std::vector<std::string> data_paths,
-                                  DecodePaths(raw));
-          for (const std::string& data_path : data_paths) {
-            stats->paths_tested += 1;
-            if (PathMatches(query_path, data_path)) {
-              matched = true;
-              break;
-            }
-          }
-        } else {
+        SplitValue& split = split_values[v];
+        if (!split.ready) {
+          WEBDEX_RETURN_IF_ERROR(
+              split.Decode(values[v], options.compress_paths, binary));
+        }
+        for (const auto& [begin, count] : split.paths) {
           stats->paths_tested += 1;
-          if (PathMatches(query_path, value)) matched = true;
+          if (PathMatches(query_path, split.components.data() + begin,
+                          count)) {
+            matched = true;
+            break;
+          }
         }
       }
       if (matched) uris.insert(uri);
@@ -166,9 +255,12 @@ Result<std::set<std::string>> LookupByIds(
     candidates = std::move(reduced);
   }
 
-  // Decode ID lists per (key, URI).
+  // Decode ID lists per (key, URI).  Keys and URIs are borrowed as views
+  // into `keys` / the fetched entries (both outlive the join), so this
+  // stage allocates only the decoded ID vectors themselves.
   const bool binary = store.SupportsBinaryValues();
-  std::map<std::string, std::map<std::string, std::vector<xml::NodeId>>>
+  std::map<std::string_view,
+           std::map<std::string_view, std::vector<xml::NodeId>>>
       ids_by_key_uri;
   for (const std::string& key : keys) {
     auto entry_it = entries.find(key);
@@ -196,24 +288,25 @@ Result<std::set<std::string>> LookupByIds(
     }
   }
 
-  // Holistic twig join per candidate document.
+  // Holistic twig join per candidate document.  Inputs borrow the decoded
+  // vectors — no per-candidate ID copies.
   const std::vector<const TwigNode*> twig_nodes = twig.Nodes();
   std::set<std::string> result;
   for (const std::string& uri : candidates) {
     TwigInputs inputs;
     bool complete = true;
     for (const TwigNode* node : twig_nodes) {
-      auto key_it = ids_by_key_uri.find(node->key);
+      auto key_it = ids_by_key_uri.find(std::string_view(node->key));
       if (key_it == ids_by_key_uri.end()) {
         complete = false;
         break;
       }
-      auto uri_it = key_it->second.find(uri);
+      auto uri_it = key_it->second.find(std::string_view(uri));
       if (uri_it == key_it->second.end() || uri_it->second.empty()) {
         complete = false;
         break;
       }
-      inputs[node] = uri_it->second;
+      inputs[node] = &uri_it->second;
     }
     if (!complete) continue;
     TwigJoinStats twig_stats;

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "index/intern.h"
 #include "index/key_twig.h"
 
 namespace webdex::index {
@@ -42,6 +43,35 @@ bool PathMatches(const QueryPath& query, std::string_view data_path);
 /// caller checks one data path against many query paths).
 bool PathMatches(const QueryPath& query,
                  const std::vector<std::string>& data_components);
+
+/// Same, over views (what index::SplitPathInto produces — the look-up
+/// hot path splits each stored value once and tests it against every
+/// query path).
+bool PathMatches(const QueryPath& query,
+                 const std::vector<std::string_view>& data_components);
+
+/// Slice form for callers keeping many pre-split paths in one flat
+/// component buffer (index::LookupByPaths' per-value cache).
+bool PathMatches(const QueryPath& query,
+                 const std::string_view* data_components, size_t count);
+
+/// A query path with step keys pre-resolved against a StringInterner, so
+/// matching interned data paths compares integers.  A step key the
+/// interner has never seen makes the whole path non-viable: no stored
+/// data path can contain it.
+struct HandleQueryPath {
+  std::vector<TwigAxis> axes;
+  std::vector<KeyHandle> keys;
+  bool viable = false;
+};
+
+HandleQueryPath ResolveQueryPath(const QueryPath& query,
+                                 const StringInterner& interner);
+
+/// Matches against a data path's root-to-node component handles
+/// (PathDict::Components order).
+bool PathMatches(const HandleQueryPath& query,
+                 const std::vector<KeyHandle>& data_components);
 
 }  // namespace webdex::index
 

@@ -57,42 +57,43 @@ using cloud::KvStore;
 /// Packs the (key, URI, values) entry into as few items as the store's
 /// limits allow.  Every item gets a fresh client-side UUID range key so
 /// concurrent loaders can write the same hash key without clobbering each
-/// other (Section 6).
-Result<std::vector<Item>> BuildEntryItems(const KvStore& store, Rng& rng,
-                                          const std::string& key,
-                                          const std::string& uri,
-                                          const std::vector<std::string>& values) {
+/// other (Section 6).  `key` and `values` are views into the DocIndex
+/// slabs / intern arenas; bytes are copied only once, into the items.
+Result<std::vector<Item>> BuildEntryItems(
+    const KvStore& store, Rng& rng, std::string_view key,
+    const std::string& uri, const std::vector<std::string_view>& values) {
   std::vector<Item> items;
   const uint64_t fixed = key.size() + 36 /*uuid*/ + uri.size();
   const uint64_t max_item = store.MaxItemBytes();
   if (fixed + 64 > max_item) {
-    return Status::InvalidArgument("index key too large for store: " + key);
+    return Status::InvalidArgument("index key too large for store: " +
+                                   std::string(key));
   }
-  Item current{key, rng.NextUuid(), {}};
+  Item current{std::string(key), rng.NextUuid(), {}};
   uint64_t current_bytes = fixed;
   uint64_t current_values = 0;
   auto flush = [&]() {
     if (current_values > 0) {
       items.push_back(std::move(current));
-      current = Item{key, rng.NextUuid(), {}};
+      current = Item{std::string(key), rng.NextUuid(), {}};
       current_bytes = fixed;
       current_values = 0;
     }
   };
-  for (const std::string& value : values) {
+  for (const std::string_view value : values) {
     if (value.size() > store.MaxValueBytes()) {
       return Status::InvalidArgument(
           StrFormat("value of %zu bytes exceeds the store's %llu-byte "
                     "value limit (key %s)",
                     value.size(),
                     static_cast<unsigned long long>(store.MaxValueBytes()),
-                    key.c_str()));
+                    std::string(key).c_str()));
     }
     if (current_values + 1 > store.MaxValuesPerItem() ||
         current_bytes + value.size() > max_item) {
       flush();
     }
-    current.attrs[uri].push_back(value);
+    current.attrs[uri].emplace_back(value);
     current_bytes += value.size();
     current_values += 1;
   }
@@ -103,20 +104,23 @@ Result<std::vector<Item>> BuildEntryItems(const KvStore& store, Rng& rng,
 /// Splits a document's sorted ID list into encoded blobs that respect the
 /// store's value-size limit (with hex armouring for text-only stores).
 std::vector<std::string> EncodeIdChunks(const KvStore& store,
-                                        const std::vector<xml::NodeId>& ids) {
+                                        const xml::NodeId* ids,
+                                        uint32_t count) {
   const bool binary = store.SupportsBinaryValues();
   // Hex armouring doubles the encoded size.
   const uint64_t limit =
       binary ? store.MaxValueBytes() : store.MaxValueBytes() / 2;
   std::vector<std::string> chunks;
   std::string blob;
-  for (const auto& id : ids) {
-    std::string encoded = EncodeIds({id});
-    if (!blob.empty() && blob.size() + encoded.size() > limit) {
+  std::string one;
+  for (uint32_t i = 0; i < count; ++i) {
+    one.clear();
+    AppendEncodedId(&one, ids[i]);
+    if (!blob.empty() && blob.size() + one.size() > limit) {
       chunks.push_back(binary ? blob : HexArmour(blob));
       blob.clear();
     }
-    blob += encoded;
+    blob += one;
   }
   if (!blob.empty()) chunks.push_back(binary ? blob : HexArmour(blob));
   return chunks;
@@ -126,21 +130,21 @@ std::vector<std::string> EncodeIdChunks(const KvStore& store,
 /// value-size limit (Section 8.5 extension).  Each chunk restarts the
 /// front coding so chunks decode independently.
 std::vector<std::string> EncodePathChunks(
-    const KvStore& store, const std::vector<std::string>& paths) {
+    const KvStore& store, const std::vector<std::string_view>& paths) {
   const bool binary = store.SupportsBinaryValues();
   const uint64_t limit =
       binary ? store.MaxValueBytes() : store.MaxValueBytes() / 2;
   std::vector<std::string> chunks;
-  std::vector<std::string> group;
+  std::vector<std::string_view> group;
   uint64_t group_bytes = 0;
   auto flush = [&]() {
     if (group.empty()) return;
-    const std::string blob = EncodePaths(group);
+    const std::string blob = EncodePathViews(group);
     chunks.push_back(binary ? blob : HexArmour(blob));
     group.clear();
     group_bytes = 0;
   };
-  for (const auto& path : paths) {
+  for (const std::string_view path : paths) {
     // Worst case the path is stored in full plus two varints.
     if (!group.empty() && group_bytes + path.size() + 10 > limit) flush();
     group_bytes += path.size() + 10;
@@ -148,6 +152,17 @@ std::vector<std::string> EncodePathChunks(
   }
   flush();
   return chunks;
+}
+
+/// Resolves one entry's path handles into views (reusing `*out`).
+void EntryPathViews(const DocIndex& index, const DocIndex::Entry& entry,
+                    std::vector<std::string_view>* out) {
+  out->clear();
+  out->reserve(entry.path_count);
+  const PathHandle* handles = index.paths(entry);
+  for (uint32_t i = 0; i < entry.path_count; ++i) {
+    out->push_back(index.path(handles[i]));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -164,12 +179,13 @@ class LuStrategy final : public IndexingStrategy {
       const ExtractOptions& options, const KvStore& store, Rng& uuid_rng,
       ExtractStats* stats) const override {
     TableItems out{"idx-lu", {}};
-    for (const auto& [key, entry] : index) {
-      (void)entry;
+    const std::vector<std::string_view> empty_value{""};
+    for (const auto& entry : index.entries()) {
       // I_LU(d) = {(key(n), (URI(d), epsilon))} — Table 2.
       WEBDEX_ASSIGN_OR_RETURN(
           std::vector<Item> items,
-          BuildEntryItems(store, uuid_rng, key, doc.uri(), {""}));
+          BuildEntryItems(store, uuid_rng, index.key(entry), doc.uri(),
+                          empty_value));
       for (auto& item : items) {
         stats->payload_bytes += item.SizeBytes();
         out.items.push_back(std::move(item));
@@ -207,15 +223,22 @@ class LupStrategy final : public IndexingStrategy {
       const ExtractOptions& options, const KvStore& store, Rng& uuid_rng,
       ExtractStats* stats) const override {
     TableItems out{"idx-lup", {}};
-    for (const auto& [key, entry] : index) {
+    std::vector<std::string_view> path_views;
+    std::vector<std::string> encoded;
+    std::vector<std::string_view> encoded_views;
+    for (const auto& entry : index.entries()) {
       // I_LUP(d) = {(key(n), (URI(d), {inPath_1(n) ... inPath_y(n)}))};
       // optionally front-coded (Section 8.5 extension).
+      EntryPathViews(index, entry, &path_views);
+      if (options.compress_paths) {
+        encoded = EncodePathChunks(store, path_views);
+        encoded_views.assign(encoded.begin(), encoded.end());
+      }
       WEBDEX_ASSIGN_OR_RETURN(
           std::vector<Item> items,
-          BuildEntryItems(store, uuid_rng, key, doc.uri(),
-                          options.compress_paths
-                              ? EncodePathChunks(store, entry.paths)
-                              : entry.paths));
+          BuildEntryItems(store, uuid_rng, index.key(entry), doc.uri(),
+                          options.compress_paths ? encoded_views
+                                                 : path_views));
       for (auto& item : items) {
         stats->payload_bytes += item.SizeBytes();
         out.items.push_back(std::move(item));
@@ -252,13 +275,17 @@ class LuiStrategy final : public IndexingStrategy {
       const ExtractOptions& options, const KvStore& store, Rng& uuid_rng,
       ExtractStats* stats) const override {
     TableItems out{"idx-lui", {}};
-    for (const auto& [key, entry] : index) {
+    std::vector<std::string> encoded;
+    std::vector<std::string_view> encoded_views;
+    for (const auto& entry : index.entries()) {
       // I_LUI(d) = {(key(n), (URI(d), id_1(n)‖id_2(n)‖...‖id_z(n)))} with
       // IDs pre-sorted so the twig join needs no sort (Section 5.3).
+      encoded = EncodeIdChunks(store, index.ids(entry), entry.id_count);
+      encoded_views.assign(encoded.begin(), encoded.end());
       WEBDEX_ASSIGN_OR_RETURN(
           std::vector<Item> items,
-          BuildEntryItems(store, uuid_rng, key, doc.uri(),
-                          EncodeIdChunks(store, entry.ids)));
+          BuildEntryItems(store, uuid_rng, index.key(entry), doc.uri(),
+                          encoded_views));
       for (auto& item : items) {
         stats->payload_bytes += item.SizeBytes();
         out.items.push_back(std::move(item));
@@ -296,21 +323,30 @@ class TwoLupiStrategy final : public IndexingStrategy {
       ExtractStats* stats) const override {
     TableItems paths_out{"idx-2lupi-paths", {}};
     TableItems ids_out{"idx-2lupi-ids", {}};
-    for (const auto& [key, entry] : index) {
+    std::vector<std::string_view> path_views;
+    std::vector<std::string> encoded;
+    std::vector<std::string_view> encoded_views;
+    for (const auto& entry : index.entries()) {
+      EntryPathViews(index, entry, &path_views);
+      if (options.compress_paths) {
+        encoded = EncodePathChunks(store, path_views);
+        encoded_views.assign(encoded.begin(), encoded.end());
+      }
       WEBDEX_ASSIGN_OR_RETURN(
           std::vector<Item> path_items,
-          BuildEntryItems(store, uuid_rng, key, doc.uri(),
-                          options.compress_paths
-                              ? EncodePathChunks(store, entry.paths)
-                              : entry.paths));
+          BuildEntryItems(store, uuid_rng, index.key(entry), doc.uri(),
+                          options.compress_paths ? encoded_views
+                                                 : path_views));
       for (auto& item : path_items) {
         stats->payload_bytes += item.SizeBytes();
         paths_out.items.push_back(std::move(item));
       }
+      encoded = EncodeIdChunks(store, index.ids(entry), entry.id_count);
+      encoded_views.assign(encoded.begin(), encoded.end());
       WEBDEX_ASSIGN_OR_RETURN(
           std::vector<Item> id_items,
-          BuildEntryItems(store, uuid_rng, key, doc.uri(),
-                          EncodeIdChunks(store, entry.ids)));
+          BuildEntryItems(store, uuid_rng, index.key(entry), doc.uri(),
+                          encoded_views));
       for (auto& item : id_items) {
         stats->payload_bytes += item.SizeBytes();
         ids_out.items.push_back(std::move(item));

@@ -10,46 +10,49 @@
 namespace webdex::index {
 
 void PathSummary::AddDocument(const DocIndex& index) {
-  std::map<std::string, std::vector<std::string>> key_paths;
-  for (const auto& [key, entry] : index) {
-    key_paths.emplace(key, entry.paths);
-  }
-  AddDocument(key_paths);
-}
-
-void PathSummary::AddDocument(
-    const std::map<std::string, std::vector<std::string>>& key_paths) {
   documents_ += 1;
-  for (const auto& [key, paths] : key_paths) {
-    docs_per_key_[key] += 1;
-    for (const auto& path : paths) {
-      auto [it, inserted] = docs_per_path_.try_emplace(path, 0);
-      it->second += 1;
-      if (inserted) {
-        const auto components = SplitPath(path);
-        if (!components.empty()) {
-          paths_by_last_key_[components.back()].push_back(path);
-        }
+  const PathDict& dict = core_->paths();
+  for (const auto& entry : index.entries()) {
+    Bump(&docs_per_key_, entry.key);
+    const PathHandle* paths = index.paths(entry);
+    for (uint32_t i = 0; i < entry.path_count; ++i) {
+      const PathHandle path = paths[i];
+      if (path >= docs_per_path_.size()) {
+        docs_per_path_.resize(path + 1, 0);
       }
+      if (docs_per_path_[path] == 0) {
+        distinct_paths_ += 1;
+        const KeyHandle last = dict.LastKey(path);
+        if (last >= paths_by_last_key_.size()) {
+          paths_by_last_key_.resize(last + 1);
+        }
+        paths_by_last_key_[last].push_back(path);
+      }
+      docs_per_path_[path] += 1;
     }
   }
 }
 
 uint64_t PathSummary::DocsWithKey(const std::string& key) const {
-  auto it = docs_per_key_.find(key);
-  return it == docs_per_key_.end() ? 0 : it->second;
+  const KeyHandle handle = core_->keys().Find(key);
+  if (handle == kNoHandle) return 0;
+  return CountAt(docs_per_key_, handle);
 }
 
 uint64_t PathSummary::DocsMatchingPath(const QueryPath& path) const {
-  auto it = paths_by_last_key_.find(path.LookupKey());
-  if (it == paths_by_last_key_.end()) return 0;
+  const KeyHandle last = core_->keys().Find(path.LookupKey());
+  if (last == kNoHandle || last >= paths_by_last_key_.size()) return 0;
+  const HandleQueryPath resolved = ResolveQueryPath(path, core_->keys());
+  if (!resolved.viable) return 0;
   // Distinct data paths are disjoint *path* shapes but one document may
   // carry several; summing their document counts is an upper bound,
   // capped at the corpus size.
   uint64_t total = 0;
-  for (const auto& data_path : it->second) {
-    if (PathMatches(path, data_path)) {
-      total += docs_per_path_.at(data_path);
+  std::vector<KeyHandle> components;
+  for (const PathHandle data_path : paths_by_last_key_[last]) {
+    core_->paths().Components(data_path, &components);
+    if (PathMatches(resolved, components)) {
+      total += docs_per_path_[data_path];
     }
   }
   return std::min(total, documents_);

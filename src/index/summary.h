@@ -2,11 +2,11 @@
 #define WEBDEX_INDEX_SUMMARY_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "index/entry.h"
+#include "index/intern.h"
 #include "index/path_match.h"
 #include "index/strategy.h"
 #include "query/tree_pattern.h"
@@ -19,23 +19,25 @@ namespace webdex::index {
 /// of paper Section 8.5, with which the cases where LUI / 2LUPI look-ups
 /// beat LUP "can be statically detected".
 ///
-/// The summary is tiny compared to the index (distinct paths, not
-/// per-document entries) and is built incrementally as documents are
-/// indexed.
+/// Counters are flat vectors indexed by interned handle (the native
+/// index core, docs/PERFORMANCE.md): accounting a document is a handful
+/// of vector bumps per entry instead of string-keyed map inserts, and
+/// the summary stays tiny — distinct handles, not per-document entries.
+/// Copyable (Warehouse::AdoptExistingData clones it); the InternCore it
+/// indexes into is process-wide and immortal.
 class PathSummary {
  public:
+  PathSummary() : core_(&InternCore::Global()) {}
+  /// Tests may pin a private core; it must outlive the summary.
+  explicit PathSummary(const InternCore* core) : core_(core) {}
+
   /// Accounts one document's extracted index (each distinct path/key of
-  /// the document counts once).
+  /// the document counts once).  `index` must have been extracted into
+  /// this summary's core.
   void AddDocument(const DocIndex& index);
 
-  /// Same, from just the key -> distinct-paths slice of the DocIndex
-  /// (what engine::ExtractionResult::key_paths carries — the summary
-  /// never needs the structural IDs).
-  void AddDocument(
-      const std::map<std::string, std::vector<std::string>>& key_paths);
-
   uint64_t documents() const { return documents_; }
-  uint64_t distinct_paths() const { return docs_per_path_.size(); }
+  uint64_t distinct_paths() const { return distinct_paths_; }
 
   /// Documents containing at least one occurrence of `key` (0 if never
   /// seen).
@@ -87,12 +89,23 @@ class PathSummary {
   Advice AdviseLookup(const query::TreePattern& pattern) const;
 
  private:
+  uint64_t CountAt(const std::vector<uint64_t>& counts, uint32_t handle) const {
+    return handle < counts.size() ? counts[handle] : 0;
+  }
+  void Bump(std::vector<uint64_t>* counts, uint32_t handle) {
+    if (handle >= counts->size()) counts->resize(handle + 1, 0);
+    (*counts)[handle] += 1;
+  }
+
+  const InternCore* core_;
   uint64_t documents_ = 0;
-  std::map<std::string, uint64_t> docs_per_path_;
-  std::map<std::string, uint64_t> docs_per_key_;
+  uint64_t distinct_paths_ = 0;
+  /// Indexed by KeyHandle / PathHandle.
+  std::vector<uint64_t> docs_per_key_;
+  std::vector<uint64_t> docs_per_path_;
   /// lookup key (last path component) -> distinct data paths ending in
   /// it, for DocsMatchingPath without a full scan.
-  std::map<std::string, std::vector<std::string>> paths_by_last_key_;
+  std::vector<std::vector<PathHandle>> paths_by_last_key_;
 };
 
 }  // namespace webdex::index

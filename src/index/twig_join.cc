@@ -11,8 +11,10 @@ using xml::NodeId;
 std::vector<NodeId> Satisfy(const TwigNode& node, const TwigInputs& inputs,
                             TwigJoinStats* stats) {
   auto it = inputs.find(&node);
-  if (it == inputs.end() || it->second.empty()) return {};
-  const std::vector<NodeId>& own = it->second;
+  if (it == inputs.end() || it->second == nullptr || it->second->empty()) {
+    return {};
+  }
+  const std::vector<NodeId>& own = *it->second;
 
   // Leaves satisfy unconditionally.
   if (node.children.empty()) return own;

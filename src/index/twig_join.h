@@ -17,8 +17,11 @@ struct TwigJoinStats {
 
 /// Per-twig-node candidate lists for one document: the structural IDs the
 /// index returned for each twig node's key, sorted by pre.  A missing or
-/// empty list means the document cannot match.
-using TwigInputs = std::map<const TwigNode*, std::vector<xml::NodeId>>;
+/// empty list means the document cannot match.  Lists are borrowed, not
+/// copied — the per-candidate join in LookupByIds binds the same decoded
+/// vectors for every document it probes, so inputs carry pointers into
+/// caller-owned storage that must outlive the join.
+using TwigInputs = std::map<const TwigNode*, const std::vector<xml::NodeId>*>;
 
 /// Holistic structural twig matching over sorted (pre, post, depth)
 /// streams, in the spirit of the holistic twig join of Bruno, Koudas &

@@ -68,9 +68,13 @@ class PatternMatcher {
       if (!dnode.is_element()) return false;
     }
     if (pnode.label != dnode.label()) return false;
-    if (pnode.predicate.kind != PredicateKind::kNone &&
-        !pnode.predicate.Matches(dnode.StringValue())) {
-      return false;
+    if (pnode.predicate.kind != PredicateKind::kNone) {
+      // Reuse one buffer across the scan's many predicate evaluations —
+      // StringValue() would allocate a fresh string per visited node.
+      thread_local std::string value;
+      value.clear();
+      dnode.AppendStringValue(&value);
+      if (!pnode.predicate.Matches(value)) return false;
     }
     return true;
   }

@@ -7,12 +7,12 @@
 
 namespace webdex::query {
 
-bool Predicate::Matches(const std::string& value) const {
+bool Predicate::Matches(std::string_view value) const {
   switch (kind) {
     case PredicateKind::kNone:
       return true;
     case PredicateKind::kEquals:
-      return std::string(Trim(value)) == constant;
+      return Trim(value) == constant;
     case PredicateKind::kContains:
       return ContainsWord(value, constant);
     case PredicateKind::kRange: {

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace webdex::query {
@@ -30,7 +31,9 @@ struct Predicate {
   bool hi_inclusive = true;
 
   /// True if `value` (a node string value) satisfies this predicate.
-  bool Matches(const std::string& value) const;
+  /// Takes a view: kEquals and kContains compare in place; only kRange
+  /// copies (strtod needs a NUL terminator).
+  bool Matches(std::string_view value) const;
 };
 
 /// One node of a tree pattern.

@@ -83,6 +83,10 @@ class Node {
   /// the concatenation of all text descendants (or the attribute value).
   std::string StringValue() const;
 
+  /// Appends the string value into `out` (for callers reusing a buffer
+  /// across many nodes, e.g. per-predicate evaluation).
+  void AppendStringValue(std::string* out) const { AppendTextTo(out); }
+
   /// Number of nodes in this subtree (self included).
   size_t SubtreeSize() const;
 

@@ -6,22 +6,8 @@ namespace webdex::xml {
 
 std::vector<std::string> TokenizeWords(std::string_view text) {
   std::vector<std::string> words;
-  size_t i = 0;
-  const size_t n = text.size();
-  while (i < n) {
-    while (i < n && !std::isalnum(static_cast<unsigned char>(text[i]))) ++i;
-    const size_t start = i;
-    while (i < n && std::isalnum(static_cast<unsigned char>(text[i]))) ++i;
-    if (i > start) {
-      std::string word;
-      word.reserve(i - start);
-      for (size_t k = start; k < i; ++k) {
-        word.push_back(static_cast<char>(
-            std::tolower(static_cast<unsigned char>(text[k]))));
-      }
-      words.push_back(std::move(word));
-    }
-  }
+  ForEachWord(text,
+              [&words](std::string_view word) { words.emplace_back(word); });
   return words;
 }
 

@@ -1,6 +1,7 @@
 #ifndef WEBDEX_XML_TOKENIZER_H_
 #define WEBDEX_XML_TOKENIZER_H_
 
+#include <cctype>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,6 +14,29 @@ namespace webdex::xml {
 /// (Section 4), which are deliberately consistent with each other so a
 /// containment look-up can be answered from the word index.
 std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// Streaming form of TokenizeWords for the extraction hot path: calls
+/// `fn(word)` per word with a view into a reused thread-local buffer —
+/// valid only for the duration of the call, no per-word heap allocation.
+template <typename Fn>
+void ForEachWord(std::string_view text, Fn&& fn) {
+  thread_local std::string buffer;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && !std::isalnum(static_cast<unsigned char>(text[i]))) ++i;
+    const size_t start = i;
+    while (i < n && std::isalnum(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) {
+      buffer.clear();
+      for (size_t k = start; k < i; ++k) {
+        buffer.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(text[k]))));
+      }
+      fn(std::string_view(buffer));
+    }
+  }
+}
 
 /// Lowercases and validates a single word (what a query constant must be
 /// reduced to before index look-up).  Multi-word constants tokenize into

@@ -48,50 +48,54 @@ TEST(KeysTest, SplitPathPlain) {
 
 TEST(ExtractTest, ElementKeysWithPaths) {
   const DocIndex index = ExtractDocIndex(Doc(kDelacroix));
-  ASSERT_TRUE(index.count("ename"));
-  const NodeEntry& entry = index.at("ename");
+  const DocIndex::Entry* entry = index.Find("ename");
+  ASSERT_NE(entry, nullptr);
   // Two name elements: painting/name and painting/painter/name.
-  EXPECT_EQ(entry.ids.size(), 2u);
-  EXPECT_EQ(entry.paths,
+  EXPECT_EQ(entry->id_count, 2u);
+  EXPECT_EQ(index.PathVector(*entry),
             (std::vector<std::string>{
                 "/epainting/ename", "/epainting/epainter/ename"}));
 }
 
 TEST(ExtractTest, AttributesYieldTwoKeys) {
   const DocIndex index = ExtractDocIndex(Doc(kDelacroix));
-  ASSERT_TRUE(index.count("aid"));
-  ASSERT_TRUE(index.count("aid 1854-1"));
-  EXPECT_EQ(index.at("aid").paths,
+  const DocIndex::Entry* name_entry = index.Find("aid");
+  const DocIndex::Entry* value_entry = index.Find("aid 1854-1");
+  ASSERT_NE(name_entry, nullptr);
+  ASSERT_NE(value_entry, nullptr);
+  EXPECT_EQ(index.PathVector(*name_entry),
             (std::vector<std::string>{"/epainting/aid"}));
-  EXPECT_EQ(index.at("aid 1854-1").paths,
+  EXPECT_EQ(index.PathVector(*value_entry),
             (std::vector<std::string>{"/epainting/aid 1854-1"}));
   // Both keys carry the same structural ID (the attribute's).
-  EXPECT_EQ(index.at("aid").ids, index.at("aid 1854-1").ids);
+  EXPECT_EQ(index.IdVector(*name_entry), index.IdVector(*value_entry));
 }
 
 TEST(ExtractTest, WordsLowercasedWithElementPath) {
   const DocIndex index = ExtractDocIndex(Doc(kDelacroix));
-  ASSERT_TRUE(index.count("wlion"));
-  EXPECT_EQ(index.at("wlion").paths,
+  const DocIndex::Entry* entry = index.Find("wlion");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(index.PathVector(*entry),
             (std::vector<std::string>{"/epainting/ename/wlion"}));
-  EXPECT_FALSE(index.count("wLion"));
+  EXPECT_FALSE(index.Contains("wLion"));
 }
 
 TEST(ExtractTest, WordIdsAreChildrenOfTheirElement) {
   const xml::Document doc = Doc(kDelacroix);
   const DocIndex index = ExtractDocIndex(doc);
-  const xml::NodeId word_id = index.at("wlion").ids[0];
+  const xml::NodeId word_id = index.ids(*index.Find("wlion"))[0];
   // The painting/name element.
-  const xml::NodeId name_id = index.at("ename").ids[0];
+  const xml::NodeId name_id = index.ids(*index.Find("ename"))[0];
   EXPECT_TRUE(name_id.IsParentOf(word_id));
 }
 
 TEST(ExtractTest, AttributeValueWordsShareAttributeId) {
   const DocIndex index = ExtractDocIndex(Doc(kDelacroix));
   // "1854-1" tokenizes into words "1854" and "1".
-  ASSERT_TRUE(index.count("w1854"));
-  EXPECT_EQ(index.at("w1854").ids, index.at("aid").ids);
-  EXPECT_EQ(index.at("w1854").paths,
+  const DocIndex::Entry* word_entry = index.Find("w1854");
+  ASSERT_NE(word_entry, nullptr);
+  EXPECT_EQ(index.IdVector(*word_entry), index.IdVector(*index.Find("aid")));
+  EXPECT_EQ(index.PathVector(*word_entry),
             (std::vector<std::string>{"/epainting/aid/w1854"}));
 }
 
@@ -99,16 +103,16 @@ TEST(ExtractTest, WithoutWordsNoWordKeys) {
   ExtractOptions options;
   options.include_words = false;
   const DocIndex index = ExtractDocIndex(Doc(kDelacroix), options);
-  EXPECT_FALSE(index.count("wlion"));
-  EXPECT_TRUE(index.count("ename"));
+  EXPECT_FALSE(index.Contains("wlion"));
+  EXPECT_TRUE(index.Contains("ename"));
   // Valued attribute keys remain (they are not full-text keys).
-  EXPECT_TRUE(index.count("aid 1854-1"));
+  EXPECT_TRUE(index.Contains("aid 1854-1"));
 }
 
 TEST(ExtractTest, IdsSortedByPre) {
   const DocIndex index =
       ExtractDocIndex(Doc("<r><a>x</a><b/><a>y</a><a/></r>"));
-  const auto& ids = index.at("ea").ids;
+  const std::vector<xml::NodeId> ids = index.IdVector(*index.Find("ea"));
   ASSERT_EQ(ids.size(), 3u);
   EXPECT_LT(ids[0].pre, ids[1].pre);
   EXPECT_LT(ids[1].pre, ids[2].pre);
@@ -118,7 +122,7 @@ TEST(ExtractTest, RepeatedWordDeduplicatedPerOccurrenceSlot) {
   const DocIndex index = ExtractDocIndex(Doc("<a>go go go</a>"));
   // Three occurrences in one text node share the text node's ID, so the
   // entry holds a single ID.
-  EXPECT_EQ(index.at("wgo").ids.size(), 1u);
+  EXPECT_EQ(index.Find("wgo")->id_count, 1u);
 }
 
 TEST(ExtractTest, StatsCountKeysIdsPathBytes) {
@@ -219,10 +223,11 @@ TEST(PathCodecTest, CorruptionDetected) {
 
 TEST(PathCodecTest, RealExtractionRoundTrips) {
   const DocIndex index = ExtractDocIndex(Doc(kDelacroix));
-  for (const auto& [key, entry] : index) {
-    auto decoded = DecodePaths(EncodePaths(entry.paths));
-    ASSERT_TRUE(decoded.ok()) << key;
-    EXPECT_EQ(decoded.value(), entry.paths) << key;
+  for (const auto& entry : index.entries()) {
+    const std::vector<std::string> paths = index.PathVector(entry);
+    auto decoded = DecodePaths(EncodePaths(paths));
+    ASSERT_TRUE(decoded.ok()) << index.key(entry);
+    EXPECT_EQ(decoded.value(), paths) << index.key(entry);
   }
 }
 

@@ -22,11 +22,12 @@ std::unique_ptr<TwigNode> Leaf(TwigAxis axis, std::string key) {
 TEST(TwigJoinTest, SingleNodeMatchesWhenAnyIdExists) {
   KeyTwig twig;
   twig.root = Leaf(TwigAxis::kDescendant, "ea");
+  std::vector<NodeId> root_ids{NodeId{1, 5, 1}};
   TwigInputs inputs;
-  inputs[twig.root.get()] = {NodeId{1, 5, 1}};
+  inputs[twig.root.get()] = &root_ids;
   TwigJoinStats stats;
   EXPECT_TRUE(TwigMatch(twig, inputs, &stats));
-  inputs[twig.root.get()].clear();
+  root_ids.clear();
   EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
 }
 
@@ -35,14 +36,16 @@ TEST(TwigJoinTest, ChildEdgeRequiresDepthPlusOne) {
   twig.root = Leaf(TwigAxis::kDescendant, "ea");
   TwigNode* child = twig.root->children.emplace_back(
       Leaf(TwigAxis::kChild, "eb")).get();
-  TwigInputs inputs;
-  inputs[twig.root.get()] = {NodeId{1, 10, 1}};
+  std::vector<NodeId> root_ids{NodeId{1, 10, 1}};
   // b is a grandchild: ancestor holds, parent does not.
-  inputs[child] = {NodeId{3, 2, 3}};
+  std::vector<NodeId> child_ids{NodeId{3, 2, 3}};
+  TwigInputs inputs;
+  inputs[twig.root.get()] = &root_ids;
+  inputs[child] = &child_ids;
   TwigJoinStats stats;
   EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
   // Now at depth 2: a proper child.
-  inputs[child] = {NodeId{3, 2, 2}};
+  child_ids = {NodeId{3, 2, 2}};
   EXPECT_TRUE(TwigMatch(twig, inputs, &stats));
 }
 
@@ -51,13 +54,15 @@ TEST(TwigJoinTest, DescendantEdgeAcceptsAnyDepth) {
   twig.root = Leaf(TwigAxis::kDescendant, "ea");
   TwigNode* child = twig.root->children.emplace_back(
       Leaf(TwigAxis::kDescendant, "eb")).get();
+  std::vector<NodeId> root_ids{NodeId{1, 10, 1}};
+  std::vector<NodeId> child_ids{NodeId{5, 4, 7}};
   TwigInputs inputs;
-  inputs[twig.root.get()] = {NodeId{1, 10, 1}};
-  inputs[child] = {NodeId{5, 4, 7}};
+  inputs[twig.root.get()] = &root_ids;
+  inputs[child] = &child_ids;
   TwigJoinStats stats;
   EXPECT_TRUE(TwigMatch(twig, inputs, &stats));
   // Outside the subtree (post exceeds the root's).
-  inputs[child] = {NodeId{11, 12, 2}};
+  child_ids = {NodeId{11, 12, 2}};
   EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
 }
 
@@ -66,12 +71,14 @@ TEST(TwigJoinTest, SelfEdgeRequiresIdenticalPosition) {
   twig.root = Leaf(TwigAxis::kDescendant, "aid");
   TwigNode* word = twig.root->children.emplace_back(
       Leaf(TwigAxis::kSelf, "w1854")).get();
+  std::vector<NodeId> root_ids{NodeId{2, 1, 2}};
+  std::vector<NodeId> word_ids{NodeId{2, 1, 2}};
   TwigInputs inputs;
-  inputs[twig.root.get()] = {NodeId{2, 1, 2}};
-  inputs[word] = {NodeId{2, 1, 2}};
+  inputs[twig.root.get()] = &root_ids;
+  inputs[word] = &word_ids;
   TwigJoinStats stats;
   EXPECT_TRUE(TwigMatch(twig, inputs, &stats));
-  inputs[word] = {NodeId{3, 2, 2}};
+  word_ids = {NodeId{3, 2, 2}};
   EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
 }
 
@@ -84,15 +91,18 @@ TEST(TwigJoinTest, MultiBranchNeedsAllChildren) {
       Leaf(TwigAxis::kDescendant, "eb")).get();
   TwigNode* c = twig.root->children.emplace_back(
       Leaf(TwigAxis::kDescendant, "ec")).get();
-  TwigInputs inputs;
   // Two a-subtrees: a1 = (1..5), a2 = (10..15).
-  inputs[twig.root.get()] = {NodeId{1, 5, 2}, NodeId{10, 15, 2}};
-  inputs[b] = {NodeId{2, 1, 3}};    // inside a1
-  inputs[c] = {NodeId{11, 11, 3}};  // inside a2
+  std::vector<NodeId> root_ids{NodeId{1, 5, 2}, NodeId{10, 15, 2}};
+  std::vector<NodeId> b_ids{NodeId{2, 1, 3}};    // inside a1
+  std::vector<NodeId> c_ids{NodeId{11, 11, 3}};  // inside a2
+  TwigInputs inputs;
+  inputs[twig.root.get()] = &root_ids;
+  inputs[b] = &b_ids;
+  inputs[c] = &c_ids;
   TwigJoinStats stats;
   EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
   // Give a1 a c as well.
-  inputs[c].insert(inputs[c].begin(), NodeId{3, 2, 3});
+  c_ids.insert(c_ids.begin(), NodeId{3, 2, 3});
   EXPECT_TRUE(TwigMatch(twig, inputs, &stats));
 }
 
@@ -101,9 +111,12 @@ TEST(TwigJoinTest, SatisfyingRootIdsReported) {
   twig.root = Leaf(TwigAxis::kDescendant, "ea");
   TwigNode* b = twig.root->children.emplace_back(
       Leaf(TwigAxis::kChild, "eb")).get();
+  std::vector<NodeId> root_ids{NodeId{1, 8, 1}, NodeId{2, 3, 2}};
+  std::vector<NodeId> b_ids{NodeId{3, 1, 3}};  // child of (2,3,2),
+                                               // grandchild of root
   TwigInputs inputs;
-  inputs[twig.root.get()] = {NodeId{1, 8, 1}, NodeId{2, 3, 2}};
-  inputs[b] = {NodeId{3, 1, 3}};  // child of (2,3,2), grandchild of root
+  inputs[twig.root.get()] = &root_ids;
+  inputs[b] = &b_ids;
   TwigJoinStats stats;
   const auto roots = TwigSatisfyingRootIds(twig, inputs, &stats);
   ASSERT_EQ(roots.size(), 1u);
@@ -115,8 +128,9 @@ TEST(TwigJoinTest, MissingInputListMeansNoMatch) {
   KeyTwig twig;
   twig.root = Leaf(TwigAxis::kDescendant, "ea");
   twig.root->children.emplace_back(Leaf(TwigAxis::kChild, "eb"));
+  std::vector<NodeId> root_ids{NodeId{1, 5, 1}};
   TwigInputs inputs;
-  inputs[twig.root.get()] = {NodeId{1, 5, 1}};
+  inputs[twig.root.get()] = &root_ids;
   TwigJoinStats stats;
   EXPECT_FALSE(TwigMatch(twig, inputs, &stats));
 }
@@ -145,15 +159,19 @@ TEST_P(TwigEquivalence, AgreesWithEvaluatorOnXmarkDocs) {
   for (int i = 0; i < config.num_documents; ++i) {
     const xml::Document doc = generator.GenerateDom(i);
     const DocIndex index = ExtractDocIndex(doc);
+    // Materialized ID lists must outlive the join: inputs borrow them.
+    std::vector<std::vector<NodeId>> id_lists;
+    id_lists.reserve(twig_nodes.size());
     TwigInputs inputs;
     bool complete = true;
     for (const TwigNode* node : twig_nodes) {
-      auto it = index.find(node->key);
-      if (it == index.end()) {
+      const DocIndex::Entry* entry = index.Find(node->key);
+      if (entry == nullptr) {
         complete = false;
         break;
       }
-      inputs[node] = it->second.ids;
+      id_lists.push_back(index.IdVector(*entry));
+      inputs[node] = &id_lists.back();
     }
     TwigJoinStats stats;
     const bool twig_match = complete && TwigMatch(twig, inputs, &stats);

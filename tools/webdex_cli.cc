@@ -25,6 +25,7 @@
 #include "common/strings.h"
 #include "cost/cost_model.h"
 #include "engine/warehouse.h"
+#include "index/intern.h"
 #include "index/summary.h"
 #include "query/parser.h"
 #include "query/xquery.h"
@@ -543,6 +544,9 @@ class Cli {
     // Usage is the billing source of truth; mirror it into the registry
     // so one dump carries both service metrics and billing counters.
     env_->PublishUsageMetrics();
+    // Same for the key/path interner: snapshot its arena and probe stats
+    // (index.intern.*) into the registry for this dump.
+    index::PublishInternMetrics(&env_->metrics());
     if (args == "--prometheus") {
       std::printf("%s", env_->metrics().ToPrometheus().c_str());
     } else if (args.empty() || args == "--json") {
