@@ -301,6 +301,14 @@ inline void AppendFaultColumns(
                         static_cast<double>(usage.breaker_opens));
   metrics->emplace_back("scrub_repaired",
                         static_cast<double>(usage.scrub_repaired));
+  // Mutable-corpus maintenance (docs/MUTABILITY.md): zero in the static
+  // benches, so the trajectory flags a bench that starts mutating.
+  metrics->emplace_back("tombstones_written",
+                        static_cast<double>(usage.tombstones_written));
+  metrics->emplace_back("compact_gc_items",
+                        static_cast<double>(usage.compact_gc_items));
+  metrics->emplace_back("compact_uris",
+                        static_cast<double>(usage.compact_uris));
 }
 
 /// Appends the metric registry's counters to a row's metrics as

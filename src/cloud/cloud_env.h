@@ -19,6 +19,19 @@
 
 namespace webdex::cloud {
 
+/// Durable maintenance bookkeeping that travels with the cloud state
+/// (snapshot v3, cloud/snapshot.h): where an interrupted compaction pass
+/// left off, and the high-water mark of allocated mutation generations.
+/// Both survive a planned crash + restore, so a resumed pass continues
+/// instead of restarting and new mutations keep stamping monotonically.
+struct MaintenanceState {
+  /// Last document URI a compaction pass fully completed; empty = no
+  /// pass in flight (fresh start or clean completion).
+  std::string compact_cursor;
+  /// Highest mutation generation ever allocated (0 = static corpus).
+  uint64_t generation_watermark = 0;
+};
+
 /// All tunables of the simulated cloud in one place.
 struct CloudConfig {
   Pricing pricing = Pricing::AwsSingaporeOct2012();
@@ -67,6 +80,8 @@ class CloudEnv {
   CircuitBreaker& breaker() { return breaker_; }
   common::MetricRegistry& metrics() { return metrics_; }
   common::Tracer& tracer() { return tracer_; }
+  MaintenanceState& maintenance() { return maintenance_; }
+  const MaintenanceState& maintenance() const { return maintenance_; }
 
   /// Mirrors every Usage field into a `usage.<field>` gauge so readers
   /// that only speak the registry (webdex stats, bench rows, Prometheus
@@ -93,6 +108,7 @@ class CloudEnv {
   SimpleDb simpledb_;
   QueueService sqs_;
   Rng rng_;
+  MaintenanceState maintenance_;
 };
 
 }  // namespace webdex::cloud

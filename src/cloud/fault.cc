@@ -22,6 +22,8 @@ const char* CrashPointName(CrashPoint point) {
       return "before-delete";
     case CrashPoint::kBetweenBatchPutPages:
       return "between-batchput-pages";
+    case CrashPoint::kMidCompaction:
+      return "mid-compaction";
   }
   return "unknown";
 }
@@ -172,6 +174,9 @@ bool FaultInjector::ShouldCrash(CrashPoint point, std::string_view task_key) {
       break;
     case CrashPoint::kBetweenBatchPutPages:
       probability = plan_.crash.between_batch_put_pages_probability;
+      break;
+    case CrashPoint::kMidCompaction:
+      probability = plan_.crash.mid_compaction_probability;
       break;
   }
   if (probability <= 0) return false;

@@ -27,6 +27,10 @@ enum class CrashPoint {
   /// Between two pages of an index-store BatchPut: the crash leaves a
   /// half-written index that a redelivery must converge despite.
   kBetweenBatchPutPages,
+  /// Between two documents of a compaction pass: the pass dies with its
+  /// cursor checkpointed at the last completed URI, and a resumed pass
+  /// must converge from there (engine/compactor.h, docs/MUTABILITY.md).
+  kMidCompaction,
 };
 
 const char* CrashPointName(CrashPoint point);
@@ -75,10 +79,12 @@ struct ServiceFaults {
 struct CrashFaults {
   double before_delete_probability = 0;
   double between_batch_put_pages_probability = 0;
+  double mid_compaction_probability = 0;
 
   bool Any() const {
     return before_delete_probability > 0 ||
-           between_batch_put_pages_probability > 0;
+           between_batch_put_pages_probability > 0 ||
+           mid_compaction_probability > 0;
   }
 };
 

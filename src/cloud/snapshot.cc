@@ -9,10 +9,13 @@ namespace webdex::cloud {
 namespace {
 
 // Version 2 appends the chaos sections (FaultInjector stream cursors and
-// circuit-breaker trackers) after the durable stores; version-1 snapshots
-// are still restorable and simply leave that state fresh.
+// circuit-breaker trackers) after the durable stores; version 3 appends
+// the maintenance section (compaction cursor, generation watermark) after
+// those.  Older snapshots are still restorable and simply leave the
+// missing state fresh.
 constexpr char kMagicV1[] = "WDXSNAP1";
 constexpr char kMagicV2[] = "WDXSNAP2";
+constexpr char kMagicV3[] = "WDXSNAP3";
 constexpr size_t kMagicLen = 8;
 
 void PutString(std::string* out, const std::string& s) {
@@ -86,7 +89,7 @@ Status RestoreKvStore(const std::string& data, size_t* offset,
 }  // namespace
 
 std::string SerializeSnapshot(CloudEnv& env) {
-  std::string out(kMagicV2, kMagicLen);
+  std::string out(kMagicV3, kMagicLen);
 
   // File store section: bucket names first (so empty buckets survive),
   // then the objects.
@@ -126,6 +129,13 @@ std::string SerializeSnapshot(CloudEnv& env) {
     PutVarint64(&out, static_cast<uint64_t>(tracker.consecutive_successes));
     PutVarint64(&out, static_cast<uint64_t>(tracker.opened_at));
   }
+
+  // Maintenance section (v3): the compaction resume cursor and the
+  // mutation-generation watermark are durable like the stores — a
+  // crashed compaction resumes after restore, and new mutations keep
+  // stamping monotonically above everything ever allocated.
+  PutString(&out, env.maintenance().compact_cursor);
+  PutVarint64(&out, env.maintenance().generation_watermark);
   return out;
 }
 
@@ -177,8 +187,13 @@ Status RestoreChaosState(const std::string& snapshot, size_t* offset,
 
 Status RestoreSnapshot(const std::string& snapshot, CloudEnv* env) {
   bool has_chaos_sections = false;
+  bool has_maintenance_section = false;
   if (snapshot.size() >= kMagicLen &&
-      snapshot.compare(0, kMagicLen, kMagicV2) == 0) {
+      snapshot.compare(0, kMagicLen, kMagicV3) == 0) {
+    has_chaos_sections = true;
+    has_maintenance_section = true;
+  } else if (snapshot.size() >= kMagicLen &&
+             snapshot.compare(0, kMagicLen, kMagicV2) == 0) {
     has_chaos_sections = true;
   } else if (snapshot.size() < kMagicLen ||
              snapshot.compare(0, kMagicLen, kMagicV1) != 0) {
@@ -208,6 +223,12 @@ Status RestoreSnapshot(const std::string& snapshot, CloudEnv* env) {
   WEBDEX_RETURN_IF_ERROR(RestoreKvStore(snapshot, &offset, &env->simpledb()));
   if (has_chaos_sections) {
     WEBDEX_RETURN_IF_ERROR(RestoreChaosState(snapshot, &offset, env));
+  }
+  if (has_maintenance_section) {
+    WEBDEX_ASSIGN_OR_RETURN(env->maintenance().compact_cursor,
+                            GetString(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(env->maintenance().generation_watermark,
+                            GetVarint64(snapshot, &offset));
   }
   if (offset != snapshot.size()) {
     return Status::Corruption("trailing bytes in snapshot");

@@ -39,6 +39,9 @@ namespace webdex::cloud {
   X(breaker_short_circuits)    \
   X(degraded_queries)          \
   X(scrub_repaired)            \
+  X(tombstones_written)        \
+  X(compact_gc_items)          \
+  X(compact_uris)              \
   X(vm_micros_large)           \
   X(vm_micros_xlarge)          \
   X(egress_bytes)
@@ -88,6 +91,11 @@ struct Usage {
   uint64_t breaker_short_circuits = 0;  // calls failed fast, unbilled
   uint64_t degraded_queries = 0;        // answered via full scan fallback
   uint64_t scrub_repaired = 0;          // URIs repaired by the Scrubber
+
+  // Mutable-corpus maintenance accounting (docs/MUTABILITY.md).
+  uint64_t tombstones_written = 0;  // delete tasks committed
+  uint64_t compact_gc_items = 0;    // stale/tombstoned items collected
+  uint64_t compact_uris = 0;        // URIs canonicalized or collected
 
   // Virtual machines: rented time per type.
   Micros vm_micros_large = 0;

@@ -94,7 +94,8 @@ Result<PathResult> LuAccessPath::Execute(cloud::SimAgent& agent) const {
   PathResult result;
   WEBDEX_ASSIGN_OR_RETURN(
       std::set<std::string> uris,
-      index::LookupByKeys(agent, *store_, table_, twig_, &result.stats));
+      index::LookupByKeys(agent, *store_, table_, twig_, &result.stats,
+                          stats_.generations.get()));
   result.uris = index::SortedUris(uris);
   return result;
 }
@@ -112,7 +113,7 @@ Result<PathResult> LupAccessPath::Execute(cloud::SimAgent& agent) const {
   WEBDEX_ASSIGN_OR_RETURN(
       std::set<std::string> uris,
       index::LookupByPaths(agent, *store_, table_, twig_, options_,
-                           &result.stats));
+                           &result.stats, stats_.generations.get()));
   result.uris = index::SortedUris(uris);
   return result;
 }
@@ -144,7 +145,7 @@ Result<PathResult> LuiAccessPath::Execute(cloud::SimAgent& agent) const {
   WEBDEX_ASSIGN_OR_RETURN(
       std::set<std::string> uris,
       index::LookupByIds(agent, *store_, table_, twig_, nullptr,
-                         &result.stats));
+                         &result.stats, stats_.generations.get()));
   result.uris = index::SortedUris(uris);
   return result;
 }

@@ -33,6 +33,11 @@ struct PlannerStats {
   /// box usage) and its per-item billed-size floor.
   cost::IndexBilling billing = cost::IndexBilling::kReadUnits;
   double min_read_bytes = 0;
+  /// Generation view pinned when the plan was built (index/generation.h):
+  /// look-ups executed through this plan see each document at exactly the
+  /// generation recorded here, so queries stay bit-identical while
+  /// maintenance mutates the index underneath.  Null for static corpora.
+  std::shared_ptr<const index::GenerationMap> generations;
 };
 
 /// What executing one access path produced: the candidate document URIs

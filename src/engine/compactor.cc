@@ -1,0 +1,232 @@
+#include "engine/compactor.h"
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "common/strings.h"
+#include "engine/extraction_pipeline.h"
+
+namespace webdex::engine {
+namespace {
+
+/// Items are unique per (table, hash, range) — same identity the
+/// scrubber uses.
+struct ItemKey {
+  std::string table;
+  std::string hash;
+  std::string range;
+
+  bool operator<(const ItemKey& o) const {
+    return std::tie(table, hash, range) < std::tie(o.table, o.hash, o.range);
+  }
+};
+
+/// The document URI a stored posting belongs to: the single attribute
+/// name that is not the reserved generation stamp (index/generation.h —
+/// '~' cannot begin a document URI).
+const std::string* OwnerUri(const cloud::Item& item) {
+  const std::string* owner = nullptr;
+  for (const auto& [name, values] : item.attrs) {
+    (void)values;
+    if (name == index::kGenAttr) continue;
+    if (owner != nullptr) return nullptr;  // layout violation
+    owner = &name;
+  }
+  return owner;
+}
+
+/// One mutated URI's stored state, gathered from the billed scans.
+struct MutatedDoc {
+  index::GenerationInfo info;
+  /// Postings owned by the URI across all index tables, with their
+  /// generation stamps.
+  std::map<ItemKey, uint64_t> postings;
+  /// Meta-table rows for the URI (range keys, sorted = generation order).
+  std::vector<std::string> meta_ranges;
+};
+
+}  // namespace
+
+std::string CompactReport::ToString() const {
+  std::string out = StrFormat(
+      "compact: %llu mutated documents, %llu postings scanned\n"
+      "  canonicalized: %zu   collected: %zu   (%llu items put, %llu "
+      "deleted)\n",
+      static_cast<unsigned long long>(documents_checked),
+      static_cast<unsigned long long>(items_scanned),
+      canonicalized_uris.size(), collected_uris.size(),
+      static_cast<unsigned long long>(items_put),
+      static_cast<unsigned long long>(items_deleted));
+  for (const auto& uri : canonicalized_uris) {
+    out += "  canonical " + uri + "\n";
+  }
+  for (const auto& uri : collected_uris) out += "  collected " + uri + "\n";
+  if (crashed) {
+    out += "  crashed mid-pass; resume cursor '" + resume_cursor + "'\n";
+  }
+  if (faulted) {
+    out += "  faulted mid-pass (" + fault.ToString() + "); resume cursor '" +
+           resume_cursor + "'\n";
+  }
+  return out;
+}
+
+Compactor::Compactor(cloud::CloudEnv* env, cloud::KvStore* store,
+                     const index::IndexingStrategy* strategy,
+                     const index::ExtractOptions& options,
+                     std::string data_bucket)
+    : env_(env),
+      store_(store),
+      strategy_(strategy),
+      options_(options),
+      data_bucket_(std::move(data_bucket)) {}
+
+Result<CompactReport> Compactor::Run(
+    cloud::SimAgent& agent, bool full, const std::string& start_cursor,
+    const std::function<bool(const std::string&)>& should_crash) {
+  CompactReport report;
+
+  // Billed walk of the meta table: every row is one mutation layer, the
+  // highest generation per URI wins (max-wins fold, same as readers).
+  std::map<std::string, MutatedDoc> mutated;
+  {
+    WEBDEX_ASSIGN_OR_RETURN(std::vector<cloud::Item> rows,
+                            store_->Scan(agent, index::kMetaTable));
+    index::GenerationMap folded;
+    for (const auto& row : rows) {
+      index::ApplyMetaItem(row, &folded);
+      mutated[row.hash_key].meta_ranges.push_back(row.range_key);
+    }
+    for (auto& [uri, doc] : mutated) {
+      const index::GenerationInfo* info = folded.Find(uri);
+      if (info != nullptr) doc.info = *info;
+    }
+  }
+  if (mutated.empty()) return report;  // nothing mutable to fold
+
+  // Billed walk of the index tables, keeping only postings owned by a
+  // mutated URI — untouched static documents are never rewritten.
+  for (const auto& table : strategy_->TableNames()) {
+    WEBDEX_ASSIGN_OR_RETURN(std::vector<cloud::Item> items,
+                            store_->Scan(agent, table));
+    report.items_scanned += items.size();
+    for (const auto& item : items) {
+      const std::string* uri = OwnerUri(item);
+      if (uri == nullptr) continue;  // scrubber territory, not history
+      auto it = mutated.find(*uri);
+      if (it == mutated.end()) continue;
+      it->second.postings[ItemKey{table, item.hash_key, item.range_key}] =
+          index::StampOf(item.attrs);
+    }
+  }
+
+  // Per-URI fold, in sorted URI order so the resume cursor is a total
+  // order over the work.  Crashes only fire at URI boundaries; per URI
+  // the meta rows are deleted last, so re-doing a URI after a crash is
+  // idempotent.
+  const auto fold_uri = [&](const std::string& uri,
+                            const MutatedDoc& doc) -> Status {
+    if (doc.info.tombstoned) {
+      // Dead document: unlink postings, the stored object, then the
+      // tombstone itself.
+      for (const auto& [key, stamp] : doc.postings) {
+        (void)stamp;
+        WEBDEX_RETURN_IF_ERROR(
+            store_->DeleteItem(agent, key.table, key.hash, key.range));
+        report.items_deleted += 1;
+      }
+      WEBDEX_RETURN_IF_ERROR(env_->s3().Delete(agent, data_bucket_, uri));
+      for (const auto& range : doc.meta_ranges) {
+        WEBDEX_RETURN_IF_ERROR(
+            store_->DeleteItem(agent, index::kMetaTable, uri, range));
+        report.items_deleted += 1;
+      }
+      report.collected_uris.push_back(uri);
+    } else if (full) {
+      // Alive upserted document: rewrite to the canonical generation-0
+      // postings a from-scratch build of the current corpus would
+      // produce (generation 0 draws the original per-URI UUID stream),
+      // then drop everything else and the meta rows.
+      WEBDEX_ASSIGN_OR_RETURN(std::string text,
+                              env_->s3().Get(agent, data_bucket_, uri));
+      index::ExtractOptions canonical = options_;
+      canonical.generation = 0;
+      ExtractionResult extraction = ExtractionPipeline::ExtractNow(
+          uri, text, *strategy_, canonical, *store_, env_->config().seed);
+      WEBDEX_RETURN_IF_ERROR(extraction.status);
+      std::set<ItemKey> expected;
+      for (const auto& table_items : extraction.items) {
+        WEBDEX_RETURN_IF_ERROR(
+            store_->BatchPut(agent, table_items.table, table_items.items));
+        report.items_put += table_items.items.size();
+        for (const auto& item : table_items.items) {
+          expected.insert(
+              ItemKey{table_items.table, item.hash_key, item.range_key});
+        }
+      }
+      for (const auto& [key, stamp] : doc.postings) {
+        (void)stamp;
+        if (expected.count(key) > 0) continue;
+        WEBDEX_RETURN_IF_ERROR(
+            store_->DeleteItem(agent, key.table, key.hash, key.range));
+        report.items_deleted += 1;
+      }
+      for (const auto& range : doc.meta_ranges) {
+        WEBDEX_RETURN_IF_ERROR(
+            store_->DeleteItem(agent, index::kMetaTable, uri, range));
+        report.items_deleted += 1;
+      }
+      report.canonicalized_uris.push_back(uri);
+    } else {
+      // GC-only pass: drop postings of superseded generations and meta
+      // rows below the live one; the live generation stays stamped.
+      for (const auto& [key, stamp] : doc.postings) {
+        if (stamp == doc.info.generation) continue;
+        WEBDEX_RETURN_IF_ERROR(
+            store_->DeleteItem(agent, key.table, key.hash, key.range));
+        report.items_deleted += 1;
+      }
+      const std::string live = index::GenerationRangeKey(doc.info.generation);
+      for (const auto& range : doc.meta_ranges) {
+        if (range == live) continue;
+        WEBDEX_RETURN_IF_ERROR(
+            store_->DeleteItem(agent, index::kMetaTable, uri, range));
+        report.items_deleted += 1;
+      }
+    }
+    return Status::OK();
+  };
+
+  std::string completed = start_cursor;
+  for (const auto& [uri, doc] : mutated) {
+    if (!start_cursor.empty() && uri <= start_cursor) continue;
+    report.documents_checked += 1;
+    if (should_crash && should_crash(uri)) {
+      report.crashed = true;
+      report.resume_cursor = completed;
+      break;
+    }
+    const Status step = fold_uri(uri, doc);
+    if (!step.ok()) {
+      // Transient exhaustion (the retry decorator gave up) cuts the
+      // pass short like a crash does — the caller backs off and resumes
+      // from `completed`; redoing the in-flight URI is idempotent.
+      if (!step.IsRetriable()) return step;
+      report.faulted = true;
+      report.fault = step;
+      report.resume_cursor = completed;
+      break;
+    }
+    completed = uri;
+  }
+
+  cloud::Usage& usage = env_->meter().mutable_usage();
+  usage.compact_gc_items += report.items_deleted;
+  usage.compact_uris +=
+      report.canonicalized_uris.size() + report.collected_uris.size();
+  return report;
+}
+
+}  // namespace webdex::engine

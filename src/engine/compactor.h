@@ -1,0 +1,111 @@
+#ifndef WEBDEX_ENGINE_COMPACTOR_H_
+#define WEBDEX_ENGINE_COMPACTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_env.h"
+#include "cloud/kv_store.h"
+#include "common/result.h"
+#include "index/generation.h"
+#include "index/strategy.h"
+
+namespace webdex::engine {
+
+/// What one compaction pass did (docs/MUTABILITY.md).
+struct CompactReport {
+  /// Mutated URIs (any generation > 0 or tombstone in the meta table)
+  /// visited by this pass, including ones skipped past the resume cursor
+  /// on an earlier pass.
+  uint64_t documents_checked = 0;
+  uint64_t items_scanned = 0;
+  uint64_t items_put = 0;
+  uint64_t items_deleted = 0;
+  /// Alive upserted URIs rewritten to canonical generation-0 postings
+  /// (full mode only).
+  std::vector<std::string> canonicalized_uris;
+  /// Tombstoned URIs whose postings, document object and meta items were
+  /// garbage-collected.
+  std::vector<std::string> collected_uris;
+  /// Last URI whose work fully completed before a planned crash; empty
+  /// when the pass ran to completion (or crashed before finishing any).
+  /// Feed it back as `start_cursor` to resume.
+  std::string resume_cursor;
+  /// The pass was cut short by the crash hook (CrashPoint
+  /// kMidCompaction); state on the cloud side is consistent at the URI
+  /// boundary recorded in `resume_cursor`.
+  bool crashed = false;
+  /// The pass was cut short by a transient service error that outlived
+  /// the store's own retries (`fault` holds it).  Unlike a crash this
+  /// can abort *mid*-URI, but every per-URI step is idempotent
+  /// (replacement puts, absent-OK deletes, meta rows last), so resuming
+  /// from `resume_cursor` redoes the in-flight URI safely.
+  bool faulted = false;
+  Status fault = Status::OK();
+
+  std::string ToString() const;
+};
+
+/// Generational compaction of a mutable index (docs/MUTABILITY.md): the
+/// maintenance job that folds the append-only mutation layers — stamped
+/// upsert postings, tombstones, superseded generations — back into the
+/// canonical static layout the paper's cost model prices.
+///
+/// Generalizes the Scrubber's audit walk: where the scrubber repairs
+/// *damage* (fault-injected divergence from the expected index), the
+/// compactor retires *history*.  Per tombstoned URI it deletes every
+/// posting, the S3 object and the meta items; per alive upserted URI a
+/// full pass re-extracts the current document at generation 0 — the same
+/// deterministic UUID stream a from-scratch build uses — so the compacted
+/// index is byte-identical to one built fresh from the final corpus.  A
+/// non-full pass only garbage-collects superseded postings and meta rows,
+/// leaving live generations stamped.
+///
+/// Every read and write is billed: the meta table and index tables are
+/// walked with KvStore::Scan, documents are re-fetched from S3, and
+/// rewrites pay BatchPut/DeleteItem — compaction is a priced maintenance
+/// job, exactly like scrubbing.
+///
+/// Crash safety: work is ordered so that per URI the meta items are
+/// deleted *last*, and the crash hook only fires at URI boundaries, so a
+/// killed pass resumes from `CompactReport::resume_cursor` and converges
+/// — re-doing a URI is idempotent (deterministic re-puts, absent-OK
+/// deletes).
+class Compactor {
+ public:
+  /// `store` is the index store (typically the warehouse's retrying
+  /// decorator, so compaction traffic gets retries and breaker gating
+  /// like any other client).
+  Compactor(cloud::CloudEnv* env, cloud::KvStore* store,
+            const index::IndexingStrategy* strategy,
+            const index::ExtractOptions& options, std::string data_bucket);
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// One compaction pass on `agent`'s virtual clock.  `full` selects
+  /// canonical generation-0 rewrite of alive upserted documents (versus
+  /// garbage-collection only).  URIs <= `start_cursor` are skipped — pass
+  /// a previous report's `resume_cursor` to resume a crashed pass.
+  /// `should_crash` (may be null) is consulted with each URI before its
+  /// work starts; returning true ends the pass with `crashed` set.
+  /// A transient service error that survives the store's retries ends
+  /// the pass with `faulted` set instead of failing it — back off and
+  /// resume from the cursor; only non-retriable errors fail the call.
+  Result<CompactReport> Run(
+      cloud::SimAgent& agent, bool full, const std::string& start_cursor,
+      const std::function<bool(const std::string&)>& should_crash);
+
+ private:
+  cloud::CloudEnv* env_;
+  cloud::KvStore* store_;
+  const index::IndexingStrategy* strategy_;
+  index::ExtractOptions options_;
+  std::string data_bucket_;
+};
+
+}  // namespace webdex::engine
+
+#endif  // WEBDEX_ENGINE_COMPACTOR_H_

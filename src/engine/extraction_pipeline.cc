@@ -31,7 +31,15 @@ ExtractionResult ExtractionPipeline::ExtractNow(
     return out;
   }
   out.doc = std::make_shared<const xml::Document>(std::move(doc).value());
-  Rng uuid_rng = Rng::ForKey(base_seed, uri);
+  // Upsert re-extractions draw from a generation-suffixed UUID stream so
+  // a document's successive versions never collide on range keys; the
+  // static corpus (generation 0) keeps the original per-URI stream and
+  // stays byte-identical.
+  Rng uuid_rng =
+      options.generation > 0
+          ? Rng::ForKey(base_seed,
+                        uri + "@" + std::to_string(options.generation))
+          : Rng::ForKey(base_seed, uri);
   // Kept on the result: the planner's PathSummary consumes it directly
   // once the warehouse commits the task, without re-extracting
   // (docs/PLANNER.md).
@@ -46,29 +54,44 @@ ExtractionResult ExtractionPipeline::ExtractNow(
   return out;
 }
 
-void ExtractionPipeline::Prefetch(const std::string& uri) {
+namespace {
+
+// Memo key for one (uri, generation) extraction; generation 0 keeps the
+// bare URI so static-corpus behavior is unchanged.
+std::string TaskKey(const std::string& uri, uint64_t generation) {
+  return generation > 0 ? uri + "@" + std::to_string(generation) : uri;
+}
+
+}  // namespace
+
+void ExtractionPipeline::Prefetch(const std::string& uri,
+                                  uint64_t generation) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (tasks_.count(uri) > 0) return;
+  const std::string key = TaskKey(uri, generation);
+  if (tasks_.count(key) > 0) return;
   tasks_.emplace(
-      uri,
-      pool_->Submit([this, uri]() -> std::shared_ptr<const ExtractionResult> {
+      key,
+      pool_->Submit([this, uri,
+                     generation]() -> std::shared_ptr<const ExtractionResult> {
         const std::string* text = s3_->PeekObject(bucket_, uri);
         if (text == nullptr) {
           auto missing = std::make_shared<ExtractionResult>();
           missing->status = Status::NotFound("no such object: " + uri);
           return missing;
         }
+        index::ExtractOptions options = options_;
+        options.generation = generation;
         return std::make_shared<const ExtractionResult>(ExtractNow(
-            uri, *text, *strategy_, options_, *store_, base_seed_));
+            uri, *text, *strategy_, options, *store_, base_seed_));
       }).share());
 }
 
 std::shared_ptr<const ExtractionResult> ExtractionPipeline::Take(
-    const std::string& uri) {
+    const std::string& uri, uint64_t generation) {
   std::shared_future<std::shared_ptr<const ExtractionResult>> task;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = tasks_.find(uri);
+    auto it = tasks_.find(TaskKey(uri, generation));
     if (it == tasks_.end()) return nullptr;
     task = it->second;
   }

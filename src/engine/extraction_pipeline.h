@@ -19,8 +19,9 @@ namespace webdex::engine {
 
 /// Everything the pure-CPU half of one indexing task produces: the parsed
 /// document, the extracted index items, and the work counters the
-/// simulation charges virtual time for.  Deterministic per (seed, uri):
-/// UUID range keys come from an Rng stream seeded by the document URI, so
+/// simulation charges virtual time for.  Deterministic per (seed, uri,
+/// generation): UUID range keys come from an Rng stream seeded by the
+/// document URI (suffixed "@<generation>" for upsert re-extractions), so
 /// the same document always extracts to byte-identical items, regardless
 /// of which host thread, simulated instance, or delivery attempt runs it.
 struct ExtractionResult {
@@ -69,15 +70,18 @@ class ExtractionPipeline {
   ExtractionPipeline(const ExtractionPipeline&) = delete;
   ExtractionPipeline& operator=(const ExtractionPipeline&) = delete;
 
-  /// Schedules the speculative extraction of `uri` unless one is already
-  /// scheduled.  Called once per pending loader-queue message before the
-  /// event loop starts.
-  void Prefetch(const std::string& uri);
+  /// Schedules the speculative extraction of `uri` at `generation` unless
+  /// one is already scheduled.  Called once per pending loader-queue
+  /// message before the event loop starts.  Upsert tasks of the same URI
+  /// at different generations memoize independently — their UUID streams
+  /// (and possibly their S3 bodies) differ.
+  void Prefetch(const std::string& uri, uint64_t generation = 0);
 
-  /// Blocks until the speculative task for `uri` completes and returns
-  /// its memoized result; nullptr if `uri` was never prefetched (the
-  /// caller then extracts inline via ExtractNow).
-  std::shared_ptr<const ExtractionResult> Take(const std::string& uri);
+  /// Blocks until the speculative task for (`uri`, `generation`)
+  /// completes and returns its memoized result; nullptr if it was never
+  /// prefetched (the caller then extracts inline via ExtractNow).
+  std::shared_ptr<const ExtractionResult> Take(const std::string& uri,
+                                               uint64_t generation = 0);
 
   /// The serial path: runs the identical parse + extract on the calling
   /// thread.  Shared by the pipeline's pooled tasks and the legacy

@@ -27,9 +27,64 @@ Result<std::string> ExpectTag(const std::string& text,
 
 }  // namespace
 
-std::string LoadRequest::Serialize() const { return "LOAD\n" + uri; }
+std::string LoadRequest::Serialize() const {
+  switch (op) {
+    case LoadOp::kAdd:
+      return "LOAD\n" + uri;
+    case LoadOp::kUpsert:
+      return StrFormat("UPSERT\n%llu\n",
+                       static_cast<unsigned long long>(generation)) +
+             uri;
+    case LoadOp::kDelete:
+      return StrFormat("DELETE\n%llu\n",
+                       static_cast<unsigned long long>(generation)) +
+             uri;
+  }
+  return "LOAD\n" + uri;  // unreachable
+}
+
+namespace {
+
+// Parses the "<generation>\n<uri>" body shared by UPSERT and DELETE.
+Result<LoadRequest> ParseMutation(std::string rest, LoadOp op,
+                                  std::string_view tag) {
+  const size_t newline = rest.find('\n');
+  if (newline == std::string::npos) {
+    return Status::InvalidArgument(
+        StrFormat("%.*s without generation", static_cast<int>(tag.size()),
+                  tag.data()));
+  }
+  LoadRequest req;
+  req.op = op;
+  req.generation = std::strtoull(rest.substr(0, newline).c_str(), nullptr, 10);
+  if (req.generation == 0) {
+    return Status::InvalidArgument(
+        StrFormat("%.*s with generation 0", static_cast<int>(tag.size()),
+                  tag.data()));
+  }
+  req.uri = rest.substr(newline + 1);
+  if (req.uri.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "%.*s without URI", static_cast<int>(tag.size()), tag.data()));
+  }
+  return req;
+}
+
+}  // namespace
 
 Result<LoadRequest> LoadRequest::Parse(const std::string& text) {
+  {
+    auto rest = ExpectTag(text, "UPSERT");
+    if (rest.ok()) {
+      return ParseMutation(std::move(rest).value(), LoadOp::kUpsert, "UPSERT");
+    }
+  }
+  {
+    auto rest = ExpectTag(text, "DELETE");
+    if (rest.ok()) {
+      return ParseMutation(std::move(rest).value(), LoadOp::kDelete, "DELETE");
+    }
+  }
   WEBDEX_ASSIGN_OR_RETURN(std::string rest, ExpectTag(text, "LOAD"));
   if (rest.empty()) return Status::InvalidArgument("LOAD without URI");
   LoadRequest req;

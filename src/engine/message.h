@@ -11,10 +11,23 @@ namespace webdex::engine {
 /// front end and the virtual-machine modules (paper Figure 1).  Messages
 /// are plain text: a type tag line, then type-specific lines.
 
+/// What an indexing task asks the module to do with `uri`.
+enum class LoadOp {
+  kAdd,     // first-time indexing of a static-corpus document
+  kUpsert,  // (re)index the document at a generation > 0
+  kDelete,  // tombstone the document at a generation > 0
+};
+
 /// Front end -> indexing module: "a document named `uri` awaits indexing
-/// in the file store" (Figure 1, step 3).
+/// in the file store" (Figure 1, step 3).  Mutations reuse the same queue
+/// with distinct type tags; kAdd serializes exactly as before mutability
+/// existed, so static-corpus task bodies are byte-identical.
 struct LoadRequest {
   std::string uri;
+  LoadOp op = LoadOp::kAdd;
+  /// Generation stamp allocated by the front end (index/generation.h).
+  /// Always 0 for kAdd, always > 0 for kUpsert / kDelete.
+  uint64_t generation = 0;
 
   std::string Serialize() const;
   static Result<LoadRequest> Parse(const std::string& text);

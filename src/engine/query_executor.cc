@@ -27,9 +27,14 @@ Status QueryExecutor::LookupLegacy(Instance& instance,
   index::LookupStats stats;
   const Micros get_start = instance.now();
   Status lookup_status = Status::OK();
+  // Pin the generation view once for the whole query: look-ups stay
+  // bit-identical even if maintenance commits mid-evaluation.
+  const std::shared_ptr<const index::GenerationMap> view =
+      w.GenerationSnapshot();
   for (const auto& pattern : logical.query().patterns()) {
     auto uris = w.strategy_->LookupPattern(instance, w.index_store(), pattern,
-                                           w.config_.extract, &stats);
+                                           w.config_.extract, &stats,
+                                           view.get());
     if (!uris.ok()) {
       lookup_status = uris.status();
       break;

@@ -29,11 +29,18 @@ struct ItemKey {
 using ItemMap = std::map<ItemKey, cloud::Attributes>;
 
 /// The document URI a stored posting belongs to.  Layout contract
-/// (index/entry.h BuildEntryItems): every posting carries exactly one
-/// attribute, and its *name* is the source document's URI.
+/// (index/strategy.cc BuildEntryItems): every posting carries exactly one
+/// attribute beyond the reserved generation stamp, and its *name* is the
+/// source document's URI ('~' cannot begin a URI, index/generation.h).
 const std::string* OwnerUri(const cloud::Item& item) {
-  if (item.attrs.size() != 1) return nullptr;
-  return &item.attrs.begin()->first;
+  const std::string* owner = nullptr;
+  for (const auto& [name, values] : item.attrs) {
+    (void)values;
+    if (name == index::kGenAttr) continue;
+    if (owner != nullptr) return nullptr;
+    owner = &name;
+  }
+  return owner;
 }
 
 }  // namespace
@@ -70,7 +77,8 @@ Scrubber::Scrubber(cloud::CloudEnv* env, cloud::KvStore* store,
       options_(options),
       data_bucket_(std::move(data_bucket)) {}
 
-Result<ScrubReport> Scrubber::Run(cloud::SimAgent& agent, bool repair) {
+Result<ScrubReport> Scrubber::Run(cloud::SimAgent& agent, bool repair,
+                                  const index::GenerationMap* view) {
   ScrubReport report;
 
   // Billed walk of every index table, grouping postings by owning URI.
@@ -96,10 +104,22 @@ Result<ScrubReport> Scrubber::Run(cloud::SimAgent& agent, bool repair) {
   std::set<std::string> documents(uris.begin(), uris.end());
   for (const auto& uri : uris) {
     report.documents_checked += 1;
+    const index::GenerationInfo* info =
+        view != nullptr ? view->Find(uri) : nullptr;
+    // A tombstoned document must never be repaired back into the index —
+    // its object always lingers until compaction reclaims it; both
+    // belong to the Compactor.
+    if (info != nullptr && info->tombstoned) continue;
+    const uint64_t live_gen = info != nullptr ? info->generation : 0;
     WEBDEX_ASSIGN_OR_RETURN(std::string text,
                             env_->s3().Get(agent, data_bucket_, uri));
+    // Audit the document at its live generation: the re-extraction draws
+    // the generation's own UUID stream, so expected and committed items
+    // agree byte for byte.
+    index::ExtractOptions options = options_;
+    options.generation = live_gen;
     ExtractionResult extraction = ExtractionPipeline::ExtractNow(
-        uri, text, *strategy_, options_, *store_, env_->config().seed);
+        uri, text, *strategy_, options, *store_, env_->config().seed);
     ItemMap expected;
     if (extraction.status.ok()) {
       for (const auto& table_items : extraction.items) {
@@ -109,11 +129,17 @@ Result<ScrubReport> Scrubber::Run(cloud::SimAgent& agent, bool repair) {
         }
       }
     }
-    // Unparseable (poison) documents expect no postings at all.
+    // Unparseable (poison) documents expect no postings at all.  Only
+    // postings stamped at the live generation are compared: superseded
+    // generations are pending history for the Compactor, not damage.
     auto stored_it = stored_by_uri.find(uri);
     const ItemMap empty;
-    const ItemMap& stored =
+    const ItemMap& stored_all =
         stored_it == stored_by_uri.end() ? empty : stored_it->second;
+    ItemMap stored;
+    for (const auto& [key, attrs] : stored_all) {
+      if (index::StampOf(attrs) == live_gen) stored[key] = attrs;
+    }
     if (stored == expected) continue;
     if (stored.empty()) {
       report.missing_uris.push_back(uri);
@@ -145,9 +171,14 @@ Result<ScrubReport> Scrubber::Run(cloud::SimAgent& agent, bool repair) {
     report.repaired_uris += 1;
   }
 
-  // Postings whose document is gone from the bucket.
+  // Postings whose document is gone from the bucket.  Tombstoned
+  // documents are expected to be gone — their postings await collection
+  // by the Compactor, so a scrub neither flags nor deletes them.
   for (const auto& [uri, items] : stored_by_uri) {
     if (documents.count(uri) > 0) continue;
+    const index::GenerationInfo* info =
+        view != nullptr ? view->Find(uri) : nullptr;
+    if (info != nullptr && info->tombstoned) continue;
     report.orphaned_uris.push_back(uri);
     if (!repair) continue;
     for (const auto& [key, attrs] : items) {

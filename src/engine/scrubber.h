@@ -8,6 +8,7 @@
 #include "cloud/cloud_env.h"
 #include "cloud/kv_store.h"
 #include "common/result.h"
+#include "index/generation.h"
 #include "index/strategy.h"
 
 namespace webdex::engine {
@@ -64,7 +65,15 @@ class Scrubber {
   /// re-extracts and re-puts every missing/partial URI and deletes
   /// orphaned and stale postings; repaired URIs are counted in
   /// Usage::scrub_repaired.
-  Result<ScrubReport> Run(cloud::SimAgent& agent, bool repair);
+  ///
+  /// `view` (may be null = all-static) makes the audit generation-aware
+  /// (index/generation.h): a tombstoned document is skipped entirely —
+  /// scrubbing must never resurrect it, and its leftovers belong to the
+  /// Compactor — and an upserted document is audited at its live
+  /// generation, with postings of superseded generations treated as
+  /// pending history, not damage.
+  Result<ScrubReport> Run(cloud::SimAgent& agent, bool repair,
+                          const index::GenerationMap* view = nullptr);
 
  private:
   cloud::CloudEnv* env_;

@@ -63,18 +63,26 @@ Status Warehouse::Setup() {
     for (const auto& table : strategy_->TableNames()) {
       WEBDEX_RETURN_IF_ERROR(index_store().CreateTable(table));
     }
+    // Mutation meta table (index/generation.h).  Stays empty until the
+    // first upsert/delete, so static-corpus dumps are byte-unchanged.
+    WEBDEX_RETURN_IF_ERROR(index_store().CreateTable(index::kMetaTable));
   }
   return Status::OK();
 }
 
 void Warehouse::AdoptExistingData(const Warehouse& other) {
   document_uris_ = other.document_uris_;
+  registered_uris_ = other.registered_uris_;
   data_bytes_ = other.data_bytes_;
   next_query_id_ = other.next_query_id_;
   // The planner statistics travel with the data: the new fleet prices
   // access paths against the same corpus the old fleet indexed.
   path_summary_ = other.path_summary_;
   summarized_uris_ = other.summarized_uris_;
+  {
+    std::lock_guard<std::mutex> lock(generations_mu_);
+    generations_ = other.GenerationSnapshot();
+  }
   front_end_.AdvanceTo(other.front_end_.now());
 }
 
@@ -89,7 +97,33 @@ Status Warehouse::AttachToExistingCloud() {
       std::vector<std::string> uris,
       env_->s3().List(front_end_, config_.data_bucket, ""));
   document_uris_ = std::move(uris);
+  registered_uris_ =
+      std::set<std::string>(document_uris_.begin(), document_uris_.end());
   data_bytes_ = env_->s3().BucketBytes(config_.data_bucket);
+  if (config_.use_index) {
+    auto& store = index_store();
+    if (store.HasTable(index::kMetaTable)) {
+      // Rebuild the generation view from the durable meta table (billed
+      // scan).  A delete whose task died after the tombstone but before
+      // the S3 unlink leaves the object listed above — drop such URIs
+      // from the registry so a restored facade never resurrects them.
+      WEBDEX_ASSIGN_OR_RETURN(std::vector<cloud::Item> rows,
+                              store.Scan(front_end_, index::kMetaTable));
+      auto rebuilt = std::make_shared<index::GenerationMap>();
+      for (const auto& row : rows) index::ApplyMetaItem(row, rebuilt.get());
+      std::vector<std::string> dead;
+      for (const auto& [uri, info] : rebuilt->entries()) {
+        if (info.tombstoned) dead.push_back(uri);
+      }
+      for (const auto& uri : dead) UnregisterDocument(uri);
+      std::lock_guard<std::mutex> lock(generations_mu_);
+      generations_ = std::move(rebuilt);
+    } else {
+      // Pre-mutability snapshot: create the meta table so mutations work.
+      const Status created = store.CreateTable(index::kMetaTable);
+      if (!created.ok() && !created.IsAlreadyExists()) return created;
+    }
+  }
   // Queues are ephemeral (not part of snapshots): create them if absent.
   for (const auto& queue : {config_.loader_queue, config_.query_queue,
                             config_.response_queue,
@@ -103,12 +137,18 @@ Status Warehouse::AttachToExistingCloud() {
 
 Status Warehouse::SubmitDocument(const std::string& uri,
                                  std::string xml_text) {
+  if (config_.use_index && registered_uris_.count(uri) > 0) {
+    // Re-submission replaces the document; only the generation machinery
+    // keeps readers consistent through that, so route through it.
+    return UpsertDocument(uri, std::move(xml_text));
+  }
   data_bytes_ += xml_text.size();
   WEBDEX_RETURN_IF_ERROR(
       RetryCall(front_end_, "fe.put", [&] {
         return env_->s3().Put(front_end_, config_.data_bucket, uri, xml_text);
       }));
   document_uris_.push_back(uri);
+  registered_uris_.insert(uri);
   if (config_.use_index) {
     LoadRequest request{uri};
     WEBDEX_RETURN_IF_ERROR(RetryCall(front_end_, "fe.load", [&] {
@@ -117,6 +157,80 @@ Status Warehouse::SubmitDocument(const std::string& uri,
     }));
   }
   return Status::OK();
+}
+
+Status Warehouse::UpsertDocument(const std::string& uri,
+                                 std::string xml_text) {
+  if (!config_.use_index) {
+    return Status::FailedPrecondition(
+        "document mutation requires an indexed warehouse");
+  }
+  WEBDEX_RETURN_IF_ERROR(
+      RetryCall(front_end_, "fe.put", [&] {
+        return env_->s3().Put(front_end_, config_.data_bucket, uri, xml_text);
+      }));
+  // Replacement may shrink or grow the stored object; re-read the
+  // bucket's authoritative size instead of accumulating deltas.
+  data_bytes_ = env_->s3().BucketBytes(config_.data_bucket);
+  if (registered_uris_.insert(uri).second) document_uris_.push_back(uri);
+  LoadRequest request{uri};
+  request.op = LoadOp::kUpsert;
+  request.generation = AllocateGeneration();
+  WEBDEX_RETURN_IF_ERROR(RetryCall(front_end_, "fe.load", [&] {
+    return env_->sqs().Send(front_end_, config_.loader_queue,
+                            request.Serialize());
+  }));
+  return Status::OK();
+}
+
+Status Warehouse::DeleteDocument(const std::string& uri) {
+  if (!config_.use_index) {
+    return Status::FailedPrecondition(
+        "document mutation requires an indexed warehouse");
+  }
+  if (registered_uris_.count(uri) == 0) {
+    return Status::NotFound("no such document: " + uri);
+  }
+  LoadRequest request{uri};
+  request.op = LoadOp::kDelete;
+  request.generation = AllocateGeneration();
+  WEBDEX_RETURN_IF_ERROR(RetryCall(front_end_, "fe.load", [&] {
+    return env_->sqs().Send(front_end_, config_.loader_queue,
+                            request.Serialize());
+  }));
+  return Status::OK();
+}
+
+uint64_t Warehouse::AllocateGeneration() {
+  return ++env_->maintenance().generation_watermark;
+}
+
+std::shared_ptr<const index::GenerationMap> Warehouse::GenerationSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(generations_mu_);
+  return generations_;
+}
+
+void Warehouse::CommitGeneration(const std::string& uri, uint64_t generation,
+                                 bool tombstoned) {
+  std::lock_guard<std::mutex> lock(generations_mu_);
+  auto next = std::make_shared<index::GenerationMap>(*generations_);
+  next->Apply(uri, generation, tombstoned);
+  generations_ = std::move(next);
+}
+
+void Warehouse::EraseGeneration(const std::string& uri) {
+  std::lock_guard<std::mutex> lock(generations_mu_);
+  auto next = std::make_shared<index::GenerationMap>(*generations_);
+  next->Erase(uri);
+  generations_ = std::move(next);
+}
+
+void Warehouse::UnregisterDocument(const std::string& uri) {
+  if (registered_uris_.erase(uri) == 0) return;
+  document_uris_.erase(
+      std::remove(document_uris_.begin(), document_uris_.end(), uri),
+      document_uris_.end());
 }
 
 WorkerStep Warehouse::IndexerStep(Instance& instance,
@@ -174,8 +288,12 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
   // a transiently failing one is abandoned so its lease expires and the
   // task is redone (docs/FAULTS.md).
   TaskOutcome outcome = request.ok() ? TaskOutcome::kOk : TaskOutcome::kPoison;
+  // Deletes skip the extract and upload phases entirely: the work is a
+  // tombstone meta row plus an object unlink (docs/MUTABILITY.md).
+  const bool is_delete =
+      request.ok() && request.value().op == LoadOp::kDelete;
   std::shared_ptr<const ExtractionResult> extraction;
-  if (outcome == TaskOutcome::kOk) {
+  if (outcome == TaskOutcome::kOk && !is_delete) {
     auto text = RetryCall(instance, "ix.fetch", [&] {
       return env_->s3().Get(instance, config_.data_bucket,
                             request.value().uri);
@@ -191,14 +309,19 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
       instance.ChargeParallelWork(work.parse_per_byte *
                                   static_cast<double>(xml_text.size()));
       if (pipeline != nullptr) {
-        extraction = pipeline->Take(request.value().uri);
+        extraction = pipeline->Take(request.value().uri,
+                                    request.value().generation);
       }
       if (extraction == nullptr || extraction->status.IsNotFound()) {
         // Not prefetched (or the speculative read missed the object):
-        // run the identical extraction inline on this thread.
+        // run the identical extraction inline on this thread.  Upserts
+        // extract at their allocated generation so the new postings are
+        // stamped and drawn from the generation's own UUID stream.
+        index::ExtractOptions options = config_.extract;
+        options.generation = request.value().generation;
         extraction = std::make_shared<const ExtractionResult>(
             ExtractionPipeline::ExtractNow(request.value().uri, xml_text,
-                                           *strategy_, config_.extract,
+                                           *strategy_, options,
                                            index_store(),
                                            env_->config().seed));
       }
@@ -225,7 +348,7 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
   cloud::MeteredSpan upload_span(&env_->tracer(), &env_->meter(), instance,
                                  "upload");
   bool crashed = false;
-  if (outcome == TaskOutcome::kOk) {
+  if (outcome == TaskOutcome::kOk && !is_delete) {
     const cloud::Usage before = env_->meter().Snapshot();
     for (const auto& batch : extraction->items) {
       instance.ChargeParallelWork(
@@ -243,8 +366,40 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
         break;
       }
     }
+    if (!crashed && outcome == TaskOutcome::kOk &&
+        request.value().op == LoadOp::kUpsert) {
+      // Once every posting page has landed, append the generation's meta
+      // row — the durable record that makes the new generation the live
+      // one for rebuilt readers.  Append-only: a redelivered lower
+      // generation can never clobber a higher one.
+      const Status put = index_store().BatchPut(
+          instance, index::kMetaTable,
+          {index::MakeMetaItem(request.value().uri,
+                               request.value().generation,
+                               /*tombstoned=*/false)});
+      if (!put.ok()) {
+        outcome = put.IsRetriable() ? TaskOutcome::kAbandon
+                                    : TaskOutcome::kPoison;
+      }
+    }
     const cloud::Usage delta = env_->meter().Snapshot() - before;
     report->index_put_units += delta.ddb_write_units + delta.sdb_put_requests;
+  } else if (outcome == TaskOutcome::kOk && is_delete) {
+    // Tombstone only: once it is durable no reader — live or rebuilt
+    // from a snapshot — can resurrect the document, wherever the task
+    // dies afterwards.  The stale postings stay behind for compaction,
+    // and so does the stored object: a queued revival (an UPSERT at a
+    // higher generation) may already have re-put it, so reclaiming the
+    // storage is the Compactor's call — made on the *folded* generation
+    // state — never this task's.
+    const Status put = index_store().BatchPut(
+        instance, index::kMetaTable,
+        {index::MakeMetaItem(request.value().uri, request.value().generation,
+                             /*tombstoned=*/true)});
+    if (!put.ok()) {
+      outcome = put.IsRetriable() ? TaskOutcome::kAbandon
+                                  : TaskOutcome::kPoison;
+    }
   }
   upload_span.End();
   report->upload_micros += instance.now() - upload_start;
@@ -260,14 +415,31 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
     return step;
   }
 
-  if (outcome == TaskOutcome::kOk) {
+  if (outcome == TaskOutcome::kOk && is_delete) {
+    // Host-side delete commit — all idempotent under redelivery.
+    CommitGeneration(request.value().uri, request.value().generation,
+                     /*tombstoned=*/true);
+    UnregisterDocument(request.value().uri);
+    doc_cache_.Erase(request.value().uri);
+    env_->meter().mutable_usage().tombstones_written += 1;
+    env_->metrics().GetCounter("index.tombstone.written.count")->Add(1);
+  } else if (outcome == TaskOutcome::kOk) {
     report->extract_stats.entries += extraction->stats.entries;
     report->extract_stats.items += extraction->stats.items;
     report->extract_stats.payload_bytes += extraction->stats.payload_bytes;
     report->documents += 1;
-    // Feed the planner's corpus statistics once per document: a crashed
-    // task redone on redelivery must not double-count its paths.
-    if (summarized_uris_.insert(request.value().uri).second) {
+    if (request.value().op == LoadOp::kUpsert) {
+      // Host-side upsert commit: publish the new generation to readers.
+      // The path summary is deliberately left alone — planner statistics
+      // go stale under mutation, like a real system's, and are refreshed
+      // by compaction-time re-adds only via a fresh facade
+      // (docs/MUTABILITY.md).
+      CommitGeneration(request.value().uri, request.value().generation,
+                       /*tombstoned=*/false);
+    } else if (summarized_uris_.insert(request.value().uri).second) {
+      // Feed the planner's corpus statistics once per document: a
+      // crashed task redone on redelivery must not double-count its
+      // paths.
       path_summary_.AddDocument(extraction->doc_index);
     }
   }
@@ -365,7 +537,9 @@ Result<IndexingRunReport> Warehouse::RunIndexers() {
         &env_->s3(), config_.data_bucket, env_->config().seed);
     for (const auto& body : env_->sqs().PeekBodies(config_.loader_queue)) {
       auto request = LoadRequest::Parse(body);
-      if (request.ok()) pipeline->Prefetch(request.value().uri);
+      if (request.ok() && request.value().op != LoadOp::kDelete) {
+        pipeline->Prefetch(request.value().uri, request.value().generation);
+      }
     }
   }
 
@@ -414,6 +588,9 @@ QueryPlanner Warehouse::MakePlanner() {
   context.stats.summary = &path_summary_;
   context.stats.documents = document_uris_.size();
   context.stats.data_bytes = data_bytes_;
+  // Pin the generation view into the plan: every access path built from
+  // it reads each document at exactly this generation.
+  context.stats.generations = GenerationSnapshot();
   context.stats.work = &env_->config().work;
   context.stats.spec = cloud::SpecFor(config_.instance_type);
   context.stats.vm_usd_per_hour =
@@ -632,7 +809,100 @@ Result<ScrubReport> Warehouse::Scrub(bool repair) {
   env_->metrics().GetCounter("engine.scrub.passes.count")->Add(1);
   Scrubber scrubber(env_, retrying_store_.get(), strategy_.get(),
                     config_.extract, config_.data_bucket);
-  return scrubber.Run(front_end_, repair);
+  return scrubber.Run(front_end_, repair, GenerationSnapshot().get());
+}
+
+Result<CompactReport> Warehouse::Compact(bool full) {
+  if (!config_.use_index) {
+    return Status::FailedPrecondition(
+        "compaction requires an indexed warehouse");
+  }
+  cloud::MeteredSpan pass_span(&env_->tracer(), &env_->meter(), front_end_,
+                               "compact.pass");
+  pass_span.AddAttr("full", full ? 1 : 0);
+  env_->metrics().GetCounter("index.compact.passes.count")->Add(1);
+  // Resume from the durable cursor: a pass killed by a planned crash —
+  // even one restored from a snapshot since — continues at the URI
+  // boundary it checkpointed instead of restarting.
+  std::string cursor = env_->maintenance().compact_cursor;
+  pass_span.AddAttr("resumed", cursor.empty() ? 0 : 1);
+  Compactor compactor(env_, retrying_store_.get(), strategy_.get(),
+                      config_.extract, config_.data_bucket);
+  auto should_crash = [this](const std::string& uri) {
+    return ShouldCrash(cloud::CrashPoint::kMidCompaction, /*instance_id=*/0,
+                       uri);
+  };
+  // A sub-pass cut short by transient-fault exhaustion (the store's own
+  // retries gave up) is backed off and resumed from its cursor:
+  // compaction inherits the pipeline's at-least-once posture instead of
+  // failing on the first bad fault window.  Only a planned crash or a
+  // non-retriable error ends the loop early.
+  constexpr int kMaxSubPasses = 8;
+  CompactReport report;
+  Status pass_error;
+  Rng backoff_rng = Rng::ForKey(env_->config().seed, "wh:compact.backoff");
+  for (int attempt = 1;; ++attempt) {
+    auto sub = compactor.Run(front_end_, full, cursor, should_crash);
+    if (!sub.ok()) {
+      // The opening scans faulted out before any URI work.
+      if (!sub.status().IsRetriable() || attempt >= kMaxSubPasses) {
+        pass_error = sub.status();
+        break;
+      }
+    } else {
+      report.documents_checked += sub.value().documents_checked;
+      report.items_scanned += sub.value().items_scanned;
+      report.items_put += sub.value().items_put;
+      report.items_deleted += sub.value().items_deleted;
+      for (auto& uri : sub.value().canonicalized_uris) {
+        report.canonicalized_uris.push_back(std::move(uri));
+      }
+      for (auto& uri : sub.value().collected_uris) {
+        report.collected_uris.push_back(std::move(uri));
+      }
+      report.crashed = sub.value().crashed;
+      report.faulted = sub.value().faulted;
+      report.fault = sub.value().fault;
+      report.resume_cursor = sub.value().resume_cursor;
+      if (!report.faulted) break;
+      if (attempt >= kMaxSubPasses) {
+        pass_error = report.fault;
+        break;
+      }
+      cursor = report.resume_cursor;
+    }
+    const int64_t cap = common::BackoffCapMicros(config_.retry, attempt);
+    const int64_t wait =
+        cap <= 0 ? 0
+                 : static_cast<int64_t>(backoff_rng.NextDouble() *
+                                        static_cast<double>(cap + 1));
+    front_end_.Advance(static_cast<cloud::Micros>(wait));
+  }
+  // Even a pass that ultimately gave up commits what its sub-passes
+  // completed — the cloud-side rows are already folded, so the in-memory
+  // view and the cursor must follow.
+  env_->maintenance().compact_cursor = (report.crashed || !pass_error.ok())
+                                           ? report.resume_cursor
+                                           : std::string();
+  // Host-side commit: fully folded URIs leave the generation view — a
+  // canonicalized document is back at generation 0, a collected one is
+  // gone entirely.
+  for (const auto& uri : report.canonicalized_uris) EraseGeneration(uri);
+  for (const auto& uri : report.collected_uris) EraseGeneration(uri);
+  // Collected tombstones reclaimed their stored objects (the delete task
+  // itself never unlinks — docs/MUTABILITY.md).
+  data_bytes_ = env_->s3().BucketBytes(config_.data_bucket);
+  env_->metrics()
+      .GetCounter("index.compact.gc_items.count")
+      ->Add(report.items_deleted);
+  env_->metrics()
+      .GetCounter("index.compact.canonicalized.count")
+      ->Add(report.canonicalized_uris.size());
+  env_->metrics()
+      .GetCounter("index.tombstone.collected.count")
+      ->Add(report.collected_uris.size());
+  WEBDEX_RETURN_IF_ERROR(pass_error);
+  return report;
 }
 
 Result<uint64_t> Warehouse::DrainDeadLetters() {
@@ -687,7 +957,14 @@ void Warehouse::DocCache::Put(const std::string& uri,
                               std::shared_ptr<const xml::Document> doc) {
   if (doc == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
-  cache_.emplace(uri, std::move(doc));
+  // Assign, not emplace: an upsert must replace the cached DOM, or
+  // queries would keep evaluating the superseded version from cache.
+  cache_[uri] = std::move(doc);
+}
+
+void Warehouse::DocCache::Erase(const std::string& uri) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.erase(uri);
 }
 
 uint64_t Warehouse::IndexRawBytes() const {

@@ -19,10 +19,12 @@
 #include "common/retry.h"
 #include "common/rng.h"
 #include "cost/cost_model.h"
+#include "engine/compactor.h"
 #include "engine/extraction_pipeline.h"
 #include "engine/message.h"
 #include "engine/query_planner.h"
 #include "engine/scrubber.h"
+#include "index/generation.h"
 #include "index/strategy.h"
 #include "index/summary.h"
 #include "query/evaluator.h"
@@ -202,8 +204,28 @@ class Warehouse {
 
   /// Stores the document in the file store and enqueues an indexing
   /// request.  (With use_index == false the document is still registered
-  /// and stored, and the loader queue stays empty.)
+  /// and stored, and the loader queue stays empty.)  Submitting a URI
+  /// that is already registered routes to UpsertDocument — the corpus is
+  /// mutable, re-submission means replacement (docs/MUTABILITY.md).
   Status SubmitDocument(const std::string& uri, std::string xml_text);
+
+  // --- Mutation (docs/MUTABILITY.md) ---------------------------------------
+
+  /// Replaces `uri`'s content: stores the new text, allocates the next
+  /// generation stamp, and enqueues an UPSERT indexing task through the
+  /// same fault-injected queue pipeline as loads.  The new postings are
+  /// written stamped; readers keep seeing the old generation until the
+  /// task commits.  Requires use_index.  Run RunIndexers() to process.
+  Status UpsertDocument(const std::string& uri, std::string xml_text);
+
+  /// Deletes `uri`: allocates a generation stamp and enqueues a DELETE
+  /// task that writes a tombstone meta row — never an in-place erase.
+  /// Postings *and* the stored object linger until compaction collects
+  /// them, so a queued revival (a later-generation upsert) can never
+  /// lose its object to an earlier delete task.  NotFound if the URI was
+  /// never registered.  Requires use_index.  Run RunIndexers() to
+  /// process.
+  Status DeleteDocument(const std::string& uri);
 
   // --- Indexing (steps 4-6) ----------------------------------------------
 
@@ -234,6 +256,15 @@ class Warehouse {
   /// re-extracted and stale/orphaned ones deleted (engine/scrubber.h).
   Result<ScrubReport> Scrub(bool repair);
 
+  /// One compaction pass over the mutable index on the front end's clock
+  /// (billed; engine/compactor.h).  `full` rewrites alive upserted
+  /// documents to canonical generation-0 postings; otherwise only
+  /// superseded generations and collected tombstones are dropped.
+  /// Resumes from the cursor checkpointed in the cloud's maintenance
+  /// state (snapshot v3), so a crash mid-pass — planned via CrashPoint
+  /// kMidCompaction — picks up at the URI boundary after restore.
+  Result<CompactReport> Compact(bool full);
+
   /// Re-drives every dead-lettered message back onto its origin queue
   /// and returns how many were re-driven.  Run RunIndexers() /
   /// ExecuteQueries() afterwards to process them.
@@ -249,6 +280,14 @@ class Warehouse {
     return document_uris_;
   }
   uint64_t data_bytes() const { return data_bytes_; }
+
+  /// The current generation view (index/generation.h): a consistent
+  /// immutable snapshot of every mutated document's live generation and
+  /// tombstone state.  Queries pin one snapshot for their whole
+  /// evaluation; maintenance publishes replacements copy-on-write.  Null
+  /// only before Setup/Attach (callers treat null as the all-static
+  /// view).
+  std::shared_ptr<const index::GenerationMap> GenerationSnapshot() const;
 
   /// The planner's corpus statistics, maintained incrementally as
   /// documents are indexed (each document counted once, across
@@ -281,6 +320,24 @@ class Warehouse {
   /// crashes at `point` while handling the task with body `task_key`.
   bool ShouldCrash(cloud::CrashPoint point, int instance_id,
                    const std::string& task_key);
+
+  /// Allocates the next mutation generation from the cloud's maintenance
+  /// watermark (monotone, persisted by snapshot v3).
+  uint64_t AllocateGeneration();
+
+  /// Publishes a copy-on-write update of the generation view: the
+  /// host-side commit of an upsert/delete task or a compaction step.
+  /// Idempotent under redelivery (GenerationMap::Apply is max-wins).
+  void CommitGeneration(const std::string& uri, uint64_t generation,
+                        bool tombstoned);
+
+  /// Drops `uri` from the generation view — its index state is canonical
+  /// again (fully compacted to generation 0, or collected).
+  void EraseGeneration(const std::string& uri);
+
+  /// Removes `uri` from the document registry (delete-task commit);
+  /// idempotent.
+  void UnregisterDocument(const std::string& uri);
 
   /// Runs `fn` (returning Status or Result<T>) under the configured retry
   /// policy; backoff advances `agent`'s virtual clock and jitter is drawn
@@ -379,6 +436,7 @@ class Warehouse {
     std::shared_ptr<const xml::Document> Get(const std::string& uri) const;
     void Put(const std::string& uri,
              std::shared_ptr<const xml::Document> doc);
+    void Erase(const std::string& uri);
 
    private:
     mutable std::mutex mu_;
@@ -402,6 +460,15 @@ class Warehouse {
   cloud::Cluster cluster_;
   FrontEndAgent front_end_;
   std::vector<std::string> document_uris_;
+  /// O(1) membership mirror of document_uris_, so SubmitDocument can
+  /// route re-submissions to UpsertDocument without a linear scan.
+  std::set<std::string> registered_uris_;
+  /// The published generation view (copy-on-write; GenerationSnapshot).
+  /// The mutex guards only the pointer swap — published maps are
+  /// immutable, so readers on other host threads see a consistent view.
+  mutable std::mutex generations_mu_;
+  std::shared_ptr<const index::GenerationMap> generations_ =
+      std::make_shared<index::GenerationMap>();
   uint64_t data_bytes_ = 0;
   uint64_t next_query_id_ = 1;
   DocCache doc_cache_;

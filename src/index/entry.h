@@ -93,6 +93,12 @@ struct ExtractOptions {
   /// could probably make it even more competitive" — implemented.
   /// Look-ups must be configured identically to the build.
   bool compress_paths = false;
+  /// Generation stamp for the postings this extraction produces
+  /// (index/generation.h).  0 — the static corpus — emits no stamp
+  /// attribute, keeping the stored bytes identical to the pre-mutability
+  /// index; upserts extract at their allocated generation > 0 and every
+  /// posting carries a kGenAttr stamp.
+  uint64_t generation = 0;
 };
 
 /// Walks a parsed document and builds its DocIndex: element keys,

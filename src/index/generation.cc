@@ -1,0 +1,82 @@
+#include "index/generation.h"
+
+#include "common/strings.h"
+
+namespace webdex::index {
+
+void GenerationMap::Apply(const std::string& uri, uint64_t generation,
+                          bool tombstoned) {
+  GenerationInfo& info = entries_[uri];
+  if (generation < info.generation) return;
+  if (generation == info.generation && !tombstoned) return;
+  info.generation = generation;
+  info.tombstoned = tombstoned;
+}
+
+bool GenerationMap::Visible(const std::string& uri, uint64_t stamp) const {
+  auto it = entries_.find(uri);
+  if (it == entries_.end()) return stamp == 0;
+  return !it->second.tombstoned && stamp == it->second.generation;
+}
+
+const GenerationInfo* GenerationMap::Find(const std::string& uri) const {
+  auto it = entries_.find(uri);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void GenerationMap::Erase(const std::string& uri) { entries_.erase(uri); }
+
+uint64_t GenerationMap::TombstoneCount() const {
+  uint64_t count = 0;
+  for (const auto& [uri, info] : entries_) {
+    if (info.tombstoned) count += 1;
+  }
+  return count;
+}
+
+std::string GenerationRangeKey(uint64_t generation) {
+  return StrFormat("%020llu", static_cast<unsigned long long>(generation));
+}
+
+cloud::Item MakeMetaItem(const std::string& uri, uint64_t generation,
+                         bool tombstoned) {
+  cloud::Item item;
+  item.hash_key = uri;
+  item.range_key = GenerationRangeKey(generation);
+  item.attrs[kGenAttr] = {
+      StrFormat("%llu", static_cast<unsigned long long>(generation))};
+  if (tombstoned) item.attrs[kTombstoneAttr] = {"1"};
+  return item;
+}
+
+Result<uint64_t> ParseGenerationStamp(const std::string& value) {
+  if (value.empty()) {
+    return Status::InvalidArgument("empty generation stamp");
+  }
+  uint64_t stamp = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("malformed generation stamp: " + value);
+    }
+    stamp = stamp * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return stamp;
+}
+
+uint64_t StampOf(const cloud::Attributes& attrs) {
+  auto it = attrs.find(kGenAttr);
+  if (it == attrs.end() || it->second.empty()) return 0;
+  auto stamp = ParseGenerationStamp(it->second.front());
+  return stamp.ok() ? stamp.value() : 0;
+}
+
+void ApplyMetaItem(const cloud::Item& item, GenerationMap* map) {
+  auto gen_it = item.attrs.find(kGenAttr);
+  if (gen_it == item.attrs.end() || gen_it->second.empty()) return;
+  auto stamp = ParseGenerationStamp(gen_it->second.front());
+  if (!stamp.ok()) return;
+  map->Apply(item.hash_key, stamp.value(),
+             item.attrs.count(kTombstoneAttr) > 0);
+}
+
+}  // namespace webdex::index

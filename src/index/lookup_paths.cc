@@ -14,17 +14,22 @@ using cloud::KvStore;
 Result<FetchedEntries> FetchEntries(cloud::SimAgent& agent, KvStore& store,
                                     const std::string& table,
                                     const std::vector<std::string>& keys,
-                                    LookupStats* stats) {
+                                    LookupStats* stats,
+                                    const GenerationMap* view) {
   FetchedEntries merged;
   auto fetched = store.BatchGet(agent, table, keys);
   if (!fetched.ok()) return fetched.status();
   stats->keys_looked_up += keys.size();
   for (const Item& item : fetched.value()) {
+    // Fetched items are billed whether or not the generation filter
+    // keeps them — superseded postings cost reads until compacted.
     stats->items_fetched += 1;
     stats->bytes_fetched += item.SizeBytes();
-    auto& per_uri = merged[item.hash_key];
+    const uint64_t stamp = StampOf(item.attrs);
     for (const auto& [uri, values] : item.attrs) {
-      auto& dst = per_uri[uri];
+      if (uri == kGenAttr) continue;  // reserved stamp, not an owner URI
+      if (view != nullptr && !view->Visible(uri, stamp)) continue;
+      auto& dst = merged[item.hash_key][uri];
       dst.insert(dst.end(), values.begin(), values.end());
     }
   }
@@ -67,10 +72,12 @@ Result<std::set<std::string>> LookupByKeys(cloud::SimAgent& agent,
                                            KvStore& store,
                                            const std::string& table,
                                            const KeyTwig& twig,
-                                           LookupStats* stats) {
+                                           LookupStats* stats,
+                                           const GenerationMap* view) {
   const std::vector<std::string> keys = twig.DistinctKeys();
-  WEBDEX_ASSIGN_OR_RETURN(FetchedEntries entries,
-                          FetchEntries(agent, store, table, keys, stats));
+  WEBDEX_ASSIGN_OR_RETURN(
+      FetchedEntries entries,
+      FetchEntries(agent, store, table, keys, stats, view));
   return IntersectUris(entries, keys, stats);
 }
 
@@ -176,12 +183,13 @@ Result<std::set<std::string>> LookupByPaths(cloud::SimAgent& agent,
                                             const std::string& table,
                                             const KeyTwig& twig,
                                             const ExtractOptions& options,
-                                            LookupStats* stats) {
+                                            LookupStats* stats,
+                                            const GenerationMap* view) {
   const std::vector<QueryPath> query_paths = BuildQueryPaths(twig);
   const std::vector<std::string> lookup_keys = PathLookupKeys(twig);
   WEBDEX_ASSIGN_OR_RETURN(
       FetchedEntries entries,
-      FetchEntries(agent, store, table, lookup_keys, stats));
+      FetchEntries(agent, store, table, lookup_keys, stats, view));
 
   // Decode-and-split cache, keyed by each (key, URI)'s stable value
   // vector.  Distinct query paths sharing a lookup key re-test the same
@@ -238,10 +246,11 @@ Result<std::set<std::string>> LookupByPaths(cloud::SimAgent& agent,
 Result<std::set<std::string>> LookupByIds(
     cloud::SimAgent& agent, KvStore& store, const std::string& table,
     const KeyTwig& twig, const std::set<std::string>* restrict_to,
-    LookupStats* stats) {
+    LookupStats* stats, const GenerationMap* view) {
   const std::vector<std::string> keys = twig.DistinctKeys();
-  WEBDEX_ASSIGN_OR_RETURN(FetchedEntries entries,
-                          FetchEntries(agent, store, table, keys, stats));
+  WEBDEX_ASSIGN_OR_RETURN(
+      FetchedEntries entries,
+      FetchEntries(agent, store, table, keys, stats, view));
 
   // Candidate URIs: those present for every key (any absent key ->
   // document cannot embed the twig), further reduced by `restrict_to`.

@@ -31,12 +31,18 @@ using FetchedEntries =
     std::map<std::string, std::map<std::string, std::vector<std::string>>>;
 
 /// BatchGets `keys` from `table` and merges the returned items per
-/// (key, URI) — the shared fetch front end of every look-up.
+/// (key, URI) — the shared fetch front end of every look-up, and the one
+/// place generation visibility is enforced (index/generation.h): the
+/// reserved kGenAttr stamp is never merged as an owner URI, and with a
+/// non-null `view` only postings of each document's pinned generation
+/// survive the merge.  nullptr = the static view (everything visible at
+/// generation 0), byte-identical to the pre-mutability fetch.
 Result<FetchedEntries> FetchEntries(cloud::SimAgent& agent,
                                     cloud::KvStore& store,
                                     const std::string& table,
                                     const std::vector<std::string>& keys,
-                                    LookupStats* stats);
+                                    LookupStats* stats,
+                                    const GenerationMap* view = nullptr);
 
 /// Intersects URI sets across all `keys` of `entries` (the LU merge).
 std::set<std::string> IntersectUris(const FetchedEntries& entries,
@@ -45,21 +51,18 @@ std::set<std::string> IntersectUris(const FetchedEntries& entries,
 
 /// The LU look-up core: fetch every twig key and intersect the URI sets
 /// (Section 5.1).
-Result<std::set<std::string>> LookupByKeys(cloud::SimAgent& agent,
-                                           cloud::KvStore& store,
-                                           const std::string& table,
-                                           const KeyTwig& twig,
-                                           LookupStats* stats);
+Result<std::set<std::string>> LookupByKeys(
+    cloud::SimAgent& agent, cloud::KvStore& store, const std::string& table,
+    const KeyTwig& twig, LookupStats* stats,
+    const GenerationMap* view = nullptr);
 
 /// The LUP look-up core (also 2LUPI's first phase): intersects, over all
 /// query paths, the URIs having a matching stored data path
 /// (Section 5.2).
-Result<std::set<std::string>> LookupByPaths(cloud::SimAgent& agent,
-                                            cloud::KvStore& store,
-                                            const std::string& table,
-                                            const KeyTwig& twig,
-                                            const ExtractOptions& options,
-                                            LookupStats* stats);
+Result<std::set<std::string>> LookupByPaths(
+    cloud::SimAgent& agent, cloud::KvStore& store, const std::string& table,
+    const KeyTwig& twig, const ExtractOptions& options, LookupStats* stats,
+    const GenerationMap* view = nullptr);
 
 /// The LUI look-up core (also 2LUPI's second phase): decodes per-URI ID
 /// lists and runs the holistic twig join (Section 5.3).  When
@@ -68,7 +71,7 @@ Result<std::set<std::string>> LookupByPaths(cloud::SimAgent& agent,
 Result<std::set<std::string>> LookupByIds(
     cloud::SimAgent& agent, cloud::KvStore& store, const std::string& table,
     const KeyTwig& twig, const std::set<std::string>* restrict_to,
-    LookupStats* stats);
+    LookupStats* stats, const GenerationMap* view = nullptr);
 
 /// The distinct index keys a LookupByPaths call fetches (the LookupKey of
 /// every query path, deduplicated in first-appearance order).  Exposed so

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "index/generation.h"
 #include "index/key_twig.h"
 #include "index/lookup_paths.h"
 #include "index/keys.h"
@@ -59,23 +60,40 @@ using cloud::KvStore;
 /// concurrent loaders can write the same hash key without clobbering each
 /// other (Section 6).  `key` and `values` are views into the DocIndex
 /// slabs / intern arenas; bytes are copied only once, into the items.
+///
+/// A generation > 0 (an upsert — index/generation.h) stamps every built
+/// item with a kGenAttr attribute; its bytes are part of `fixed` so the
+/// packing respects MaxItemBytes with the stamp included.  Generation 0
+/// emits exactly the pre-mutability item layout.
 Result<std::vector<Item>> BuildEntryItems(
     const KvStore& store, Rng& rng, std::string_view key,
-    const std::string& uri, const std::vector<std::string_view>& values) {
+    const std::string& uri, uint64_t generation,
+    const std::vector<std::string_view>& values) {
   std::vector<Item> items;
-  const uint64_t fixed = key.size() + 36 /*uuid*/ + uri.size();
+  const std::string stamp =
+      generation > 0
+          ? StrFormat("%llu", static_cast<unsigned long long>(generation))
+          : std::string();
+  const uint64_t stamp_bytes =
+      generation > 0 ? sizeof(kGenAttr) - 1 + stamp.size() : 0;
+  const uint64_t fixed = key.size() + 36 /*uuid*/ + uri.size() + stamp_bytes;
   const uint64_t max_item = store.MaxItemBytes();
   if (fixed + 64 > max_item) {
     return Status::InvalidArgument("index key too large for store: " +
                                    std::string(key));
   }
-  Item current{std::string(key), rng.NextUuid(), {}};
+  auto fresh = [&]() {
+    Item item{std::string(key), rng.NextUuid(), {}};
+    if (generation > 0) item.attrs[kGenAttr] = {stamp};
+    return item;
+  };
+  Item current = fresh();
   uint64_t current_bytes = fixed;
   uint64_t current_values = 0;
   auto flush = [&]() {
     if (current_values > 0) {
       items.push_back(std::move(current));
-      current = Item{std::string(key), rng.NextUuid(), {}};
+      current = fresh();
       current_bytes = fixed;
       current_values = 0;
     }
@@ -185,7 +203,7 @@ class LuStrategy final : public IndexingStrategy {
       WEBDEX_ASSIGN_OR_RETURN(
           std::vector<Item> items,
           BuildEntryItems(store, uuid_rng, index.key(entry), doc.uri(),
-                          empty_value));
+                          options.generation, empty_value));
       for (auto& item : items) {
         stats->payload_bytes += item.SizeBytes();
         out.items.push_back(std::move(item));
@@ -201,12 +219,12 @@ class LuStrategy final : public IndexingStrategy {
   Result<std::vector<std::string>> LookupPattern(
       cloud::SimAgent& agent, KvStore& store,
       const query::TreePattern& pattern, const ExtractOptions& options,
-      LookupStats* stats) const override {
+      LookupStats* stats, const GenerationMap* view) const override {
     const KeyTwig twig = BuildKeyTwig(pattern, options.include_words);
     const std::vector<std::string> keys = twig.DistinctKeys();
     WEBDEX_ASSIGN_OR_RETURN(
         FetchedEntries entries,
-        FetchEntries(agent, store, "idx-lu", keys, stats));
+        FetchEntries(agent, store, "idx-lu", keys, stats, view));
     return SortedUris(IntersectUris(entries, keys, stats));
   }
 };
@@ -237,6 +255,7 @@ class LupStrategy final : public IndexingStrategy {
       WEBDEX_ASSIGN_OR_RETURN(
           std::vector<Item> items,
           BuildEntryItems(store, uuid_rng, index.key(entry), doc.uri(),
+                          options.generation,
                           options.compress_paths ? encoded_views
                                                  : path_views));
       for (auto& item : items) {
@@ -254,11 +273,12 @@ class LupStrategy final : public IndexingStrategy {
   Result<std::vector<std::string>> LookupPattern(
       cloud::SimAgent& agent, KvStore& store,
       const query::TreePattern& pattern, const ExtractOptions& options,
-      LookupStats* stats) const override {
+      LookupStats* stats, const GenerationMap* view) const override {
     const KeyTwig twig = BuildKeyTwig(pattern, options.include_words);
     WEBDEX_ASSIGN_OR_RETURN(
         std::set<std::string> uris,
-        LookupByPaths(agent, store, "idx-lup", twig, options, stats));
+        LookupByPaths(agent, store, "idx-lup", twig, options, stats,
+                      view));
     return SortedUris(uris);
   }
 };
@@ -285,7 +305,7 @@ class LuiStrategy final : public IndexingStrategy {
       WEBDEX_ASSIGN_OR_RETURN(
           std::vector<Item> items,
           BuildEntryItems(store, uuid_rng, index.key(entry), doc.uri(),
-                          encoded_views));
+                          options.generation, encoded_views));
       for (auto& item : items) {
         stats->payload_bytes += item.SizeBytes();
         out.items.push_back(std::move(item));
@@ -301,11 +321,11 @@ class LuiStrategy final : public IndexingStrategy {
   Result<std::vector<std::string>> LookupPattern(
       cloud::SimAgent& agent, KvStore& store,
       const query::TreePattern& pattern, const ExtractOptions& options,
-      LookupStats* stats) const override {
+      LookupStats* stats, const GenerationMap* view) const override {
     const KeyTwig twig = BuildKeyTwig(pattern, options.include_words);
     WEBDEX_ASSIGN_OR_RETURN(
         std::set<std::string> uris,
-        LookupByIds(agent, store, "idx-lui", twig, nullptr, stats));
+        LookupByIds(agent, store, "idx-lui", twig, nullptr, stats, view));
     return SortedUris(uris);
   }
 };
@@ -335,6 +355,7 @@ class TwoLupiStrategy final : public IndexingStrategy {
       WEBDEX_ASSIGN_OR_RETURN(
           std::vector<Item> path_items,
           BuildEntryItems(store, uuid_rng, index.key(entry), doc.uri(),
+                          options.generation,
                           options.compress_paths ? encoded_views
                                                  : path_views));
       for (auto& item : path_items) {
@@ -346,7 +367,7 @@ class TwoLupiStrategy final : public IndexingStrategy {
       WEBDEX_ASSIGN_OR_RETURN(
           std::vector<Item> id_items,
           BuildEntryItems(store, uuid_rng, index.key(entry), doc.uri(),
-                          encoded_views));
+                          options.generation, encoded_views));
       for (auto& item : id_items) {
         stats->payload_bytes += item.SizeBytes();
         ids_out.items.push_back(std::move(item));
@@ -363,18 +384,19 @@ class TwoLupiStrategy final : public IndexingStrategy {
   Result<std::vector<std::string>> LookupPattern(
       cloud::SimAgent& agent, KvStore& store,
       const query::TreePattern& pattern, const ExtractOptions& options,
-      LookupStats* stats) const override {
+      LookupStats* stats, const GenerationMap* view) const override {
     const KeyTwig twig = BuildKeyTwig(pattern, options.include_words);
     // Phase 1 (Figure 5, left): path look-up -> R1(URI).
     WEBDEX_ASSIGN_OR_RETURN(
         std::set<std::string> r1,
         LookupByPaths(agent, store, "idx-2lupi-paths", twig, options,
-                      stats));
+                      stats, view));
     if (r1.empty()) return std::vector<std::string>{};
     // Phase 2: ID look-up semijoin-reduced by R1, then holistic twig join.
     WEBDEX_ASSIGN_OR_RETURN(
         std::set<std::string> uris,
-        LookupByIds(agent, store, "idx-2lupi-ids", twig, &r1, stats));
+        LookupByIds(agent, store, "idx-2lupi-ids", twig, &r1, stats,
+                    view));
     return SortedUris(uris);
   }
 };

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "index/entry.h"
+#include "index/generation.h"
 #include "query/tree_pattern.h"
 #include "xml/dom.h"
 
@@ -104,10 +105,16 @@ class IndexingStrategy {
   /// charge it to the right simulated machine.
   /// `options` must match the options the index was built with: when
   /// the index holds no word keys, word-based pruning is skipped.
+  ///
+  /// `view` pins the generation each document is read at
+  /// (index/generation.h): postings of superseded generations and
+  /// tombstoned documents are invisible.  nullptr means the static
+  /// default view (everything visible at generation 0) — byte-identical
+  /// to the pre-mutability look-up.
   virtual Result<std::vector<std::string>> LookupPattern(
       cloud::SimAgent& agent, cloud::KvStore& store,
       const query::TreePattern& pattern, const ExtractOptions& options,
-      LookupStats* stats) const = 0;
+      LookupStats* stats, const GenerationMap* view = nullptr) const = 0;
 };
 
 }  // namespace webdex::index

@@ -136,6 +136,25 @@ TEST(DumpGoldenTest, SerializedIndexMatchesGoldenPerStrategy) {
   EXPECT_TRUE(all_match);
 }
 
+// Mutability regression (docs/MUTABILITY.md): a build with zero
+// mutations stays at generation 0 — no posting carries the "~g" stamp
+// attribute and the idx-meta table contributes no items — which is what
+// keeps the dumps byte-identical to the committed pre-mutability goldens
+// above.  If this fails, fix the stamping, never regenerate the golden.
+TEST(DumpGoldenTest, ZeroMutationBuildsAreGenerationZero) {
+  for (const StrategyKind kind : index::AllStrategyKinds()) {
+    const std::string dump = BuildDump(kind, /*host_threads=*/1);
+    ASSERT_FALSE(dump.empty());
+    // Attribute names are length-prefixed in the canonical dump, so the
+    // stamp would appear exactly as "2:~g" and a meta item would lead
+    // with its length-prefixed table name.
+    EXPECT_EQ(dump.find("2:~g"), std::string::npos)
+        << index::StrategyKindName(kind);
+    EXPECT_EQ(dump.find("8:idx-meta"), std::string::npos)
+        << index::StrategyKindName(kind);
+  }
+}
+
 TEST(DumpGoldenTest, SerialAndParallelDumpsAreByteIdentical) {
   for (const StrategyKind kind : index::AllStrategyKinds()) {
     const std::string serial = BuildDump(kind, /*host_threads=*/1);

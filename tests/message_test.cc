@@ -26,6 +26,55 @@ TEST(LoadRequestTest, RejectsWrongTagAndEmptyUri) {
   EXPECT_TRUE(LoadRequest::Parse("").status().IsInvalidArgument());
 }
 
+TEST(LoadRequestTest, AddSerializationIsByteStable) {
+  // The mutation protocol must not disturb the original wire format:
+  // redelivered pre-mutability messages still parse, and a kAdd request
+  // serializes exactly as before.
+  LoadRequest request{"xmark-000042.xml"};
+  EXPECT_EQ(request.op, LoadOp::kAdd);
+  EXPECT_EQ(request.Serialize(), "LOAD\nxmark-000042.xml");
+  auto parsed = LoadRequest::Parse("LOAD\nxmark-000042.xml");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().op, LoadOp::kAdd);
+  EXPECT_EQ(parsed.value().generation, 0u);
+}
+
+TEST(LoadRequestTest, UpsertRoundTrip) {
+  LoadRequest request{"a b/doc.xml"};
+  request.op = LoadOp::kUpsert;
+  request.generation = 41;
+  EXPECT_EQ(request.Serialize(), "UPSERT\n41\na b/doc.xml");
+  auto parsed = LoadRequest::Parse(request.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().op, LoadOp::kUpsert);
+  EXPECT_EQ(parsed.value().generation, 41u);
+  EXPECT_EQ(parsed.value().uri, "a b/doc.xml");
+}
+
+TEST(LoadRequestTest, DeleteRoundTrip) {
+  LoadRequest request{"doc.xml"};
+  request.op = LoadOp::kDelete;
+  request.generation = 7;
+  auto parsed = LoadRequest::Parse(request.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().op, LoadOp::kDelete);
+  EXPECT_EQ(parsed.value().generation, 7u);
+  EXPECT_EQ(parsed.value().uri, "doc.xml");
+}
+
+TEST(LoadRequestTest, RejectsMalformedMutations) {
+  // Mutations require a positive generation line and a URI: generation 0
+  // is reserved for the static corpus and never travels on the wire.
+  EXPECT_TRUE(LoadRequest::Parse("UPSERT\n1").status().IsInvalidArgument());
+  EXPECT_TRUE(LoadRequest::Parse("UPSERT\n0\nx").status().IsInvalidArgument());
+  EXPECT_TRUE(LoadRequest::Parse("UPSERT\n1\n").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      LoadRequest::Parse("UPSERT\nabc\nx").status().IsInvalidArgument());
+  EXPECT_TRUE(LoadRequest::Parse("DELETE\n1").status().IsInvalidArgument());
+  EXPECT_TRUE(LoadRequest::Parse("DELETE\n0\nx").status().IsInvalidArgument());
+  EXPECT_TRUE(LoadRequest::Parse("DELETE").status().IsInvalidArgument());
+}
+
 TEST(QueryRequestTest, RoundTripPreservesMultilineQueries) {
   QueryRequest request;
   request.id = 77;

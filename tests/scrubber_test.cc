@@ -15,6 +15,7 @@
 
 #include "cloud/cloud_env.h"
 #include "engine/warehouse.h"
+#include "index/generation.h"
 #include "xmark/paintings.h"
 #include "xmark/xmark_generator.h"
 
@@ -235,6 +236,92 @@ TEST(ScrubberTest, CleanIndexAuditsCleanForAPrice) {
   EXPECT_GT(d.env->meter().ComputeBill().total(), before);
   const std::string text = audit.value().ToString();
   EXPECT_NE(text.find("index is clean"), std::string::npos);
+}
+
+// An upserted document is audited at its *live* generation
+// (docs/MUTABILITY.md): losing its stamped postings is damage the scrub
+// detects and repairs byte-identically, while the superseded
+// generation-0 postings lingering for the Compactor are never flagged.
+TEST(ScrubberTest, UpsertedDocumentIsRepairedAtItsLiveGeneration) {
+  Deployment d = Deploy(StrategyKind::kLUP);
+  const std::string victim = d.warehouse->document_uris().front();
+  ASSERT_TRUE(d.warehouse->UpsertDocument(victim, Corpus()[1].text).ok());
+  auto rerun = d.warehouse->RunIndexers();
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  const std::vector<std::string> clean_dump = Dump(*d.warehouse);
+
+  // Drop every stamped posting of the live generation, leaving only the
+  // stale generation-0 ones.
+  struct Key {
+    std::string table, hash, range;
+  };
+  std::vector<Key> keys;
+  d.warehouse->index_store().ForEachItem(
+      [&keys, &victim](const std::string& table, const cloud::Item& item) {
+        if (item.attrs.count(victim) > 0 &&
+            item.attrs.count(index::kGenAttr) > 0) {
+          keys.push_back({table, item.hash_key, item.range_key});
+        }
+      });
+  ASSERT_FALSE(keys.empty());
+  for (const auto& key : keys) {
+    ASSERT_TRUE(d.warehouse->index_store()
+                    .DeleteItem(d.warehouse->front_end(), key.table, key.hash,
+                                key.range)
+                    .ok());
+  }
+
+  auto audit = d.warehouse->Scrub(/*repair=*/false);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit.value().missing_uris, std::vector<std::string>{victim});
+  EXPECT_TRUE(audit.value().partial_uris.empty());
+  EXPECT_TRUE(audit.value().orphaned_uris.empty());
+
+  auto repair = d.warehouse->Scrub(/*repair=*/true);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(repair.value().repaired_uris, 1u);
+  EXPECT_EQ(repair.value().items_put, keys.size());
+  EXPECT_EQ(Dump(*d.warehouse), clean_dump);
+}
+
+// Regression (docs/MUTABILITY.md): a tombstoned document must never be
+// resurrected by a repair scrub.  Its postings linger (awaiting the
+// Compactor) and its object is gone, but the scrub neither flags the
+// leftovers as orphans nor re-puts anything.
+TEST(ScrubberTest, TombstonedUriIsNeverResurrected) {
+  Deployment d = Deploy(StrategyKind::k2LUPI);
+  const std::string victim = d.warehouse->document_uris().front();
+  ASSERT_TRUE(d.warehouse->DeleteDocument(victim).ok());
+  auto rerun = d.warehouse->RunIndexers();
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  const std::vector<std::string> tombstoned_dump = Dump(*d.warehouse);
+
+  auto audit = d.warehouse->Scrub(/*repair=*/false);
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  EXPECT_TRUE(audit.value().Clean());
+  auto repair = d.warehouse->Scrub(/*repair=*/true);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(repair.value().repaired_uris, 0u);
+  EXPECT_EQ(repair.value().items_put, 0u);
+  EXPECT_EQ(repair.value().items_deleted, 0u);
+  EXPECT_EQ(Dump(*d.warehouse), tombstoned_dump);
+
+  // Retiring the tombstone is the Compactor's job; once collected, the
+  // scrub still audits clean (nothing resurfaces).
+  auto compacted = d.warehouse->Compact(/*full=*/false);
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  EXPECT_EQ(compacted.value().collected_uris,
+            std::vector<std::string>{victim});
+  bool victim_posting_left = false;
+  d.warehouse->index_store().ForEachItem(
+      [&victim_posting_left, &victim](const std::string&,
+                                      const cloud::Item& item) {
+        if (item.attrs.count(victim) > 0) victim_posting_left = true;
+      });
+  EXPECT_FALSE(victim_posting_left);
+  auto second = d.warehouse->Scrub(/*repair=*/false);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().Clean());
 }
 
 // The operational alternative to scrubbing: re-drive the dead-lettered

@@ -10,7 +10,11 @@ Checks (docs/OBSERVABILITY.md):
     value, every histogram emits _bucket{le=...}/_sum/_count lines;
   * a one-shot trace emits well-formed JSONL: ordinal ids, parents that
     precede their children, end >= start, non-negative `usd` attrs, and
-    parent usd covering the sum of its children's.
+    parent usd covering the sum of its children's;
+  * a scripted mutable-corpus session (upsert + delete + compact --full,
+    docs/MUTABILITY.md) emits a `compact.pass` span whose JSONL obeys the
+    same invariants — in particular the pass's usd covers the billed sum
+    of its child retry spans.
 
 Usage: trace_lint.py <path-to-webdex_cli>
 Exit code 0 on a clean lint; failures are listed on stderr.
@@ -78,12 +82,12 @@ def lint_prometheus(dump, text):
             fail(f"histogram {name} count mismatch in Prometheus")
 
 
-def lint_trace_jsonl(path):
+def lint_trace_jsonl(path, label="trace"):
     with open(path) as f:
         spans = [json.loads(line) for line in f if line.strip()]
     if not spans:
-        fail("trace JSONL is empty")
-        return
+        fail(f"{label} JSONL is empty")
+        return spans
     usd = {}
     child_usd = {}
     for ordinal, span in enumerate(spans, start=1):
@@ -109,6 +113,40 @@ def lint_trace_jsonl(path):
                 f"span {sid} ({span['name']}) usd {usd[sid]} smaller than "
                 f"its children's sum {child_usd[sid]}"
             )
+    return spans
+
+
+def lint_compact_trace(binary):
+    """Drives a mutable-corpus script session and lints the compact.pass
+    span: present, billed (positive usd), and obeying the generic
+    parent-covers-children usd invariant like every other span."""
+    with tempfile.NamedTemporaryFile(
+        suffix=".jsonl"
+    ) as jsonl, tempfile.NamedTemporaryFile(
+        mode="w", suffix=".webdex"
+    ) as script:
+        script.write(
+            "strategy 2LUPI\n"
+            "open\n"
+            "gen 12 8\n"
+            "index\n"
+            "upsert xmark-000003.xml\n"
+            "delete xmark-000005.xml\n"
+            "index\n"
+            f"compact --full --jsonl {jsonl.name}\n"
+        )
+        script.flush()
+        run(binary, script.name)
+        spans = lint_trace_jsonl(jsonl.name, label="compact trace")
+    passes = [s for s in spans if s["name"] == "compact.pass"]
+    if len(passes) != 1:
+        fail(f"expected exactly one compact.pass span, got {len(passes)}")
+        return
+    attrs = passes[0].get("attrs", {})
+    if attrs.get("usd", 0.0) <= 0:
+        fail("compact.pass span is unbilled (usd <= 0)")
+    if attrs.get("full") != 1:
+        fail("compact --full span does not carry attr full=1")
 
 
 def main():
@@ -130,11 +168,16 @@ def main():
         run(binary, "trace", "--jsonl", tmp.name, QUERY)
         lint_trace_jsonl(tmp.name)
 
+    lint_compact_trace(binary)
+
     if errors:
         for e in errors:
             print(f"trace_lint: {e}", file=sys.stderr)
         sys.exit(1)
-    print(f"trace_lint: {len(names)} metric names clean, trace JSONL clean")
+    print(
+        f"trace_lint: {len(names)} metric names clean, trace JSONL clean, "
+        "compact.pass clean"
+    )
 
 
 if __name__ == "__main__":

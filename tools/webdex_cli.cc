@@ -101,6 +101,14 @@ class Cli {
       SetOutage(rest);
     } else if (command == "scrub") {
       Scrub(rest);
+    } else if (command == "upsert") {
+      Upsert(rest);
+    } else if (command == "delete") {
+      Delete(rest);
+    } else if (command == "compact") {
+      Compact(rest);
+    } else if (command == "generations") {
+      Generations();
     } else if (command == "dlq") {
       Dlq(rest);
     } else if (command == "open") {
@@ -162,6 +170,20 @@ class Cli {
         "                                   applies at the next 'open')\n"
         "  scrub [--repair]                 audit the index against the\n"
         "                                   documents; --repair fixes it\n"
+        "  upsert <uri> [file.xml]          queue a document replacement at\n"
+        "                                   a fresh generation (no file:\n"
+        "                                   deterministic XMark content);\n"
+        "                                   run 'index' to apply\n"
+        "  delete <uri>                     queue a tombstoning delete;\n"
+        "                                   run 'index' to apply\n"
+        "  compact [--full] [--jsonl <f>]   garbage-collect superseded\n"
+        "                                   generations and tombstones;\n"
+        "                                   --full also rewrites upserted\n"
+        "                                   documents back to canonical\n"
+        "                                   generation-0 postings; --jsonl\n"
+        "                                   writes the pass's trace spans\n"
+        "  generations                      list mutated documents, their\n"
+        "                                   live generations and tombstones\n"
         "  dlq drain                        re-drive dead-lettered messages\n"
         "  open                             create the warehouse\n"
         "  load <uri> <file.xml>            load one local XML file\n"
@@ -304,6 +326,129 @@ class Cli {
         env_->meter().ComputeBill(env_->meter().Snapshot() - before).total();
     std::printf("%s  cost: $%.6f\n", report.value().ToString().c_str(),
                 dollars);
+  }
+
+  void Upsert(const std::string& args) {
+    if (!Opened()) return;
+    std::istringstream input(args);
+    std::string uri, path;
+    if (!(input >> uri)) {
+      std::printf("usage: upsert <uri> [file.xml]\n");
+      return;
+    }
+    std::string text;
+    if (input >> path) {
+      std::ifstream file(path, std::ios::binary);
+      if (!file) {
+        std::printf("cannot open %s\n", path.c_str());
+        return;
+      }
+      std::ostringstream contents;
+      contents << file.rdbuf();
+      text = std::move(contents).str();
+    } else {
+      // No file: generate deterministic replacement content, varied by
+      // the allocated generation so successive upserts of one URI differ.
+      xmark::GeneratorConfig corpus;
+      corpus.num_documents = 1;
+      corpus.entities_per_document = 8;
+      corpus.split_sections = true;
+      corpus.seed += env_->maintenance().generation_watermark + 1;
+      text = xmark::XmarkGenerator(corpus).Generate(0).text;
+    }
+    if (auto status = warehouse_->UpsertDocument(uri, std::move(text));
+        !status.ok()) {
+      std::printf("upsert %s failed: %s\n", uri.c_str(),
+                  status.ToString().c_str());
+      return;
+    }
+    std::printf("upsert queued for %s at generation %llu — run 'index' to "
+                "apply\n",
+                uri.c_str(),
+                (unsigned long long)env_->maintenance().generation_watermark);
+  }
+
+  void Delete(const std::string& args) {
+    if (!Opened()) return;
+    std::istringstream input(args);
+    std::string uri;
+    if (!(input >> uri)) {
+      std::printf("usage: delete <uri>\n");
+      return;
+    }
+    if (auto status = warehouse_->DeleteDocument(uri); !status.ok()) {
+      std::printf("delete %s failed: %s\n", uri.c_str(),
+                  status.ToString().c_str());
+      return;
+    }
+    std::printf("delete queued for %s at generation %llu — run 'index' to "
+                "apply\n",
+                uri.c_str(),
+                (unsigned long long)env_->maintenance().generation_watermark);
+  }
+
+  void Compact(const std::string& args) {
+    if (!Opened()) return;
+    bool full = false;
+    std::string jsonl_path;
+    std::istringstream input(args);
+    std::string token;
+    while (input >> token) {
+      if (token == "--full") {
+        full = true;
+      } else if (token == "--jsonl" && input >> jsonl_path) {
+      } else {
+        std::printf("usage: compact [--full] [--jsonl <file>]\n");
+        return;
+      }
+    }
+    common::Tracer& tracer = env_->tracer();
+    const bool was_enabled = tracer.enabled();
+    if (!jsonl_path.empty()) {
+      tracer.set_enabled(true);
+      tracer.Clear();
+    }
+    const cloud::Usage before = env_->meter().Snapshot();
+    auto report = warehouse_->Compact(full);
+    tracer.set_enabled(was_enabled);
+    if (!report.ok()) {
+      std::printf("compact failed: %s\n", report.status().ToString().c_str());
+      return;
+    }
+    const double dollars =
+        env_->meter().ComputeBill(env_->meter().Snapshot() - before).total();
+    std::printf("%s  cost: $%.6f\n", report.value().ToString().c_str(),
+                dollars);
+    if (report.value().crashed) {
+      std::printf("  crashed mid-pass — cursor saved; 'compact' again (or "
+                  "save/restore) to resume\n");
+    }
+    if (!jsonl_path.empty()) {
+      std::ofstream out(jsonl_path, std::ios::binary);
+      if (!out) {
+        std::printf("cannot write %s\n", jsonl_path.c_str());
+        return;
+      }
+      out << tracer.ToJsonl();
+      std::printf("spans written to %s\n", jsonl_path.c_str());
+    }
+  }
+
+  void Generations() {
+    if (!Opened()) return;
+    const auto view = warehouse_->GenerationSnapshot();
+    for (const auto& [uri, info] : view->entries()) {
+      std::printf("  %-28s gen %llu%s\n", uri.c_str(),
+                  (unsigned long long)info.generation,
+                  info.tombstoned ? "  [tombstone]" : "");
+    }
+    std::printf("%zu mutated document(s), %llu tombstone(s); watermark "
+                "%llu%s\n",
+                view->size(), (unsigned long long)view->TombstoneCount(),
+                (unsigned long long)env_->maintenance().generation_watermark,
+                env_->maintenance().compact_cursor.empty()
+                    ? ""
+                    : "; compaction paused");
   }
 
   void Dlq(const std::string& args) {
@@ -686,6 +831,8 @@ class Cli {
         "%llu dead-lettered\n"
         "brownout: breaker %llu opens / %llu closes / %llu short-circuits, "
         "%llu degraded queries, %llu scrub-repaired\n"
+        "mutability: %llu tombstones written, %llu compacted URIs, "
+        "%llu GC'd items\n"
         "virtual front-end clock: %.2f s\n",
         warehouse_->document_uris().size(),
         static_cast<double>(warehouse_->data_bytes()) / (1 << 20),
@@ -698,7 +845,8 @@ class Cli {
         usage("sqs_redeliveries"), usage("dead_lettered"),
         usage("breaker_opens"), usage("breaker_closes"),
         usage("breaker_short_circuits"), usage("degraded_queries"),
-        usage("scrub_repaired"),
+        usage("scrub_repaired"), usage("tombstones_written"),
+        usage("compact_uris"), usage("compact_gc_items"),
         static_cast<double>(warehouse_->front_end().now()) / 1e6);
     if (!env_->tracer().spans().empty()) {
       std::printf("last trace (flamegraph-style cost rollup):\n%s",
