@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "cloud/autoscaler.h"
 #include "cloud/circuit_breaker.h"
 #include "cloud/dynamodb.h"
 #include "cloud/fault.h"
@@ -48,6 +49,9 @@ struct CloudConfig {
   /// default: fault-free runs never produce the consecutive failures
   /// that trip one, so they stay bit-identical.
   CircuitBreakerConfig breaker;
+  /// Reactive DynamoDB capacity autoscaler (docs/OVERLOAD.md).  Disabled
+  /// by default: capacity never moves and no capacity-hours are billed.
+  AutoscalerConfig autoscale;
 };
 
 /// The simulated cloud region: one S3, one DynamoDB, one SimpleDB, one
@@ -64,7 +68,11 @@ class CloudEnv {
         dynamodb_(config.dynamodb, &meter_, &injector_, &metrics_),
         simpledb_(config.simpledb, &meter_, &injector_, &metrics_),
         sqs_(config.sqs, &meter_, &injector_, &metrics_),
-        rng_(config.seed) {}
+        autoscaler_(config.autoscale, &dynamodb_, &meter_, &metrics_,
+                    &tracer_),
+        rng_(config.seed) {
+    if (autoscaler_.active()) dynamodb_.set_autoscaler(&autoscaler_);
+  }
 
   CloudEnv(const CloudEnv&) = delete;
   CloudEnv& operator=(const CloudEnv&) = delete;
@@ -78,6 +86,7 @@ class CloudEnv {
   Rng& rng() { return rng_; }
   FaultInjector& fault_injector() { return injector_; }
   CircuitBreaker& breaker() { return breaker_; }
+  Autoscaler& autoscaler() { return autoscaler_; }
   common::MetricRegistry& metrics() { return metrics_; }
   common::Tracer& tracer() { return tracer_; }
   MaintenanceState& maintenance() { return maintenance_; }
@@ -107,6 +116,9 @@ class CloudEnv {
   DynamoDb dynamodb_;
   SimpleDb simpledb_;
   QueueService sqs_;
+  /// After dynamodb_: re-provisions its limiters and observes its
+  /// consumption (set_autoscaler back-pointer wired in the ctor body).
+  Autoscaler autoscaler_;
   Rng rng_;
   MaintenanceState maintenance_;
 };

@@ -1,5 +1,6 @@
 #include "cloud/dynamodb.h"
 
+#include "cloud/autoscaler.h"
 #include "cloud/fault.h"
 #include "common/strings.h"
 
@@ -23,6 +24,10 @@ DynamoDb::DynamoDb(const DynamoDbConfig& config, UsageMeter* meter,
           metrics == nullptr
               ? nullptr
               : metrics->GetGauge("service.dynamodb.read_units.total")),
+      throttled_metric_(
+          metrics == nullptr
+              ? nullptr
+              : metrics->GetCounter("service.dynamodb.throttled.count")),
       write_limiter_(config.write_units_per_second),
       read_limiter_(config.read_units_per_second) {}
 
@@ -45,6 +50,47 @@ double DynamoDb::WriteUnits(const Item& item) {
 double DynamoDb::ReadUnits(uint64_t item_bytes) {
   const double size = static_cast<double>(item_bytes);
   return (size < kMinReadBytes ? kMinReadBytes : size) / 4096.0;
+}
+
+void DynamoDb::SetProvisionedCapacity(double write_units_per_second,
+                                      double read_units_per_second,
+                                      Micros at) {
+  config_.write_units_per_second = write_units_per_second;
+  config_.read_units_per_second = read_units_per_second;
+  write_limiter_.SetRate(write_units_per_second, at);
+  read_limiter_.SetRate(read_units_per_second, at);
+}
+
+Status DynamoDb::MaybeThrottle(SimAgent& agent, const RateLimiter& limiter,
+                               bool write, Micros op_start,
+                               const OpMetrics& op) {
+  // The control loop advances on every billed call, throttled or not, so
+  // capacity can change at a window boundary *before* this request is
+  // judged against the (possibly new) backlog.
+  if (autoscaler_ != nullptr) autoscaler_->Tick(agent.now());
+  if (config_.max_backlog_micros <= 0) return Status::OK();
+  const Micros backlog = limiter.BacklogAt(agent.now());
+  if (backlog <= config_.max_backlog_micros) return Status::OK();
+  // Like an injected fault, a throttle bills the API request and its
+  // round trip but consumes no capacity — AWS rejects before doing the
+  // work.  The hint names the virtual time at which the backlog, absent
+  // new arrivals, drains back to the bound: retrying exactly then gets
+  // admitted, retrying earlier is a guaranteed re-throttle.
+  const Micros hint = backlog - config_.max_backlog_micros;
+  if (write) {
+    meter_->mutable_usage().ddb_put_requests += 1;
+  } else {
+    meter_->mutable_usage().ddb_get_requests += 1;
+  }
+  meter_->mutable_usage().throttled_requests += 1;
+  if (throttled_metric_ != nullptr) throttled_metric_->Add(1);
+  if (autoscaler_ != nullptr) autoscaler_->ObserveThrottle(write);
+  agent.Advance(config_.request_latency);
+  op.Record(agent, op_start, /*error=*/true);
+  return Status::ResourceExhausted(
+      StrFormat("provisioned throughput exceeded; retry after %lld us",
+                static_cast<long long>(hint)),
+      hint);
 }
 
 Status DynamoDb::ValidateItem(const Item& item) const {
@@ -102,6 +148,15 @@ Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
         return fault;
       }
     }
+    Status throttled = MaybeThrottle(agent, write_limiter_, /*write=*/true,
+                                     page_start, batch_put_metrics_);
+    if (!throttled.ok()) {
+      if (unprocessed != nullptr) {
+        unprocessed->insert(unprocessed->end(), items.begin() + index,
+                            items.end());
+      }
+      return throttled;
+    }
     size_t commit_end = batch_end;
     if (injector_ != nullptr && unprocessed != nullptr) {
       // Partial batch failure: the page "succeeds" but a trailing subset
@@ -136,6 +191,7 @@ Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
     meter_->mutable_usage().ddb_put_requests += 1;
     meter_->mutable_usage().ddb_write_units += batch_units;
     if (write_units_metric_ != nullptr) write_units_metric_->Add(batch_units);
+    if (autoscaler_ != nullptr) autoscaler_->ObserveWrite(batch_units);
     agent.AdvanceTo(write_limiter_.Acquire(agent.now(), batch_units));
     agent.Advance(config_.request_latency);
     batch_put_metrics_.Record(agent, page_start, /*error=*/false);
@@ -165,6 +221,8 @@ Result<std::vector<Item>> DynamoDb::Get(SimAgent& agent,
       return fault;
     }
   }
+  WEBDEX_RETURN_IF_ERROR(MaybeThrottle(agent, read_limiter_, /*write=*/false,
+                                       op_start, get_metrics_));
   std::vector<Item> out;
   auto hit = it->second.items.find(hash_key);
   if (hit != it->second.items.end()) {
@@ -180,6 +238,7 @@ Result<std::vector<Item>> DynamoDb::Get(SimAgent& agent,
   meter_->mutable_usage().ddb_get_requests += 1;
   meter_->mutable_usage().ddb_read_units += units;
   if (read_units_metric_ != nullptr) read_units_metric_->Add(units);
+  if (autoscaler_ != nullptr) autoscaler_->ObserveRead(units);
   agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
   agent.Advance(config_.request_latency);
   get_metrics_.Record(agent, op_start, /*error=*/false);
@@ -208,6 +267,9 @@ Result<std::vector<Item>> DynamoDb::BatchGet(
         return fault;
       }
     }
+    WEBDEX_RETURN_IF_ERROR(MaybeThrottle(agent, read_limiter_,
+                                         /*write=*/false, page_start,
+                                         batch_get_metrics_));
     double units = 0;
     for (size_t i = index; i < batch_end; ++i) {
       auto hit = it->second.items.find(hash_keys[i]);
@@ -222,6 +284,7 @@ Result<std::vector<Item>> DynamoDb::BatchGet(
     meter_->mutable_usage().ddb_get_requests += 1;
     meter_->mutable_usage().ddb_read_units += units;
     if (read_units_metric_ != nullptr) read_units_metric_->Add(units);
+    if (autoscaler_ != nullptr) autoscaler_->ObserveRead(units);
     agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
     agent.Advance(config_.request_latency);
     batch_get_metrics_.Record(agent, page_start, /*error=*/false);
@@ -256,6 +319,9 @@ Result<std::vector<Item>> DynamoDb::Scan(SimAgent& agent,
         return fault;
       }
     }
+    WEBDEX_RETURN_IF_ERROR(MaybeThrottle(agent, read_limiter_,
+                                         /*write=*/false, page_start,
+                                         scan_metrics_));
     uint64_t page_bytes = 0;
     double units = 0;
     while (index < out.size() && page_bytes < kScanPageBytes) {
@@ -268,6 +334,7 @@ Result<std::vector<Item>> DynamoDb::Scan(SimAgent& agent,
     meter_->mutable_usage().ddb_get_requests += 1;
     meter_->mutable_usage().ddb_read_units += units;
     if (read_units_metric_ != nullptr) read_units_metric_->Add(units);
+    if (autoscaler_ != nullptr) autoscaler_->ObserveRead(units);
     agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
     agent.Advance(config_.request_latency);
     scan_metrics_.Record(agent, page_start, /*error=*/false);
@@ -291,6 +358,8 @@ Status DynamoDb::DeleteItem(SimAgent& agent, const std::string& table,
       return fault;
     }
   }
+  WEBDEX_RETURN_IF_ERROR(MaybeThrottle(agent, write_limiter_, /*write=*/true,
+                                       op_start, delete_metrics_));
   Table& t = it->second;
   // Deletes consume write capacity sized by the deleted item (AWS);
   // deleting an absent key still pays the minimum.
@@ -310,6 +379,7 @@ Status DynamoDb::DeleteItem(SimAgent& agent, const std::string& table,
   meter_->mutable_usage().ddb_put_requests += 1;
   meter_->mutable_usage().ddb_write_units += units;
   if (write_units_metric_ != nullptr) write_units_metric_->Add(units);
+  if (autoscaler_ != nullptr) autoscaler_->ObserveWrite(units);
   agent.AdvanceTo(write_limiter_.Acquire(agent.now(), units));
   agent.Advance(config_.request_latency);
   delete_metrics_.Record(agent, op_start, /*error=*/false);

@@ -22,6 +22,12 @@ struct DynamoDbConfig {
   double write_units_per_second = 400;
   /// Provisioned read capacity (4 KB read units / second).
   double read_units_per_second = 250;
+  /// Organic-throttle delay bound: a request that would queue behind more
+  /// than this much committed work is rejected with kResourceExhausted
+  /// and a Retry-After hint instead of waiting (docs/OVERLOAD.md).
+  /// <= 0 (default) queues without bound — the pre-overload behaviour,
+  /// and what keeps existing runs bit-identical.
+  Micros max_backlog_micros = 0;
 };
 
 /// Simulated Amazon DynamoDB (paper Section 6): tables of items of at most
@@ -32,6 +38,7 @@ struct DynamoDbConfig {
 /// Storage overhead: AWS bills 100 bytes of index overhead per item on top
 /// of raw item size; this is the ovh(D, I) term visible in Figure 8.
 class FaultInjector;
+class Autoscaler;
 
 class DynamoDb final : public KvStore {
  public:
@@ -81,6 +88,23 @@ class DynamoDb final : public KvStore {
   /// Per-item storage overhead billed by the store.
   static constexpr uint64_t kItemOverheadBytes = 100;
 
+  /// Attaches the reactive autoscaler (cloud/autoscaler.h); may be null.
+  /// The store feeds it consumption and throttle observations and lets
+  /// it re-provision capacity at evaluation boundaries.
+  void set_autoscaler(Autoscaler* autoscaler) { autoscaler_ = autoscaler; }
+
+  /// Re-provisions both fluid limiters at virtual time `at`, preserving
+  /// busy-period accounting (RateLimiter::SetRate).  Called by the
+  /// autoscaler; also usable directly by tests.
+  void SetProvisionedCapacity(double write_units_per_second,
+                              double read_units_per_second, Micros at);
+  double write_units_per_second() const {
+    return config_.write_units_per_second;
+  }
+  double read_units_per_second() const {
+    return config_.read_units_per_second;
+  }
+
  private:
   struct Table {
     // hash key -> range key -> attributes.
@@ -114,9 +138,19 @@ class DynamoDb final : public KvStore {
 
   Status ValidateItem(const Item& item) const;
 
+  /// Organic throttle gate: when the delay bound is configured and the
+  /// limiter's backlog at `agent.now()` exceeds it, bills the rejected
+  /// API request (round trip, no capacity), records the error on `op`,
+  /// and returns kResourceExhausted carrying the Retry-After hint.
+  /// Returns OK (and touches nothing) otherwise.  Also drives the
+  /// attached autoscaler's control loop.
+  Status MaybeThrottle(SimAgent& agent, const RateLimiter& limiter,
+                       bool write, Micros op_start, const OpMetrics& op);
+
   DynamoDbConfig config_;
   UsageMeter* meter_;
   FaultInjector* injector_;
+  Autoscaler* autoscaler_ = nullptr;
   OpMetrics batch_put_metrics_;
   OpMetrics get_metrics_;
   OpMetrics batch_get_metrics_;
@@ -124,6 +158,7 @@ class DynamoDb final : public KvStore {
   OpMetrics delete_metrics_;
   common::Gauge* write_units_metric_ = nullptr;
   common::Gauge* read_units_metric_ = nullptr;
+  common::Counter* throttled_metric_ = nullptr;
   RateLimiter write_limiter_;
   RateLimiter read_limiter_;
   std::map<std::string, Table> tables_;

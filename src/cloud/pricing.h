@@ -44,6 +44,12 @@ struct Pricing {
   double idx_month_gb = 1.14;
   double idx_put = 0.00000032;
   double idx_get = 0.000000032;
+  // Provisioned-throughput rental (contemporaneous Singapore sheet:
+  // $0.00735/hour per 10 write units, per 50 read units).  Only billed
+  // when the Autoscaler meters capacity-hours (docs/OVERLOAD.md); the
+  // paper's Table 6 reproduction bills consumed units only, as above.
+  double idx_write_unit_hour = 0.000735;
+  double idx_read_unit_hour = 0.000147;
 
   // Virtual machines (EC2).
   double vm_hour_large = 0.34;

@@ -102,10 +102,14 @@ Status RetryingKvStore::BatchPut(SimAgent& agent, const std::string& table,
                          : status;
     }
     const int64_t cap = common::BackoffCapMicros(policy_, attempt);
-    const int64_t backoff =
+    int64_t backoff =
         cap <= 0 ? 0
                  : static_cast<int64_t>(rng.NextDouble() *
                                         static_cast<double>(cap + 1));
+    // An organic throttle names the exact virtual time capacity frees up;
+    // sleep precisely that (same contract as common::CallWithRetry).
+    const int64_t hint = status.retry_after_micros();
+    if (hint > 0) backoff = hint;
     if (policy_.deadline_micros > 0 &&
         slept + backoff > policy_.deadline_micros) {
       if (unprocessed != nullptr) *unprocessed = std::move(leftover);

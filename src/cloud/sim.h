@@ -104,6 +104,46 @@ class RateLimiter {
     return anchor_ + static_cast<Micros>(committed_micros_);
   }
 
+  /// Queueing delay a zero-size probe arriving at `arrival` would see:
+  /// how far the saturation frontier lies beyond the arrival.  Read-only —
+  /// commits nothing — so a server can decide to throttle *before*
+  /// reserving capacity (an organic 429 must not consume the throughput
+  /// it is protecting).  0 in the unsaturated regime.
+  Micros BacklogAt(Micros arrival) const {
+    if (micros_per_unit_ <= 0.0) return 0;
+    const double frontier =
+        static_cast<double>(anchor_) + committed_micros_;
+    if (static_cast<double>(arrival) >= frontier) return 0;
+    return static_cast<Micros>(frontier - static_cast<double>(arrival));
+  }
+
+  /// Changes capacity at virtual time `at` (an autoscaler re-provisioning
+  /// the table).  Work already scheduled before `at` keeps its timing; the
+  /// backlog beyond `at` is re-timed at the new rate, so a scale-up drains
+  /// a queue faster from the change point on — deterministically, since
+  /// `at` comes from the (virtual-time) control loop, not the host clock.
+  void SetRate(double units_per_second, Micros at) {
+    const double new_mpu = units_per_second <= 0
+                               ? 0.0
+                               : kMicrosPerSecond / units_per_second;
+    const double frontier =
+        static_cast<double>(anchor_) + committed_micros_;
+    if (micros_per_unit_ > 0.0 && new_mpu > 0.0 &&
+        frontier > static_cast<double>(at)) {
+      const double backlog_units =
+          (frontier - static_cast<double>(at)) / micros_per_unit_;
+      anchor_ = at;
+      committed_micros_ = backlog_units * new_mpu;
+    }
+    micros_per_unit_ = new_mpu;
+  }
+
+  /// Provisioned capacity in units/second; 0 means unlimited.
+  double units_per_second() const {
+    return micros_per_unit_ <= 0.0 ? 0.0
+                                   : kMicrosPerSecond / micros_per_unit_;
+  }
+
   void Reset() {
     anchor_ = 0;
     committed_micros_ = 0;

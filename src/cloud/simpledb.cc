@@ -26,7 +26,32 @@ SimpleDb::SimpleDb(const SimpleDbConfig& config, UsageMeter* meter,
       get_metrics_(OpMetrics::For(metrics, "service.simpledb.get")),
       scan_metrics_(OpMetrics::For(metrics, "service.simpledb.scan")),
       delete_metrics_(OpMetrics::For(metrics, "service.simpledb.delete_item")),
+      throttled_metric_(
+          metrics == nullptr
+              ? nullptr
+              : metrics->GetCounter("service.simpledb.throttled.count")),
       request_limiter_(config.requests_per_second) {}
+
+Status SimpleDb::MaybeThrottle(SimAgent& agent, bool write, Micros op_start,
+                               const OpMetrics& op) {
+  if (config_.max_backlog_micros <= 0) return Status::OK();
+  const Micros backlog = request_limiter_.BacklogAt(agent.now());
+  if (backlog <= config_.max_backlog_micros) return Status::OK();
+  const Micros hint = backlog - config_.max_backlog_micros;
+  if (write) {
+    meter_->mutable_usage().sdb_put_requests += 1;
+  } else {
+    meter_->mutable_usage().sdb_get_requests += 1;
+  }
+  meter_->mutable_usage().throttled_requests += 1;
+  if (throttled_metric_ != nullptr) throttled_metric_->Add(1);
+  agent.Advance(config_.request_latency);
+  op.Record(agent, op_start, /*error=*/true);
+  return Status::ResourceExhausted(
+      StrFormat("request rate exceeded; retry after %lld us",
+                static_cast<long long>(hint)),
+      hint);
+}
 
 Status SimpleDb::CreateTable(const std::string& table) {
   auto [it, inserted] = tables_.try_emplace(table);
@@ -109,6 +134,15 @@ Status SimpleDb::BatchPut(SimAgent& agent, const std::string& table,
         return fault;
       }
     }
+    Status throttled =
+        MaybeThrottle(agent, /*write=*/true, page_start, batch_put_metrics_);
+    if (!throttled.ok()) {
+      if (unprocessed != nullptr) {
+        unprocessed->insert(unprocessed->end(), items.begin() + index,
+                            items.end());
+      }
+      return throttled;
+    }
     double box_hours = 0;
     for (size_t i = index; i < batch_end; ++i) {
       const Item& item = items[i];
@@ -154,6 +188,8 @@ Result<std::vector<Item>> SimpleDb::Get(SimAgent& agent,
       return fault;
     }
   }
+  WEBDEX_RETURN_IF_ERROR(
+      MaybeThrottle(agent, /*write=*/false, op_start, get_metrics_));
   std::vector<Item> out;
   auto hit = it->second.items.find(hash_key);
   if (hit != it->second.items.end()) {
@@ -216,6 +252,8 @@ Result<std::vector<Item>> SimpleDb::Scan(SimAgent& agent,
         return fault;
       }
     }
+    WEBDEX_RETURN_IF_ERROR(
+        MaybeThrottle(agent, /*write=*/false, page_start, scan_metrics_));
     meter_->mutable_usage().sdb_get_requests += 1;
     meter_->mutable_usage().sdb_box_hours +=
         meter_->pricing().simpledb_box_hours_per_get;
@@ -242,6 +280,8 @@ Status SimpleDb::DeleteItem(SimAgent& agent, const std::string& table,
       return fault;
     }
   }
+  WEBDEX_RETURN_IF_ERROR(
+      MaybeThrottle(agent, /*write=*/true, op_start, delete_metrics_));
   Table& t = it->second;
   auto hit = t.items.find(hash_key);
   if (hit != t.items.end()) {

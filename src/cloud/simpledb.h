@@ -20,6 +20,10 @@ struct SimpleDbConfig {
   /// Global request rate; SimpleDB throttled far earlier than DynamoDB's
   /// provisioned capacity.
   double requests_per_second = 300;
+  /// Organic-throttle delay bound on the request rate cap, as in
+  /// DynamoDbConfig::max_backlog_micros.  <= 0 (default) queues without
+  /// bound, keeping existing runs bit-identical.
+  Micros max_backlog_micros = 0;
 };
 
 /// Simulated Amazon SimpleDB, the key-value store used by the authors'
@@ -94,6 +98,12 @@ class SimpleDb final : public KvStore {
   Status ValidateItem(const Item& item) const;
   static uint64_t AttributeCount(const Attributes& attrs);
 
+  /// Organic throttle over the request-rate cap; same contract as
+  /// DynamoDb::MaybeThrottle (bills the rejected request's round trip,
+  /// no box usage, returns kResourceExhausted + Retry-After hint).
+  Status MaybeThrottle(SimAgent& agent, bool write, Micros op_start,
+                       const OpMetrics& op);
+
   SimpleDbConfig config_;
   UsageMeter* meter_;
   FaultInjector* injector_;
@@ -101,6 +111,7 @@ class SimpleDb final : public KvStore {
   OpMetrics get_metrics_;
   OpMetrics scan_metrics_;
   OpMetrics delete_metrics_;
+  common::Counter* throttled_metric_ = nullptr;
   RateLimiter request_limiter_;
   std::map<std::string, Table> tables_;
 };

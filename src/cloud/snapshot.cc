@@ -1,5 +1,6 @@
 #include "cloud/snapshot.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -11,12 +12,31 @@ namespace {
 // Version 2 appends the chaos sections (FaultInjector stream cursors and
 // circuit-breaker trackers) after the durable stores; version 3 appends
 // the maintenance section (compaction cursor, generation watermark) after
-// those.  Older snapshots are still restorable and simply leave the
-// missing state fresh.
+// those; version 4 appends the autoscaler control-loop state, so a
+// restored run resumes the identical capacity trajectory.  Older
+// snapshots are still restorable and simply leave the missing state
+// fresh.
 constexpr char kMagicV1[] = "WDXSNAP1";
 constexpr char kMagicV2[] = "WDXSNAP2";
 constexpr char kMagicV3[] = "WDXSNAP3";
+constexpr char kMagicV4[] = "WDXSNAP4";
 constexpr size_t kMagicLen = 8;
+
+// Doubles travel as the varint of their IEEE-754 bit pattern: exact
+// round-trip, no locale/format ambiguity.
+void PutDouble(std::string* out, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutVarint64(out, bits);
+}
+
+Result<double> GetDouble(const std::string& data, size_t* offset) {
+  WEBDEX_ASSIGN_OR_RETURN(uint64_t bits, GetVarint64(data, offset));
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
 
 void PutString(std::string* out, const std::string& s) {
   PutVarint64(out, s.size());
@@ -89,7 +109,7 @@ Status RestoreKvStore(const std::string& data, size_t* offset,
 }  // namespace
 
 std::string SerializeSnapshot(CloudEnv& env) {
-  std::string out(kMagicV3, kMagicLen);
+  std::string out(kMagicV4, kMagicLen);
 
   // File store section: bucket names first (so empty buckets survive),
   // then the objects.
@@ -136,6 +156,20 @@ std::string SerializeSnapshot(CloudEnv& env) {
   // stamping monotonically above everything ever allocated.
   PutString(&out, env.maintenance().compact_cursor);
   PutVarint64(&out, env.maintenance().generation_watermark);
+
+  // Autoscaler section (v4): durable control-loop state.  All zeros when
+  // the autoscaler is inactive; restoring that is a no-op.
+  const AutoscalerState& scaler = env.autoscaler().state();
+  PutDouble(&out, scaler.write_units);
+  PutDouble(&out, scaler.read_units);
+  PutVarint64(&out, static_cast<uint64_t>(scaler.window_start));
+  PutVarint64(&out, static_cast<uint64_t>(scaler.last_scale_up));
+  PutVarint64(&out, static_cast<uint64_t>(scaler.last_scale_down));
+  PutDouble(&out, scaler.window_write_units);
+  PutDouble(&out, scaler.window_read_units);
+  PutVarint64(&out, scaler.window_write_throttles);
+  PutVarint64(&out, scaler.window_read_throttles);
+  PutVarint64(&out, scaler.started);
   return out;
 }
 
@@ -188,8 +222,14 @@ Status RestoreChaosState(const std::string& snapshot, size_t* offset,
 Status RestoreSnapshot(const std::string& snapshot, CloudEnv* env) {
   bool has_chaos_sections = false;
   bool has_maintenance_section = false;
+  bool has_autoscaler_section = false;
   if (snapshot.size() >= kMagicLen &&
-      snapshot.compare(0, kMagicLen, kMagicV3) == 0) {
+      snapshot.compare(0, kMagicLen, kMagicV4) == 0) {
+    has_chaos_sections = true;
+    has_maintenance_section = true;
+    has_autoscaler_section = true;
+  } else if (snapshot.size() >= kMagicLen &&
+             snapshot.compare(0, kMagicLen, kMagicV3) == 0) {
     has_chaos_sections = true;
     has_maintenance_section = true;
   } else if (snapshot.size() >= kMagicLen &&
@@ -229,6 +269,29 @@ Status RestoreSnapshot(const std::string& snapshot, CloudEnv* env) {
                             GetString(snapshot, &offset));
     WEBDEX_ASSIGN_OR_RETURN(env->maintenance().generation_watermark,
                             GetVarint64(snapshot, &offset));
+  }
+  if (has_autoscaler_section) {
+    AutoscalerState scaler;
+    WEBDEX_ASSIGN_OR_RETURN(scaler.write_units, GetDouble(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(scaler.read_units, GetDouble(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t window_start,
+                            GetVarint64(snapshot, &offset));
+    scaler.window_start = static_cast<Micros>(window_start);
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t last_up, GetVarint64(snapshot, &offset));
+    scaler.last_scale_up = static_cast<Micros>(last_up);
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t last_down,
+                            GetVarint64(snapshot, &offset));
+    scaler.last_scale_down = static_cast<Micros>(last_down);
+    WEBDEX_ASSIGN_OR_RETURN(scaler.window_write_units,
+                            GetDouble(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(scaler.window_read_units,
+                            GetDouble(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(scaler.window_write_throttles,
+                            GetVarint64(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(scaler.window_read_throttles,
+                            GetVarint64(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(scaler.started, GetVarint64(snapshot, &offset));
+    env->autoscaler().Restore(scaler);
   }
   if (offset != snapshot.size()) {
     return Status::Corruption("trailing bytes in snapshot");

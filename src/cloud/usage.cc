@@ -66,7 +66,9 @@ Bill UsageMeter::ComputeBill(const Usage& u) const {
   b.s3 = pricing_.st_put * static_cast<double>(u.s3_put_requests) +
          pricing_.st_get * static_cast<double>(u.s3_get_requests);
   b.dynamodb = pricing_.idx_put * u.ddb_write_units +
-               pricing_.idx_get * u.ddb_read_units;
+               pricing_.idx_get * u.ddb_read_units +
+               pricing_.idx_write_unit_hour * u.ddb_write_capacity_hours +
+               pricing_.idx_read_unit_hour * u.ddb_read_capacity_hours;
   b.simpledb = pricing_.simpledb_machine_hour * u.sdb_box_hours;
   b.ec2 = pricing_.vm_hour_large * MicrosToHours(u.vm_micros_large) +
           pricing_.vm_hour_xlarge * MicrosToHours(u.vm_micros_xlarge);

@@ -42,6 +42,11 @@ namespace webdex::cloud {
   X(tombstones_written)        \
   X(compact_gc_items)          \
   X(compact_uris)              \
+  X(throttled_requests)        \
+  X(shed_queries)              \
+  X(scale_events)              \
+  X(ddb_write_capacity_hours)  \
+  X(ddb_read_capacity_hours)   \
   X(vm_micros_large)           \
   X(vm_micros_xlarge)          \
   X(egress_bytes)
@@ -96,6 +101,17 @@ struct Usage {
   uint64_t tombstones_written = 0;  // delete tasks committed
   uint64_t compact_gc_items = 0;    // stale/tombstoned items collected
   uint64_t compact_uris = 0;        // URIs canonicalized or collected
+
+  // Overload accounting (docs/OVERLOAD.md).  Throttled/shed attempts are
+  // billed (or deliberately not billed) through the per-service counters
+  // above; these make the overload behaviour itself observable.
+  uint64_t throttled_requests = 0;  // organic 429s from backlog bounds
+  uint64_t shed_queries = 0;        // queries rejected by admission control
+  uint64_t scale_events = 0;        // autoscaler capacity adjustments
+  // Provisioned-capacity rental, metered by the Autoscaler when capacity
+  // billing is enabled (0 otherwise, keeping request-only bills intact).
+  double ddb_write_capacity_hours = 0;  // write-capacity-unit-hours
+  double ddb_read_capacity_hours = 0;   // read-capacity-unit-hours
 
   // Virtual machines: rented time per type.
   Micros vm_micros_large = 0;

@@ -51,8 +51,13 @@ const Status& StatusOf(const Result<T>& result) {
 /// [0, cap] ("full jitter") is passed to `sleep(backoff_micros)`; in the
 /// simulation that callback advances the calling agent's virtual clock,
 /// and `rng` must be a deterministic stream (e.g. `Rng::ForKey`) so the
-/// schedule is reproducible.  `retries`, when non-null, is incremented
-/// once per re-attempt (for the Usage fault counters).
+/// schedule is reproducible.  When the error carries a server retry-after
+/// hint (`Status::retry_after_micros() > 0`, an organic throttle), the
+/// sleep is exactly the hint: never shorter (the server said capacity
+/// frees then, an earlier retry is a guaranteed re-throttle) and capped
+/// at it (jittered oversleep would under-use the capacity the server just
+/// promised).  `retries`, when non-null, is incremented once per
+/// re-attempt (for the Usage fault counters).
 template <typename Fn, typename Sleep>
 auto CallWithRetry(const RetryPolicy& policy, Rng& rng, const Fn& fn,
                    const Sleep& sleep, uint64_t* retries = nullptr)
@@ -66,10 +71,12 @@ auto CallWithRetry(const RetryPolicy& policy, Rng& rng, const Fn& fn,
       return outcome;
     }
     const int64_t cap = BackoffCapMicros(policy, attempt);
-    const int64_t backoff =
+    int64_t backoff =
         cap <= 0 ? 0
                  : static_cast<int64_t>(rng.NextDouble() *
                                         static_cast<double>(cap + 1));
+    const int64_t hint = status.retry_after_micros();
+    if (hint > 0) backoff = hint;
     if (policy.deadline_micros > 0 &&
         slept + backoff > policy.deadline_micros) {
       return outcome;

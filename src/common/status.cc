@@ -24,6 +24,8 @@ const char* StatusCodeName(Status::Code code) {
       return "Unimplemented";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -28,6 +28,13 @@ class Status {
     /// A service is transiently unable to serve the request (5xx-style
     /// errors from the simulated cloud's fault injector).  Retriable.
     kUnavailable,
+    /// The system itself declined the work before doing any of it: the
+    /// admission controller shed the request to protect tail latency.
+    /// Deliberately NOT retriable — shedding exists so the caller gets a
+    /// fast, typed rejection instead of burning a retry budget against a
+    /// saturated system.  Contrast kResourceExhausted, where a *service*
+    /// throttled one call and a paced retry will succeed.
+    kOverloaded,
   };
 
   /// Default-constructed status is OK.
@@ -51,6 +58,17 @@ class Status {
   static Status ResourceExhausted(std::string_view msg) {
     return Status(Code::kResourceExhausted, msg);
   }
+  /// Organic server-side throttle: the service rejected the call because
+  /// its backlog exceeded the configured delay bound, and suggests the
+  /// caller wait `retry_after_micros` of virtual time before retrying
+  /// (the Retry-After header of HTTP 429/503).  common/retry.h honors the
+  /// hint: it never sleeps shorter than it and caps backoff at it.
+  static Status ResourceExhausted(std::string_view msg,
+                                  int64_t retry_after_micros) {
+    Status s(Code::kResourceExhausted, msg);
+    s.retry_after_micros_ = retry_after_micros < 0 ? 0 : retry_after_micros;
+    return s;
+  }
   static Status FailedPrecondition(std::string_view msg) {
     return Status(Code::kFailedPrecondition, msg);
   }
@@ -65,6 +83,9 @@ class Status {
   }
   static Status Unavailable(std::string_view msg) {
     return Status(Code::kUnavailable, msg);
+  }
+  static Status Overloaded(std::string_view msg) {
+    return Status(Code::kOverloaded, msg);
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -81,17 +102,26 @@ class Status {
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   /// True for errors that a retry with backoff may cure: transient
   /// service unavailability and throughput throttling.  Everything else
-  /// (NotFound, InvalidArgument, ...) is permanent and must not be
-  /// retried (see common/retry.h).
+  /// (NotFound, InvalidArgument, kOverloaded admission shedding, ...) is
+  /// permanent for the issuing call and must not be retried (see
+  /// common/retry.h).
   bool IsRetriable() const {
     return code_ == Code::kUnavailable || code_ == Code::kResourceExhausted;
   }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Server-suggested minimum wait before a retry, in virtual
+  /// microseconds; 0 when the server offered no hint.  Carried only by
+  /// organic-throttle ResourceExhausted statuses (see the two-argument
+  /// factory); fault-injector errors leave it 0, so chaos schedules are
+  /// byte-identical to before the hint existed.
+  int64_t retry_after_micros() const { return retry_after_micros_; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -102,6 +132,7 @@ class Status {
 
   Code code_ = Code::kOk;
   std::string message_;
+  int64_t retry_after_micros_ = 0;
 };
 
 /// Returns a stable, human-readable name for a status code ("NotFound", ...).

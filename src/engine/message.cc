@@ -93,11 +93,43 @@ Result<LoadRequest> LoadRequest::Parse(const std::string& text) {
 }
 
 std::string QueryRequest::Serialize() const {
-  return StrFormat("QUERY\n%llu\n", static_cast<unsigned long long>(id)) +
-         query_text;
+  // Tenant-tagged requests get their own tag (the query text is the
+  // final, newline-containing field, so nothing can be appended after
+  // it); untagged requests serialize byte-identically to the
+  // pre-admission wire format.
+  if (tenant.empty()) {
+    return StrFormat("QUERY\n%llu\n", static_cast<unsigned long long>(id)) +
+           query_text;
+  }
+  return StrFormat("QUERYT\n%llu\n", static_cast<unsigned long long>(id)) +
+         tenant + "\n" + query_text;
 }
 
 Result<QueryRequest> QueryRequest::Parse(const std::string& text) {
+  {
+    auto rest = ExpectTag(text, "QUERYT");
+    if (rest.ok()) {
+      const std::string& body = rest.value();
+      const size_t id_end = body.find('\n');
+      const size_t tenant_end =
+          id_end == std::string::npos ? std::string::npos
+                                      : body.find('\n', id_end + 1);
+      if (tenant_end == std::string::npos) {
+        return Status::InvalidArgument("QUERYT without body");
+      }
+      QueryRequest req;
+      req.id = std::strtoull(body.substr(0, id_end).c_str(), nullptr, 10);
+      req.tenant = body.substr(id_end + 1, tenant_end - id_end - 1);
+      req.query_text = body.substr(tenant_end + 1);
+      if (req.tenant.empty()) {
+        return Status::InvalidArgument("QUERYT with empty tenant");
+      }
+      if (req.query_text.empty()) {
+        return Status::InvalidArgument("QUERYT with empty text");
+      }
+      return req;
+    }
+  }
   WEBDEX_ASSIGN_OR_RETURN(std::string rest, ExpectTag(text, "QUERY"));
   const size_t newline = rest.find('\n');
   if (newline == std::string::npos) {
@@ -113,6 +145,11 @@ Result<QueryRequest> QueryRequest::Parse(const std::string& text) {
 }
 
 std::string QueryResponse::Serialize() const {
+  // Shed responses carry no result object; regular ones serialize
+  // byte-identically to the pre-admission wire format.
+  if (shed) {
+    return StrFormat("SHED\n%llu", static_cast<unsigned long long>(id));
+  }
   return StrFormat("DONE\n%llu\n%llu\n",
                    static_cast<unsigned long long>(id),
                    static_cast<unsigned long long>(row_count)) +
@@ -120,6 +157,18 @@ std::string QueryResponse::Serialize() const {
 }
 
 Result<QueryResponse> QueryResponse::Parse(const std::string& text) {
+  {
+    auto rest = ExpectTag(text, "SHED");
+    if (rest.ok()) {
+      if (rest.value().empty()) {
+        return Status::InvalidArgument("SHED without query id");
+      }
+      QueryResponse resp;
+      resp.shed = true;
+      resp.id = std::strtoull(rest.value().c_str(), nullptr, 10);
+      return resp;
+    }
+  }
   WEBDEX_ASSIGN_OR_RETURN(std::string rest, ExpectTag(text, "DONE"));
   const auto lines = Split(rest, '\n');
   if (lines.size() < 3) {

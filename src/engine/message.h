@@ -39,17 +39,26 @@ struct QueryRequest {
   /// object name.
   uint64_t id = 0;
   std::string query_text;
+  /// Admission-control tenant tag (docs/OVERLOAD.md); per-tenant token
+  /// buckets shed hot tenants without starving cold ones.  Empty (the
+  /// default) serializes exactly as before tenants existed, so untagged
+  /// task bodies stay byte-identical.
+  std::string tenant;
 
   std::string Serialize() const;
   static Result<QueryRequest> Parse(const std::string& text);
 };
 
 /// Query processor -> front end: "results for query `id` are in the file
-/// store under `result_key`" (step 15).
+/// store under `result_key`" (step 15).  A shed query (admission control,
+/// docs/OVERLOAD.md) still responds — with `shed` set and no result
+/// object — so the front end learns its fate without waiting for a
+/// timeout.  shed == false serializes exactly as before shedding existed.
 struct QueryResponse {
   uint64_t id = 0;
   std::string result_key;
   uint64_t row_count = 0;
+  bool shed = false;
 
   std::string Serialize() const;
   static Result<QueryResponse> Parse(const std::string& text);

@@ -29,6 +29,8 @@ enum class TaskOutcome { kOk, kAbandon, kPoison };
 Warehouse::Warehouse(cloud::CloudEnv* env, const WarehouseConfig& config)
     : env_(env),
       config_(config),
+      admission_(config.admission, &env->meter(), &env->metrics(),
+                 &env->tracer()),
       strategy_(index::IndexingStrategy::Create(config.strategy)),
       cost_model_(env->meter().pricing()),
       retrying_store_(std::make_unique<cloud::RetryingKvStore>(
@@ -237,6 +239,19 @@ WorkerStep Warehouse::IndexerStep(Instance& instance,
                                   ExtractionPipeline* pipeline,
                                   IndexingRunReport* report) {
   auto& sqs = env_->sqs();
+  // Extraction-pipeline backpressure (docs/OVERLOAD.md): a deep loader
+  // queue plus fresh organic throttles means the index store is already
+  // shedding — defer this poll so in-flight retries pace out instead of
+  // piling more writes on.
+  const Micros backoff = admission_.IndexerBackoff(
+      instance.now(), sqs.Count(config_.loader_queue),
+      env_->meter().usage().throttled_requests);
+  if (backoff > 0) {
+    WorkerStep step;
+    step.processed = false;
+    step.retry_at = instance.now() + backoff;
+    return step;
+  }
   auto received = sqs.Receive(instance, config_.loader_queue);
   if (!received.ok() || !received.value().has_value()) {
     WorkerStep step;
@@ -655,17 +670,41 @@ WorkerStep Warehouse::QueryStep(Instance& instance,
   if (task == TaskOutcome::kOk) {
     task_span.AddAttr("query_id",
                       static_cast<double>(request.value().id));
+    // Admission gate (docs/OVERLOAD.md): may defer (advancing this
+    // instance's virtual clock within the deadline budget) or shed.  A
+    // shed query does zero index/file-store work — only the SQS response
+    // below is billed — and the front end learns its fate immediately.
+    const AdmissionDecision decision = admission_.Admit(
+        instance, request.value().tenant, request.value().id);
+    const Micros admitted_at = instance.now();
+    const uint64_t throttles_before =
+        env_->meter().usage().throttled_requests;
     QueryOutcome outcome;
-    const Status processed = ProcessQuery(instance, request.value(),
-                                          msg.receipt, &lease_anchor,
-                                          &outcome);
+    Status processed = Status::OK();
+    if (decision.admitted) {
+      processed = ProcessQuery(instance, request.value(), msg.receipt,
+                               &lease_anchor, &outcome);
+      admission_.OnCompleted(
+          admitted_at, instance.now(),
+          env_->meter().usage().throttled_requests > throttles_before);
+    } else {
+      task_span.AddAttr("shed", 1);
+      outcome.id = request.value().id;
+      outcome.query_text = request.value().query_text;
+      outcome.shed = true;
+    }
+    outcome.tenant = request.value().tenant;
     if (processed.ok()) {
       QueryResponse response;
       response.id = request.value().id;
-      response.result_key = StrFormat(
-          "result-%llu.xml",
-          static_cast<unsigned long long>(request.value().id));
-      response.row_count = outcome.result.rows.size();
+      if (outcome.shed) {
+        response.shed = true;
+      } else {
+        response.result_key = StrFormat(
+            "result-%llu.xml",
+            static_cast<unsigned long long>(request.value().id));
+        response.row_count = outcome.result.rows.size();
+      }
       cloud::MeteredSpan respond_span(&env_->tracer(), &env_->meter(),
                                       instance, "respond");
       const Status sent = RetryCall(instance, "qp.respond", [&] {
@@ -709,6 +748,14 @@ WorkerStep Warehouse::QueryStep(Instance& instance,
 
 Result<QueryRunReport> Warehouse::ExecuteQueries(
     const std::vector<std::string>& queries) {
+  std::vector<TenantQuery> tagged;
+  tagged.reserve(queries.size());
+  for (const auto& text : queries) tagged.push_back(TenantQuery{"", text});
+  return ExecuteQueries(tagged);
+}
+
+Result<QueryRunReport> Warehouse::ExecuteQueries(
+    const std::vector<TenantQuery>& queries) {
   const cloud::Usage run_start = env_->meter().Snapshot();
   cloud::MeteredSpan run_span(&env_->tracer(), &env_->meter(), front_end_,
                               "query.run");
@@ -717,10 +764,11 @@ Result<QueryRunReport> Warehouse::ExecuteQueries(
   {
     cloud::MeteredSpan submit_span(&env_->tracer(), &env_->meter(),
                                    front_end_, "submit");
-    for (const auto& text : queries) {
+    for (const auto& query : queries) {
       QueryRequest request;
       request.id = next_query_id_++;
-      request.query_text = text;
+      request.query_text = query.text;
+      request.tenant = query.tenant;
       ids.push_back(request.id);
       WEBDEX_RETURN_IF_ERROR(RetryCall(front_end_, "fe.query", [&] {
         return env_->sqs().Send(front_end_, config_.query_queue,
@@ -769,13 +817,17 @@ Result<QueryRunReport> Warehouse::ExecuteQueries(
     }
     WEBDEX_ASSIGN_OR_RETURN(QueryResponse response,
                             QueryResponse::Parse(received.value()->body));
-    WEBDEX_ASSIGN_OR_RETURN(
-        std::string result_xml,
-        RetryCall(front_end_, "fe.result", [&] {
-          return env_->s3().Get(front_end_, config_.results_bucket,
-                                response.result_key);
-        }));
-    env_->meter().AddEgress(result_xml.size());
+    // A shed response names no result object: nothing to fetch, no
+    // egress — the typed rejection is the whole answer.
+    if (!response.shed) {
+      WEBDEX_ASSIGN_OR_RETURN(
+          std::string result_xml,
+          RetryCall(front_end_, "fe.result", [&] {
+            return env_->s3().Get(front_end_, config_.results_bucket,
+                                  response.result_key);
+          }));
+      env_->meter().AddEgress(result_xml.size());
+    }
     // A stale receipt (expired lease or injected duplicate) just means
     // the response comes around again; it is deduped by id above.
     (void)RetryCall(front_end_, "fe.ack", [&] {
@@ -794,6 +846,7 @@ Result<QueryRunReport> Warehouse::ExecuteQueries(
     }
     report.planner_fallbacks +=
         static_cast<uint64_t>(it->second.planner_fallbacks);
+    if (it->second.shed) report.shed_queries += 1;
     report.outcomes.push_back(std::move(it->second));
   }
   const cloud::Usage run_delta = env_->meter().Snapshot() - run_start;

@@ -19,6 +19,7 @@
 #include "common/retry.h"
 #include "common/rng.h"
 #include "cost/cost_model.h"
+#include "engine/admission.h"
 #include "engine/compactor.h"
 #include "engine/extraction_pipeline.h"
 #include "engine/message.h"
@@ -81,6 +82,11 @@ struct WarehouseConfig {
   /// issues (index store, S3, SQS).  Backoff sleeps advance virtual time,
   /// so retries lengthen makespans and EC2 bills (docs/FAULTS.md).
   common::RetryPolicy retry;
+
+  /// Admission control over the query processors and the extraction
+  /// pipeline (docs/OVERLOAD.md).  Disabled by default: every query is
+  /// admitted untouched and existing runs stay bit-identical.
+  AdmissionConfig admission;
 
   /// A message delivered more than this many times is dead-lettered:
   /// acknowledged without effect and counted in
@@ -160,6 +166,12 @@ struct QueryOutcome {
   /// Patterns that fell back to the scan path — blocked by an open
   /// circuit breaker at plan time, or failed retriably at run time.
   int planner_fallbacks = 0;
+  /// True when admission control shed the query (kOverloaded): it did no
+  /// index/file-store work and `result` is empty (docs/OVERLOAD.md).
+  bool shed = false;
+  /// Admission tenant the query ran (or was shed) under; empty when
+  /// untagged.
+  std::string tenant;
 };
 
 struct QueryRunReport {
@@ -170,6 +182,16 @@ struct QueryRunReport {
   uint64_t breaker_opens = 0;
   /// Scan fallbacks taken by the planner, summed over the outcomes.
   uint64_t planner_fallbacks = 0;
+  /// Queries admission control shed with kOverloaded this run
+  /// (docs/OVERLOAD.md); their outcomes carry shed == true.
+  uint64_t shed_queries = 0;
+};
+
+/// A query tagged with the tenant it runs under, for the per-tenant
+/// admission buckets (docs/OVERLOAD.md).
+struct TenantQuery {
+  std::string tenant;
+  std::string text;
 };
 
 /// The complete warehouse of paper Figure 1: front end + file store +
@@ -239,6 +261,12 @@ class Warehouse {
   Result<QueryRunReport> ExecuteQueries(
       const std::vector<std::string>& queries);
 
+  /// Tenant-tagged variant: each query runs under its tenant's admission
+  /// bucket, so a hot tenant is shed while cold ones keep being served
+  /// (docs/OVERLOAD.md).  With admission disabled the tags are inert.
+  Result<QueryRunReport> ExecuteQueries(
+      const std::vector<TenantQuery>& queries);
+
   /// Single-query convenience wrapper.
   Result<QueryOutcome> ExecuteQuery(const std::string& query_text);
 
@@ -280,6 +308,10 @@ class Warehouse {
     return document_uris_;
   }
   uint64_t data_bytes() const { return data_bytes_; }
+
+  /// The admission controller gating this warehouse's query processors
+  /// and extraction pipeline (inert unless config().admission.enabled).
+  AdmissionController& admission() { return admission_; }
 
   /// The current generation view (index/generation.h): a consistent
   /// immutable snapshot of every mutated document's live generation and
@@ -445,6 +477,7 @@ class Warehouse {
 
   cloud::CloudEnv* env_;
   WarehouseConfig config_;
+  AdmissionController admission_;
   std::unique_ptr<index::IndexingStrategy> strategy_;
   /// Analytical pricing shared by the planner and the advisors, over this
   /// environment's price sheet.

@@ -52,6 +52,28 @@ TEST(StatusTest, UnavailableIsRetriable) {
   EXPECT_FALSE(Status::OK().IsRetriable());
 }
 
+// Admission shedding is typed and deliberately NOT retriable: retrying a
+// shed query against a saturated system is the opposite of shedding.
+TEST(StatusTest, OverloadedIsTypedAndNotRetriable) {
+  Status s = Status::Overloaded("admission rejected: over capacity");
+  EXPECT_TRUE(s.IsOverloaded());
+  EXPECT_FALSE(s.IsRetriable());
+  EXPECT_EQ(s.ToString(), "Overloaded: admission rejected: over capacity");
+  EXPECT_EQ(s.retry_after_micros(), 0);
+}
+
+TEST(StatusTest, ResourceExhaustedCarriesRetryAfterHint) {
+  // The plain constructor carries no hint (injected throttles).
+  EXPECT_EQ(Status::ResourceExhausted("throttled").retry_after_micros(), 0);
+  // The organic-throttle form carries the server's Retry-After.
+  Status hinted = Status::ResourceExhausted("backlog over bound", 12'345);
+  EXPECT_TRUE(hinted.IsResourceExhausted());
+  EXPECT_TRUE(hinted.IsRetriable());
+  EXPECT_EQ(hinted.retry_after_micros(), 12'345);
+  // A server cannot promise the past: negative hints clamp to zero.
+  EXPECT_EQ(Status::ResourceExhausted("x", -5).retry_after_micros(), 0);
+}
+
 Status Passthrough(const Status& s) {
   WEBDEX_RETURN_IF_ERROR(s);
   return Status::OK();
@@ -216,6 +238,51 @@ TEST(RetryTest, JitterScheduleIsDeterministicPerSeed) {
   };
   EXPECT_EQ(run(7), run(7));
   EXPECT_NE(run(7), run(8));
+}
+
+// An organic throttle's Retry-After hint overrides the jitter draw in
+// both directions: the sleep is never shorter (an earlier retry is a
+// guaranteed re-throttle) and never longer (oversleeping wastes the
+// capacity the server just promised).  Every retry sleeps the hint,
+// exactly.
+TEST(RetryTest, ServerRetryAfterHintIsSleptExactly) {
+  Rng rng(1);
+  common::RetryPolicy policy;
+  policy.initial_backoff_micros = 1;          // jitter would undersleep
+  policy.max_backoff_micros = 100'000'000;    // ...or oversleep wildly
+  int calls = 0;
+  std::vector<int64_t> sleeps;
+  auto status = common::CallWithRetry(
+      policy, rng,
+      [&] {
+        if (++calls < 4) {
+          return Status::ResourceExhausted("backlog over bound", 7'000);
+        }
+        return Status::OK();
+      },
+      [&](int64_t micros) { sleeps.push_back(micros); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(sleeps, (std::vector<int64_t>{7'000, 7'000, 7'000}));
+}
+
+// Hinted sleeps still count against the policy's sleep deadline: a hint
+// pointing past the budget abandons the call with the throttle error.
+TEST(RetryTest, RetryAfterHintRespectsDeadlineBudget) {
+  Rng rng(1);
+  common::RetryPolicy policy;
+  policy.deadline_micros = 5'000;
+  int calls = 0;
+  auto status = common::CallWithRetry(
+      policy, rng,
+      [&] {
+        ++calls;
+        return Status::ResourceExhausted("backlog over bound", 7'000);
+      },
+      [](int64_t) {});
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(status.retry_after_micros(), 7'000);
+  EXPECT_EQ(calls, 1);
 }
 
 // --- Strings -----------------------------------------------------------------

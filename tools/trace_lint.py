@@ -14,7 +14,16 @@ Checks (docs/OBSERVABILITY.md):
   * a scripted mutable-corpus session (upsert + delete + compact --full,
     docs/MUTABILITY.md) emits a `compact.pass` span whose JSONL obeys the
     same invariants — in particular the pass's usd covers the billed sum
-    of its child retry spans.
+    of its child retry spans;
+  * every `admission.*` / `autoscale.*` span obeys the overload taxonomy
+    (docs/OVERLOAD.md): only the documented names, each with its required
+    attrs, `admission.shed` spans never billed (shed queries do no loser
+    work), `autoscale.scale` spans carrying the capacity move — and the
+    generic parent-covers-children usd invariant applies to them like any
+    other span;
+  * an autoscaled scripted session reports the overload counters in
+    `stats` with the provisioned capacity held inside the configured
+    bounds, and exposes the `autoscale.*` gauges in the metrics dump.
 
 Usage: trace_lint.py <path-to-webdex_cli>
 Exit code 0 on a clean lint; failures are listed on stderr.
@@ -28,6 +37,20 @@ import tempfile
 
 METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 QUERY = "//item[/name:val]"
+
+# The overload span taxonomy (docs/OVERLOAD.md): span name -> attrs it
+# must carry.  Any other admission.*/autoscale.* name is a lint failure —
+# new overload spans must be documented here and in OVERLOAD.md.
+OVERLOAD_SPANS = {
+    "admission.shed": {"query_id", "waited_us"},
+    "autoscale.scale": {
+        "write_units_before",
+        "read_units_before",
+        "write_units",
+        "read_units",
+        "up",
+    },
+}
 
 errors = []
 
@@ -82,6 +105,36 @@ def lint_prometheus(dump, text):
             fail(f"histogram {name} count mismatch in Prometheus")
 
 
+def lint_overload_span(span):
+    """Validates one admission.*/autoscale.* span against the taxonomy."""
+    name = span["name"]
+    attrs = span.get("attrs", {})
+    required = OVERLOAD_SPANS.get(name)
+    if required is None:
+        fail(f"span name outside the overload taxonomy: {name!r}")
+        return
+    for key in sorted(required - set(attrs)):
+        fail(f"{name} span {span['id']} missing required attr {key!r}")
+    if name == "admission.shed":
+        # Shedding is the whole point of not doing the work: a shed span
+        # that billed anything charged for loser work.
+        if attrs.get("usd", 0.0) != 0.0:
+            fail(f"admission.shed span {span['id']} billed usd > 0")
+        if attrs.get("waited_us", 0) < 0:
+            fail(f"admission.shed span {span['id']} waited_us is negative")
+    elif name == "autoscale.scale":
+        if attrs.get("up") not in (0, 1):
+            fail(f"autoscale.scale span {span['id']} attr up not in {{0,1}}")
+        for key in ("write_units", "read_units"):
+            if attrs.get(key, 0) <= 0:
+                fail(f"autoscale.scale span {span['id']} has {key} <= 0")
+        if (
+            attrs.get("write_units") == attrs.get("write_units_before")
+            and attrs.get("read_units") == attrs.get("read_units_before")
+        ):
+            fail(f"autoscale.scale span {span['id']} moved no capacity")
+
+
 def lint_trace_jsonl(path, label="trace"):
     with open(path) as f:
         spans = [json.loads(line) for line in f if line.strip()]
@@ -105,6 +158,8 @@ def lint_trace_jsonl(path, label="trace"):
         for key in attrs:
             if key.startswith("usage.") and not METRIC_NAME.match(key):
                 fail(f"span {sid} usage attr violates the grammar: {key!r}")
+        if span["name"].startswith(("admission.", "autoscale.")):
+            lint_overload_span(span)
         child_usd[span["parent"]] = child_usd.get(span["parent"], 0.0) + usd[sid]
     for span in spans:
         sid = span["id"]
@@ -149,6 +204,61 @@ def lint_compact_trace(binary):
         fail("compact --full span does not carry attr full=1")
 
 
+def lint_autoscaled_session(binary):
+    """Drives an autoscaled scripted session: the controller must own the
+    provisioned capacity (stats reports it inside the configured bounds,
+    not the store's 400 WU default), the overload counters must surface
+    in `stats`, the autoscale.* gauges in the metrics dump, and any
+    admission.*/autoscale.* spans in a traced query obey the taxonomy."""
+    min_wu, max_wu = 5, 50
+    with tempfile.NamedTemporaryFile(
+        suffix=".jsonl"
+    ) as jsonl, tempfile.NamedTemporaryFile(
+        mode="w", suffix=".webdex"
+    ) as script:
+        script.write(
+            f"autoscale --min {min_wu} --max {max_wu}\n"
+            "strategy LUP\n"
+            "open\n"
+            "gen 12 8\n"
+            "index\n"
+            f"trace --jsonl {jsonl.name} {QUERY}\n"
+            "metrics --json\n"
+            "stats\n"
+        )
+        script.flush()
+        out = run(binary, script.name)
+        lint_trace_jsonl(jsonl.name, label="autoscaled trace")
+
+    overload = re.search(
+        r"overload: (\d+) throttled requests, (\d+) shed queries, "
+        r"(\d+) scale events \((\d+) WU / \d+ RU provisioned\)",
+        out,
+    )
+    if not overload:
+        fail("stats is missing the overload counters line")
+    else:
+        provisioned_wu = int(overload.group(4))
+        if not min_wu <= provisioned_wu <= max_wu:
+            fail(
+                f"autoscaled session provisions {provisioned_wu} WU, "
+                f"outside the configured [{min_wu}, {max_wu}] bounds"
+            )
+    dump_lines = [
+        l for l in out.splitlines() if l.startswith('{"counters"')
+    ]
+    if len(dump_lines) != 1:
+        fail("autoscaled session metrics dump missing")
+        return
+    gauges = json.loads(dump_lines[0])["gauges"]
+    for gauge in ("autoscale.write_units", "autoscale.read_units"):
+        if gauge not in gauges:
+            fail(f"autoscaled session does not expose gauge {gauge}")
+    wu = gauges.get("autoscale.write_units", 0)
+    if not min_wu <= wu <= max_wu:
+        fail(f"gauge autoscale.write_units {wu} outside bounds")
+
+
 def main():
     if len(sys.argv) != 2:
         sys.exit(__doc__)
@@ -169,6 +279,7 @@ def main():
         lint_trace_jsonl(tmp.name)
 
     lint_compact_trace(binary)
+    lint_autoscaled_session(binary)
 
     if errors:
         for e in errors:
@@ -176,7 +287,7 @@ def main():
         sys.exit(1)
     print(
         f"trace_lint: {len(names)} metric names clean, trace JSONL clean, "
-        "compact.pass clean"
+        "compact.pass clean, autoscaled session clean"
     )
 
 

@@ -99,6 +99,8 @@ class Cli {
       SetFaults(rest);
     } else if (command == "outage") {
       SetOutage(rest);
+    } else if (command == "autoscale") {
+      SetAutoscale(rest);
     } else if (command == "scrub") {
       Scrub(rest);
     } else if (command == "upsert") {
@@ -168,6 +170,13 @@ class Cli {
         "                                   s3|dynamodb|simpledb|sqs to the\n"
         "                                   plan (virtual-time window;\n"
         "                                   applies at the next 'open')\n"
+        "  autoscale off|[--min <wu>] [--max <wu>] [--target <util>]\n"
+        "                                   reactive DynamoDB capacity\n"
+        "                                   autoscaler between min/max write\n"
+        "                                   units at the target utilization\n"
+        "                                   (read bounds scale with them;\n"
+        "                                   docs/OVERLOAD.md; applies at the\n"
+        "                                   next 'open')\n"
         "  scrub [--repair]                 audit the index against the\n"
         "                                   documents; --repair fixes it\n"
         "  upsert <uri> [file.xml]          queue a document replacement at\n"
@@ -302,6 +311,57 @@ class Cli {
         cloud::ServiceIdName(window.service), start_s, end_s);
     if (warehouse_ != nullptr) {
       std::printf("note: the open warehouse keeps its current plan\n");
+    }
+  }
+
+  void SetAutoscale(const std::string& args) {
+    if (args == "off") {
+      cloud_config_.autoscale = cloud::AutoscalerConfig();
+      std::printf("autoscale: off\n");
+      return;
+    }
+    cloud::AutoscalerConfig scale;
+    scale.enabled = true;
+    std::istringstream input(args);
+    std::string flag;
+    bool bad = false;
+    while (input >> flag) {
+      double value = 0;
+      if (!(input >> value) || value <= 0) {
+        bad = true;
+        break;
+      }
+      if (flag == "--min") {
+        scale.min_write_units = value;
+      } else if (flag == "--max") {
+        scale.max_write_units = value;
+      } else if (flag == "--target") {
+        bad = value >= 1.0;
+        scale.target_utilization = value;
+      } else {
+        bad = true;
+        break;
+      }
+    }
+    if (bad || scale.min_write_units > scale.max_write_units) {
+      std::printf(
+          "usage: autoscale off | [--min <wu>] [--max <wu>] "
+          "[--target <util in (0,1)>]\n");
+      return;
+    }
+    // Read bounds track the write bounds at the default 1:0.625 ratio
+    // (100/3200 WU vs 50/2000 RU) so one pair of flags drives both
+    // dimensions.
+    scale.min_read_units = scale.min_write_units * 0.5;
+    scale.max_read_units = scale.max_write_units * 0.625;
+    cloud_config_.autoscale = scale;
+    std::printf(
+        "autoscale: on, %.0f-%.0f write units at %.0f%% target "
+        "utilization; applies at the next 'open'\n",
+        scale.min_write_units, scale.max_write_units,
+        scale.target_utilization * 100.0);
+    if (warehouse_ != nullptr) {
+      std::printf("note: the open warehouse keeps its current capacity\n");
     }
   }
 
@@ -833,6 +893,8 @@ class Cli {
         "%llu degraded queries, %llu scrub-repaired\n"
         "mutability: %llu tombstones written, %llu compacted URIs, "
         "%llu GC'd items\n"
+        "overload: %llu throttled requests, %llu shed queries, "
+        "%llu scale events (%.0f WU / %.0f RU provisioned)\n"
         "virtual front-end clock: %.2f s\n",
         warehouse_->document_uris().size(),
         static_cast<double>(warehouse_->data_bytes()) / (1 << 20),
@@ -847,6 +909,9 @@ class Cli {
         usage("breaker_short_circuits"), usage("degraded_queries"),
         usage("scrub_repaired"), usage("tombstones_written"),
         usage("compact_uris"), usage("compact_gc_items"),
+        usage("throttled_requests"), usage("shed_queries"),
+        usage("scale_events"), env_->dynamodb().write_units_per_second(),
+        env_->dynamodb().read_units_per_second(),
         static_cast<double>(warehouse_->front_end().now()) / 1e6);
     if (!env_->tracer().spans().empty()) {
       std::printf("last trace (flamegraph-style cost rollup):\n%s",
