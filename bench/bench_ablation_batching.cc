@@ -42,13 +42,13 @@ void BM_Upload(benchmark::State& state) {
     cloud::CloudEnv env;
     auto strategy =
         index::IndexingStrategy::Create(index::StrategyKind::kLUP);
+    Agent agent;
     for (const auto& table : strategy->TableNames()) {
-      if (!env.dynamodb().CreateTable(table).ok()) {
+      if (!env.dynamodb().CreateTable(agent, table).ok()) {
         state.SkipWithError("table setup failed");
         return;
       }
     }
-    Agent agent;
     xmark::XmarkGenerator generator(corpus);
     const cloud::Usage before = env.meter().Snapshot();
     for (int i = 0; i < corpus.num_documents; ++i) {

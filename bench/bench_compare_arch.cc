@@ -1,0 +1,225 @@
+// Architecture frontier (docs/ARCHITECTURES.md): the same corpus built
+// and queried under the deployment zoo — provisioned vs. on-demand
+// capacity, 1/4/7-way hash-sharded index tables, 0/2-replica read pools —
+// with the write capacity constrained so the build phase is
+// capacity-bound (the regime the paper's Section 8.3 bottleneck lives
+// in).  Two workloads per architecture:
+//
+//   build   submit + index the corpus against the constrained write
+//           provision; sharding multiplies the provisioned rate per
+//           logical table and on-demand lifts the rental entirely, so
+//           both move the makespan/cost point
+//   query   the 10-query mix, repeated; replicated architectures serve
+//           settled reads from the half-price pool
+//
+// Every architecture must end in the bit-identical logical index and
+// return the bit-identical query rows — the frontier is allowed to move
+// only Usage, latency and dollars.  Rows that diverge fail the bench.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace webdex::bench {
+namespace {
+
+// Provisioned write units per second: well under the 400-unit default,
+// so the build phase queues on the fluid limiter and the capacity
+// multipliers of the architectures under test are visible in makespan.
+constexpr double kConstrainedWriteUnits = 80;
+
+int QueryRepeats() {
+  if (const char* r = std::getenv("WEBDEX_BENCH_REPEAT")) {
+    return std::atoi(r);
+  }
+  return 3;
+}
+
+/// The sweep: the paper's baseline first; every other row must reproduce
+/// its logical state bit-for-bit.
+std::vector<cloud::ArchitectureSpec> Sweep() {
+  std::vector<cloud::ArchitectureSpec> sweep;
+  auto add = [&sweep](cloud::CapacityMode capacity, int shards,
+                      int replicas) {
+    cloud::ArchitectureSpec arch;
+    arch.capacity = capacity;
+    arch.shards = shards;
+    arch.replicas = replicas;
+    // Short replication lag: the query mix runs straight after the
+    // build, and the point of a replicated row is the settled-read
+    // discount, not a lag sensitivity study.
+    if (replicas > 0) arch.replication_lag = 1000;
+    sweep.push_back(arch);
+  };
+  add(cloud::CapacityMode::kProvisioned, 1, 0);  // the paper's deployment
+  add(cloud::CapacityMode::kProvisioned, 4, 0);
+  add(cloud::CapacityMode::kProvisioned, 7, 0);
+  add(cloud::CapacityMode::kProvisioned, 1, 2);
+  add(cloud::CapacityMode::kProvisioned, 4, 2);
+  add(cloud::CapacityMode::kOnDemand, 1, 0);
+  add(cloud::CapacityMode::kOnDemand, 4, 0);
+  return sweep;
+}
+
+struct Row {
+  double build_s = 0;
+  double build_dollars = 0;
+  double query_dollars = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+std::map<std::string, Row>& Results() {
+  static auto* results = new std::map<std::string, Row>();
+  return *results;
+}
+
+struct Equivalence {
+  uint64_t fingerprint = 0;
+  std::vector<std::vector<std::string>> rows;
+  bool set = false;
+};
+
+Equivalence& Baseline() {
+  static auto* baseline = new Equivalence();
+  return *baseline;
+}
+
+// Nearest-rank percentile over the queries' virtual latencies.
+double PercentileMs(std::vector<cloud::Micros> latencies, double p) {
+  if (latencies.empty()) return 0;
+  std::sort(latencies.begin(), latencies.end());
+  const size_t rank = static_cast<size_t>(
+      p * static_cast<double>(latencies.size() - 1) + 0.5);
+  return static_cast<double>(latencies[rank]) / 1e3;
+}
+
+void BM_CompareArch(benchmark::State& state) {
+  const cloud::ArchitectureSpec arch =
+      Sweep()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    cloud::CloudConfig cloud_config;
+    cloud_config.arch = arch;
+    cloud_config.dynamodb.write_units_per_second = kConstrainedWriteUnits;
+    Deployment d = Deploy(index::StrategyKind::kLUP, /*use_index=*/true,
+                          /*query_instances=*/8, cloud::InstanceType::kLarge,
+                          CorpusConfig(), engine::IndexBackend::kDynamoDb,
+                          /*full_text=*/true, /*index_instances=*/8,
+                          cloud_config);
+
+    // --- query workload -------------------------------------------------
+    std::vector<std::string> workload;
+    for (int r = 0; r < QueryRepeats(); ++r) {
+      for (const auto& query : Workload()) workload.push_back(query);
+    }
+    const cloud::Usage before_queries = d.env->meter().Snapshot();
+    auto report = d.warehouse->ExecuteQueries(workload);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    const cloud::Bill query_bill = d.env->meter().ComputeBill(
+        d.env->meter().Snapshot() - before_queries);
+
+    // --- equivalence gate -----------------------------------------------
+    // Bit-identical logical index and first-outcome rows across the zoo;
+    // a frontier over diverging states compares nothing.
+    const uint64_t fingerprint =
+        cloud::FingerprintStore(d.warehouse->index_store());
+    const auto& rows = report.value().outcomes.front().result.rows;
+    if (!Baseline().set) {
+      Baseline().fingerprint = fingerprint;
+      Baseline().rows = rows;
+      Baseline().set = true;
+    } else if (fingerprint != Baseline().fingerprint ||
+               rows != Baseline().rows) {
+      state.SkipWithError(
+          StrFormat("architecture %s diverged from the baseline's "
+                    "logical state",
+                    arch.Name().c_str())
+              .c_str());
+      return;
+    }
+
+    std::vector<cloud::Micros> latencies;
+    for (const auto& outcome : report.value().outcomes) {
+      if (!outcome.shed) latencies.push_back(outcome.timings.total);
+    }
+    Row row;
+    row.build_s = static_cast<double>(d.indexing.makespan) / 1e6;
+    row.build_dollars = d.indexing_bill.total();
+    row.query_dollars = query_bill.total();
+    row.p50_ms = PercentileMs(latencies, 0.50);
+    row.p99_ms = PercentileMs(latencies, 0.99);
+    Results()[arch.Name()] = row;
+
+    state.counters["makespan_s"] = row.build_s;
+    state.counters["cost_dollars"] = row.build_dollars + row.query_dollars;
+    state.counters["p99_ms"] = row.p99_ms;
+
+    const cloud::Usage usage = d.env->meter().Snapshot();
+    std::vector<std::pair<std::string, double>> build_metrics = {
+        {"shards", static_cast<double>(arch.shards)},
+        {"replicas", static_cast<double>(arch.replicas)},
+        {"cost_dollars", row.build_dollars},
+        {"makespan_s", row.build_s},
+    };
+    AppendFaultColumns(usage, &build_metrics);
+    RecordJson(StrFormat("compare_arch/build/%s", arch.Name().c_str()),
+               std::move(build_metrics),
+               {{"arch", arch.Name()},
+                {"capacity", cloud::CapacityModeName(arch.capacity)}});
+    std::vector<std::pair<std::string, double>> query_metrics = {
+        {"shards", static_cast<double>(arch.shards)},
+        {"replicas", static_cast<double>(arch.replicas)},
+        {"cost_dollars", row.query_dollars},
+        {"p50_wall_us", row.p50_ms * 1e3},
+        {"p99_wall_us", row.p99_ms * 1e3},
+        {"replica_reads", static_cast<double>(usage.replica_reads)},
+        {"ondemand_requests",
+         static_cast<double>(usage.ondemand_requests)},
+    };
+    RecordJson(StrFormat("compare_arch/query/%s", arch.Name().c_str()),
+               std::move(query_metrics),
+               {{"arch", arch.Name()},
+                {"capacity", cloud::CapacityModeName(arch.capacity)}});
+  }
+  state.SetLabel(arch.Name());
+}
+
+BENCHMARK(BM_CompareArch)
+    ->DenseRange(0, 6)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintFigure() {
+  PrintHeader(
+      "Compare-arch frontier: build makespan/$ and query p50/p99/$ per "
+      "architecture (identical logical state everywhere)");
+  std::printf("%-16s %10s %10s %10s %10s %10s\n", "Arch", "build s",
+              "build $", "query $", "p50 (ms)", "p99 (ms)");
+  for (const auto& arch : Sweep()) {
+    const auto it = Results().find(arch.Name());
+    if (it == Results().end()) continue;
+    std::printf("%-16s %10.2f %10.6f %10.6f %10.1f %10.1f\n",
+                arch.Name().c_str(), it->second.build_s,
+                it->second.build_dollars, it->second.query_dollars,
+                it->second.p50_ms, it->second.p99_ms);
+  }
+}
+
+}  // namespace
+}  // namespace webdex::bench
+
+int main(int argc, char** argv) {
+  webdex::bench::ParseJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  webdex::bench::PrintFigure();
+  webdex::bench::FlushJson();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "cloud/autoscaler.h"
 #include "cloud/circuit_breaker.h"
+#include "cloud/deployment.h"
 #include "cloud/dynamodb.h"
 #include "cloud/fault.h"
 #include "cloud/instance.h"
@@ -52,6 +53,10 @@ struct CloudConfig {
   /// Reactive DynamoDB capacity autoscaler (docs/OVERLOAD.md).  Disabled
   /// by default: capacity never moves and no capacity-hours are billed.
   AutoscalerConfig autoscale;
+  /// Deployment shape: capacity mode, shard count, read replicas
+  /// (docs/ARCHITECTURES.md).  The default spec is the paper's layout and
+  /// reproduces existing runs bit-identically.
+  ArchitectureSpec arch;
 };
 
 /// The simulated cloud region: one S3, one DynamoDB, one SimpleDB, one
@@ -61,23 +66,65 @@ class CloudEnv {
  public:
   explicit CloudEnv(const CloudConfig& config = CloudConfig())
       : config_(config),
+        deployment_(config.arch),
         meter_(config.pricing),
         injector_(config.faults, config.seed, &meter_, &metrics_),
         breaker_(config.breaker, &meter_, &metrics_, &tracer_),
         s3_(config.s3, &meter_, &injector_, &metrics_),
-        dynamodb_(config.dynamodb, &meter_, &injector_, &metrics_),
+        dynamodb_(EffectiveDynamoConfig(config), &meter_, &injector_,
+                  &metrics_),
         simpledb_(config.simpledb, &meter_, &injector_, &metrics_),
         sqs_(config.sqs, &meter_, &injector_, &metrics_),
-        autoscaler_(config.autoscale, &dynamodb_, &meter_, &metrics_,
-                    &tracer_),
+        autoscaler_(EffectiveAutoscale(config), &dynamodb_, &meter_,
+                    &metrics_, &tracer_),
         rng_(config.seed) {
     if (autoscaler_.active()) dynamodb_.set_autoscaler(&autoscaler_);
+  }
+
+  /// The per-table DynamoDB capacity implied by the deployment shape: a
+  /// sharded deployment provisions each logical table's rates on every
+  /// shard (so the pool scales with the shard count), replicas multiply
+  /// the read pool, and on-demand mode swaps provisioned rental for
+  /// per-request billing behind a burst ceiling that starts at twice the
+  /// configured baseline.  The default spec returns `config.dynamodb`
+  /// unchanged.
+  static DynamoDbConfig EffectiveDynamoConfig(const CloudConfig& config) {
+    DynamoDbConfig ddb = config.dynamodb;
+    const ArchitectureSpec& arch = config.arch;
+    const int shards = arch.shards < 1 ? 1 : arch.shards;
+    const int replicas = arch.replicas < 0 ? 0 : arch.replicas;
+    if (ddb.write_units_per_second > 0) {
+      ddb.write_units_per_second *= shards;
+    }
+    if (ddb.read_units_per_second > 0) {
+      ddb.read_units_per_second *= shards * (1 + replicas);
+    }
+    if (arch.capacity == CapacityMode::kOnDemand) {
+      ddb.on_demand = true;
+      if (ddb.write_units_per_second > 0) ddb.write_units_per_second *= 2;
+      if (ddb.read_units_per_second > 0) ddb.read_units_per_second *= 2;
+    }
+    return ddb;
+  }
+
+  /// On-demand capacity has no provisioned rates to move, so the
+  /// autoscaler is force-disabled under it (the burst ceiling plays its
+  /// role); otherwise the configured policy passes through.
+  static AutoscalerConfig EffectiveAutoscale(const CloudConfig& config) {
+    AutoscalerConfig autoscale = config.autoscale;
+    if (config.arch.capacity == CapacityMode::kOnDemand) {
+      autoscale.enabled = false;
+      autoscale.bill_capacity = false;
+    }
+    return autoscale;
   }
 
   CloudEnv(const CloudEnv&) = delete;
   CloudEnv& operator=(const CloudEnv&) = delete;
 
   const CloudConfig& config() const { return config_; }
+  Deployment& deployment() { return deployment_; }
+  const Deployment& deployment() const { return deployment_; }
   UsageMeter& meter() { return meter_; }
   ObjectStore& s3() { return s3_; }
   DynamoDb& dynamodb() { return dynamodb_; }
@@ -101,10 +148,20 @@ class CloudEnv {
       metrics_.GetGauge(std::string("usage.") + name)
           ->Set(static_cast<double>(value));
     });
+    const ArchitectureSpec& arch = deployment_.spec();
+    metrics_.GetGauge("deploy.shards")->Set(arch.shards);
+    metrics_.GetGauge("deploy.replicas")->Set(arch.replicas);
+    metrics_.GetGauge("deploy.ondemand")
+        ->Set(arch.capacity == CapacityMode::kOnDemand ? 1 : 0);
+    metrics_.GetGauge("deploy.replication_lag_us")
+        ->Set(static_cast<double>(arch.replication_lag));
   }
 
  private:
   CloudConfig config_;
+  /// Shard routing, physical naming and replication watermarks shared by
+  /// the decorator stores, the planner and snapshot v5.
+  Deployment deployment_;
   UsageMeter meter_;
   /// Declared before the services so their ctors may resolve metric
   /// handles; same single-event-loop-thread contract as `meter_`.

@@ -16,6 +16,8 @@ DynamoDb::DynamoDb(const DynamoDbConfig& config, UsageMeter* meter,
       batch_get_metrics_(OpMetrics::For(metrics, "service.dynamodb.batch_get")),
       scan_metrics_(OpMetrics::For(metrics, "service.dynamodb.scan")),
       delete_metrics_(OpMetrics::For(metrics, "service.dynamodb.delete_item")),
+      create_table_metrics_(
+          OpMetrics::For(metrics, "service.dynamodb.create_table")),
       write_units_metric_(
           metrics == nullptr
               ? nullptr
@@ -29,9 +31,40 @@ DynamoDb::DynamoDb(const DynamoDbConfig& config, UsageMeter* meter,
               ? nullptr
               : metrics->GetCounter("service.dynamodb.throttled.count")),
       write_limiter_(config.write_units_per_second),
-      read_limiter_(config.read_units_per_second) {}
+      read_limiter_(config.read_units_per_second) {
+  if (config_.on_demand) {
+    ondemand_.write_ceiling = config_.write_units_per_second;
+    ondemand_.read_ceiling = config_.read_units_per_second;
+  }
+}
 
-Status DynamoDb::CreateTable(const std::string& table) {
+Status DynamoDb::CreateTable(SimAgent& agent, const std::string& table) {
+  const Micros op_start = agent.now();
+  if (injector_ != nullptr) {
+    // A faulted create bills its API round trip like every other faulted
+    // control call; a successful create is free and instantaneous
+    // (AWS control plane), which keeps fault-free runs bit-identical.
+    Status fault = injector_->MaybeFail(ServiceId::kDynamoDb,
+                                        "ddb.createtable:" + table,
+                                        agent.now());
+    if (!fault.ok()) {
+      meter_->mutable_usage().ddb_put_requests += 1;
+      agent.Advance(config_.request_latency);
+      create_table_metrics_.Record(agent, op_start, /*error=*/true);
+      return fault;
+    }
+  }
+  auto [it, inserted] = tables_.try_emplace(table);
+  (void)it;
+  if (!inserted) {
+    create_table_metrics_.Record(agent, op_start, /*error=*/true);
+    return Status::AlreadyExists("table exists: " + table);
+  }
+  create_table_metrics_.Record(agent, op_start, /*error=*/false);
+  return Status::OK();
+}
+
+Status DynamoDb::RestoreTable(const std::string& table) {
   auto [it, inserted] = tables_.try_emplace(table);
   (void)it;
   if (!inserted) return Status::AlreadyExists("table exists: " + table);
@@ -61,6 +94,79 @@ void DynamoDb::SetProvisionedCapacity(double write_units_per_second,
   read_limiter_.SetRate(read_units_per_second, at);
 }
 
+void DynamoDb::OnDemandTick(Micros now) {
+  if (!config_.on_demand) return;
+  constexpr Micros kWindow = kMicrosPerSecond;
+  while (now >= ondemand_.window_start + kWindow) {
+    const Micros boundary = ondemand_.window_start + kWindow;
+    // One window's consumption over one second IS the sustained rate.
+    if (ondemand_.window_write_units > ondemand_.peak_write) {
+      ondemand_.peak_write = ondemand_.window_write_units;
+    }
+    if (ondemand_.window_read_units > ondemand_.peak_read) {
+      ondemand_.peak_read = ondemand_.window_read_units;
+    }
+    const double write_target = 2.0 * ondemand_.peak_write;
+    const double read_target = 2.0 * ondemand_.peak_read;
+    if (write_target > ondemand_.write_ceiling) {
+      ondemand_.write_ceiling = write_target;
+      config_.write_units_per_second = write_target;
+      write_limiter_.SetRate(write_target, boundary);
+    }
+    if (read_target > ondemand_.read_ceiling) {
+      ondemand_.read_ceiling = read_target;
+      config_.read_units_per_second = read_target;
+      read_limiter_.SetRate(read_target, boundary);
+    }
+    ondemand_.window_write_units = 0;
+    ondemand_.window_read_units = 0;
+    ondemand_.window_start = boundary;
+    // After one settled window the remaining gap is all-idle; jump to
+    // the last full boundary instead of iterating second by second.
+    if (now >= ondemand_.window_start + 2 * kWindow) {
+      ondemand_.window_start =
+          now - ((now - ondemand_.window_start) % kWindow) - kWindow;
+    }
+  }
+}
+
+void DynamoDb::MeterWriteUnits(double units) {
+  if (config_.on_demand) {
+    meter_->mutable_usage().ddb_ondemand_write_units += units;
+    meter_->mutable_usage().ondemand_requests += 1;
+    ondemand_.window_write_units += units;
+  } else {
+    meter_->mutable_usage().ddb_write_units += units;
+  }
+  if (write_units_metric_ != nullptr) write_units_metric_->Add(units);
+  if (autoscaler_ != nullptr) autoscaler_->ObserveWrite(units);
+}
+
+void DynamoDb::MeterReadUnits(double units) {
+  if (config_.on_demand) {
+    meter_->mutable_usage().ddb_ondemand_read_units += units;
+    meter_->mutable_usage().ondemand_requests += 1;
+    ondemand_.window_read_units += units;
+  } else {
+    meter_->mutable_usage().ddb_read_units += units;
+  }
+  if (read_units_metric_ != nullptr) read_units_metric_->Add(units);
+  if (autoscaler_ != nullptr) autoscaler_->ObserveRead(units);
+}
+
+void DynamoDb::RestoreOnDemand(const OnDemandState& state) {
+  ondemand_ = state;
+  if (!config_.on_demand) return;
+  if (state.write_ceiling > 0) {
+    config_.write_units_per_second = state.write_ceiling;
+    write_limiter_.SetRate(state.write_ceiling, state.window_start);
+  }
+  if (state.read_ceiling > 0) {
+    config_.read_units_per_second = state.read_ceiling;
+    read_limiter_.SetRate(state.read_ceiling, state.window_start);
+  }
+}
+
 Status DynamoDb::MaybeThrottle(SimAgent& agent, const RateLimiter& limiter,
                                bool write, Micros op_start,
                                const OpMetrics& op) {
@@ -68,6 +174,7 @@ Status DynamoDb::MaybeThrottle(SimAgent& agent, const RateLimiter& limiter,
   // capacity can change at a window boundary *before* this request is
   // judged against the (possibly new) backlog.
   if (autoscaler_ != nullptr) autoscaler_->Tick(agent.now());
+  OnDemandTick(agent.now());
   if (config_.max_backlog_micros <= 0) return Status::OK();
   const Micros backlog = limiter.BacklogAt(agent.now());
   if (backlog <= config_.max_backlog_micros) return Status::OK();
@@ -189,9 +296,7 @@ Status DynamoDb::BatchPut(SimAgent& agent, const std::string& table,
       meter_->mutable_usage().ddb_items_written += 1;
     }
     meter_->mutable_usage().ddb_put_requests += 1;
-    meter_->mutable_usage().ddb_write_units += batch_units;
-    if (write_units_metric_ != nullptr) write_units_metric_->Add(batch_units);
-    if (autoscaler_ != nullptr) autoscaler_->ObserveWrite(batch_units);
+    MeterWriteUnits(batch_units);
     agent.AdvanceTo(write_limiter_.Acquire(agent.now(), batch_units));
     agent.Advance(config_.request_latency);
     batch_put_metrics_.Record(agent, page_start, /*error=*/false);
@@ -236,9 +341,7 @@ Result<std::vector<Item>> DynamoDb::Get(SimAgent& agent,
   }
   if (units == 0) units = ReadUnits(0);  // a miss still does a seek
   meter_->mutable_usage().ddb_get_requests += 1;
-  meter_->mutable_usage().ddb_read_units += units;
-  if (read_units_metric_ != nullptr) read_units_metric_->Add(units);
-  if (autoscaler_ != nullptr) autoscaler_->ObserveRead(units);
+  MeterReadUnits(units);
   agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
   agent.Advance(config_.request_latency);
   get_metrics_.Record(agent, op_start, /*error=*/false);
@@ -282,9 +385,7 @@ Result<std::vector<Item>> DynamoDb::BatchGet(
     }
     if (units == 0) units = ReadUnits(0);
     meter_->mutable_usage().ddb_get_requests += 1;
-    meter_->mutable_usage().ddb_read_units += units;
-    if (read_units_metric_ != nullptr) read_units_metric_->Add(units);
-    if (autoscaler_ != nullptr) autoscaler_->ObserveRead(units);
+    MeterReadUnits(units);
     agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
     agent.Advance(config_.request_latency);
     batch_get_metrics_.Record(agent, page_start, /*error=*/false);
@@ -332,9 +433,7 @@ Result<std::vector<Item>> DynamoDb::Scan(SimAgent& agent,
     }
     if (units == 0) units = ReadUnits(0);  // an empty table still seeks
     meter_->mutable_usage().ddb_get_requests += 1;
-    meter_->mutable_usage().ddb_read_units += units;
-    if (read_units_metric_ != nullptr) read_units_metric_->Add(units);
-    if (autoscaler_ != nullptr) autoscaler_->ObserveRead(units);
+    MeterReadUnits(units);
     agent.AdvanceTo(read_limiter_.Acquire(agent.now(), units));
     agent.Advance(config_.request_latency);
     scan_metrics_.Record(agent, page_start, /*error=*/false);
@@ -377,9 +476,7 @@ Status DynamoDb::DeleteItem(SimAgent& agent, const std::string& table,
     }
   }
   meter_->mutable_usage().ddb_put_requests += 1;
-  meter_->mutable_usage().ddb_write_units += units;
-  if (write_units_metric_ != nullptr) write_units_metric_->Add(units);
-  if (autoscaler_ != nullptr) autoscaler_->ObserveWrite(units);
+  MeterWriteUnits(units);
   agent.AdvanceTo(write_limiter_.Acquire(agent.now(), units));
   agent.Advance(config_.request_latency);
   delete_metrics_.Record(agent, op_start, /*error=*/false);

@@ -28,6 +28,12 @@ struct DynamoDbConfig {
   /// <= 0 (default) queues without bound — the pre-overload behaviour,
   /// and what keeps existing runs bit-identical.
   Micros max_backlog_micros = 0;
+  /// Pay-per-request capacity (docs/ARCHITECTURES.md).  Units are billed
+  /// to Usage::ddb_ondemand_* at Pricing::idx_ondemand_* rates instead
+  /// of the provisioned counters; the limiters act as the on-demand
+  /// burst ceiling, starting at the configured rates (CloudEnv doubles
+  /// the baseline) and doubling past each sustained one-second peak.
+  bool on_demand = false;
 };
 
 /// Simulated Amazon DynamoDB (paper Section 6): tables of items of at most
@@ -51,7 +57,7 @@ class DynamoDb final : public KvStore {
   DynamoDb(const DynamoDb&) = delete;
   DynamoDb& operator=(const DynamoDb&) = delete;
 
-  Status CreateTable(const std::string& table) override;
+  Status CreateTable(SimAgent& agent, const std::string& table) override;
   bool HasTable(const std::string& table) const override;
   Status BatchPut(SimAgent& agent, const std::string& table,
                   const std::vector<Item>& items,
@@ -83,10 +89,27 @@ class DynamoDb final : public KvStore {
       const std::function<void(const std::string&, const Item&)>& fn)
       const override;
   void RestoreItem(const std::string& table, const Item& item) override;
+  Status RestoreTable(const std::string& table) override;
   bool Empty() const override { return tables_.empty(); }
 
   /// Per-item storage overhead billed by the store.
   static constexpr uint64_t kItemOverheadBytes = 100;
+
+  /// Durable on-demand burst-ceiling state (snapshot v5).  All zero when
+  /// `on_demand` is off.
+  struct OnDemandState {
+    double write_ceiling = 0;  // current limiter rates (units/second)
+    double read_ceiling = 0;
+    double peak_write = 0;  // highest sustained one-second consumption
+    double peak_read = 0;
+    Micros window_start = 0;
+    double window_write_units = 0;
+    double window_read_units = 0;
+  };
+  const OnDemandState& ondemand_state() const { return ondemand_; }
+  /// Restores the burst-ceiling trajectory (snapshot v5) and re-times
+  /// the limiters to the restored ceilings.
+  void RestoreOnDemand(const OnDemandState& state);
 
   /// Attaches the reactive autoscaler (cloud/autoscaler.h); may be null.
   /// The store feeds it consumption and throttle observations and lets
@@ -138,6 +161,16 @@ class DynamoDb final : public KvStore {
 
   Status ValidateItem(const Item& item) const;
 
+  /// On-demand control loop: at each elapsed one-second window, folds the
+  /// window's consumption into the sustained peak and raises (never
+  /// lowers) the burst ceiling to twice that peak — AWS's "double your
+  /// previous peak" adaptive capacity, in virtual time.
+  void OnDemandTick(Micros now);
+  /// Feeds the current on-demand window; routes the units to the
+  /// on-demand usage counters when on-demand, provisioned ones otherwise.
+  void MeterWriteUnits(double units);
+  void MeterReadUnits(double units);
+
   /// Organic throttle gate: when the delay bound is configured and the
   /// limiter's backlog at `agent.now()` exceeds it, bills the rejected
   /// API request (round trip, no capacity), records the error on `op`,
@@ -156,11 +189,13 @@ class DynamoDb final : public KvStore {
   OpMetrics batch_get_metrics_;
   OpMetrics scan_metrics_;
   OpMetrics delete_metrics_;
+  OpMetrics create_table_metrics_;
   common::Gauge* write_units_metric_ = nullptr;
   common::Gauge* read_units_metric_ = nullptr;
   common::Counter* throttled_metric_ = nullptr;
   RateLimiter write_limiter_;
   RateLimiter read_limiter_;
+  OnDemandState ondemand_;
   std::map<std::string, Table> tables_;
 };
 

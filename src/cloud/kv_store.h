@@ -39,7 +39,12 @@ class KvStore {
  public:
   virtual ~KvStore() = default;
 
-  virtual Status CreateTable(const std::string& table) = 0;
+  /// Creates `table`.  A billed control-plane call: fault-injectable and
+  /// routed through retries/breakers by the RetryingKvStore decorator; a
+  /// faulted attempt bills its API round trip (successful creates are
+  /// free and instantaneous, matching AWS and keeping pre-existing runs
+  /// bit-identical).
+  virtual Status CreateTable(SimAgent& agent, const std::string& table) = 0;
   virtual bool HasTable(const std::string& table) const = 0;
 
   /// Inserts `items` (any count; internally issued as batched API calls
@@ -126,8 +131,19 @@ class KvStore {
   /// Restores one item, creating its table if needed (accounting
   /// updated, nothing billed).
   virtual void RestoreItem(const std::string& table, const Item& item) = 0;
+  /// Recreates a table host-side — the unbilled, fault-free counterpart
+  /// of CreateTable that snapshot restore uses (cloud/snapshot.cc).
+  virtual Status RestoreTable(const std::string& table) = 0;
   virtual bool Empty() const = 0;
 };
+
+/// FNV-1a 64 fingerprint of a canonical length-prefixed dump of every
+/// (table, item) the store yields via ForEachItem, in iteration order.
+/// Two stores fingerprint equal iff they hold the same logical contents;
+/// the sharded decorator folds physical tables back to logical ones in
+/// its ForEachItem, so fingerprints are comparable across architectures
+/// (docs/ARCHITECTURES.md, architecture_test.cc).
+uint64_t FingerprintStore(const KvStore& store);
 
 }  // namespace webdex::cloud
 

@@ -50,6 +50,11 @@ struct Pricing {
   // paper's Table 6 reproduction bills consumed units only, as above.
   double idx_write_unit_hour = 0.000735;
   double idx_read_unit_hour = 0.000147;
+  // On-demand (pay-per-request) capacity: no hourly rental, a 25%
+  // per-unit premium over the provisioned unit price — the trade the
+  // compare-arch frontier exposes (docs/ARCHITECTURES.md).
+  double idx_ondemand_put = 0.0000004;
+  double idx_ondemand_get = 0.00000004;
 
   // Virtual machines (EC2).
   double vm_hour_large = 0.34;

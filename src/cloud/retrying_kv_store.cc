@@ -49,8 +49,31 @@ void RetryingKvStore::Record(SimAgent& agent, const std::string& table,
   }
 }
 
-Status RetryingKvStore::CreateTable(const std::string& table) {
-  return base_->CreateTable(table);
+Status RetryingKvStore::CreateTable(SimAgent& agent,
+                                    const std::string& table) {
+  Rng& rng = StreamFor("retry:createtable:" + table);
+  int attempt = 0;
+  return common::CallWithRetry(
+      policy_, rng,
+      [&]() -> Status {
+        MeteredSpan span(tracer_, meter_, agent, "attempt.create_table");
+        span.AddAttr("attempt", ++attempt);
+        if (attempts_metric_ != nullptr) attempts_metric_->Add(1);
+        Status gate = Gate(agent, table);
+        if (!gate.ok()) {
+          span.AddAttr("error", 1);
+          return gate;
+        }
+        Status status = base_->CreateTable(agent, table);
+        Record(agent, table, status);
+        if (!status.ok()) span.AddAttr("error", 1);
+        return status;
+      },
+      [&](int64_t micros) {
+        agent.Advance(static_cast<Micros>(micros));
+        if (retries_metric_ != nullptr) retries_metric_->Add(1);
+      },
+      RetryCounter());
 }
 
 bool RetryingKvStore::HasTable(const std::string& table) const {

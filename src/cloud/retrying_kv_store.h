@@ -53,7 +53,11 @@ class RetryingKvStore final : public KvStore {
   RetryingKvStore(const RetryingKvStore&) = delete;
   RetryingKvStore& operator=(const RetryingKvStore&) = delete;
 
-  Status CreateTable(const std::string& table) override;
+  /// Routed through CallWithRetry like the data-plane verbs: transient
+  /// create faults are retried under the breaker-gated backoff schedule
+  /// instead of bypassing the whole resilience stack (the pre-refactor
+  /// bug this fixes).  AlreadyExists is terminal, not retriable.
+  Status CreateTable(SimAgent& agent, const std::string& table) override;
   bool HasTable(const std::string& table) const override;
   /// Retries transient page errors and re-batches unprocessed items.  If
   /// items still remain after max_attempts rounds, returns kUnavailable
@@ -104,6 +108,9 @@ class RetryingKvStore final : public KvStore {
   }
   void RestoreItem(const std::string& table, const Item& item) override {
     base_->RestoreItem(table, item);
+  }
+  Status RestoreTable(const std::string& table) override {
+    return base_->RestoreTable(table);
   }
   bool Empty() const override { return base_->Empty(); }
 

@@ -26,6 +26,8 @@ SimpleDb::SimpleDb(const SimpleDbConfig& config, UsageMeter* meter,
       get_metrics_(OpMetrics::For(metrics, "service.simpledb.get")),
       scan_metrics_(OpMetrics::For(metrics, "service.simpledb.scan")),
       delete_metrics_(OpMetrics::For(metrics, "service.simpledb.delete_item")),
+      create_table_metrics_(
+          OpMetrics::For(metrics, "service.simpledb.create_domain")),
       throttled_metric_(
           metrics == nullptr
               ? nullptr
@@ -53,7 +55,32 @@ Status SimpleDb::MaybeThrottle(SimAgent& agent, bool write, Micros op_start,
       hint);
 }
 
-Status SimpleDb::CreateTable(const std::string& table) {
+Status SimpleDb::CreateTable(SimAgent& agent, const std::string& table) {
+  const Micros op_start = agent.now();
+  if (injector_ != nullptr) {
+    // Same contract as DynamoDb::CreateTable: a faulted create bills its
+    // round trip, a successful one is free (keeps legacy runs identical).
+    Status fault = injector_->MaybeFail(ServiceId::kSimpleDb,
+                                        "sdb.createdomain:" + table,
+                                        agent.now());
+    if (!fault.ok()) {
+      meter_->mutable_usage().sdb_put_requests += 1;
+      agent.Advance(config_.request_latency);
+      create_table_metrics_.Record(agent, op_start, /*error=*/true);
+      return fault;
+    }
+  }
+  auto [it, inserted] = tables_.try_emplace(table);
+  (void)it;
+  if (!inserted) {
+    create_table_metrics_.Record(agent, op_start, /*error=*/true);
+    return Status::AlreadyExists("domain exists: " + table);
+  }
+  create_table_metrics_.Record(agent, op_start, /*error=*/false);
+  return Status::OK();
+}
+
+Status SimpleDb::RestoreTable(const std::string& table) {
   auto [it, inserted] = tables_.try_emplace(table);
   (void)it;
   if (!inserted) return Status::AlreadyExists("domain exists: " + table);

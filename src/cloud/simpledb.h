@@ -48,7 +48,7 @@ class SimpleDb final : public KvStore {
   SimpleDb(const SimpleDb&) = delete;
   SimpleDb& operator=(const SimpleDb&) = delete;
 
-  Status CreateTable(const std::string& table) override;
+  Status CreateTable(SimAgent& agent, const std::string& table) override;
   bool HasTable(const std::string& table) const override;
   Status BatchPut(SimAgent& agent, const std::string& table,
                   const std::vector<Item>& items,
@@ -80,6 +80,7 @@ class SimpleDb final : public KvStore {
       const std::function<void(const std::string&, const Item&)>& fn)
       const override;
   void RestoreItem(const std::string& table, const Item& item) override;
+  Status RestoreTable(const std::string& table) override;
   bool Empty() const override { return tables_.empty(); }
 
   /// SimpleDB billed 45 bytes of storage overhead per item name and per
@@ -111,6 +112,7 @@ class SimpleDb final : public KvStore {
   OpMetrics get_metrics_;
   OpMetrics scan_metrics_;
   OpMetrics delete_metrics_;
+  OpMetrics create_table_metrics_;
   common::Counter* throttled_metric_ = nullptr;
   RateLimiter request_limiter_;
   std::map<std::string, Table> tables_;

@@ -13,13 +13,18 @@ namespace {
 // circuit-breaker trackers) after the durable stores; version 3 appends
 // the maintenance section (compaction cursor, generation watermark) after
 // those; version 4 appends the autoscaler control-loop state, so a
-// restored run resumes the identical capacity trajectory.  Older
-// snapshots are still restorable and simply leave the missing state
-// fresh.
+// restored run resumes the identical capacity trajectory; version 5
+// appends the deployment section (architecture spec, replication
+// watermarks, on-demand burst-ceiling state) so sharded / replicated /
+// on-demand runs resume bit-identically.  Older snapshots are still
+// restorable — into a default-architecture environment only, since their
+// physical table layout assumes the paper's single-table deployment —
+// and simply leave the missing state fresh.
 constexpr char kMagicV1[] = "WDXSNAP1";
 constexpr char kMagicV2[] = "WDXSNAP2";
 constexpr char kMagicV3[] = "WDXSNAP3";
 constexpr char kMagicV4[] = "WDXSNAP4";
+constexpr char kMagicV5[] = "WDXSNAP5";
 constexpr size_t kMagicLen = 8;
 
 // Doubles travel as the varint of their IEEE-754 bit pattern: exact
@@ -78,7 +83,7 @@ Status RestoreKvStore(const std::string& data, size_t* offset,
   WEBDEX_ASSIGN_OR_RETURN(uint64_t table_count, GetVarint64(data, offset));
   for (uint64_t t = 0; t < table_count; ++t) {
     WEBDEX_ASSIGN_OR_RETURN(std::string table, GetString(data, offset));
-    WEBDEX_RETURN_IF_ERROR(store->CreateTable(table));
+    WEBDEX_RETURN_IF_ERROR(store->RestoreTable(table));
   }
   WEBDEX_ASSIGN_OR_RETURN(uint64_t item_count, GetVarint64(data, offset));
   for (uint64_t i = 0; i < item_count; ++i) {
@@ -109,7 +114,7 @@ Status RestoreKvStore(const std::string& data, size_t* offset,
 }  // namespace
 
 std::string SerializeSnapshot(CloudEnv& env) {
-  std::string out(kMagicV4, kMagicLen);
+  std::string out(kMagicV5, kMagicLen);
 
   // File store section: bucket names first (so empty buckets survive),
   // then the objects.
@@ -170,6 +175,29 @@ std::string SerializeSnapshot(CloudEnv& env) {
   PutVarint64(&out, scaler.window_write_throttles);
   PutVarint64(&out, scaler.window_read_throttles);
   PutVarint64(&out, scaler.started);
+
+  // Deployment section (v5): the architecture spec (so restore can refuse
+  // an incompatible environment), the replication watermarks, and the
+  // on-demand burst-ceiling trajectory.
+  const ArchitectureSpec& arch = env.deployment().spec();
+  PutVarint64(&out, static_cast<uint64_t>(arch.capacity));
+  PutVarint64(&out, static_cast<uint64_t>(arch.shards));
+  PutVarint64(&out, static_cast<uint64_t>(arch.replicas));
+  PutVarint64(&out, static_cast<uint64_t>(arch.replication_lag));
+  const auto& watermarks = env.deployment().watermarks();
+  PutVarint64(&out, watermarks.size());
+  for (const auto& [table, at] : watermarks) {
+    PutString(&out, table);
+    PutVarint64(&out, static_cast<uint64_t>(at));
+  }
+  const DynamoDb::OnDemandState& ondemand = env.dynamodb().ondemand_state();
+  PutDouble(&out, ondemand.write_ceiling);
+  PutDouble(&out, ondemand.read_ceiling);
+  PutDouble(&out, ondemand.peak_write);
+  PutDouble(&out, ondemand.peak_read);
+  PutVarint64(&out, static_cast<uint64_t>(ondemand.window_start));
+  PutDouble(&out, ondemand.window_write_units);
+  PutDouble(&out, ondemand.window_read_units);
   return out;
 }
 
@@ -223,8 +251,15 @@ Status RestoreSnapshot(const std::string& snapshot, CloudEnv* env) {
   bool has_chaos_sections = false;
   bool has_maintenance_section = false;
   bool has_autoscaler_section = false;
+  bool has_deployment_section = false;
   if (snapshot.size() >= kMagicLen &&
-      snapshot.compare(0, kMagicLen, kMagicV4) == 0) {
+      snapshot.compare(0, kMagicLen, kMagicV5) == 0) {
+    has_chaos_sections = true;
+    has_maintenance_section = true;
+    has_autoscaler_section = true;
+    has_deployment_section = true;
+  } else if (snapshot.size() >= kMagicLen &&
+             snapshot.compare(0, kMagicLen, kMagicV4) == 0) {
     has_chaos_sections = true;
     has_maintenance_section = true;
     has_autoscaler_section = true;
@@ -243,6 +278,13 @@ Status RestoreSnapshot(const std::string& snapshot, CloudEnv* env) {
       !env->simpledb().Empty()) {
     return Status::AlreadyExists(
         "snapshot must be restored into a fresh CloudEnv");
+  }
+  // Pre-v5 snapshots carry no architecture spec: their physical table
+  // layout assumes the default single-table provisioned deployment.
+  if (!has_deployment_section && !env->deployment().spec().IsDefault()) {
+    return Status::InvalidArgument(
+        "pre-v5 snapshot requires the default architecture, environment is " +
+        env->deployment().spec().Name());
   }
   size_t offset = kMagicLen;
   WEBDEX_ASSIGN_OR_RETURN(uint64_t bucket_count,
@@ -292,6 +334,51 @@ Status RestoreSnapshot(const std::string& snapshot, CloudEnv* env) {
                             GetVarint64(snapshot, &offset));
     WEBDEX_ASSIGN_OR_RETURN(scaler.started, GetVarint64(snapshot, &offset));
     env->autoscaler().Restore(scaler);
+  }
+  if (has_deployment_section) {
+    ArchitectureSpec arch;
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t capacity, GetVarint64(snapshot, &offset));
+    if (capacity > static_cast<uint64_t>(CapacityMode::kOnDemand)) {
+      return Status::Corruption("invalid capacity mode in snapshot");
+    }
+    arch.capacity = static_cast<CapacityMode>(capacity);
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t shards, GetVarint64(snapshot, &offset));
+    arch.shards = static_cast<int>(shards);
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t replicas, GetVarint64(snapshot, &offset));
+    arch.replicas = static_cast<int>(replicas);
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t lag, GetVarint64(snapshot, &offset));
+    arch.replication_lag = static_cast<Micros>(lag);
+    // Restoring into a different deployment shape would scatter items
+    // across the wrong physical tables; demand an exact match.
+    if (!(arch == env->deployment().spec())) {
+      return Status::InvalidArgument(
+          "snapshot architecture " + arch.Name() +
+          " does not match environment " + env->deployment().spec().Name());
+    }
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t watermark_count,
+                            GetVarint64(snapshot, &offset));
+    for (uint64_t i = 0; i < watermark_count; ++i) {
+      WEBDEX_ASSIGN_OR_RETURN(std::string table, GetString(snapshot, &offset));
+      WEBDEX_ASSIGN_OR_RETURN(uint64_t at, GetVarint64(snapshot, &offset));
+      env->deployment().RestoreWatermark(table, static_cast<Micros>(at));
+    }
+    DynamoDb::OnDemandState ondemand;
+    WEBDEX_ASSIGN_OR_RETURN(ondemand.write_ceiling,
+                            GetDouble(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(ondemand.read_ceiling,
+                            GetDouble(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(ondemand.peak_write, GetDouble(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(ondemand.peak_read, GetDouble(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(uint64_t window_start,
+                            GetVarint64(snapshot, &offset));
+    ondemand.window_start = static_cast<Micros>(window_start);
+    WEBDEX_ASSIGN_OR_RETURN(ondemand.window_write_units,
+                            GetDouble(snapshot, &offset));
+    WEBDEX_ASSIGN_OR_RETURN(ondemand.window_read_units,
+                            GetDouble(snapshot, &offset));
+    if (arch.capacity == CapacityMode::kOnDemand) {
+      env->dynamodb().RestoreOnDemand(ondemand);
+    }
   }
   if (offset != snapshot.size()) {
     return Status::Corruption("trailing bytes in snapshot");

@@ -68,7 +68,9 @@ Bill UsageMeter::ComputeBill(const Usage& u) const {
   b.dynamodb = pricing_.idx_put * u.ddb_write_units +
                pricing_.idx_get * u.ddb_read_units +
                pricing_.idx_write_unit_hour * u.ddb_write_capacity_hours +
-               pricing_.idx_read_unit_hour * u.ddb_read_capacity_hours;
+               pricing_.idx_read_unit_hour * u.ddb_read_capacity_hours +
+               pricing_.idx_ondemand_put * u.ddb_ondemand_write_units +
+               pricing_.idx_ondemand_get * u.ddb_ondemand_read_units;
   b.simpledb = pricing_.simpledb_machine_hour * u.sdb_box_hours;
   b.ec2 = pricing_.vm_hour_large * MicrosToHours(u.vm_micros_large) +
           pricing_.vm_hour_xlarge * MicrosToHours(u.vm_micros_xlarge);

@@ -49,7 +49,11 @@ namespace webdex::cloud {
   X(ddb_read_capacity_hours)   \
   X(vm_micros_large)           \
   X(vm_micros_xlarge)          \
-  X(egress_bytes)
+  X(egress_bytes)              \
+  X(ondemand_requests)         \
+  X(replica_reads)             \
+  X(ddb_ondemand_write_units)  \
+  X(ddb_ondemand_read_units)
 
 /// Raw consumption counters for every simulated cloud service.
 ///
@@ -119,6 +123,15 @@ struct Usage {
 
   // Data transferred out of the cloud (query results to the user).
   uint64_t egress_bytes = 0;
+
+  // Deployment-shape accounting (docs/ARCHITECTURES.md).  All zero under
+  // the default provisioned single-table architecture.
+  uint64_t ondemand_requests = 0;  // API requests billed at on-demand rates
+  uint64_t replica_reads = 0;      // reads served by a read replica
+  // On-demand capacity units, metered apart from the provisioned ones so
+  // the two price sheets never mix in one bill.
+  double ddb_ondemand_write_units = 0;
+  double ddb_ondemand_read_units = 0;
 
   Usage& operator+=(const Usage& o);
   Usage operator-(const Usage& o) const;

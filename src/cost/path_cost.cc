@@ -32,10 +32,12 @@ PathEstimate EstimateLookupPath(const CostModel& model,
   PathEstimate estimate;
   estimate.index_keys = static_cast<double>(lookup.keys);
   const int limit = std::max(lookup.batch_get_limit, 1);
-  estimate.index_requests = lookup.keys == 0
-                                ? 0
-                                : std::ceil(static_cast<double>(lookup.keys) /
-                                            static_cast<double>(limit));
+  estimate.index_requests =
+      lookup.requests_override > 0
+          ? lookup.requests_override
+          : (lookup.keys == 0 ? 0
+                              : std::ceil(static_cast<double>(lookup.keys) /
+                                          static_cast<double>(limit)));
   const double billed_item_bytes =
       std::max(lookup.avg_item_bytes, lookup.min_read_bytes);
   switch (lookup.billing) {
@@ -45,7 +47,11 @@ PathEstimate EstimateLookupPath(const CostModel& model,
       estimate.index_read_units =
           std::max(lookup.est_items, estimate.index_requests) *
           billed_item_bytes / 4096.0;
-      estimate.usd = model.pricing().idx_get * estimate.index_read_units;
+      const double unit_price = lookup.on_demand
+                                    ? model.pricing().idx_ondemand_get
+                                    : model.pricing().idx_get;
+      estimate.usd = unit_price * estimate.index_read_units *
+                     lookup.read_price_factor;
       break;
     }
     case IndexBilling::kBoxUsage: {
@@ -54,7 +60,7 @@ PathEstimate EstimateLookupPath(const CostModel& model,
           std::max(lookup.est_items, estimate.index_requests);
       estimate.usd = model.pricing().simpledb_machine_hour *
                      model.pricing().simpledb_box_hours_per_get *
-                     estimate.index_read_units;
+                     estimate.index_read_units * lookup.read_price_factor;
       break;
     }
   }

@@ -41,6 +41,15 @@ struct LookupShape {
   int batch_get_limit = 1;     // store's keys-per-request cap
   double min_read_bytes = 0;   // per-item read-unit floor (DynamoDB)
   IndexBilling billing = IndexBilling::kReadUnits;
+  // Deployment adjustments (docs/ARCHITECTURES.md).  A sharded layout
+  // batches per physical table, so the caller supplies the exact API
+  // call count; > 0 replaces the single-table ceil(keys / limit).
+  double requests_override = 0;
+  // 0.5 under a replicated read pool (eventually-consistent reads are
+  // half price), 1 otherwise.
+  double read_price_factor = 1;
+  // Price read units at the on-demand premium instead of idx_get.
+  bool on_demand = false;
 };
 
 /// The document fetch + evaluation tail every path shares: candidate

@@ -47,6 +47,29 @@ cost::PathEstimate LookupAccessPath::EstimateCost(
   lookup.batch_get_limit = store_->BatchGetLimit();
   lookup.min_read_bytes = stats_.min_read_bytes;
   lookup.billing = stats_.billing;
+  if (const cloud::Deployment* deploy = stats_.deployment) {
+    if (deploy->sharded()) {
+      // Batching happens per physical table: price the exact fan-out the
+      // sharded store will issue rather than one logical-table ceiling.
+      std::vector<uint64_t> per_shard(
+          static_cast<size_t>(deploy->spec().shards), 0);
+      for (const auto& key : keys) {
+        ++per_shard[static_cast<size_t>(deploy->ShardFor(key))];
+      }
+      const double limit =
+          static_cast<double>(std::max(store_->BatchGetLimit(), 1));
+      double requests = 0;
+      for (uint64_t count : per_shard) {
+        if (count > 0) requests += std::ceil(static_cast<double>(count) / limit);
+      }
+      lookup.requests_override = requests;
+    }
+    // Queries run against a settled index, so replica reads at half
+    // price are the expected case; on-demand swaps the unit price.
+    if (deploy->replicated()) lookup.read_price_factor = 0.5;
+    lookup.on_demand =
+        deploy->spec().capacity == cloud::CapacityMode::kOnDemand;
+  }
   // Average stored item size from the store's host-side accounting (free:
   // no simulated request is issued for it).
   const uint64_t item_count = store_->ItemCount(table_);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "cloud/deployment.h"
 #include "cloud/instance.h"
 #include "cloud/kv_store.h"
 #include "common/result.h"
@@ -33,6 +34,10 @@ struct PlannerStats {
   /// box usage) and its per-item billed-size floor.
   cost::IndexBilling billing = cost::IndexBilling::kReadUnits;
   double min_read_bytes = 0;
+  /// Deployment shape (docs/ARCHITECTURES.md): shard routing changes the
+  /// BatchGet API-call count, replicas halve the effective read price,
+  /// on-demand capacity swaps the per-unit price.  Null = default layout.
+  const cloud::Deployment* deployment = nullptr;
   /// Generation view pinned when the plan was built (index/generation.h):
   /// look-ups executed through this plan see each document at exactly the
   /// generation recorded here, so queries stay bit-identical while

@@ -154,12 +154,23 @@ PhysicalPlan QueryPlanner::Plan(const query::LogicalPlan& logical,
     const bool had_lookup_candidates = !pattern_plan.paths.empty();
 
     // Breaker health gates viability: a look-up against a browned-out
-    // table would only burn retries before falling back anyway.
+    // table would only burn retries before falling back anyway.  Breakers
+    // track *physical* tables, so a sharded deployment checks every
+    // shard backing the path's logical table — one browned-out shard
+    // sinks the whole fan-out.
     for (PlannedPath& candidate : pattern_plan.paths) {
-      if (candidate.viable && context_.breaker != nullptr &&
-          !context_.breaker->WouldAllow(candidate.path->table(), now)) {
-        candidate.viable = false;
-        candidate.note = "breaker open on " + candidate.path->table();
+      if (!candidate.viable || context_.breaker == nullptr) continue;
+      const std::vector<std::string> physical =
+          context_.stats.deployment != nullptr
+              ? context_.stats.deployment->PhysicalTables(
+                    candidate.path->table())
+              : std::vector<std::string>{candidate.path->table()};
+      for (const std::string& table : physical) {
+        if (!context_.breaker->WouldAllow(table, now)) {
+          candidate.viable = false;
+          candidate.note = "breaker open on " + table;
+          break;
+        }
       }
     }
 

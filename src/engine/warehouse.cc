@@ -40,9 +40,28 @@ Warehouse::Warehouse(cloud::CloudEnv* env, const WarehouseConfig& config)
           config.retry, env->config().seed, &env->meter(),
           &env->breaker(), &env->metrics(), &env->tracer())),
       cluster_(config.num_instances, config.instance_type,
-               &env->config().work) {}
+               &env->config().work) {
+  // Deployment decorators (docs/ARCHITECTURES.md), constructed only when
+  // the architecture asks for them so the default deployment's stack —
+  // and with it every byte of its runs — is unchanged.
+  cloud::Deployment& deployment = env->deployment();
+  cloud::KvStore* top = retrying_store_.get();
+  if (deployment.replicated()) {
+    replicated_store_ = std::make_unique<cloud::ReplicatedKvStore>(
+        top, &deployment, &env->meter(), &env->metrics(), &env->tracer());
+    top = replicated_store_.get();
+  }
+  if (deployment.sharded()) {
+    sharded_store_ = std::make_unique<cloud::ShardedKvStore>(
+        top, &deployment, &env->meter(), &env->metrics(), &env->tracer());
+  }
+}
 
-cloud::KvStore& Warehouse::index_store() { return *retrying_store_; }
+cloud::KvStore& Warehouse::index_store() {
+  if (sharded_store_ != nullptr) return *sharded_store_;
+  if (replicated_store_ != nullptr) return *replicated_store_;
+  return *retrying_store_;
+}
 
 bool Warehouse::ShouldCrash(cloud::CrashPoint point, int instance_id,
                             const std::string& task_key) {
@@ -63,11 +82,12 @@ Status Warehouse::Setup() {
   }
   if (config_.use_index) {
     for (const auto& table : strategy_->TableNames()) {
-      WEBDEX_RETURN_IF_ERROR(index_store().CreateTable(table));
+      WEBDEX_RETURN_IF_ERROR(index_store().CreateTable(front_end_, table));
     }
     // Mutation meta table (index/generation.h).  Stays empty until the
     // first upsert/delete, so static-corpus dumps are byte-unchanged.
-    WEBDEX_RETURN_IF_ERROR(index_store().CreateTable(index::kMetaTable));
+    WEBDEX_RETURN_IF_ERROR(
+        index_store().CreateTable(front_end_, index::kMetaTable));
   }
   return Status::OK();
 }
@@ -122,7 +142,7 @@ Status Warehouse::AttachToExistingCloud() {
       generations_ = std::move(rebuilt);
     } else {
       // Pre-mutability snapshot: create the meta table so mutations work.
-      const Status created = store.CreateTable(index::kMetaTable);
+      const Status created = store.CreateTable(front_end_, index::kMetaTable);
       if (!created.ok() && !created.IsAlreadyExists()) return created;
     }
   }
@@ -607,6 +627,7 @@ QueryPlanner Warehouse::MakePlanner() {
   // it reads each document at exactly this generation.
   context.stats.generations = GenerationSnapshot();
   context.stats.work = &env_->config().work;
+  context.stats.deployment = &env_->deployment();
   context.stats.spec = cloud::SpecFor(config_.instance_type);
   context.stats.vm_usd_per_hour =
       env_->meter().pricing().VmHour(config_.instance_type);

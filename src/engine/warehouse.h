@@ -13,7 +13,9 @@
 #include "cloud/cluster.h"
 #include "cloud/fault.h"
 #include "cloud/kv_store.h"
+#include "cloud/replicated_kv_store.h"
 #include "cloud/retrying_kv_store.h"
+#include "cloud/sharded_kv_store.h"
 #include "cloud/trace.h"
 #include "common/result.h"
 #include "common/retry.h"
@@ -487,9 +489,16 @@ class Warehouse {
   /// redeliveries so a re-done task never double-counts its document.
   index::PathSummary path_summary_;
   std::set<std::string> summarized_uris_;
-  /// Retry decorator over the backend index store; index_store() returns
-  /// it so every index read/write inherits backoff and re-batching.
+  /// Decorator stack over the backend index store, bottom-up: retries
+  /// always, then a replicated read pool when the deployment has
+  /// replicas, then shard routing when it has shards
+  /// (docs/ARCHITECTURES.md).  index_store() returns the top, so every
+  /// index read/write inherits the whole stack; under the default
+  /// deployment only the retry decorator exists, preserving the paper's
+  /// layout bit-identically.
   std::unique_ptr<cloud::RetryingKvStore> retrying_store_;
+  std::unique_ptr<cloud::ReplicatedKvStore> replicated_store_;
+  std::unique_ptr<cloud::ShardedKvStore> sharded_store_;
   cloud::Cluster cluster_;
   FrontEndAgent front_end_;
   std::vector<std::string> document_uris_;

@@ -19,7 +19,7 @@ Item MakeItem(std::string hash, std::string range,
 class DynamoDbTest : public ::testing::Test {
  protected:
   DynamoDbTest() : meter_(Pricing()), db_(Config(), &meter_) {
-    EXPECT_TRUE(db_.CreateTable("t").ok());
+    EXPECT_TRUE(db_.CreateTable(agent_, "t").ok());
   }
 
   static DynamoDbConfig Config() {
@@ -58,7 +58,7 @@ TEST_F(DynamoDbTest, GetMissingHashKeyReturnsEmpty) {
 TEST_F(DynamoDbTest, UnknownTableFails) {
   EXPECT_TRUE(db_.Get(agent_, "nope", "k").status().IsNotFound());
   EXPECT_TRUE(db_.BatchPut(agent_, "nope", {}).IsNotFound());
-  EXPECT_TRUE(db_.CreateTable("t").IsAlreadyExists());
+  EXPECT_TRUE(db_.CreateTable(agent_, "t").IsAlreadyExists());
 }
 
 TEST_F(DynamoDbTest, SamePrimaryKeyReplacesItem) {
@@ -180,7 +180,7 @@ TEST_F(DynamoDbTest, StorageOverheadPerItem) {
 }
 
 TEST_F(DynamoDbTest, TableNames) {
-  ASSERT_TRUE(db_.CreateTable("u").ok());
+  ASSERT_TRUE(db_.CreateTable(agent_, "u").ok());
   EXPECT_EQ(db_.TableNames(), (std::vector<std::string>{"t", "u"}));
   EXPECT_TRUE(db_.HasTable("t"));
   EXPECT_FALSE(db_.HasTable("x"));

@@ -87,7 +87,7 @@ TEST_P(RandomPatternSoundness, EveryStrategyLookupIsSound) {
   for (index::StrategyKind kind : index::AllStrategyKinds()) {
     auto strategy = index::IndexingStrategy::Create(kind);
     for (const auto& table : strategy->TableNames()) {
-      ASSERT_TRUE(env.dynamodb().CreateTable(table).ok());
+      ASSERT_TRUE(env.dynamodb().CreateTable(agent, table).ok());
     }
     for (const auto& doc : docs) {
       index::ExtractStats stats;

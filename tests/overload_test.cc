@@ -82,8 +82,8 @@ TEST(OverloadTest, OrganicThrottleCarriesRetryAfterHint) {
   config.dynamodb.read_units_per_second = 1;  // 8 KB item = 2 s service
   config.dynamodb.max_backlog_micros = cloud::kMicrosPerSecond;
   cloud::CloudEnv env(config);
-  ASSERT_TRUE(env.dynamodb().CreateTable("t").ok());
   Agent writer;
+  ASSERT_TRUE(env.dynamodb().CreateTable(writer, "t").ok());
   cloud::Item item{"k", "r", {{"v", {std::string(8 * 1024, 'x')}}}};
   ASSERT_TRUE(env.dynamodb().BatchPut(writer, "t", {item}).ok());
 
@@ -128,8 +128,8 @@ TEST(OverloadTest, HintPacedRetriesConvergeToProvisionedThroughput) {
   config.dynamodb.read_units_per_second = kReadUnitsPerSecond;
   config.dynamodb.max_backlog_micros = kBound;
   cloud::CloudEnv env(config);
-  ASSERT_TRUE(env.dynamodb().CreateTable("t").ok());
   Agent writer;
+  ASSERT_TRUE(env.dynamodb().CreateTable(writer, "t").ok());
   cloud::Item item{"k", "r", {{"v", {std::string(8 * 1024, 'x')}}}};
   ASSERT_TRUE(env.dynamodb().BatchPut(writer, "t", {item}).ok());
   const double units_per_get = 2.0;  // 8 KB / 4 KB read quantum
@@ -595,14 +595,14 @@ TEST(OverloadTest, AutoscalerFollowsTheLoadDeterministically) {
 }
 
 // ---------------------------------------------------------------------------
-// Snapshot v4: the control-loop state is durable, and every older image
+// Snapshot: the control-loop state is durable, and every older image
 // still restores (the missing sections simply start fresh).
 
-TEST(OverloadTest, SnapshotV4RoundTripsAutoscalerState) {
+TEST(OverloadTest, SnapshotRoundTripsAutoscalerState) {
   cloud::CloudConfig config = AutoscaledConfig();
   cloud::CloudEnv env(config);
-  ASSERT_TRUE(env.dynamodb().CreateTable("t").ok());
   Agent writer;
+  ASSERT_TRUE(env.dynamodb().CreateTable(writer, "t").ok());
   cloud::Item item{"k", "r", {{"v", {std::string(8 * 1024, 'x')}}}};
   ASSERT_TRUE(env.dynamodb().BatchPut(writer, "t", {item}).ok());
   // Hammer the store long enough for the control loop to scale.
@@ -623,7 +623,7 @@ TEST(OverloadTest, SnapshotV4RoundTripsAutoscalerState) {
 
   const std::string snapshot = SerializeSnapshot(env);
   ASSERT_GE(snapshot.size(), 8u);
-  EXPECT_EQ(snapshot.substr(0, 8), "WDXSNAP4");
+  EXPECT_EQ(snapshot.substr(0, 8), "WDXSNAP5");
 
   cloud::CloudEnv restored(config);
   ASSERT_TRUE(RestoreSnapshot(snapshot, &restored).ok());
@@ -646,18 +646,26 @@ TEST(OverloadTest, SnapshotV4RoundTripsAutoscalerState) {
 }
 
 TEST(OverloadTest, LegacySnapshotVersionsStillRestore) {
-  // A fresh environment serializes to the minimal v4 image: magic plus
-  // twenty zero bytes (6 store varints, 2 chaos counts, empty cursor +
-  // watermark, 10 zeroed autoscaler fields).
+  // A fresh environment serializes to the minimal v5 image: magic, the
+  // twenty zero bytes of the v4 sections (6 store varints, 2 chaos
+  // counts, empty cursor + watermark, 10 zeroed autoscaler fields), then
+  // the default deployment section.
   cloud::CloudEnv fresh;
-  EXPECT_EQ(SerializeSnapshot(fresh),
-            std::string("WDXSNAP4") + std::string(20, '\0'));
+  std::string expected = std::string("WDXSNAP5") + std::string(20, '\0');
+  expected += '\0';            // capacity: provisioned
+  expected += '\x01';          // 1 shard
+  expected += '\0';            // 0 replicas
+  expected += "\xa0\xc2\x1e";  // 500 ms replication lag, varint-coded
+  // No watermarks + 7 zeroed on-demand fields.
+  expected += std::string(8, '\0');
+  EXPECT_EQ(SerializeSnapshot(fresh), expected);
 
   // Minimal legacy images: each version's sections, all empty.
   const std::string v1 = std::string("WDXSNAP1") + std::string(6, '\0');
   const std::string v2 = std::string("WDXSNAP2") + std::string(8, '\0');
   const std::string v3 = std::string("WDXSNAP3") + std::string(10, '\0');
-  for (const std::string& image : {v1, v2, v3}) {
+  const std::string v4 = std::string("WDXSNAP4") + std::string(20, '\0');
+  for (const std::string& image : {v1, v2, v3, v4}) {
     cloud::CloudEnv restored;
     ASSERT_TRUE(RestoreSnapshot(image, &restored).ok())
         << "version tag " << image.substr(0, 8);

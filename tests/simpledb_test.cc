@@ -15,7 +15,7 @@ Item MakeItem(std::string hash, std::string range,
 class SimpleDbTest : public ::testing::Test {
  protected:
   SimpleDbTest() : meter_(Pricing()), db_(Config(), &meter_) {
-    EXPECT_TRUE(db_.CreateTable("d").ok());
+    EXPECT_TRUE(db_.CreateTable(agent_, "d").ok());
   }
 
   static SimpleDbConfig Config() {

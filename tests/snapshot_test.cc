@@ -29,12 +29,12 @@ TEST(SnapshotTest, ObjectsAndItemsRoundTrip) {
   ASSERT_TRUE(env.s3().Put(agent, "data", "a.xml", "<a/>").ok());
   std::string binary("\x00\x01\xff", 3);
   ASSERT_TRUE(env.s3().Put(agent, "data", "blob", binary).ok());
-  ASSERT_TRUE(env.dynamodb().CreateTable("idx").ok());
+  ASSERT_TRUE(env.dynamodb().CreateTable(agent, "idx").ok());
   ASSERT_TRUE(env.dynamodb()
                   .BatchPut(agent, "idx",
                             {Item{"k", "r", {{"a.xml", {"v1", binary}}}}})
                   .ok());
-  ASSERT_TRUE(env.simpledb().CreateTable("legacy").ok());
+  ASSERT_TRUE(env.simpledb().CreateTable(agent, "legacy").ok());
   ASSERT_TRUE(env.simpledb()
                   .BatchPut(agent, "legacy",
                             {Item{"k2", "r2", {{"doc", {"text"}}}}})
@@ -62,7 +62,8 @@ TEST(SnapshotTest, ObjectsAndItemsRoundTrip) {
 
 TEST(SnapshotTest, EmptyTablesSurvive) {
   CloudEnv env;
-  ASSERT_TRUE(env.dynamodb().CreateTable("empty").ok());
+  Agent agent;
+  ASSERT_TRUE(env.dynamodb().CreateTable(agent, "empty").ok());
   CloudEnv restored;
   ASSERT_TRUE(RestoreSnapshot(SerializeSnapshot(env), &restored).ok());
   EXPECT_TRUE(restored.dynamodb().HasTable("empty"));

@@ -43,7 +43,7 @@ class StrategyTest : public ::testing::TestWithParam<StrategyKind> {
     for (StrategyKind kind : AllStrategyKinds()) {
       auto strategy = IndexingStrategy::Create(kind);
       for (const auto& table : strategy->TableNames()) {
-        ASSERT_TRUE(env_->dynamodb().CreateTable(table).ok());
+        ASSERT_TRUE(env_->dynamodb().CreateTable(loader, table).ok());
       }
       for (const auto& doc : *docs_) {
         ExtractStats stats;
@@ -265,8 +265,8 @@ TEST(StrategyStoreTest, ChunksOversizedIdListsForSimpleDb) {
   auto items = strategy->ExtractItems(doc.value(), {}, env.simpledb(),
                                       env.rng(), &stats);
   ASSERT_TRUE(items.ok()) << items.status().ToString();
-  ASSERT_TRUE(env.simpledb().CreateTable("idx-lui").ok());
   TestAgent agent;
+  ASSERT_TRUE(env.simpledb().CreateTable(agent, "idx-lui").ok());
   for (const auto& batch : items.value()) {
     ASSERT_TRUE(env.simpledb().BatchPut(agent, batch.table, batch.items).ok());
   }
@@ -287,8 +287,8 @@ TEST(StrategyStoreTest, SameLookupResultsOnBothStores) {
   TestAgent agent;
   auto strategy = IndexingStrategy::Create(StrategyKind::k2LUPI);
   for (const auto& table : strategy->TableNames()) {
-    ASSERT_TRUE(env.dynamodb().CreateTable(table).ok());
-    ASSERT_TRUE(env.simpledb().CreateTable(table).ok());
+    ASSERT_TRUE(env.dynamodb().CreateTable(agent, table).ok());
+    ASSERT_TRUE(env.simpledb().CreateTable(agent, table).ok());
   }
   for (const auto& generated : corpus) {
     auto doc = xml::ParseDocument(generated.uri, generated.text);
@@ -339,7 +339,7 @@ TEST(StrategyStoreTest, NoWordsIndexStillSoundForWordPredicates) {
     auto strategy = IndexingStrategy::Create(kind);
     for (const auto& table : strategy->TableNames()) {
       if (!env.dynamodb().HasTable(table)) {
-        ASSERT_TRUE(env.dynamodb().CreateTable(table).ok());
+        ASSERT_TRUE(env.dynamodb().CreateTable(agent, table).ok());
       }
     }
     for (const auto& doc : docs) {
@@ -391,7 +391,7 @@ TEST(StrategyStoreTest, CompressedPathsGiveSameLookups) {
   cloud::CloudEnv env;
   TestAgent agent;
   auto strategy = IndexingStrategy::Create(StrategyKind::kLUP);
-  ASSERT_TRUE(env.dynamodb().CreateTable("idx-lup").ok());
+  ASSERT_TRUE(env.dynamodb().CreateTable(agent, "idx-lup").ok());
 
   ExtractOptions plain;
   ExtractOptions coded;
@@ -399,7 +399,7 @@ TEST(StrategyStoreTest, CompressedPathsGiveSameLookups) {
 
   // Two private environments: one per representation.
   cloud::CloudEnv coded_env;
-  ASSERT_TRUE(coded_env.dynamodb().CreateTable("idx-lup").ok());
+  ASSERT_TRUE(coded_env.dynamodb().CreateTable(agent, "idx-lup").ok());
   uint64_t plain_bytes = 0, coded_bytes = 0;
   for (const auto& generated : corpus) {
     auto doc = xml::ParseDocument(generated.uri, generated.text);

@@ -23,7 +23,15 @@ Checks (docs/OBSERVABILITY.md):
     other span;
   * an autoscaled scripted session reports the overload counters in
     `stats` with the provisioned capacity held inside the configured
-    bounds, and exposes the `autoscale.*` gauges in the metrics dump.
+    bounds, and exposes the `autoscale.*` gauges in the metrics dump;
+  * every `replica.*` / `shard.*` / `deploy.*` span obeys the deployment
+    taxonomy (docs/ARCHITECTURES.md): only the documented names, each
+    with its required attrs;
+  * a sharded + replicated scripted session exposes the `deploy.*`
+    gauges, the per-shard `service.<svc>.<op>.s<shard>.count` counters,
+    the replica read pool's counters and lag histogram, records at least
+    one replica.read span in a traced query, and reports the deployment
+    line in `stats`.
 
 Usage: trace_lint.py <path-to-webdex_cli>
 Exit code 0 on a clean lint; failures are listed on stderr.
@@ -50,6 +58,15 @@ OVERLOAD_SPANS = {
         "read_units",
         "up",
     },
+}
+
+# The deployment span taxonomy (docs/ARCHITECTURES.md): span name ->
+# attrs it must carry.  Any other replica.*/shard.*/deploy.* name is a
+# lint failure — new deployment spans must be documented here and in
+# ARCHITECTURES.md.
+DEPLOY_SPANS = {
+    "replica.read": {"replica"},
+    "shard.fanout": {"shards"},
 }
 
 errors = []
@@ -135,6 +152,26 @@ def lint_overload_span(span):
             fail(f"autoscale.scale span {span['id']} moved no capacity")
 
 
+def lint_deploy_span(span):
+    """Validates one replica.*/shard.*/deploy.* span against the taxonomy."""
+    name = span["name"]
+    attrs = span.get("attrs", {})
+    required = DEPLOY_SPANS.get(name)
+    if required is None:
+        fail(f"span name outside the deployment taxonomy: {name!r}")
+        return
+    for key in sorted(required - set(attrs)):
+        fail(f"{name} span {span['id']} missing required attr {key!r}")
+    if name == "replica.read":
+        if attrs.get("replica", -1) < 0:
+            fail(f"replica.read span {span['id']} has replica < 0")
+        if attrs.get("lag_us", 0) < 0:
+            fail(f"replica.read span {span['id']} has lag_us < 0")
+    elif name == "shard.fanout":
+        if attrs.get("shards", 0) < 2:
+            fail(f"shard.fanout span {span['id']} fans out to < 2 shards")
+
+
 def lint_trace_jsonl(path, label="trace"):
     with open(path) as f:
         spans = [json.loads(line) for line in f if line.strip()]
@@ -160,10 +197,25 @@ def lint_trace_jsonl(path, label="trace"):
                 fail(f"span {sid} usage attr violates the grammar: {key!r}")
         if span["name"].startswith(("admission.", "autoscale.")):
             lint_overload_span(span)
+        if span["name"].startswith(("replica.", "shard.", "deploy.")):
+            lint_deploy_span(span)
         child_usd[span["parent"]] = child_usd.get(span["parent"], 0.0) + usd[sid]
     for span in spans:
         sid = span["id"]
         if sid in child_usd and usd[sid] + 1e-12 < child_usd[sid]:
+            if span["name"] == "replica.read":
+                # The one documented exception to parent-covers-children:
+                # the read pool refunds half the read units *inside* the
+                # replica.read span, below its fully-billed retry children
+                # (docs/ARCHITECTURES.md).  The refund is at most half, so
+                # the span still covers half its children's sum — and its
+                # ancestors see the refunded delta, keeping them covered.
+                if usd[sid] + 1e-12 < 0.5 * child_usd[sid]:
+                    fail(
+                        f"replica.read span {sid} usd {usd[sid]} refunds "
+                        f"more than half its children's {child_usd[sid]}"
+                    )
+                continue
             fail(
                 f"span {sid} ({span['name']}) usd {usd[sid]} smaller than "
                 f"its children's sum {child_usd[sid]}"
@@ -259,6 +311,70 @@ def lint_autoscaled_session(binary):
         fail(f"gauge autoscale.write_units {wu} outside bounds")
 
 
+def lint_sharded_session(binary):
+    """Drives a sharded + replicated scripted session: the deploy gauges,
+    per-shard service counters, replica-pool counters and lag histogram
+    must surface in the metrics dump, a traced query must record at least
+    one taxonomy-clean replica.read span (the 1 ms lag leaves the pool
+    caught up by query time), and `stats` must report the deployment."""
+    with tempfile.NamedTemporaryFile(
+        suffix=".jsonl"
+    ) as jsonl, tempfile.NamedTemporaryFile(
+        mode="w", suffix=".webdex"
+    ) as script:
+        script.write(
+            "arch --shards 4 --replicas 2 --lag-ms 1\n"
+            "strategy LUP\n"
+            "open\n"
+            "gen 12 8\n"
+            "index\n"
+            f"trace --jsonl {jsonl.name} {QUERY}\n"
+            "metrics --json\n"
+            "stats\n"
+        )
+        script.flush()
+        out = run(binary, script.name)
+        spans = lint_trace_jsonl(jsonl.name, label="sharded trace")
+
+    if not any(s["name"] == "replica.read" for s in spans):
+        fail("sharded session trace recorded no replica.read span")
+
+    if not re.search(
+        r"deployment: prov-s4-r2 \(4 shard\(s\), 2 replica\(s\), "
+        r"provisioned capacity",
+        out,
+    ):
+        fail("stats is missing the deployment line")
+
+    dump_lines = [l for l in out.splitlines() if l.startswith('{"counters"')]
+    if len(dump_lines) != 1:
+        fail("sharded session metrics dump missing")
+        return
+    dump = json.loads(dump_lines[0])
+    lint_names(dump)
+    gauges = dump["gauges"]
+    for gauge, expected in (
+        ("deploy.shards", 4),
+        ("deploy.replicas", 2),
+        ("deploy.ondemand", 0),
+        ("deploy.replication_lag_us", 1000),
+    ):
+        if gauges.get(gauge) != expected:
+            fail(
+                f"sharded session gauge {gauge} is "
+                f"{gauges.get(gauge)!r}, expected {expected}"
+            )
+    counters = dump["counters"]
+    for counter in ("shard.route.count", "replica.reads.count"):
+        if counters.get(counter, 0) <= 0:
+            fail(f"sharded session counter {counter} did not count")
+    per_shard = re.compile(r"^service\.[a-z0-9_]+\.[a-z0-9_]+\.s\d+\.count$")
+    if not any(per_shard.match(name) for name in counters):
+        fail("sharded session exposes no per-shard service.* counters")
+    if "replica.lag_us" not in dump["histograms"]:
+        fail("sharded session is missing the replica.lag_us histogram")
+
+
 def main():
     if len(sys.argv) != 2:
         sys.exit(__doc__)
@@ -280,6 +396,7 @@ def main():
 
     lint_compact_trace(binary)
     lint_autoscaled_session(binary)
+    lint_sharded_session(binary)
 
     if errors:
         for e in errors:
@@ -287,7 +404,8 @@ def main():
         sys.exit(1)
     print(
         f"trace_lint: {len(names)} metric names clean, trace JSONL clean, "
-        "compact.pass clean, autoscaled session clean"
+        "compact.pass clean, autoscaled session clean, sharded session "
+        "clean"
     )
 
 

@@ -101,6 +101,10 @@ class Cli {
       SetOutage(rest);
     } else if (command == "autoscale") {
       SetAutoscale(rest);
+    } else if (command == "arch") {
+      SetArch(rest);
+    } else if (command == "compare-arch") {
+      CompareArch(rest);
     } else if (command == "scrub") {
       Scrub(rest);
     } else if (command == "upsert") {
@@ -177,6 +181,20 @@ class Cli {
         "                                   (read bounds scale with them;\n"
         "                                   docs/OVERLOAD.md; applies at the\n"
         "                                   next 'open')\n"
+        "  arch [--shards <n>] [--replicas <r>]\n"
+        "       [--capacity provisioned|ondemand] [--lag-ms <ms>]\n"
+        "                                   deployment architecture\n"
+        "                                   (docs/ARCHITECTURES.md; applies\n"
+        "                                   at the next 'open'; no flags =\n"
+        "                                   back to the paper's default)\n"
+        "  compare-arch [--shards <a,b>] [--replicas <a,b>]\n"
+        "               [--capacity provisioned,ondemand]\n"
+        "                                   sweep architectures over one\n"
+        "                                   deterministic build + query\n"
+        "                                   workload and print the\n"
+        "                                   cost/makespan frontier (every\n"
+        "                                   row must match the baseline's\n"
+        "                                   index state and query rows)\n"
         "  scrub [--repair]                 audit the index against the\n"
         "                                   documents; --repair fixes it\n"
         "  upsert <uri> [file.xml]          queue a document replacement at\n"
@@ -363,6 +381,221 @@ class Cli {
     if (warehouse_ != nullptr) {
       std::printf("note: the open warehouse keeps its current capacity\n");
     }
+  }
+
+  static bool ParseCapacity(const std::string& name,
+                            cloud::CapacityMode* mode) {
+    if (name == "provisioned" || name == "prov") {
+      *mode = cloud::CapacityMode::kProvisioned;
+    } else if (name == "ondemand" || name == "on-demand") {
+      *mode = cloud::CapacityMode::kOnDemand;
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  void SetArch(const std::string& args) {
+    cloud::ArchitectureSpec arch;  // no flags resets to the default
+    std::istringstream input(args);
+    std::string flag;
+    bool bad = false;
+    while (input >> flag) {
+      std::string value;
+      if (!(input >> value)) {
+        bad = true;
+        break;
+      }
+      if (flag == "--shards") {
+        arch.shards = std::atoi(value.c_str());
+      } else if (flag == "--replicas") {
+        arch.replicas = std::atoi(value.c_str());
+      } else if (flag == "--capacity") {
+        bad = !ParseCapacity(value, &arch.capacity);
+      } else if (flag == "--lag-ms") {
+        arch.replication_lag = static_cast<cloud::Micros>(
+            std::atof(value.c_str()) * 1000.0);
+      } else {
+        bad = true;
+      }
+      if (bad) break;
+    }
+    if (!bad && !arch.Validate().ok()) {
+      std::printf("invalid architecture: %s\n",
+                  arch.Validate().ToString().c_str());
+      return;
+    }
+    if (bad) {
+      std::printf(
+          "usage: arch [--shards <1..64>] [--replicas <0..8>] "
+          "[--capacity provisioned|ondemand] [--lag-ms <ms>]\n");
+      return;
+    }
+    cloud_config_.arch = arch;
+    std::printf(
+        "architecture: %s (%d shard(s), %d replica(s), %s capacity, "
+        "%.1f ms replication lag); applies at the next 'open'\n",
+        arch.Name().c_str(), arch.shards, arch.replicas,
+        cloud::CapacityModeName(arch.capacity),
+        static_cast<double>(arch.replication_lag) / 1000.0);
+    if (warehouse_ != nullptr) {
+      std::printf("note: the open warehouse keeps its current layout\n");
+    }
+  }
+
+  /// One architecture's turn on the compare-arch workload.
+  struct ArchRow {
+    cloud::ArchitectureSpec arch;
+    double dollars = 0;
+    double index_s = 0;
+    double query_s = 0;
+    uint64_t fingerprint = 0;
+    std::vector<std::vector<std::string>> rows;
+    bool failed = false;
+  };
+
+  ArchRow RunArchWorkload(const cloud::ArchitectureSpec& arch) {
+    ArchRow row;
+    row.arch = arch;
+    cloud::CloudConfig cloud_config = cloud_config_;
+    cloud_config.arch = arch;
+    auto env = std::make_unique<cloud::CloudEnv>(cloud_config);
+    auto warehouse =
+        std::make_unique<engine::Warehouse>(env.get(), config_);
+    if (!warehouse->Setup().ok()) {
+      row.failed = true;
+      return row;
+    }
+    xmark::GeneratorConfig corpus;
+    corpus.num_documents = 12;
+    corpus.entities_per_document = 8;
+    xmark::XmarkGenerator generator(corpus);
+    for (int i = 0; i < corpus.num_documents; ++i) {
+      auto doc = generator.Generate(i);
+      if (!warehouse->SubmitDocument(doc.uri, std::move(doc.text)).ok()) {
+        row.failed = true;
+        return row;
+      }
+    }
+    auto report = warehouse->RunIndexers();
+    if (!report.ok()) {
+      row.failed = true;
+      return row;
+    }
+    row.index_s = static_cast<double>(report.value().makespan) / 1e6;
+    // The same query three times: with replicas the later rounds run
+    // against a settled table and show the half-price read pool.
+    for (int round = 0; round < 3; ++round) {
+      auto outcome = warehouse->ExecuteQuery("//item[/name:val]");
+      if (!outcome.ok()) {
+        row.failed = true;
+        return row;
+      }
+      row.query_s +=
+          static_cast<double>(outcome.value().timings.total) / 1e6;
+      row.rows = outcome.value().result.rows;
+    }
+    row.fingerprint = cloud::FingerprintStore(warehouse->index_store());
+    row.dollars = env->meter().ComputeBill().total();
+    return row;
+  }
+
+  void CompareArch(const std::string& args) {
+    std::vector<int> shards = {1, 4};
+    std::vector<int> replicas = {0, 2};
+    std::vector<cloud::CapacityMode> capacities = {
+        cloud::CapacityMode::kProvisioned, cloud::CapacityMode::kOnDemand};
+    std::istringstream input(args);
+    std::string flag;
+    bool bad = false;
+    auto parse_ints = [&](const std::string& csv, std::vector<int>* out) {
+      out->clear();
+      std::istringstream list(csv);
+      std::string token;
+      while (std::getline(list, token, ',')) {
+        out->push_back(std::atoi(token.c_str()));
+      }
+      return !out->empty();
+    };
+    while (input >> flag) {
+      std::string value;
+      if (!(input >> value)) {
+        bad = true;
+        break;
+      }
+      if (flag == "--shards") {
+        bad = !parse_ints(value, &shards);
+      } else if (flag == "--replicas") {
+        bad = !parse_ints(value, &replicas);
+      } else if (flag == "--capacity") {
+        capacities.clear();
+        std::istringstream list(value);
+        std::string token;
+        while (std::getline(list, token, ',')) {
+          cloud::CapacityMode mode;
+          if (!ParseCapacity(token, &mode)) {
+            bad = true;
+            break;
+          }
+          capacities.push_back(mode);
+        }
+        bad = bad || capacities.empty();
+      } else {
+        bad = true;
+      }
+      if (bad) break;
+    }
+    if (bad) {
+      std::printf(
+          "usage: compare-arch [--shards <a,b,..>] [--replicas <a,b,..>] "
+          "[--capacity provisioned,ondemand]\n");
+      return;
+    }
+    // Baseline first, then the cross product (skipping the baseline).
+    std::vector<cloud::ArchitectureSpec> sweep;
+    sweep.emplace_back();
+    for (cloud::CapacityMode capacity : capacities) {
+      for (int shard_count : shards) {
+        for (int replica_count : replicas) {
+          cloud::ArchitectureSpec arch;
+          arch.capacity = capacity;
+          arch.shards = shard_count;
+          arch.replicas = replica_count;
+          if (arch == sweep.front()) continue;
+          if (!arch.Validate().ok()) {
+            std::printf("skipping invalid architecture %s\n",
+                        arch.Name().c_str());
+            continue;
+          }
+          sweep.push_back(arch);
+        }
+      }
+    }
+    std::printf(
+        "%-16s %-12s %7s %9s %11s %9s %9s  %s\n", "arch", "capacity",
+        "shards", "replicas", "$ total", "index s", "query s", "state");
+    ArchRow baseline;
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const ArchRow row = RunArchWorkload(sweep[i]);
+      if (i == 0) baseline = row;
+      const char* state = "baseline";
+      if (row.failed) {
+        state = "FAILED";
+      } else if (i > 0) {
+        state = (row.fingerprint == baseline.fingerprint &&
+                 row.rows == baseline.rows)
+                    ? "ok"
+                    : "MISMATCH";
+      }
+      std::printf("%-16s %-12s %7d %9d %11.6f %9.2f %9.3f  %s\n",
+                  row.arch.Name().c_str(),
+                  cloud::CapacityModeName(row.arch.capacity),
+                  row.arch.shards, row.arch.replicas, row.dollars,
+                  row.index_s, row.query_s, state);
+    }
+    std::printf(
+        "every row indexes and queries the same corpus; 'ok' = "
+        "bit-identical logical index and query rows vs the baseline\n");
   }
 
   void Scrub(const std::string& args) {
@@ -895,6 +1128,8 @@ class Cli {
         "%llu GC'd items\n"
         "overload: %llu throttled requests, %llu shed queries, "
         "%llu scale events (%.0f WU / %.0f RU provisioned)\n"
+        "deployment: %s (%d shard(s), %d replica(s), %s capacity, "
+        "%.1f ms lag): %llu replica reads, %llu on-demand requests\n"
         "virtual front-end clock: %.2f s\n",
         warehouse_->document_uris().size(),
         static_cast<double>(warehouse_->data_bytes()) / (1 << 20),
@@ -912,6 +1147,12 @@ class Cli {
         usage("throttled_requests"), usage("shed_queries"),
         usage("scale_events"), env_->dynamodb().write_units_per_second(),
         env_->dynamodb().read_units_per_second(),
+        env_->deployment().spec().Name().c_str(),
+        env_->deployment().spec().shards, env_->deployment().spec().replicas,
+        cloud::CapacityModeName(env_->deployment().spec().capacity),
+        static_cast<double>(env_->deployment().spec().replication_lag) /
+            1000.0,
+        usage("replica_reads"), usage("ondemand_requests"),
         static_cast<double>(warehouse_->front_end().now()) / 1e6);
     if (!env_->tracer().spans().empty()) {
       std::printf("last trace (flamegraph-style cost rollup):\n%s",
@@ -965,6 +1206,17 @@ int main(int argc, char** argv) {
     std::istringstream input(script);
     webdex::tools::Cli cli(/*interactive=*/false);
     return cli.Run(input);
+  }
+  if (argc > 1 && std::string(argv[1]) == "compare-arch") {
+    // One-shot frontier: sweep architectures over the canned workload.
+    std::string flags;
+    for (int i = 2; i < argc; ++i) {
+      if (!flags.empty()) flags += " ";
+      flags += argv[i];
+    }
+    std::istringstream script("compare-arch " + flags + "\n");
+    webdex::tools::Cli cli(/*interactive=*/false);
+    return cli.Run(script);
   }
   if (argc > 2 && std::string(argv[1]) == "explain") {
     // One-shot EXPLAIN: deploy a small deterministic 2LUPI warehouse and
